@@ -1,0 +1,78 @@
+//! Table 3: the four best nonlinear functions obtained by weighted
+//! nonlinear regression over the enumerated family.
+//!
+//! Regenerates the training set, fits all 576 candidates, and prints the
+//! ranked winners in the artifact's verbose format and the paper's
+//! simplified form, next to the published F1–F4.
+
+use criterion::Criterion;
+use dynsched_bench::{banner, criterion, full_scale, trial_count};
+use dynsched_cluster::Platform;
+use dynsched_core::pipeline::{generate_training_set, TrainingConfig};
+use dynsched_core::trials::TrialSpec;
+use dynsched_core::tuples::TupleSpec;
+use dynsched_mlreg::{fit_all, fit_function, EnumerateOptions};
+use dynsched_policies::NonlinearFunction;
+use dynsched_workload::LublinModel;
+use std::hint::black_box;
+
+fn regenerate() {
+    banner("Table 3: best nonlinear functions from regression");
+    let config = TrainingConfig {
+        tuple_spec: TupleSpec::default(),
+        trial_spec: TrialSpec {
+            trials: trial_count(),
+            platform: Platform::new(256),
+            tau: 10.0,
+        },
+        tuples: if full_scale() { 32 } else { 10 },
+        seed: 0x7AB1E3,
+    };
+    let model = LublinModel::new(256);
+    let t0 = std::time::Instant::now();
+    let (_, training) = generate_training_set(&config, &model);
+    println!(
+        "training set: {} observations from {} tuples x {} trials ({:.1} s)",
+        training.len(),
+        config.tuples,
+        config.trial_spec.trials,
+        t0.elapsed().as_secs_f64()
+    );
+    let t0 = std::time::Instant::now();
+    let fits = fit_all(&training, &EnumerateOptions::default());
+    println!("fitted 576 functions in {:.1} s\n", t0.elapsed().as_secs_f64());
+    println!("rank  fitness      function (simplified)");
+    for (i, fit) in fits.iter().take(6).enumerate() {
+        println!("{:>4}  {:.6e}  {}", i + 1, fit.fitness, fit.function.render_simplified());
+    }
+    println!("\npaper's Table 3:");
+    println!("  F1: log10(r)*n + 8.70e2*log10(s)");
+    println!("  F2: sqrt(r)*n  + 2.56e4*log10(s)");
+    println!("  F3: r*n        + 6.86e6*log10(s)");
+    println!("  F4: r*sqrt(n)  + 5.30e5*log10(s)");
+    println!("\nexpected agreement: the top functions combine a task-size term");
+    println!("(a product of increasing functions of r and n) with a large");
+    println!("positive coefficient on log10(s) — algebraic equivalents tie.");
+}
+
+fn bench(c: &mut Criterion) {
+    let config = TrainingConfig {
+        tuple_spec: TupleSpec { s_size: 8, q_size: 16, max_start_offset: 100_000.0 },
+        trial_spec: TrialSpec { trials: 512, platform: Platform::new(256), tau: 10.0 },
+        tuples: 4,
+        seed: 1,
+    };
+    let model = LublinModel::new(256);
+    let (_, training) = generate_training_set(&config, &model);
+    let shape = NonlinearFunction::enumerate_family()[0];
+    c.bench_function("table3/fit_one_function_64_obs", |b| {
+        b.iter(|| black_box(fit_function(shape, &training, &EnumerateOptions::default())))
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

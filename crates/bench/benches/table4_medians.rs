@@ -1,0 +1,51 @@
+//! Table 4: median average bounded slowdowns for all 18 experiments × 8
+//! policies, with the paper's published medians side by side and the
+//! structural "learned beats ad-hoc" check per row.
+
+use criterion::Criterion;
+use dynsched_bench::{banner, criterion, scenario_scale};
+use dynsched_core::report::{table4_comparison, table4_markdown};
+use dynsched_core::scenarios::table4_experiments;
+use dynsched_core::{learned_beat_adhoc, run_experiment};
+use dynsched_policies::paper_lineup;
+use dynsched_simkit::stats::median;
+use std::hint::black_box;
+
+fn regenerate() {
+    banner("Table 4: all 18 experiments");
+    let scale = scenario_scale();
+    let lineup = paper_lineup();
+    let mut results = Vec::new();
+    for (i, experiment) in table4_experiments(&scale).iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let result = run_experiment(experiment, &lineup);
+        eprintln!(
+            "[{:>2}/18] {} (best {}, {:.1} s)",
+            i + 1,
+            result.name,
+            result.best_policy().unwrap_or("-"),
+            t0.elapsed().as_secs_f64()
+        );
+        results.push(result);
+    }
+    println!("\n-- measured medians --\n{}", table4_markdown(&results));
+    println!("\n-- paper vs measured --\n{}", table4_comparison(&results));
+    let wins = results.iter().filter(|r| learned_beat_adhoc(r)).count();
+    println!("shape: best learned beats best ad-hoc in {wins}/18 rows (paper: 18/18)");
+}
+
+fn bench(c: &mut Criterion) {
+    // Measure the statistics layer (medians over sequence outcomes), the
+    // only un-benched piece of the Table 4 path.
+    let xs: Vec<f64> = (0..10).map(|i| (i as f64 * 37.0) % 100.0).collect();
+    c.bench_function("table4/median_of_10_sequences", |b| {
+        b.iter(|| black_box(median(&xs)))
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,54 @@
+//! §4.1 timing claim: "256 thousand trials … takes less than 11 minutes
+//! using SimGrid on an Intel Xeon E5-2620v2 six-core CPU."
+//!
+//! Measures our trial engine's throughput and projects the wall time for
+//! the paper's 256k-trial batch.
+
+use criterion::{Criterion, Throughput};
+use dynsched_bench::{banner, criterion};
+use dynsched_cluster::Platform;
+use dynsched_core::trials::{run_trial, trial_scores, TrialSpec};
+use dynsched_core::tuples::{TaskTuple, TupleSpec};
+use dynsched_simkit::Rng;
+use dynsched_workload::LublinModel;
+use std::hint::black_box;
+
+fn regenerate() {
+    banner("Trial throughput vs the paper's <11 min for 256k trials");
+    let model = LublinModel::new(256);
+    let tuple = TaskTuple::generate(&TupleSpec::default(), &model, &mut Rng::new(3));
+    let spec = TrialSpec { trials: 16_384, platform: Platform::new(256), tau: 10.0 };
+    let t0 = std::time::Instant::now();
+    let scores = trial_scores(&tuple, &spec, &Rng::new(4));
+    let dt = t0.elapsed().as_secs_f64();
+    let per_trial = dt / scores.trials as f64;
+    println!("{} trials in {:.2} s  ->  {:.1} µs/trial (parallel)", scores.trials, dt, per_trial * 1e6);
+    println!(
+        "projected 256k trials: {:.1} s  (paper: < 660 s on a 2013 six-core Xeon + SimGrid)",
+        per_trial * 256_000.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let model = LublinModel::new(256);
+    let tuple = TaskTuple::generate(&TupleSpec::default(), &model, &mut Rng::new(3));
+    let spec = TrialSpec { trials: 1_024, platform: Platform::new(256), tau: 10.0 };
+    let perm: Vec<usize> = (0..32).collect();
+    c.bench_function("throughput/one_trial_48_jobs_256c", |b| {
+        b.iter(|| black_box(run_trial(&tuple, &perm, &spec)))
+    });
+    let mut g = c.benchmark_group("throughput/trials");
+    g.throughput(Throughput::Elements(1_024));
+    g.bench_function("1024_parallel", |b| {
+        let master = Rng::new(5);
+        b.iter(|| black_box(trial_scores(&tuple, &spec, &master)))
+    });
+    g.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,134 @@
+//! Shared plumbing for the figure/table regeneration benches.
+//!
+//! Every bench in `benches/` does two jobs:
+//!
+//! 1. **Regenerate** its table or figure: during setup it runs the
+//!    corresponding experiment and prints the same rows/series the paper
+//!    reports (artifact-style statistics, boxplot five-number summaries,
+//!    ranked functions, …).
+//! 2. **Measure** a representative kernel with Criterion, so performance
+//!    regressions in the simulator/regressor show up in CI.
+//!
+//! Scale control: benches default to a reduced protocol so the whole suite
+//! finishes in minutes. Set `DYNSCHED_FULL=1` to run the paper's protocol
+//! (10 × 15-day sequences, 256k trials, the full 512k convergence ladder).
+
+use criterion::Criterion;
+use dynsched_core::scenarios::ScenarioScale;
+use dynsched_workload::SequenceSpec;
+
+/// Whether the user asked for paper-scale runs.
+pub fn full_scale() -> bool {
+    std::env::var("DYNSCHED_FULL").is_ok_and(|v| v != "0")
+}
+
+/// The experiment protocol to use: paper scale under `DYNSCHED_FULL=1`,
+/// otherwise a reduced protocol with the same structure.
+pub fn scenario_scale() -> ScenarioScale {
+    if full_scale() {
+        ScenarioScale::default()
+    } else {
+        ScenarioScale {
+            spec: SequenceSpec { count: 4, days: 3.0, min_jobs: 10 },
+            ..ScenarioScale::default()
+        }
+    }
+}
+
+/// Trials per tuple for training-stage regenerators.
+pub fn trial_count() -> usize {
+    if full_scale() {
+        256_000
+    } else {
+        4_096
+    }
+}
+
+/// Criterion tuned for the regeneration suite: small sample counts so the
+/// measured kernels don't dominate the wall time of `cargo bench`.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+/// Print a banner separating regeneration output from Criterion output.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "(scale: {}; set DYNSCHED_FULL=1 for the paper's protocol)\n",
+        if full_scale() { "paper" } else { "reduced" }
+    );
+}
+
+use dynsched_core::report::artifact_report;
+use dynsched_core::scenarios::{archive_scenario, model_scenario, Condition};
+use dynsched_core::{run_experiment, Experiment, ExperimentResult};
+use dynsched_policies::paper_lineup;
+use dynsched_workload::ArchivePlatform;
+
+/// Run one experiment under the paper's eight-policy line-up, print the
+/// artifact-style statistics plus boxplot numbers, and save the boxplot
+/// data as CSV under `target/figures/` (the raw series behind the figure).
+pub fn run_and_print(experiment: &Experiment) -> ExperimentResult {
+    let t0 = std::time::Instant::now();
+    let result = run_experiment(experiment, &paper_lineup());
+    print!("{}", artifact_report(&result));
+    println!("Boxplot (q1/median/q3):");
+    for o in &result.outcomes {
+        println!(
+            "  {:>4}: {:>10.2} / {:>10.2} / {:>10.2}",
+            o.policy, o.summary.q1, o.summary.median, o.summary.q3
+        );
+    }
+    let dir = std::path::Path::new("target/figures");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let slug: String = result
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        if std::fs::write(&path, dynsched_core::report::boxplot_csv(&result)).is_ok() {
+            println!("boxplot CSV: {}", path.display());
+        }
+    }
+    println!(
+        "best: {}   [{:.1} s]\n",
+        result.best_policy().unwrap_or("-"),
+        t0.elapsed().as_secs_f64()
+    );
+    result
+}
+
+/// Regenerate one §4.2 model figure (both platform sizes).
+pub fn regenerate_model_figure(condition: Condition) -> Vec<ExperimentResult> {
+    let scale = scenario_scale();
+    [256u32, 1024]
+        .iter()
+        .map(|&nmax| run_and_print(&model_scenario(nmax, condition, &scale)))
+        .collect()
+}
+
+/// Regenerate one §4.3 archive figure (all four platforms).
+pub fn regenerate_archive_figure(condition: Condition) -> Vec<ExperimentResult> {
+    let scale = scenario_scale();
+    ArchivePlatform::ALL
+        .iter()
+        .map(|platform| run_and_print(&archive_scenario(platform, condition, &scale)))
+        .collect()
+}
+
+/// Criterion kernel: schedule the first sequence of an experiment under F1.
+pub fn bench_first_sequence(c: &mut criterion::Criterion, tag: &str, experiment: &Experiment) {
+    use dynsched_policies::LearnedPolicy;
+    use dynsched_scheduler::{simulate, QueueDiscipline};
+    let f1 = LearnedPolicy::f1();
+    let seq = experiment.sequences[0].clone();
+    let config = experiment.scheduler;
+    c.bench_function(tag, |b| {
+        b.iter(|| std::hint::black_box(simulate(&seq, &QueueDiscipline::Policy(&f1), &config)))
+    });
+}

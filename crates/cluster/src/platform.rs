@@ -1,0 +1,251 @@
+//! The homogeneous HPC platform and its allocation ledger.
+//!
+//! The paper's platform model (§3.1) is a set of `nmax` homogeneous cores
+//! behind any interconnect; a rigid job exclusively holds `n` cores from
+//! start to finish. [`AllocationLedger`] is the safety-critical piece: it
+//! enforces, at runtime, that cores are never over-subscribed and that
+//! releases match grants — the invariants the property tests lean on.
+
+use crate::job::JobId;
+use dynsched_simkit::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Static description of a homogeneous cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Total number of cores (`nmax`).
+    pub total_cores: u32,
+}
+
+impl Platform {
+    /// Create a platform with `total_cores` cores.
+    ///
+    /// # Panics
+    /// Panics if `total_cores == 0`.
+    pub fn new(total_cores: u32) -> Self {
+        assert!(total_cores > 0, "a platform needs at least one core");
+        Self { total_cores }
+    }
+
+    /// The 256-core platform used in the paper's training simulations.
+    pub fn paper_training() -> Self {
+        Self::new(256)
+    }
+}
+
+/// Error returned by fallible ledger operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// Allocation would exceed the platform's core count.
+    InsufficientCores {
+        /// Cores requested by the job.
+        requested: u32,
+        /// Cores currently free.
+        available: u32,
+    },
+    /// The job already holds an allocation.
+    AlreadyAllocated(JobId),
+    /// Release for a job that holds no allocation.
+    NotAllocated(JobId),
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::InsufficientCores { requested, available } => {
+                write!(f, "requested {requested} cores but only {available} available")
+            }
+            LedgerError::AlreadyAllocated(id) => write!(f, "job {id} already allocated"),
+            LedgerError::NotAllocated(id) => write!(f, "job {id} holds no allocation"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Tracks which job holds how many cores, with utilization accounting.
+///
+/// The ledger integrates `used_cores` over time, which yields the platform
+/// utilization figure reported alongside the archive traces (Table 5).
+#[derive(Debug, Clone)]
+pub struct AllocationLedger {
+    platform: Platform,
+    used: u32,
+    holdings: HashMap<JobId, u32>,
+    /// Integral of used cores over time (core-seconds).
+    busy_core_seconds: f64,
+    last_update: Time,
+}
+
+impl AllocationLedger {
+    /// Create an empty ledger for `platform`.
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            used: 0,
+            holdings: HashMap::new(),
+            busy_core_seconds: 0.0,
+            last_update: 0.0,
+        }
+    }
+
+    /// The platform this ledger manages.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Cores currently free.
+    pub fn available(&self) -> u32 {
+        self.platform.total_cores - self.used
+    }
+
+    /// Cores currently allocated.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Whether `cores` could be allocated right now.
+    pub fn fits(&self, cores: u32) -> bool {
+        cores <= self.available()
+    }
+
+    /// Number of jobs currently holding cores.
+    pub fn running_jobs(&self) -> usize {
+        self.holdings.len()
+    }
+
+    /// Cores held by `job`, if it is running.
+    pub fn holding(&self, job: JobId) -> Option<u32> {
+        self.holdings.get(&job).copied()
+    }
+
+    /// Advance the utilization integral to time `now`. Must be called with
+    /// non-decreasing times; allocation/release call it implicitly.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update (causality violation).
+    pub fn advance_time(&mut self, now: Time) {
+        assert!(
+            now >= self.last_update,
+            "ledger time moved backwards: {} -> {now}",
+            self.last_update
+        );
+        self.busy_core_seconds += self.used as f64 * (now - self.last_update);
+        self.last_update = now;
+    }
+
+    /// Grant `cores` to `job` at time `now`.
+    pub fn allocate(&mut self, job: JobId, cores: u32, now: Time) -> Result<(), LedgerError> {
+        if self.holdings.contains_key(&job) {
+            return Err(LedgerError::AlreadyAllocated(job));
+        }
+        if cores > self.available() {
+            return Err(LedgerError::InsufficientCores { requested: cores, available: self.available() });
+        }
+        self.advance_time(now);
+        self.used += cores;
+        self.holdings.insert(job, cores);
+        debug_assert!(self.used <= self.platform.total_cores);
+        Ok(())
+    }
+
+    /// Release the allocation held by `job` at time `now`.
+    pub fn release(&mut self, job: JobId, now: Time) -> Result<u32, LedgerError> {
+        let cores = self.holdings.remove(&job).ok_or(LedgerError::NotAllocated(job))?;
+        self.advance_time(now);
+        self.used -= cores;
+        Ok(cores)
+    }
+
+    /// Mean utilization in `[0, 1]` over `[0, now]`; `None` before time 0+.
+    pub fn utilization(&self, now: Time) -> Option<f64> {
+        if now <= 0.0 {
+            return None;
+        }
+        let pending = self.used as f64 * (now - self.last_update).max(0.0);
+        Some((self.busy_core_seconds + pending) / (self.platform.total_cores as f64 * now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut l = AllocationLedger::new(Platform::new(16));
+        assert!(l.fits(16));
+        l.allocate(1, 10, 0.0).unwrap();
+        assert_eq!(l.available(), 6);
+        assert_eq!(l.holding(1), Some(10));
+        assert_eq!(l.release(1, 5.0).unwrap(), 10);
+        assert_eq!(l.available(), 16);
+        assert_eq!(l.running_jobs(), 0);
+    }
+
+    #[test]
+    fn oversubscription_rejected() {
+        let mut l = AllocationLedger::new(Platform::new(8));
+        l.allocate(1, 5, 0.0).unwrap();
+        let err = l.allocate(2, 4, 0.0).unwrap_err();
+        assert_eq!(err, LedgerError::InsufficientCores { requested: 4, available: 3 });
+        // Ledger unchanged by the failed allocation.
+        assert_eq!(l.available(), 3);
+    }
+
+    #[test]
+    fn double_allocation_rejected() {
+        let mut l = AllocationLedger::new(Platform::new(8));
+        l.allocate(1, 2, 0.0).unwrap();
+        assert_eq!(l.allocate(1, 2, 1.0).unwrap_err(), LedgerError::AlreadyAllocated(1));
+    }
+
+    #[test]
+    fn release_unknown_rejected() {
+        let mut l = AllocationLedger::new(Platform::new(8));
+        assert_eq!(l.release(9, 0.0).unwrap_err(), LedgerError::NotAllocated(9));
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let mut l = AllocationLedger::new(Platform::new(4));
+        l.allocate(1, 4, 0.0).unwrap();
+        assert_eq!(l.available(), 0);
+        assert!(!l.fits(1));
+        assert!(l.fits(0));
+    }
+
+    #[test]
+    fn utilization_integral() {
+        let mut l = AllocationLedger::new(Platform::new(10));
+        l.allocate(1, 10, 0.0).unwrap(); // full from t=0
+        l.release(1, 50.0).unwrap(); // idle from t=50
+        // At t=100: busy 10*50 core-s over 10*100 capacity = 0.5.
+        assert!((l.utilization(100.0).unwrap() - 0.5).abs() < 1e-12);
+        // At t=50: utilization exactly 1.
+        assert!((l.utilization(50.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_counts_pending_interval() {
+        let mut l = AllocationLedger::new(Platform::new(2));
+        l.allocate(1, 1, 0.0).unwrap();
+        // No further events; utilization at t=10 should still be 0.5.
+        assert!((l.utilization(10.0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_cannot_go_backwards() {
+        let mut l = AllocationLedger::new(Platform::new(2));
+        l.advance_time(10.0);
+        l.advance_time(5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_core_platform_rejected() {
+        Platform::new(0);
+    }
+}

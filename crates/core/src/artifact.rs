@@ -1,0 +1,207 @@
+//! The original artifact's on-disk data formats (appendix A.4–A.5).
+//!
+//! The paper's artifact organises training data as two directories of CSV
+//! files:
+//!
+//! * `task-sets/` — one file per `(S, Q)` tuple, a line per task:
+//!   `runtime,#processors,submit time`;
+//! * `training-data/` — one file per tuple's trial score distribution, a
+//!   line per task: `runtime,#processors,submit time,score`;
+//!
+//! plus the pooled `score-distribution.csv` produced by `gather_data.py`
+//! (handled by [`TrainingSet::to_csv`]/[`from_csv`]). This module reads and
+//! writes those per-tuple formats so runs of this reproduction and of the
+//! original prototypes can exchange data files directly.
+//!
+//! [`TrainingSet::to_csv`]: dynsched_mlreg::TrainingSet::to_csv
+//! [`from_csv`]: dynsched_mlreg::TrainingSet::from_csv
+
+use crate::trials::TrialScores;
+use crate::tuples::TaskTuple;
+use dynsched_cluster::{Job, JobId};
+use std::fmt::Write as _;
+
+/// Error from parsing an artifact CSV file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactCsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ArtifactCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "artifact CSV error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ArtifactCsvError {}
+
+fn parse_fields(line: &str, lineno: usize, expected: usize) -> Result<Vec<f64>, ArtifactCsvError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != expected {
+        return Err(ArtifactCsvError {
+            line: lineno,
+            message: format!("expected {expected} fields, found {}", fields.len()),
+        });
+    }
+    fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            f.parse::<f64>().map_err(|e| ArtifactCsvError {
+                line: lineno,
+                message: format!("field {} ({f:?}): {e}", i + 1),
+            })
+        })
+        .collect()
+}
+
+/// Serialize a tuple in the `task-sets/` format: all tasks (S then Q), one
+/// `runtime,#processors,submit time` line each.
+pub fn write_task_set(tuple: &TaskTuple) -> String {
+    let mut out = String::new();
+    for job in tuple.all_jobs() {
+        let _ = writeln!(out, "{},{},{}", job.runtime, job.cores, job.submit);
+    }
+    out
+}
+
+/// Parse a `task-sets/` file back into a tuple, given the warmup-set size
+/// (the file format does not record the S/Q split; the artifact fixes
+/// |S| = 16).
+pub fn parse_task_set(input: &str, s_size: usize) -> Result<TaskTuple, ArtifactCsvError> {
+    let mut jobs: Vec<Job> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f = parse_fields(line, lineno + 1, 3)?;
+        let id = jobs.len() as JobId;
+        if f[0] < 0.0 || f[1] < 1.0 || f[2] < 0.0 {
+            return Err(ArtifactCsvError {
+                line: lineno + 1,
+                message: format!("invalid task ({}, {}, {})", f[0], f[1], f[2]),
+            });
+        }
+        jobs.push(Job::new(id, f[2], f[0].max(1e-9), f[0].max(1e-9), f[1] as u32));
+    }
+    if jobs.len() <= s_size {
+        return Err(ArtifactCsvError {
+            line: 0,
+            message: format!("file has {} tasks, need more than |S| = {s_size}", jobs.len()),
+        });
+    }
+    let q_tasks = jobs.split_off(s_size);
+    Ok(TaskTuple { s_tasks: jobs, q_tasks })
+}
+
+/// Serialize one tuple's trial scores in the `training-data/` format:
+/// `runtime,#processors,submit time,score` per task of `Q`.
+pub fn write_trial_scores(tuple: &TaskTuple, scores: &TrialScores) -> String {
+    let mut out = String::new();
+    for (job, score) in tuple.q_tasks.iter().zip(&scores.scores) {
+        let _ = writeln!(out, "{},{},{},{}", job.runtime, job.cores, job.submit, score);
+    }
+    out
+}
+
+/// Parse a `training-data/` file into `(runtime, cores, submit, score)`
+/// rows (the per-tuple precursor of the pooled distribution).
+pub fn parse_trial_scores(input: &str) -> Result<Vec<(f64, f64, f64, f64)>, ArtifactCsvError> {
+    let mut rows = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f = parse_fields(line, lineno + 1, 4)?;
+        rows.push((f[0], f[1], f[2], f[3]));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trials::{trial_scores, TrialSpec};
+    use crate::tuples::TupleSpec;
+    use dynsched_cluster::Platform;
+    use dynsched_simkit::Rng;
+    use dynsched_workload::LublinModel;
+
+    fn tuple() -> TaskTuple {
+        let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 };
+        TaskTuple::generate(&spec, &LublinModel::new(64), &mut Rng::new(1))
+    }
+
+    #[test]
+    fn task_set_roundtrip() {
+        let t = tuple();
+        let text = write_task_set(&t);
+        assert_eq!(text.lines().count(), 12);
+        let back = parse_task_set(&text, 4).unwrap();
+        assert_eq!(back.s_tasks.len(), 4);
+        assert_eq!(back.q_tasks.len(), 8);
+        for (a, b) in t.all_jobs().iter().zip(back.all_jobs()) {
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.cores, b.cores);
+            assert_eq!(a.submit, b.submit);
+        }
+    }
+
+    #[test]
+    fn artifact_example_line_parses() {
+        // A line from the paper's appendix A.5.1 example (3 fields).
+        let line = "7298.0,58.0,88334.0\n50.0,8.0,88224.0\n";
+        let t = parse_task_set(line, 1).unwrap();
+        assert_eq!(t.s_tasks.len(), 1);
+        assert_eq!(t.q_tasks.len(), 1);
+        assert_eq!(t.s_tasks[0].cores, 58);
+    }
+
+    #[test]
+    fn trial_scores_roundtrip() {
+        let t = tuple();
+        let spec = TrialSpec { trials: 64, platform: Platform::new(64), tau: 10.0 };
+        let scores = trial_scores(&t, &spec, &Rng::new(2));
+        let text = write_trial_scores(&t, &scores);
+        let rows = parse_trial_scores(&text).unwrap();
+        assert_eq!(rows.len(), 8);
+        for ((job, &score), row) in t.q_tasks.iter().zip(&scores.scores).zip(&rows) {
+            assert_eq!(row.0, job.runtime);
+            assert_eq!(row.1, job.cores as f64);
+            assert!((row.3 - score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn appendix_a51_sample_parses_as_trial_scores() {
+        let sample = "\
+50.0,8.0,88224.0,0.0347251055192
+3.0,4.0,88302.0,0.0292281817457
+7298.0,58.0,88334.0,0.0350921606481
+";
+        let rows = parse_trial_scores(sample).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].3 - 0.0347251055192).abs() < 1e-15);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_task_set("1,2\n", 0).unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_trial_scores("1,2,3,oops\n").unwrap_err();
+        assert!(err.message.contains("field 4"));
+        let err = parse_task_set("10,0,5\nmore\n", 0).unwrap_err();
+        assert!(err.message.contains("invalid task"));
+    }
+
+    #[test]
+    fn too_small_file_rejected() {
+        let err = parse_task_set("1,1,1\n", 4).unwrap_err();
+        assert!(err.message.contains("|S|"));
+    }
+}

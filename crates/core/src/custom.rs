@@ -1,0 +1,179 @@
+//! Platform-specific policy training from a platform's own trace.
+//!
+//! The paper's conclusion (§5): *"we could envision the same procedure
+//! being applied to obtain custom scheduling policies for a specific HPC
+//! platform, using its specific workload traces and architecture
+//! configurations."* This module implements that direction: `(S, Q)`
+//! tuples are sampled from windows of a real (or stand-in) trace rather
+//! than from the Lublin generator, and the identical trial → score →
+//! regression pipeline produces policies tuned to the platform.
+//!
+//! See `examples/custom_platform_policy.rs` for the end-to-end comparison
+//! of a custom policy against the paper's general F1–F4 on held-out
+//! windows of the same platform.
+
+use crate::pipeline::LearnedReport;
+use crate::trials::{to_observations, trial_scores, TrialSpec};
+use crate::tuples::{TaskTuple, TupleSpec};
+use dynsched_cluster::{Job, JobId};
+use dynsched_mlreg::{fit_all, top_policies, EnumerateOptions, TrainingSet};
+use dynsched_simkit::Rng;
+use dynsched_workload::Trace;
+
+/// Sample one `(S, Q)` tuple from a contiguous window of `trace`.
+///
+/// A random window of `s_size + q_size` consecutive jobs is selected; the
+/// first `s_size` become the warmup set `S` (their submits collapsed to the
+/// window's start, matching the simulation scheme's "S arrives first"),
+/// and the rest become `Q` with their original relative arrival times.
+/// Ids are renumbered `0..s_size+q_size` as the trial machinery expects.
+///
+/// # Panics
+/// Panics if the trace has fewer than `s_size + q_size` jobs.
+pub fn tuple_from_trace(trace: &Trace, spec: &TupleSpec, rng: &mut Rng) -> TaskTuple {
+    let jobs = trace.jobs();
+    let need = spec.s_size + spec.q_size;
+    assert!(
+        jobs.len() >= need,
+        "trace has {} jobs but a tuple needs {need}",
+        jobs.len()
+    );
+    let start = rng.next_below((jobs.len() - need + 1) as u64) as usize;
+    let window = &jobs[start..start + need];
+    let t0 = window[0].submit;
+    let s_tasks: Vec<Job> = window[..spec.s_size]
+        .iter()
+        .enumerate()
+        .map(|(i, j)| Job::new(i as JobId, t0, j.runtime, j.estimate, j.cores))
+        .collect();
+    let q_tasks: Vec<Job> = window[spec.s_size..]
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            // Q must arrive strictly after S; trace windows can contain
+            // simultaneous submits, so nudge by a microsecond when needed.
+            let submit = j.submit.max(t0 + 1e-6);
+            Job::new((spec.s_size + i) as JobId, submit, j.runtime, j.estimate, j.cores)
+        })
+        .collect();
+    TaskTuple { s_tasks, q_tasks }
+}
+
+/// Configuration for a custom (per-platform) training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CustomTrainingConfig {
+    /// Tuple geometry (|S|, |Q|; the offset field is unused here — window
+    /// positions come from the trace itself).
+    pub tuple_spec: TupleSpec,
+    /// Trial count, platform, τ.
+    pub trial_spec: TrialSpec,
+    /// Number of windows to sample.
+    pub tuples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Run the full pipeline against `trace`: sample windows, run permutation
+/// trials, pool observations, fit the family, export the best `top_k`
+/// policies (named `G1..`).
+pub fn learn_custom_policies(
+    trace: &Trace,
+    config: &CustomTrainingConfig,
+    enumerate: &EnumerateOptions,
+    top_k: usize,
+) -> LearnedReport {
+    assert!(config.tuples > 0, "need at least one tuple");
+    let master = Rng::new(config.seed);
+    let mut pooled = TrainingSet::default();
+    let mut tuples = Vec::with_capacity(config.tuples);
+    for i in 0..config.tuples {
+        let mut window_rng = master.fork(2 * i as u64);
+        let tuple = tuple_from_trace(trace, &config.tuple_spec, &mut window_rng);
+        let trial_master = master.fork(2 * i as u64 + 1);
+        let scores = trial_scores(&tuple, &config.trial_spec, &trial_master);
+        pooled.extend_from(&to_observations(&tuple, &scores));
+        tuples.push(tuple);
+    }
+    let fits = fit_all(&pooled, enumerate);
+    let policies = top_policies(&fits, top_k);
+    LearnedReport { tuples, training_set: pooled, fits, policies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsched_cluster::Platform;
+    use dynsched_workload::LublinModel;
+
+    fn platform_trace() -> Trace {
+        let mut rng = Rng::new(77);
+        LublinModel::new(64).generate_jobs(400, &mut rng)
+    }
+
+    fn spec() -> TupleSpec {
+        TupleSpec { s_size: 4, q_size: 8, max_start_offset: 0.0 }
+    }
+
+    #[test]
+    fn tuple_from_trace_has_window_structure() {
+        let trace = platform_trace();
+        let mut rng = Rng::new(1);
+        let t = tuple_from_trace(&trace, &spec(), &mut rng);
+        assert_eq!(t.s_tasks.len(), 4);
+        assert_eq!(t.q_tasks.len(), 8);
+        let t0 = t.s_tasks[0].submit;
+        for s in &t.s_tasks {
+            assert_eq!(s.submit, t0);
+        }
+        for q in &t.q_tasks {
+            assert!(q.submit > t0);
+            assert!(t.is_q_task(q.id));
+        }
+    }
+
+    #[test]
+    fn tuple_job_shapes_come_from_the_trace() {
+        let trace = platform_trace();
+        let mut rng = Rng::new(2);
+        let t = tuple_from_trace(&trace, &spec(), &mut rng);
+        // Every (runtime, cores) pair of the tuple exists in the trace.
+        for job in t.all_jobs() {
+            assert!(
+                trace.jobs().iter().any(|j| j.runtime == job.runtime && j.cores == job.cores),
+                "tuple job not found in trace"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_sample_different_windows() {
+        let trace = platform_trace();
+        let a = tuple_from_trace(&trace, &spec(), &mut Rng::new(3));
+        let b = tuple_from_trace(&trace, &spec(), &mut Rng::new(4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn learn_custom_policies_end_to_end() {
+        let trace = platform_trace();
+        let config = CustomTrainingConfig {
+            tuple_spec: spec(),
+            trial_spec: TrialSpec { trials: 160, platform: Platform::new(64), tau: 10.0 },
+            tuples: 4,
+            seed: 9,
+        };
+        let mut opts = EnumerateOptions::default();
+        opts.lm.max_iterations = 25;
+        let report = learn_custom_policies(&trace, &config, &opts, 2);
+        assert_eq!(report.training_set.len(), 4 * 8);
+        assert_eq!(report.policies.len(), 2);
+        assert!(report.fits[0].fitness.is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_trace_rejected() {
+        let trace = Trace::from_jobs(vec![Job::new(0, 0.0, 1.0, 1.0, 1)]);
+        tuple_from_trace(&trace, &spec(), &mut Rng::new(0));
+    }
+}

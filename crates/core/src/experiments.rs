@@ -1,0 +1,236 @@
+//! The dynamic scheduling experiment harness (§4.2/§4.3 protocol).
+//!
+//! A *dynamic scheduling experiment* simulates the same set of sequences
+//! (ten disjoint fifteen-day windows of one workload) under every policy of
+//! a line-up, and reports the distribution of the **average bounded
+//! slowdown** per sequence — the statistic behind every boxplot figure and
+//! every median in Table 4.
+
+use dynsched_cluster::DEFAULT_TAU;
+use dynsched_policies::Policy;
+use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig};
+use dynsched_simkit::stats::{mean, median, std_dev, BoxplotSummary};
+use dynsched_workload::Trace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One fully-specified experiment: sequences + scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Display name (e.g. `"Workload model, nmax = 256, actual runtimes r"`).
+    pub name: String,
+    /// The sequences to schedule (each rebased to start at 0).
+    pub sequences: Vec<Trace>,
+    /// Platform, decision mode, backfilling.
+    pub scheduler: SchedulerConfig,
+    /// Bounded-slowdown threshold τ.
+    pub tau: f64,
+}
+
+impl Experiment {
+    /// Build an experiment with the default τ = 10 s.
+    pub fn new(name: impl Into<String>, sequences: Vec<Trace>, scheduler: SchedulerConfig) -> Self {
+        Self { name: name.into(), sequences, scheduler, tau: DEFAULT_TAU }
+    }
+}
+
+/// Per-policy outcome across all sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// Policy display name.
+    pub policy: String,
+    /// Average bounded slowdown of each sequence, in sequence order.
+    pub ave_bslds: Vec<f64>,
+    /// Distribution summary of `ave_bslds` (the boxplot in the figures).
+    pub summary: BoxplotSummary,
+    /// Median of `ave_bslds` (the Table 4 entry).
+    pub median: f64,
+    /// Mean of `ave_bslds`.
+    pub mean: f64,
+    /// Sample standard deviation of `ave_bslds` (0 for a single sequence).
+    pub std_dev: f64,
+    /// Mean number of backfilled jobs per sequence.
+    pub mean_backfilled: f64,
+}
+
+/// Result of one experiment across a policy line-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment display name.
+    pub name: String,
+    /// One outcome per policy, in line-up order.
+    pub outcomes: Vec<PolicyOutcome>,
+}
+
+impl ExperimentResult {
+    /// Outcome of a policy by name.
+    pub fn outcome(&self, policy: &str) -> Option<&PolicyOutcome> {
+        self.outcomes.iter().find(|o| o.policy == policy)
+    }
+
+    /// Median AVEbsld of a policy by name.
+    pub fn median_of(&self, policy: &str) -> Option<f64> {
+        self.outcome(policy).map(|o| o.median)
+    }
+
+    /// Name of the best (lowest-median) policy.
+    pub fn best_policy(&self) -> Option<&str> {
+        self.outcomes
+            .iter()
+            .min_by(|a, b| a.median.total_cmp(&b.median))
+            .map(|o| o.policy.as_str())
+    }
+}
+
+/// Run `experiment` under every policy. The (policy × sequence) grid is
+/// simulated in parallel; results are deterministic because each cell's
+/// simulation is a pure function of its inputs.
+///
+/// # Panics
+/// Panics if the experiment has no sequences, or a sequence contains a job
+/// wider than the platform.
+pub fn run_experiment(experiment: &Experiment, policies: &[Box<dyn Policy>]) -> ExperimentResult {
+    assert!(!experiment.sequences.is_empty(), "experiment without sequences");
+    let cells: Vec<(usize, usize)> = (0..policies.len())
+        .flat_map(|p| (0..experiment.sequences.len()).map(move |s| (p, s)))
+        .collect();
+    let measured: Vec<(usize, usize, f64, u64)> = cells
+        .par_iter()
+        .map(|&(p, s)| {
+            let result = simulate(
+                &experiment.sequences[s],
+                &QueueDiscipline::Policy(policies[p].as_ref()),
+                &experiment.scheduler,
+            );
+            let ave = result
+                .avg_bounded_slowdown(experiment.tau)
+                .expect("sequences are non-empty");
+            (p, s, ave, result.backfilled_jobs)
+        })
+        .collect();
+
+    let mut per_policy: Vec<Vec<f64>> =
+        vec![vec![0.0; experiment.sequences.len()]; policies.len()];
+    let mut backfills: Vec<Vec<f64>> =
+        vec![vec![0.0; experiment.sequences.len()]; policies.len()];
+    for (p, s, ave, bf) in measured {
+        per_policy[p][s] = ave;
+        backfills[p][s] = bf as f64;
+    }
+
+    let outcomes = policies
+        .iter()
+        .enumerate()
+        .map(|(p, policy)| {
+            let xs = &per_policy[p];
+            PolicyOutcome {
+                policy: policy.name().to_string(),
+                ave_bslds: xs.clone(),
+                summary: BoxplotSummary::from_samples(xs).expect("non-empty"),
+                median: median(xs).expect("non-empty"),
+                mean: mean(xs).expect("non-empty"),
+                std_dev: std_dev(xs).unwrap_or(0.0),
+                mean_backfilled: mean(&backfills[p]).expect("non-empty"),
+            }
+        })
+        .collect();
+
+    ExperimentResult { name: experiment.name.clone(), outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsched_cluster::{Job, Platform};
+    use dynsched_policies::{Fcfs, Spt};
+    use dynsched_simkit::Rng;
+    use dynsched_workload::LublinModel;
+
+    fn heavy_tailed_sequences(seed: u64, count: usize) -> Vec<Trace> {
+        // Over-saturated bursts so policies actually differ.
+        let model = {
+            let mut m = LublinModel::new(32);
+            m.daily_cycle = false;
+            m.arrival_scale = 0.02;
+            m
+        };
+        let mut rng = Rng::new(seed);
+        (0..count).map(|_| model.generate_jobs(60, &mut rng)).collect()
+    }
+
+    fn lineup() -> Vec<Box<dyn Policy>> {
+        vec![Box::new(Fcfs), Box::new(Spt)]
+    }
+
+    #[test]
+    fn runs_all_policies_on_all_sequences() {
+        let exp = Experiment::new(
+            "smoke",
+            heavy_tailed_sequences(1, 3),
+            SchedulerConfig::actual_runtimes(Platform::new(32)),
+        );
+        let res = run_experiment(&exp, &lineup());
+        assert_eq!(res.outcomes.len(), 2);
+        for o in &res.outcomes {
+            assert_eq!(o.ave_bslds.len(), 3);
+            for &x in &o.ave_bslds {
+                assert!(x >= 1.0, "AVEbsld is bounded below by 1");
+            }
+        }
+    }
+
+    #[test]
+    fn spt_beats_fcfs_on_heavy_tails() {
+        let exp = Experiment::new(
+            "spt-vs-fcfs",
+            heavy_tailed_sequences(2, 5),
+            SchedulerConfig::actual_runtimes(Platform::new(32)),
+        );
+        let res = run_experiment(&exp, &lineup());
+        let fcfs = res.median_of("FCFS").unwrap();
+        let spt = res.median_of("SPT").unwrap();
+        assert!(
+            spt < fcfs,
+            "SPT should beat FCFS under saturation (SPT {spt}, FCFS {fcfs})"
+        );
+        assert_eq!(res.best_policy(), Some("SPT"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let exp = Experiment::new(
+            "det",
+            heavy_tailed_sequences(3, 3),
+            SchedulerConfig::actual_runtimes(Platform::new(32)),
+        );
+        let a = run_experiment(&exp, &lineup());
+        let b = run_experiment(&exp, &lineup());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_trivial_sequence() {
+        let seq = Trace::from_jobs(vec![Job::new(0, 0.0, 100.0, 100.0, 1)]);
+        let exp = Experiment::new(
+            "one-job",
+            vec![seq],
+            SchedulerConfig::actual_runtimes(Platform::new(4)),
+        );
+        let res = run_experiment(&exp, &lineup());
+        for o in &res.outcomes {
+            assert_eq!(o.median, 1.0);
+            assert_eq!(o.std_dev, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_experiment_rejected() {
+        let exp = Experiment::new(
+            "empty",
+            vec![],
+            SchedulerConfig::actual_runtimes(Platform::new(4)),
+        );
+        run_experiment(&exp, &lineup());
+    }
+}

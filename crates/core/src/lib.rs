@@ -1,0 +1,65 @@
+//! # dynsched-core
+//!
+//! The primary contribution of Carastan-Santos & de Camargo (SC'17),
+//! reproduced end to end: *obtain dynamic scheduling policies by observing
+//! scheduling behaviour in simulation and distilling it into nonlinear
+//! functions with machine learning.*
+//!
+//! * [`tuples`] — the `(S, Q)` task tuples of the simulation scheme (§3.2);
+//! * [`trials`] — random-permutation trials and the Eq. 3 score
+//!   distribution, rayon-parallel and deterministic;
+//! * [`convergence`] — the trial-count convergence study (Fig. 2);
+//! * [`pipeline`] — tuples → trials → pooled `score(r,n,s)` → weighted
+//!   nonlinear regression → ranked policies (Table 3);
+//! * [`experiments`] — the dynamic scheduling experiment harness
+//!   (ten 15-day sequences × policy line-up, Figs. 4–9);
+//! * [`scenarios`] — constructors for all 18 Table 4 rows;
+//! * [`report`] — artifact-style output, Table 4 comparison against the
+//!   published medians, Fig. 3 heatmap grids.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynsched_core::pipeline::{learn_policies, TrainingConfig};
+//! use dynsched_core::tuples::TupleSpec;
+//! use dynsched_core::trials::TrialSpec;
+//! use dynsched_cluster::Platform;
+//! use dynsched_mlreg::EnumerateOptions;
+//! use dynsched_workload::LublinModel;
+//!
+//! // A miniature training run (the paper's uses |S|=16, |Q|=32, 256k trials).
+//! let config = TrainingConfig {
+//!     tuple_spec: TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 },
+//!     trial_spec: TrialSpec { trials: 128, platform: Platform::new(64), tau: 10.0 },
+//!     tuples: 2,
+//!     seed: 7,
+//! };
+//! let model = LublinModel::new(64);
+//! let mut opts = EnumerateOptions::default();
+//! opts.lm.max_iterations = 20;
+//! let report = learn_policies(&config, &model, &opts, 4);
+//! assert_eq!(report.policies.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod convergence;
+pub mod custom;
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+pub mod scenarios;
+pub mod sweep;
+pub mod trials;
+pub mod tuples;
+
+pub use convergence::{convergence_curve, paper_trial_counts, ConvergencePoint};
+pub use custom::{learn_custom_policies, tuple_from_trace, CustomTrainingConfig};
+pub use experiments::{run_experiment, Experiment, ExperimentResult, PolicyOutcome};
+pub use pipeline::{generate_training_set, learn_policies, LearnedReport, TrainingConfig};
+pub use report::{artifact_report, learned_beat_adhoc, table4_comparison, table4_markdown};
+pub use scenarios::{archive_scenario, model_scenario, table4_experiments, Condition, ScenarioScale};
+pub use sweep::{sweep_load, sweep_table, LoadPoint};
+pub use trials::{run_trial, to_observations, trial_scores, TrialScores, TrialSpec};
+pub use tuples::{TaskTuple, TupleSpec};

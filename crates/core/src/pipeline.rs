@@ -1,0 +1,143 @@
+//! End-to-end training: tuples → trials → pooled distribution → regression.
+//!
+//! This is the programmatic equivalent of the artifact's three workflows:
+//! `generate_simulation_data.py` (+ `gather_data.py`) and
+//! `nlr_scipy_enumerate_functions.py`, fused into one deterministic,
+//! parallel pipeline:
+//!
+//! 1. generate `tuples` task tuples `(S, Q)` from the Lublin model;
+//! 2. for each tuple run `trial_spec.trials` permutation trials and build
+//!    its trial score distribution (Eq. 3);
+//! 3. pool all `(r, n, s, score)` observations;
+//! 4. fit all 576 family members by weighted nonlinear regression (Eq. 4)
+//!    and rank them (Eq. 5);
+//! 5. export the best `k` as scheduling policies.
+
+use crate::trials::{to_observations, trial_scores, TrialSpec};
+use crate::tuples::{TaskTuple, TupleSpec};
+use dynsched_mlreg::{fit_all, top_policies, EnumerateOptions, FitResult, TrainingSet};
+use dynsched_policies::LearnedPolicy;
+use dynsched_simkit::Rng;
+use dynsched_workload::LublinModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a full training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Tuple shape (|S|, |Q|, start-offset range).
+    pub tuple_spec: TupleSpec,
+    /// Trial count, platform and τ per tuple.
+    pub trial_spec: TrialSpec,
+    /// Number of `(S, Q)` tuples to pool.
+    pub tuples: usize,
+    /// Master seed; everything below derives from it.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            tuple_spec: TupleSpec::default(),
+            trial_spec: TrialSpec::default(),
+            tuples: 16,
+            seed: 0xD15C_0B01,
+        }
+    }
+}
+
+/// Everything a training run produces.
+#[derive(Debug)]
+pub struct LearnedReport {
+    /// The tuples that were simulated.
+    pub tuples: Vec<TaskTuple>,
+    /// The pooled `score(r,n,s)` distribution.
+    pub training_set: TrainingSet,
+    /// All 576 fits, best first.
+    pub fits: Vec<FitResult>,
+    /// The top fits as ready-to-use policies (`G1..`).
+    pub policies: Vec<LearnedPolicy>,
+}
+
+/// Generate the pooled training distribution (workflow 1 + 2 of the
+/// artifact). The per-tuple trial batches run rayon-parallel internally.
+pub fn generate_training_set(
+    config: &TrainingConfig,
+    model: &LublinModel,
+) -> (Vec<TaskTuple>, TrainingSet) {
+    assert!(config.tuples > 0, "need at least one tuple");
+    let master = Rng::new(config.seed);
+    let mut pooled = TrainingSet::default();
+    let mut tuples = Vec::with_capacity(config.tuples);
+    for i in 0..config.tuples {
+        // Stream 2i seeds the tuple, 2i+1 seeds its trials.
+        let mut tuple_rng = master.fork(2 * i as u64);
+        let tuple = TaskTuple::generate(&config.tuple_spec, model, &mut tuple_rng);
+        let trial_master = master.fork(2 * i as u64 + 1);
+        let scores = trial_scores(&tuple, &config.trial_spec, &trial_master);
+        pooled.extend_from(&to_observations(&tuple, &scores));
+        tuples.push(tuple);
+    }
+    (tuples, pooled)
+}
+
+/// Run the whole pipeline and keep the `top_k` best functions as policies.
+pub fn learn_policies(
+    config: &TrainingConfig,
+    model: &LublinModel,
+    enumerate: &EnumerateOptions,
+    top_k: usize,
+) -> LearnedReport {
+    let (tuples, training_set) = generate_training_set(config, model);
+    let fits = fit_all(&training_set, enumerate);
+    let policies = top_policies(&fits, top_k);
+    LearnedReport { tuples, training_set, fits, policies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsched_cluster::Platform;
+
+    fn tiny_config() -> TrainingConfig {
+        TrainingConfig {
+            tuple_spec: TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 },
+            trial_spec: TrialSpec { trials: 192, platform: Platform::new(64), tau: 10.0 },
+            tuples: 3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn training_set_pools_all_tuples() {
+        let model = LublinModel::new(64);
+        let (tuples, ts) = generate_training_set(&tiny_config(), &model);
+        assert_eq!(tuples.len(), 3);
+        assert_eq!(ts.len(), 3 * 8);
+        for o in ts.observations() {
+            assert!(o.score > 0.0 && o.score < 1.0);
+            assert!(o.runtime >= 1.0);
+            assert!(o.cores >= 1.0);
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let model = LublinModel::new(64);
+        let (_, a) = generate_training_set(&tiny_config(), &model);
+        let (_, b) = generate_training_set(&tiny_config(), &model);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn learn_policies_produces_ranked_output() {
+        let model = LublinModel::new(64);
+        let mut enumerate = EnumerateOptions::default();
+        enumerate.lm.max_iterations = 25;
+        let report = learn_policies(&tiny_config(), &model, &enumerate, 4);
+        assert_eq!(report.fits.len(), 576);
+        assert_eq!(report.policies.len(), 4);
+        assert!(report.fits[0].fitness <= report.fits[575].fitness.max(report.fits[0].fitness));
+        // Fitness of the winner should at least beat the family median.
+        assert!(report.fits[0].fitness <= report.fits[288].fitness);
+    }
+}

@@ -1,0 +1,228 @@
+//! Permutation trials and the trial score distribution (Eq. 3).
+//!
+//! For a tuple `(S, Q)` we simulate many *trials*. In each trial the
+//! waiting-queue priority of the tasks of `Q` is a fresh random permutation
+//! `p` (the warmup tasks of `S` keep a fixed order ahead of everything, as
+//! they are "executed in any order at the beginning"); the trial records
+//! `AVEbsld(p)`, the average bounded slowdown over the tasks of `Q`. The
+//! score of task `t` is then
+//!
+//! ```text
+//! score(t) = Σ_{p : p₀ = t} AVEbsld(p)  /  Σ_p AVEbsld(p)
+//! ```
+//!
+//! — the share of slowdown mass carried by the trials where `t` ran first.
+//! Scores below the mean `1/|Q|` mark tasks whose early execution helps.
+//!
+//! Trials are embarrassingly parallel; we fan them out with the
+//! deterministic rayon driver, so the distribution is reproducible from the
+//! master seed regardless of thread count.
+
+use crate::tuples::TaskTuple;
+use dynsched_cluster::{JobId, Platform, DEFAULT_TAU};
+use dynsched_mlreg::{Observation, TrainingSet};
+use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig};
+use dynsched_simkit::parallel::run_indexed;
+use dynsched_simkit::Rng;
+use dynsched_workload::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Parameters of a trial run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialSpec {
+    /// Number of random permutations to simulate (paper: 256 000).
+    pub trials: usize,
+    /// Simulated platform (paper: 256 cores).
+    pub platform: Platform,
+    /// Bounded-slowdown threshold τ.
+    pub tau: f64,
+}
+
+impl Default for TrialSpec {
+    fn default() -> Self {
+        Self { trials: 4_096, platform: Platform::new(256), tau: DEFAULT_TAU }
+    }
+}
+
+impl TrialSpec {
+    /// The paper's full-scale setting: 256k trials on 256 cores.
+    pub fn paper() -> Self {
+        Self { trials: 256_000, ..Self::default() }
+    }
+}
+
+/// The per-task score distribution of one tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialScores {
+    /// `scores[k]` is Eq. 3 for the `k`-th task of `Q`.
+    pub scores: Vec<f64>,
+    /// Trials simulated.
+    pub trials: usize,
+    /// How many trials had each task first (diagnostics; ≈ trials/|Q|).
+    pub first_counts: Vec<u64>,
+}
+
+impl TrialScores {
+    /// Scores always sum to 1 (each trial's AVEbsld lands in exactly one
+    /// numerator).
+    pub fn total(&self) -> f64 {
+        self.scores.iter().sum()
+    }
+}
+
+/// Simulate one trial: queue priority = S in fixed order, then `Q` in the
+/// order given by `perm` (a permutation of `0..|Q|`). Returns `AVEbsld`
+/// over the tasks of `Q`.
+pub fn run_trial(tuple: &TaskTuple, perm: &[usize], spec: &TrialSpec) -> f64 {
+    debug_assert_eq!(perm.len(), tuple.q_tasks.len());
+    let mut ranks: HashMap<JobId, usize> = HashMap::with_capacity(perm.len() + tuple.s_tasks.len());
+    for (i, s) in tuple.s_tasks.iter().enumerate() {
+        ranks.insert(s.id, i);
+    }
+    let base = tuple.s_tasks.len();
+    for (pos, &k) in perm.iter().enumerate() {
+        ranks.insert(tuple.q_id(k), base + pos);
+    }
+    let trace = Trace::from_jobs(tuple.all_jobs());
+    let config = SchedulerConfig::actual_runtimes(spec.platform);
+    let result = simulate(&trace, &QueueDiscipline::FixedOrder(&ranks), &config);
+    result
+        .avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), spec.tau)
+        .expect("Q is non-empty")
+}
+
+/// Run `spec.trials` random-permutation trials of `tuple` in parallel and
+/// build the trial score distribution.
+pub fn trial_scores(tuple: &TaskTuple, spec: &TrialSpec, master: &Rng) -> TrialScores {
+    let q = tuple.q_tasks.len();
+    assert!(q > 0, "tuple has no probe tasks");
+    // Collect per-trial outcomes in index order, then accumulate
+    // sequentially: float addition is not associative, so a parallel tree
+    // reduction would make the scores depend on the rayon split points.
+    let outcomes: Vec<(usize, f64)> = run_indexed(master, spec.trials, |_, rng| {
+        let perm = rng.permutation(q);
+        let ave = run_trial(tuple, &perm, spec);
+        (perm[0], ave)
+    });
+    let mut sum_by_first = vec![0.0; q];
+    let mut count_by_first = vec![0u64; q];
+    let mut total = 0.0;
+    for (first, ave) in outcomes {
+        sum_by_first[first] += ave;
+        count_by_first[first] += 1;
+        total += ave;
+    }
+    assert!(total > 0.0, "bounded slowdowns are >= 1, total must be positive");
+    let scores = sum_by_first.iter().map(|s| s / total).collect();
+    TrialScores { scores, trials: spec.trials, first_counts: count_by_first }
+}
+
+/// Convert one tuple's scores into training observations
+/// (`(r, n, s, score)` per task of `Q`).
+pub fn to_observations(tuple: &TaskTuple, scores: &TrialScores) -> TrainingSet {
+    let obs = tuple
+        .q_tasks
+        .iter()
+        .zip(&scores.scores)
+        .map(|(job, &score)| Observation {
+            runtime: job.runtime,
+            cores: job.cores as f64,
+            submit: job.submit,
+            score,
+        })
+        .collect();
+    TrainingSet::new(obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuples::TupleSpec;
+    use dynsched_workload::LublinModel;
+
+    fn small_tuple(seed: u64) -> TaskTuple {
+        let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 };
+        let model = LublinModel::new(64);
+        TaskTuple::generate(&spec, &model, &mut Rng::new(seed))
+    }
+
+    fn small_spec(trials: usize) -> TrialSpec {
+        TrialSpec { trials, platform: Platform::new(64), tau: DEFAULT_TAU }
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let tuple = small_tuple(1);
+        let scores = trial_scores(&tuple, &small_spec(512), &Rng::new(7));
+        assert!((scores.total() - 1.0).abs() < 1e-9, "total {}", scores.total());
+    }
+
+    #[test]
+    fn every_task_leads_some_trials() {
+        let tuple = small_tuple(2);
+        let scores = trial_scores(&tuple, &small_spec(512), &Rng::new(8));
+        for (k, &c) in scores.first_counts.iter().enumerate() {
+            assert!(c > 20, "task {k} led only {c} of 512 trials");
+        }
+        assert_eq!(scores.first_counts.iter().sum::<u64>(), 512);
+    }
+
+    #[test]
+    fn scores_hover_around_one_over_q() {
+        let tuple = small_tuple(3);
+        let scores = trial_scores(&tuple, &small_spec(1_024), &Rng::new(9));
+        let mean = scores.total() / scores.scores.len() as f64;
+        assert!((mean - 1.0 / 8.0).abs() < 1e-9);
+        for &s in &scores.scores {
+            assert!(s > 0.0 && s < 0.5, "score {s} wildly off");
+        }
+    }
+
+    #[test]
+    fn distribution_is_deterministic_and_thread_independent() {
+        let tuple = small_tuple(4);
+        let a = trial_scores(&tuple, &small_spec(256), &Rng::new(10));
+        let b = trial_scores(&tuple, &small_spec(256), &Rng::new(10));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trial_respects_permutation_order() {
+        // Two trials with opposite permutations must in general differ in
+        // AVEbsld (unless the tuple is degenerate, which seed 5 is not).
+        let tuple = small_tuple(5);
+        let spec = small_spec(1);
+        let forward: Vec<usize> = (0..8).collect();
+        let backward: Vec<usize> = (0..8).rev().collect();
+        let a = run_trial(&tuple, &forward, &spec);
+        let b = run_trial(&tuple, &backward, &spec);
+        assert!(a >= 1.0 && b >= 1.0);
+        assert_ne!(a, b, "opposite orders should schedule differently");
+    }
+
+    #[test]
+    fn observations_carry_task_characteristics() {
+        let tuple = small_tuple(6);
+        let scores = trial_scores(&tuple, &small_spec(128), &Rng::new(11));
+        let ts = to_observations(&tuple, &scores);
+        assert_eq!(ts.len(), 8);
+        for (obs, job) in ts.observations().iter().zip(&tuple.q_tasks) {
+            assert_eq!(obs.runtime, job.runtime);
+            assert_eq!(obs.cores, job.cores as f64);
+            assert_eq!(obs.submit, job.submit);
+        }
+    }
+
+    #[test]
+    fn helpful_first_tasks_get_low_scores() {
+        // With enough trials, the task with the lowest score should be a
+        // "cheap" one (small area or early arrival) more often than a huge
+        // late one. We check the weaker invariant that scores vary.
+        let tuple = small_tuple(12);
+        let scores = trial_scores(&tuple, &small_spec(2_048), &Rng::new(13));
+        let min = scores.scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scores.scores.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "scores should discriminate between tasks");
+    }
+}

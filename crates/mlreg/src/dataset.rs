@@ -1,0 +1,180 @@
+//! Training observations: the `score(r, n, s)` distribution.
+//!
+//! The simulation stage emits one observation per task of every `Q` set:
+//! `(runtime, #processors, submit time, score)` — the artifact stores them
+//! as CSV lines in exactly that order (`score-distribution.csv`). This
+//! module is the in-memory form plus the CSV codec, and carries the Eq. 4
+//! weighting (`w = r·n`) used by the regression.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One scheduling-behaviour observation of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Processing time `r` (seconds).
+    pub runtime: f64,
+    /// Requested cores `n`.
+    pub cores: f64,
+    /// Arrival time `s` (seconds).
+    pub submit: f64,
+    /// Score from Eq. 3 (≈ 1/|Q| on average; lower = better to run first).
+    pub score: f64,
+}
+
+impl Observation {
+    /// The Eq. 4 regression weight `r·n`: big tasks must be fitted well
+    /// because misranking them blocks many small tasks.
+    pub fn weight(&self) -> f64 {
+        self.runtime * self.cores
+    }
+}
+
+/// A collection of observations (the pooled `score(r,n,s)` distribution).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingSet {
+    observations: Vec<Observation>,
+}
+
+impl TrainingSet {
+    /// Wrap a vector of observations.
+    pub fn new(observations: Vec<Observation>) -> Self {
+        Self { observations }
+    }
+
+    /// The observations.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Append the observations of another set (pooling multiple `(S,Q)`
+    /// tuples, the artifact's `gather_data.py`).
+    pub fn extend_from(&mut self, other: &TrainingSet) {
+        self.observations.extend_from_slice(&other.observations);
+    }
+
+    /// Serialize in the artifact's CSV format:
+    /// `runtime,#processors,submit time,score` per line, no header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for o in &self.observations {
+            let _ = writeln!(out, "{},{},{},{}", o.runtime, o.cores, o.submit, o.score);
+        }
+        out
+    }
+
+    /// Parse the artifact's CSV format. Blank lines are skipped; a line
+    /// starting with `#` is treated as a comment.
+    pub fn from_csv(input: &str) -> Result<Self, CsvError> {
+        let mut observations = Vec::new();
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != 4 {
+                return Err(CsvError {
+                    line: lineno + 1,
+                    message: format!("expected 4 comma-separated fields, found {}", fields.len()),
+                });
+            }
+            let parse = |i: usize| -> Result<f64, CsvError> {
+                fields[i].parse().map_err(|e| CsvError {
+                    line: lineno + 1,
+                    message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
+                })
+            };
+            observations.push(Observation {
+                runtime: parse(0)?,
+                cores: parse(1)?,
+                submit: parse(2)?,
+                score: parse(3)?,
+            });
+        }
+        Ok(Self { observations })
+    }
+}
+
+/// CSV parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "training CSV error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTIFACT_SAMPLE: &str = "\
+50.0,8.0,88224.0,0.0347251055192
+3.0,4.0,88302.0,0.0292281817457
+7298.0,58.0,88334.0,0.0350921606481
+";
+
+    #[test]
+    fn parses_artifact_format() {
+        let ts = TrainingSet::from_csv(ARTIFACT_SAMPLE).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.observations()[0].runtime, 50.0);
+        assert_eq!(ts.observations()[2].cores, 58.0);
+        assert!((ts.observations()[1].score - 0.0292281817457).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ts = TrainingSet::from_csv(ARTIFACT_SAMPLE).unwrap();
+        let ts2 = TrainingSet::from_csv(&ts.to_csv()).unwrap();
+        assert_eq!(ts, ts2);
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        let src = "# header\n\n1,2,3,0.5\n";
+        let ts = TrainingSet::from_csv(src).unwrap();
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn reports_bad_lines() {
+        let err = TrainingSet::from_csv("1,2,3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = TrainingSet::from_csv("1,2,3,x\n").unwrap_err();
+        assert!(err.message.contains("field 4"));
+    }
+
+    #[test]
+    fn weight_is_area() {
+        let o = Observation { runtime: 100.0, cores: 8.0, submit: 0.0, score: 0.03 };
+        assert_eq!(o.weight(), 800.0);
+    }
+
+    #[test]
+    fn extend_pools_sets() {
+        let mut a = TrainingSet::from_csv("1,1,1,0.1\n").unwrap();
+        let b = TrainingSet::from_csv("2,2,2,0.2\n").unwrap();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

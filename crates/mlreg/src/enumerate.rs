@@ -1,0 +1,279 @@
+//! Enumerate and fit the whole function family, then rank.
+//!
+//! For every one of the 576 members of the §3.3 family we run a weighted
+//! Levenberg–Marquardt fit of its three coefficients against the pooled
+//! `score(r, n, s)` distribution, minimizing Eq. 4:
+//!
+//! ```text
+//! error = Σ_t ((r_t·n_t) · (f(r_t, n_t, s_t) − score_t))²
+//! ```
+//!
+//! and rank the fitted functions by Eq. 5, the unweighted mean absolute
+//! error. The four best of the paper's run are its Table 3 (F1–F4).
+
+use crate::dataset::TrainingSet;
+use crate::lm::{levenberg_marquardt, LmFit, LmOptions};
+use dynsched_policies::learned::{LearnedPolicy, NonlinearFunction};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Options for the enumeration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnumerateOptions {
+    /// Use the Eq. 4 weight `r·n` (true in the paper; the ablation bench
+    /// turns it off to show why it matters).
+    pub weighted: bool,
+    /// Initial coefficients for every fit.
+    pub initial: [f64; 3],
+    /// Inner optimizer options.
+    pub lm: LmOptions,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        Self {
+            weighted: true,
+            // Scores are ~1/|Q| ≈ 0.03 while features reach 1e5; tiny
+            // symmetric starting coefficients put the first Gauss–Newton
+            // step in a sane region for every shape.
+            initial: [1e-4, 1e-4, 1e-4],
+            lm: LmOptions::default(),
+        }
+    }
+}
+
+/// A fitted family member with its Eq. 5 fitness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// The function, with fitted coefficients.
+    pub function: NonlinearFunction,
+    /// Eq. 5: mean absolute error (unweighted). Lower is better.
+    pub fitness: f64,
+    /// Eq. 4: weighted sum of squared errors at the fitted coefficients.
+    pub weighted_sse: f64,
+    /// Whether the optimizer met its tolerances.
+    pub converged: bool,
+}
+
+/// Fit one family member against the training set.
+pub fn fit_function(
+    shape: NonlinearFunction,
+    training: &TrainingSet,
+    options: &EnumerateOptions,
+) -> FitResult {
+    let obs = training.observations();
+    assert!(!obs.is_empty(), "cannot fit an empty training set");
+    let weights: Vec<f64> = obs
+        .iter()
+        .map(|o| if options.weighted { o.weight() } else { 1.0 })
+        .collect();
+
+    let fit: LmFit = levenberg_marquardt(
+        |params, out| {
+            let f = shape.with_coefficients([params[0], params[1], params[2]]);
+            for (i, o) in obs.iter().enumerate() {
+                out[i] = weights[i] * (f.eval(o.runtime, o.cores, o.submit) - o.score);
+            }
+        },
+        &options.initial,
+        obs.len(),
+        &options.lm,
+    );
+
+    let fitted = shape.with_coefficients([fit.params[0], fit.params[1], fit.params[2]]);
+    let fitness = rank(&fitted, training);
+    FitResult { function: fitted, fitness, weighted_sse: fit.cost, converged: fit.converged }
+}
+
+/// Eq. 5: `rank(f) = (1/|Tr|) Σ |f(r,n,s) − score(r,n,s)|`.
+pub fn rank(function: &NonlinearFunction, training: &TrainingSet) -> f64 {
+    let obs = training.observations();
+    assert!(!obs.is_empty(), "cannot rank on an empty training set");
+    obs.iter()
+        .map(|o| (function.eval(o.runtime, o.cores, o.submit) - o.score).abs())
+        .sum::<f64>()
+        / obs.len() as f64
+}
+
+/// Fit every member of the family in parallel and return the results
+/// sorted by increasing fitness (best fit first). Fits whose fitness is
+/// non-finite sort last.
+pub fn fit_all(training: &TrainingSet, options: &EnumerateOptions) -> Vec<FitResult> {
+    let family = NonlinearFunction::enumerate_family();
+    let mut results: Vec<FitResult> = family
+        .into_par_iter()
+        .map(|shape| fit_function(shape, training, options))
+        .collect();
+    results.sort_by(|a, b| {
+        let fa = if a.fitness.is_finite() { a.fitness } else { f64::INFINITY };
+        let fb = if b.fitness.is_finite() { b.fitness } else { f64::INFINITY };
+        fa.total_cmp(&fb)
+    });
+    results
+}
+
+/// Convert the `k` best fits into policies named `G1..Gk` ("G" for
+/// *generated*, to distinguish them from the paper's published F1–F4).
+pub fn top_policies(results: &[FitResult], k: usize) -> Vec<LearnedPolicy> {
+    results
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, r)| LearnedPolicy::new(format!("G{}", i + 1), r.function))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Observation;
+    use dynsched_policies::learned::{BaseFunc, OpKind};
+    use dynsched_policies::Policy as _;
+
+    /// A training set generated exactly by an F1-shaped function, so the
+    /// enumeration must recover it (or an algebraic equivalent) at the top.
+    fn synthetic_f1_set() -> TrainingSet {
+        let truth = NonlinearFunction::with_shape(
+            BaseFunc::Log10,
+            OpKind::Mul,
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Log10,
+        )
+        .with_coefficients([2e-4, 1.0, 8e-3]);
+        let mut obs = Vec::new();
+        // A deterministic grid over realistic (r, n, s) values.
+        for (i, r) in [5.0, 60.0, 600.0, 3_600.0, 20_000.0].iter().enumerate() {
+            for (j, n) in [1.0, 4.0, 16.0, 64.0, 256.0].iter().enumerate() {
+                for (k, s) in [100.0, 5_000.0, 40_000.0, 90_000.0].iter().enumerate() {
+                    let wiggle = ((i * 31 + j * 17 + k * 7) % 13) as f64 * 1e-6;
+                    obs.push(Observation {
+                        runtime: *r,
+                        cores: *n,
+                        submit: *s,
+                        score: truth.eval(*r, *n, *s) + wiggle,
+                    });
+                }
+            }
+        }
+        TrainingSet::new(obs)
+    }
+
+    #[test]
+    fn fit_recovers_generating_function() {
+        let ts = synthetic_f1_set();
+        let shape = NonlinearFunction::with_shape(
+            BaseFunc::Log10,
+            OpKind::Mul,
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Log10,
+        );
+        let fit = fit_function(shape, &ts, &EnumerateOptions::default());
+        // The product c1·c2 and c3 are identifiable; the merged form must
+        // match the generator: c1·c2 = 2e-4, c3 = 8e-3.
+        let [c1, c2, c3] = fit.function.coefficients;
+        assert!(((c1 * c2) - 2e-4).abs() < 2e-5, "c1*c2 = {}", c1 * c2);
+        assert!((c3 - 8e-3).abs() < 8e-4, "c3 = {c3}");
+        assert!(fit.fitness < 1e-4, "fitness {}", fit.fitness);
+    }
+
+    #[test]
+    fn rank_is_mean_absolute_error() {
+        let ts = TrainingSet::new(vec![
+            Observation { runtime: 1.0, cores: 1.0, submit: 1.0, score: 0.0 },
+            Observation { runtime: 2.0, cores: 1.0, submit: 1.0, score: 0.0 },
+        ]);
+        // f(r,n,s) = r (id·id with c2=1/n trick isn't needed: pick A+B+C
+        // with zero co-factors).
+        let f = NonlinearFunction::with_shape(
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Id,
+        )
+        .with_coefficients([1.0, 0.0, 0.0]);
+        // |1-0| and |2-0| → mean 1.5.
+        assert!((rank(&f, &ts) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_all_sorts_best_first_and_finds_truth_family() {
+        let ts = synthetic_f1_set();
+        let mut opts = EnumerateOptions::default();
+        opts.lm.max_iterations = 60; // keep the 576-fit sweep quick
+        let results = fit_all(&ts, &opts);
+        assert_eq!(results.len(), 576);
+        for w in results.windows(2) {
+            let a = if w[0].fitness.is_finite() { w[0].fitness } else { f64::INFINITY };
+            let b = if w[1].fitness.is_finite() { w[1].fitness } else { f64::INFINITY };
+            assert!(a <= b, "results not sorted");
+        }
+        // The winning function must fit far better than the median one.
+        let best = results[0].fitness;
+        let median = results[288].fitness;
+        assert!(
+            best < median * 0.5,
+            "best {best} should clearly beat median {median}"
+        );
+        // And it should reproduce the generator's ordering behaviour:
+        // same sign structure — bigger r·n ⇒ bigger f at fixed s.
+        let f = &results[0].function;
+        assert!(f.eval(20_000.0, 256.0, 100.0) > f.eval(5.0, 1.0, 100.0));
+    }
+
+    #[test]
+    fn weighting_changes_the_fit() {
+        // Craft a set where small and big tasks disagree: weighted fits
+        // must track the big tasks more closely.
+        let mut obs = Vec::new();
+        for i in 0..50 {
+            let s = 100.0 + i as f64;
+            obs.push(Observation { runtime: 1.0, cores: 1.0, submit: s, score: 0.10 });
+            obs.push(Observation { runtime: 10_000.0, cores: 128.0, submit: s, score: 0.01 });
+        }
+        let ts = TrainingSet::new(obs);
+        // Fit a constant-capable shape: A + B + C over inv(r), inv(n), inv(s)
+        // is awkward; instead use Id shapes and rely on coefficients.
+        let shape = NonlinearFunction::with_shape(
+            BaseFunc::Inv,
+            OpKind::Add,
+            BaseFunc::Inv,
+            OpKind::Add,
+            BaseFunc::Inv,
+        );
+        let weighted = fit_function(shape, &ts, &EnumerateOptions::default());
+        let unweighted = fit_function(
+            shape,
+            &ts,
+            &EnumerateOptions { weighted: false, ..Default::default() },
+        );
+        let big_err_w = (weighted.function.eval(10_000.0, 128.0, 125.0) - 0.01).abs();
+        let big_err_u = (unweighted.function.eval(10_000.0, 128.0, 125.0) - 0.01).abs();
+        assert!(
+            big_err_w <= big_err_u + 1e-12,
+            "weighted fit should serve big tasks at least as well ({big_err_w} vs {big_err_u})"
+        );
+    }
+
+    #[test]
+    fn top_policies_names_and_count() {
+        let ts = synthetic_f1_set();
+        let mut opts = EnumerateOptions::default();
+        opts.lm.max_iterations = 30;
+        let results = fit_all(&ts, &opts);
+        let pols = top_policies(&results, 4);
+        assert_eq!(pols.len(), 4);
+        let names: Vec<&str> = pols.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["G1", "G2", "G3", "G4"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_training_set_rejected() {
+        let ts = TrainingSet::default();
+        let shape = NonlinearFunction::enumerate_family()[0];
+        fit_function(shape, &ts, &EnumerateOptions::default());
+    }
+}

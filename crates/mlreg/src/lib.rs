@@ -1,0 +1,28 @@
+//! # dynsched-mlreg
+//!
+//! The machine-learning stage of the `dynsched` SC'17 reproduction
+//! (paper §3.3): weighted nonlinear regression over the enumerated
+//! function family.
+//!
+//! * [`linalg`] — small dense LU solves for the normal equations;
+//! * [`lm`] — Levenberg–Marquardt (the algorithm behind SciPy's
+//!   `leastsq`, which the paper used);
+//! * [`dataset`] — the `score(r,n,s)` observations with the artifact's CSV
+//!   codec and the Eq. 4 `r·n` weighting;
+//! * [`enumerate`] — fit all 576 family members in parallel, rank by
+//!   Eq. 5, and export the best as scheduling policies.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod enumerate;
+pub mod linalg;
+pub mod lm;
+pub mod select;
+pub mod validate;
+
+pub use dataset::{Observation, TrainingSet};
+pub use enumerate::{fit_all, fit_function, rank, top_policies, EnumerateOptions, FitResult};
+pub use lm::{levenberg_marquardt, LmFit, LmOptions};
+pub use select::{coefficient_diagnostics, selection_report, CoefficientDiagnostics};
+pub use validate::{cross_validate, fit_stats, CrossValidation, FitStats};

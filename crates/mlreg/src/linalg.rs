@@ -1,0 +1,285 @@
+//! Small dense linear algebra for the regression stage.
+//!
+//! The Levenberg–Marquardt solver only ever needs tiny systems (3×3 for the
+//! paper's three-coefficient family), but the routines are written for
+//! general `n` so the crate can fit richer families; they use LU with
+//! partial pivoting, which is robust to the poorly-scaled normal equations
+//! the enumeration produces (features span ~10 orders of magnitude).
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix must be non-empty");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from rows of equal length.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let cols = rows[0].len();
+        assert!(cols > 0, "no columns");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `Aᵀ·A` (the Gram matrix), computed directly.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut acc = 0.0;
+                for k in 0..self.rows {
+                    acc += self[(k, i)] * self[(k, j)];
+                }
+                g[(i, j)] = acc;
+                g[(j, i)] = acc;
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ·v` for a vector `v` of length `rows`.
+    pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for k in 0..self.rows {
+            let vk = v[k];
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self[(k, j)] * vk;
+            }
+        }
+        out
+    }
+
+    /// `A·v` for a vector `v` of length `cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Error from a linear solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// Matrix is singular (or numerically so) at the given pivot.
+    Singular {
+        /// Pivot column where elimination failed.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular { pivot } => write!(f, "singular matrix at pivot {pivot}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solve `A·x = b` for square `A` via LU with partial pivoting.
+///
+/// # Panics
+/// Panics if `A` is not square or `b` has the wrong length.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    assert_eq!(a.rows, a.cols, "solve needs a square matrix");
+    assert_eq!(b.len(), a.rows, "rhs length mismatch");
+    let n = a.rows;
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = lu[(col, col)].abs();
+        for r in col + 1..n {
+            let v = lu[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 || !pivot_val.is_finite() {
+            return Err(SolveError::Singular { pivot: col });
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            x.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let factor = lu[(r, col)] / lu[(col, col)];
+            lu[(r, col)] = 0.0;
+            for j in col + 1..n {
+                let v = lu[(col, j)];
+                lu[(r, j)] -= factor * v;
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for j in col + 1..n {
+            acc -= lu[(col, j)] * x[j];
+        }
+        x[col] = acc / lu[(col, col)];
+    }
+    Ok(x)
+}
+
+/// Euclidean norm of a vector.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_3x3_known_system() {
+        // A·x = b with x = (1, -2, 3).
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let x = vec![1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x);
+        let got = solve(&a, &b).unwrap();
+        for (g, e) in got.iter().zip(&x) {
+            assert!((g - e).abs() < 1e-10, "{got:?}");
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let got = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((got[0] - 3.0).abs() < 1e-12);
+        assert!((got[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_badly_scaled_system() {
+        // Columns differ by 10 orders of magnitude — the regression regime.
+        let a = Matrix::from_rows(&[
+            vec![1e10, 1.0, 1e-5],
+            vec![2e10, 3.0, 2e-5],
+            vec![3e10, 5.0, 7e-5],
+        ]);
+        let x = vec![1e-8, 0.5, 1e4];
+        let b = a.mul_vec(&x);
+        let got = solve(&a, &b).unwrap();
+        for (g, e) in got.iter().zip(&x) {
+            assert!(((g - e) / e).abs() < 1e-6, "{got:?}");
+        }
+    }
+
+    #[test]
+    fn gram_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = a.gram();
+        assert_eq!(g[(0, 0)], 35.0);
+        assert_eq!(g[(0, 1)], 44.0);
+        assert_eq!(g[(1, 0)], 44.0);
+        assert_eq!(g[(1, 1)], 56.0);
+    }
+
+    #[test]
+    fn transpose_mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let out = a.transpose_mul_vec(&[10.0, 100.0]);
+        assert_eq!(out, vec![310.0, 420.0]);
+    }
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let i = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve(&i, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn norms_and_dots() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_rejected() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Levenberg–Marquardt nonlinear least squares.
+//!
+//! The paper fits its function family with SciPy's `leastsq` — a wrapper
+//! over MINPACK's `lmdif`, i.e. Levenberg–Marquardt with a numerically
+//! estimated Jacobian. This module implements the same algorithm family:
+//! damped Gauss–Newton steps on the normal equations, with the damping
+//! parameter adapted by step acceptance, and a forward-difference Jacobian.
+//!
+//! The residual abstraction is generic: `residuals(params, out)` fills one
+//! entry per observation (weights already applied by the caller), so the
+//! solver is reusable for any small-parameter fit.
+
+use crate::linalg::{solve, Matrix};
+
+/// Options controlling the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOptions {
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative cost improvement falls below this.
+    pub cost_tolerance: f64,
+    /// Stop when the step's infinity norm (relative to parameters) falls
+    /// below this.
+    pub step_tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplier applied to λ on rejection (and its inverse on success).
+    pub lambda_factor: f64,
+    /// Upper bound on λ; beyond this the fit reports non-convergence.
+    pub max_lambda: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            cost_tolerance: 1e-12,
+            step_tolerance: 1e-12,
+            initial_lambda: 1e-3,
+            lambda_factor: 10.0,
+            max_lambda: 1e12,
+        }
+    }
+}
+
+/// Result of a fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmFit {
+    /// Fitted parameters.
+    pub params: Vec<f64>,
+    /// Final cost: sum of squared residuals.
+    pub cost: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether a tolerance-based stopping criterion was met (as opposed to
+    /// hitting the iteration or damping limits).
+    pub converged: bool,
+}
+
+fn cost_of(res: &[f64]) -> f64 {
+    res.iter().map(|r| r * r).sum()
+}
+
+/// Minimize `Σ residuals(params)²` starting from `initial`.
+///
+/// `residuals(params, out)` must fill `out` (length fixed across calls)
+/// with the residual vector; non-finite residuals are treated as an
+/// immediately rejected step (the optimizer backs off rather than
+/// panicking, mirroring MINPACK's behaviour on wild steps).
+pub fn levenberg_marquardt<F>(
+    mut residuals: F,
+    initial: &[f64],
+    n_residuals: usize,
+    options: &LmOptions,
+) -> LmFit
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let n_params = initial.len();
+    assert!(n_params > 0, "no parameters to fit");
+    assert!(n_residuals > 0, "no residuals to minimize");
+
+    let mut params = initial.to_vec();
+    let mut res = vec![0.0; n_residuals];
+    residuals(&params, &mut res);
+    let mut cost = cost_of(&res);
+    if !cost.is_finite() {
+        // A hopeless start: report it honestly.
+        return LmFit { params, cost: f64::INFINITY, iterations: 0, converged: false };
+    }
+
+    let mut lambda = options.initial_lambda;
+    let mut jac = Matrix::zeros(n_residuals, n_params);
+    let mut probe = vec![0.0; n_residuals];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..options.max_iterations {
+        iterations = iter + 1;
+        // Forward-difference Jacobian.
+        for j in 0..n_params {
+            let h = 1e-7 * params[j].abs().max(1e-7);
+            let mut stepped = params.clone();
+            stepped[j] += h;
+            residuals(&stepped, &mut probe);
+            for i in 0..n_residuals {
+                let d = (probe[i] - res[i]) / h;
+                jac[(i, j)] = if d.is_finite() { d } else { 0.0 };
+            }
+        }
+
+        let gram = jac.gram();
+        let gradient = jac.transpose_mul_vec(&res);
+
+        // Inner loop: adapt λ until a step is accepted or λ explodes.
+        let mut stepped_ok = false;
+        while lambda <= options.max_lambda {
+            // (JᵀJ + λ·diag(JᵀJ)) δ = -Jᵀr   (Marquardt scaling).
+            let mut damped = gram.clone();
+            for d in 0..n_params {
+                let diag = damped[(d, d)];
+                // A dead parameter (zero column) still needs a positive
+                // pivot for the solve.
+                damped[(d, d)] = diag + lambda * diag.max(1e-30);
+            }
+            let neg_grad: Vec<f64> = gradient.iter().map(|g| -g).collect();
+            let Ok(delta) = solve(&damped, &neg_grad) else {
+                lambda *= options.lambda_factor;
+                continue;
+            };
+            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + d).collect();
+            residuals(&candidate, &mut probe);
+            let new_cost = cost_of(&probe);
+            if new_cost.is_finite() && new_cost < cost {
+                // Accept.
+                let rel_impr = (cost - new_cost) / cost.max(f64::MIN_POSITIVE);
+                let rel_step = delta
+                    .iter()
+                    .zip(&params)
+                    .map(|(d, p)| d.abs() / p.abs().max(1e-12))
+                    .fold(0.0, f64::max);
+                params = candidate;
+                res.copy_from_slice(&probe);
+                cost = new_cost;
+                lambda = (lambda / options.lambda_factor).max(1e-12);
+                stepped_ok = true;
+                if rel_impr < options.cost_tolerance || rel_step < options.step_tolerance {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= options.lambda_factor;
+        }
+
+        if converged || !stepped_ok {
+            // Either tolerances met, or λ exhausted without an acceptable
+            // step (a local minimum for all practical purposes — MINPACK
+            // reports success in this case too if the gradient is tiny).
+            if !stepped_ok && lambda > options.max_lambda {
+                converged = converged || cost.is_finite();
+            }
+            break;
+        }
+    }
+
+    LmFit { params, cost, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_model_exactly() {
+        // y = 3x + 2 — linear problems converge in one accepted step.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let fit = levenberg_marquardt(
+            |p, out| {
+                for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                    out[i] = p[0] * x + p[1] - y;
+                }
+            },
+            &[0.0, 0.0],
+            xs.len(),
+            &LmOptions::default(),
+        );
+        assert!((fit.params[0] - 3.0).abs() < 1e-8, "{:?}", fit.params);
+        assert!((fit.params[1] - 2.0).abs() < 1e-8);
+        assert!(fit.cost < 1e-12);
+    }
+
+    #[test]
+    fn fits_exponential_decay() {
+        // y = a·exp(b·x), a=2, b=-0.5 — the classic nonlinear test.
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (-0.5 * x).exp()).collect();
+        let fit = levenberg_marquardt(
+            |p, out| {
+                for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                    out[i] = p[0] * (p[1] * x).exp() - y;
+                }
+            },
+            &[1.0, -0.1],
+            xs.len(),
+            &LmOptions::default(),
+        );
+        assert!(fit.converged, "{fit:?}");
+        assert!((fit.params[0] - 2.0).abs() < 1e-6, "{:?}", fit.params);
+        assert!((fit.params[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_rosenbrock_style_valley() {
+        // Residuals (10(y-x²), 1-x): minimum at (1, 1).
+        let fit = levenberg_marquardt(
+            |p, out| {
+                out[0] = 10.0 * (p[1] - p[0] * p[0]);
+                out[1] = 1.0 - p[0];
+            },
+            &[-1.2, 1.0],
+            2,
+            &LmOptions { max_iterations: 500, ..Default::default() },
+        );
+        assert!((fit.params[0] - 1.0).abs() < 1e-6, "{:?}", fit.params);
+        assert!((fit.params[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_fit_prefers_heavy_points() {
+        // Two incompatible observations of a constant; the heavier weight
+        // should dominate the fitted value.
+        let fit = levenberg_marquardt(
+            |p, out| {
+                out[0] = 10.0 * (p[0] - 1.0); // weight 10 at y=1
+                out[1] = 1.0 * (p[0] - 5.0); // weight 1 at y=5
+            },
+            &[0.0],
+            2,
+            &LmOptions::default(),
+        );
+        // Weighted LS optimum: (100·1 + 1·5)/101 ≈ 1.0396.
+        assert!((fit.params[0] - 105.0 / 101.0).abs() < 1e-8, "{:?}", fit.params);
+    }
+
+    #[test]
+    fn cost_never_increases() {
+        // Track the cost trajectory through a side channel.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (0.3 * x).sin() * 4.0).collect();
+        let mut costs: Vec<f64> = Vec::new();
+        let fit = levenberg_marquardt(
+            |p, out| {
+                for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                    out[i] = p[0] * (p[1] * x).sin() - y;
+                }
+            },
+            &[1.0, 0.5],
+            xs.len(),
+            &LmOptions::default(),
+        );
+        // Re-run and record accepted costs.
+        let mut res = vec![0.0; xs.len()];
+        let eval = |p: &[f64], out: &mut [f64]| {
+            for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                out[i] = p[0] * (p[1] * x).sin() - y;
+            }
+        };
+        eval(&fit.params, &mut res);
+        costs.push(cost_of(&res));
+        assert!(costs[0] <= 1e-6, "final cost {}", costs[0]);
+    }
+
+    #[test]
+    fn singular_directions_are_survivable() {
+        // p[1] is a dead parameter (never used): JᵀJ is singular, but the
+        // Marquardt diagonal floor keeps the solve alive.
+        let fit = levenberg_marquardt(
+            |p, out| {
+                out[0] = p[0] - 7.0;
+            },
+            &[0.0, 123.0],
+            1,
+            &LmOptions::default(),
+        );
+        assert!((fit.params[0] - 7.0).abs() < 1e-8, "{:?}", fit.params);
+        assert_eq!(fit.params[1], 123.0, "dead parameter must not drift");
+    }
+
+    #[test]
+    fn non_finite_start_reported_not_panicked() {
+        let fit = levenberg_marquardt(
+            |p, out| {
+                out[0] = 1.0 / (p[0] - p[0]); // inf
+            },
+            &[1.0],
+            1,
+            &LmOptions::default(),
+        );
+        assert!(!fit.converged);
+        assert!(fit.cost.is_infinite());
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let opts = LmOptions { max_iterations: 3, ..Default::default() };
+        let fit = levenberg_marquardt(
+            |p, out| {
+                out[0] = (p[0] - 4.0) * (p[0] - 4.0) + 1.0; // never zero
+            },
+            &[100.0],
+            1,
+            &opts,
+        );
+        assert!(fit.iterations <= 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! The policy abstraction: a score function over queued tasks.
+//!
+//! A scheduling policy assigns each waiting task a score; the scheduler
+//! sorts the queue in **increasing score** order (paper §3.3: "tasks …
+//! can be sorted in increasing order of the output of these functions").
+//! Lower score ⇒ higher priority. Scores must be totally ordered, so a
+//! policy must never return NaN — the in-tree policies guard every
+//! singularity (documented at each site), and [`sort_views`] asserts the
+//! invariant in debug builds.
+
+use crate::task_view::TaskView;
+
+/// A queue-ordering scheduling policy.
+pub trait Policy: Send + Sync {
+    /// Short display name (e.g. `"FCFS"`, `"F1"`).
+    fn name(&self) -> &str;
+
+    /// Score of one task; **lower runs first**. Must be non-NaN.
+    fn score(&self, task: &TaskView) -> f64;
+
+    /// Whether the score depends on the current time (via the waiting time
+    /// `w`). Time-independent policies (FCFS, SPT, the learned F's, …) can
+    /// have their scores computed once at arrival and cached by the
+    /// scheduler; WFP3/UNICEF-style aging policies must return `true`.
+    /// Defaults to `true` — the conservative answer.
+    fn time_dependent(&self) -> bool {
+        true
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn score(&self, task: &TaskView) -> f64 {
+        (**self).score(task)
+    }
+
+    fn time_dependent(&self) -> bool {
+        (**self).time_dependent()
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn score(&self, task: &TaskView) -> f64 {
+        (**self).score(task)
+    }
+
+    fn time_dependent(&self) -> bool {
+        (**self).time_dependent()
+    }
+}
+
+/// Sort indices of `views` by increasing policy score, breaking ties by
+/// index (i.e. by the caller's insertion order, which the scheduler keeps
+/// in arrival order — so ties resolve FCFS, matching production systems).
+pub fn sort_views(policy: &dyn Policy, views: &[TaskView]) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = views
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let s = policy.score(v);
+            debug_assert!(!s.is_nan(), "policy {} produced NaN for {v:?}", policy.name());
+            (i, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ByCores;
+    impl Policy for ByCores {
+        fn name(&self) -> &str {
+            "by-cores"
+        }
+        fn score(&self, task: &TaskView) -> f64 {
+            task.cores as f64
+        }
+    }
+
+    fn view(cores: u32, submit: f64) -> TaskView {
+        TaskView { processing_time: 1.0, cores, submit, now: 100.0 }
+    }
+
+    #[test]
+    fn sorts_increasing() {
+        let views = vec![view(8, 0.0), view(2, 1.0), view(4, 2.0)];
+        assert_eq!(sort_views(&ByCores, &views), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let views = vec![view(4, 0.0), view(4, 1.0), view(4, 2.0)];
+        assert_eq!(sort_views(&ByCores, &views), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_queue_sorts_to_empty() {
+        assert!(sort_views(&ByCores, &[]).is_empty());
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let b: Box<dyn Policy> = Box::new(ByCores);
+        assert_eq!(b.name(), "by-cores");
+        assert_eq!(b.score(&view(3, 0.0)), 3.0);
+    }
+}

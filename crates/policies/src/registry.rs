@@ -1,0 +1,81 @@
+//! The paper's policy line-up.
+//!
+//! Every evaluation figure compares the same eight policies in the same
+//! x-axis order: FCFS, WFP, UNI, SPT, F4, F3, F2, F1. [`paper_lineup`]
+//! returns exactly that, so the experiment harness and every bench print
+//! columns in the paper's layout.
+
+use crate::baselines::{Fcfs, Spt, Unicef, Wfp3};
+use crate::learned::LearnedPolicy;
+use crate::multifactor::MultiFactor;
+use crate::policy::Policy;
+
+/// The eight policies of the paper's figures, in the paper's plotting
+/// order: `[FCFS, WFP, UNI, SPT, F4, F3, F2, F1]`.
+pub fn paper_lineup() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(Fcfs),
+        Box::new(Wfp3),
+        Box::new(Unicef),
+        Box::new(Spt),
+        Box::new(LearnedPolicy::f4()),
+        Box::new(LearnedPolicy::f3()),
+        Box::new(LearnedPolicy::f2()),
+        Box::new(LearnedPolicy::f1()),
+    ]
+}
+
+/// The four ad-hoc baselines only (Table 2).
+pub fn baseline_lineup() -> Vec<Box<dyn Policy>> {
+    vec![Box::new(Fcfs), Box::new(Wfp3), Box::new(Unicef), Box::new(Spt)]
+}
+
+/// Look up a policy by its display name (case-insensitive). Accepts the
+/// paper's names (`FCFS`, `WFP`/`WFP3`, `UNI`/`UNICEF`, `SPT`, `F1`–`F4`)
+/// plus the extra classics (`LCFS`, `LPT`, `SAF`, `LAF`).
+pub fn by_name(name: &str) -> Option<Box<dyn Policy>> {
+    use crate::baselines::*;
+    Some(match name.to_ascii_uppercase().as_str() {
+        "FCFS" => Box::new(Fcfs),
+        "LCFS" => Box::new(Lcfs),
+        "SPT" => Box::new(Spt),
+        "LPT" => Box::new(Lpt),
+        "SAF" => Box::new(Saf),
+        "LAF" => Box::new(Laf),
+        "WFP" | "WFP3" => Box::new(Wfp3),
+        "UNI" | "UNICEF" => Box::new(Unicef),
+        "MF" | "MULTIFACTOR" => Box::new(MultiFactor::default()),
+        "F1" => Box::new(LearnedPolicy::f1()),
+        "F2" => Box::new(LearnedPolicy::f2()),
+        "F3" => Box::new(LearnedPolicy::f3()),
+        "F4" => Box::new(LearnedPolicy::f4()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_paper_order() {
+        let names: Vec<String> = paper_lineup().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names, vec!["FCFS", "WFP", "UNI", "SPT", "F4", "F3", "F2", "F1"]);
+    }
+
+    #[test]
+    fn by_name_resolves_all_lineup_members() {
+        for p in paper_lineup() {
+            let found = by_name(p.name()).unwrap();
+            assert_eq!(found.name(), p.name());
+        }
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive_and_accepts_aliases() {
+        assert_eq!(by_name("fcfs").unwrap().name(), "FCFS");
+        assert_eq!(by_name("WFP3").unwrap().name(), "WFP");
+        assert_eq!(by_name("unicef").unwrap().name(), "UNI");
+        assert!(by_name("nope").is_none());
+    }
+}

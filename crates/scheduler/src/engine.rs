@@ -1,0 +1,668 @@
+//! The event-driven online scheduler (§4.2's scheduling algorithm).
+//!
+//! Tasks arrive into a centralized waiting queue; the scheduler performs a
+//! reschedule at two events: (i) a task arrives, (ii) a resource is
+//! released. A reschedule sorts the queue with the active policy and starts
+//! the highest-priority task while it fits; if it does not fit the
+//! scheduler either waits ([`BackfillMode::None`]) or runs a backfilling
+//! pass ([`BackfillMode::Aggressive`] = EASY, [`BackfillMode::Conservative`]).
+//!
+//! All *decisions* (queue order, backfill feasibility) use the processing
+//! time selected by the [`DecisionMode`](dynsched_policies::DecisionMode);
+//! *execution* always uses the
+//! actual runtime — exactly the paper's protocol for the user-estimate
+//! experiments.
+
+use crate::config::{BackfillMode, SchedulerConfig};
+use crate::profile::Profile;
+use crate::result::SimulationResult;
+use dynsched_cluster::{CompletedJob, Job, JobId};
+use dynsched_policies::{sort_views, Policy, TaskView};
+use dynsched_simkit::{Clock, EventQueue};
+use dynsched_workload::Trace;
+use std::collections::HashMap;
+
+/// How the waiting queue is ordered at each rescheduling event.
+pub enum QueueDiscipline<'a> {
+    /// Order by a scoring policy (lower score first).
+    Policy(&'a dyn Policy),
+    /// Order by a fixed rank per job id — used by the training trials,
+    /// where the queue order is a random permutation of `Q`.
+    FixedOrder(&'a HashMap<JobId, usize>),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    Completion(JobId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    job: Job,
+    start: f64,
+}
+
+/// A waiting job with its cached score. For time-independent policies the
+/// score is computed once at arrival (their scores never change); for
+/// aging policies and fixed-order trials the field is unused and the order
+/// is recomputed at every rescheduling event.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    job: Job,
+    cached_score: f64,
+}
+
+fn make_entry(job: Job, discipline: &QueueDiscipline<'_>, config: &SchedulerConfig) -> QueueEntry {
+    let cached_score = match discipline {
+        QueueDiscipline::Policy(policy) if !policy.time_dependent() => policy.score(&TaskView {
+            processing_time: config.decision_time(job.runtime, job.estimate),
+            cores: job.cores,
+            submit: job.submit,
+            now: job.submit,
+        }),
+        _ => 0.0,
+    };
+    QueueEntry { job, cached_score }
+}
+
+/// Simulate the online scheduling of `trace` under `discipline` and
+/// `config`. Runs until every job has completed (the queue drains).
+///
+/// # Panics
+/// Panics if any job requests more cores than the platform has (it could
+/// never start; pre-filter with [`Trace::capped_to`]), or if a
+/// [`QueueDiscipline::FixedOrder`] map is missing a job id.
+pub fn simulate(trace: &Trace, discipline: &QueueDiscipline<'_>, config: &SchedulerConfig) -> SimulationResult {
+    let jobs = trace.jobs();
+    let total_cores = config.platform.total_cores;
+    for j in jobs {
+        assert!(
+            j.cores <= total_cores,
+            "job {} requests {} cores on a {}-core platform",
+            j.id,
+            j.cores,
+            total_cores
+        );
+    }
+
+    let mut events: EventQueue<Event> = EventQueue::with_capacity(jobs.len() * 2);
+    for (idx, job) in jobs.iter().enumerate() {
+        events.push(job.submit, Event::Arrival(idx));
+    }
+
+    let mut clock = Clock::new();
+    let mut ledger = dynsched_cluster::AllocationLedger::new(config.platform);
+    let mut queue: Vec<QueueEntry> = Vec::new(); // arrival order
+    let mut running: HashMap<JobId, Running> = HashMap::new();
+    let mut completed: Vec<CompletedJob> = Vec::with_capacity(jobs.len());
+    let mut events_processed = 0u64;
+    let mut backfilled = 0u64;
+
+    while let Some((t, first)) = events.pop() {
+        clock.advance_to(t);
+        let mut batch = vec![first];
+        while events.peek_time() == Some(t) {
+            batch.push(events.pop().expect("peeked").1);
+        }
+        for ev in batch {
+            events_processed += 1;
+            match ev {
+                Event::Arrival(idx) => queue.push(make_entry(jobs[idx], discipline, config)),
+                Event::Completion(id) => {
+                    let run = running.remove(&id).expect("completion for unknown job");
+                    ledger.release(id, t).expect("running job holds cores");
+                    completed.push(CompletedJob { job: run.job, start: run.start, finish: t });
+                }
+            }
+        }
+        reschedule(
+            t,
+            &mut queue,
+            &mut ledger,
+            &mut running,
+            &mut events,
+            discipline,
+            config,
+            &mut backfilled,
+        );
+    }
+
+    debug_assert!(queue.is_empty(), "drained simulation left jobs waiting");
+    debug_assert!(running.is_empty(), "drained simulation left jobs running");
+    let makespan = completed.iter().map(|c| c.finish).fold(0.0, f64::max);
+    let utilization = ledger.utilization(makespan).unwrap_or(0.0);
+    SimulationResult { completed, makespan, utilization, events_processed, backfilled_jobs: backfilled }
+}
+
+/// Priority order (indices into `queue`) under the active discipline.
+fn order_queue(
+    queue: &[QueueEntry],
+    now: f64,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+) -> Vec<usize> {
+    match discipline {
+        QueueDiscipline::Policy(policy) if policy.time_dependent() => {
+            let views: Vec<TaskView> = queue
+                .iter()
+                .map(|e| TaskView {
+                    processing_time: config.decision_time(e.job.runtime, e.job.estimate),
+                    cores: e.job.cores,
+                    submit: e.job.submit,
+                    now,
+                })
+                .collect();
+            sort_views(*policy, &views)
+        }
+        QueueDiscipline::Policy(_) => {
+            // Time-independent policy: scores were cached at arrival.
+            let mut idx: Vec<usize> = (0..queue.len()).collect();
+            idx.sort_by(|&a, &b| {
+                queue[a]
+                    .cached_score
+                    .total_cmp(&queue[b].cached_score)
+                    .then(a.cmp(&b))
+            });
+            idx
+        }
+        QueueDiscipline::FixedOrder(ranks) => {
+            let mut idx: Vec<usize> = (0..queue.len()).collect();
+            idx.sort_by_key(|&i| {
+                *ranks
+                    .get(&queue[i].job.id)
+                    .unwrap_or_else(|| panic!("fixed order missing job {}", queue[i].job.id))
+            });
+            idx
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reschedule(
+    now: f64,
+    queue: &mut Vec<QueueEntry>,
+    ledger: &mut dynsched_cluster::AllocationLedger,
+    running: &mut HashMap<JobId, Running>,
+    events: &mut EventQueue<Event>,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    backfilled: &mut u64,
+) {
+    if queue.is_empty() {
+        return;
+    }
+    let order = order_queue(queue, now, discipline, config);
+
+    let start_job = |job: Job,
+                         ledger: &mut dynsched_cluster::AllocationLedger,
+                         running: &mut HashMap<JobId, Running>,
+                         events: &mut EventQueue<Event>| {
+        ledger.allocate(job.id, job.cores, now).expect("start checked to fit");
+        running.insert(job.id, Running { job, start: now });
+        events.push(
+            now + config.execution_time(job.runtime, job.estimate),
+            Event::Completion(job.id),
+        );
+    };
+
+    let mut started = vec![false; queue.len()];
+
+    if config.backfill == BackfillMode::Conservative {
+        // Every job gets the earliest reservation that delays nobody ahead
+        // of it; jobs reserved for *now* start.
+        let releases: Vec<(f64, u32)> = running
+            .values()
+            .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
+            .collect();
+        let mut profile = Profile::new(now, ledger.available(), &releases);
+        for (rank, &qi) in order.iter().enumerate() {
+            let job = queue[qi].job;
+            let duration = config.decision_time(job.runtime, job.estimate).max(1e-9);
+            let start = profile
+                .earliest_fit(job.cores, duration)
+                .expect("job width pre-checked against platform");
+            profile.reserve(start, start + duration, job.cores);
+            if start == now {
+                start_job(job, ledger, running, events);
+                started[qi] = true;
+                if rank > 0 {
+                    *backfilled += 1;
+                }
+            }
+        }
+    } else {
+        // Strict pass: start in priority order, stop at the first task that
+        // does not fit (§4.2: "the scheduler waits").
+        let mut blocked_at: Option<usize> = None;
+        for (pos, &qi) in order.iter().enumerate() {
+            let job = queue[qi].job;
+            if ledger.fits(job.cores) {
+                start_job(job, ledger, running, events);
+                started[qi] = true;
+            } else {
+                blocked_at = Some(pos);
+                break;
+            }
+        }
+
+        if config.backfill == BackfillMode::Aggressive && config.reservation_depth > 1 {
+            // Deep EASY: the first `reservation_depth` blocked jobs hold
+            // reservations in an availability profile; any other job may
+            // start only where the profile admits it *now*. Depth → ∞
+            // converges to conservative backfilling.
+            if let Some(head_pos) = blocked_at {
+                let releases: Vec<(f64, u32)> = running
+                    .values()
+                    .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
+                    .collect();
+                let mut profile = Profile::new(now, ledger.available(), &releases);
+                let mut reservations = 0u32;
+                for &qi in &order[head_pos..] {
+                    let job = queue[qi].job;
+                    let duration = config.decision_time(job.runtime, job.estimate).max(1e-9);
+                    let start = profile
+                        .earliest_fit(job.cores, duration)
+                        .expect("job width pre-checked against platform");
+                    if start == now {
+                        profile.reserve(start, start + duration, job.cores);
+                        start_job(job, ledger, running, events);
+                        started[qi] = true;
+                        *backfilled += 1;
+                    } else if reservations < config.reservation_depth {
+                        profile.reserve(start, start + duration, job.cores);
+                        reservations += 1;
+                    }
+                    // Beyond the reservation depth, unstartable jobs place
+                    // no reservation: later candidates may overtake them,
+                    // exactly like classic EASY's tail.
+                }
+            }
+        } else if config.backfill == BackfillMode::Aggressive {
+            if let Some(head_pos) = blocked_at {
+                let head = queue[order[head_pos]].job;
+                // Shadow time: when enough cores free up for the head,
+                // assuming running jobs finish at their decision-mode
+                // expected ends (clamped to now if overdue).
+                let mut releases: Vec<(f64, u32)> = running
+                    .values()
+                    .map(|r| {
+                        let end = r.start + config.decision_time(r.job.runtime, r.job.estimate);
+                        (end.max(now), r.job.cores)
+                    })
+                    .collect();
+                releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut avail = ledger.available();
+                let mut shadow = now;
+                let mut spare = 0u32;
+                for (end, cores) in releases {
+                    avail += cores;
+                    if avail >= head.cores {
+                        shadow = end;
+                        spare = avail - head.cores;
+                        break;
+                    }
+                }
+                // Backfill pass over the rest of the queue in priority
+                // order: a candidate may start if it fits now and either
+                // finishes (by its decision-mode runtime) before the shadow
+                // time, or only uses cores spare even at the shadow time.
+                for &qi in &order[head_pos + 1..] {
+                    let cand = queue[qi].job;
+                    if !ledger.fits(cand.cores) {
+                        continue;
+                    }
+                    let ends_by_shadow =
+                        now + config.decision_time(cand.runtime, cand.estimate) <= shadow;
+                    if ends_by_shadow {
+                        start_job(cand, ledger, running, events);
+                        started[qi] = true;
+                        *backfilled += 1;
+                    } else if cand.cores <= spare {
+                        spare -= cand.cores;
+                        start_job(cand, ledger, running, events);
+                        started[qi] = true;
+                        *backfilled += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut keep = started.iter().map(|s| !s);
+    queue.retain(|_| keep.next().expect("one flag per job"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsched_cluster::Platform;
+    use dynsched_policies::{Fcfs, Spt};
+
+    fn cfg(cores: u32) -> SchedulerConfig {
+        SchedulerConfig::actual_runtimes(Platform::new(cores))
+    }
+
+    fn job(id: u32, submit: f64, runtime: f64, cores: u32) -> Job {
+        Job::new(id, submit, runtime, runtime, cores)
+    }
+
+    fn run_fcfs(jobs: Vec<Job>, cores: u32) -> SimulationResult {
+        simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &cfg(cores))
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let r = run_fcfs(vec![job(0, 5.0, 10.0, 2)], 4);
+        assert_eq!(r.completed.len(), 1);
+        assert_eq!(r.completed[0].start, 5.0);
+        assert_eq!(r.completed[0].finish, 15.0);
+        assert_eq!(r.makespan, 15.0);
+    }
+
+    #[test]
+    fn jobs_queue_when_machine_full() {
+        // Both need the whole machine; second waits for the first.
+        let r = run_fcfs(vec![job(0, 0.0, 10.0, 4), job(1, 1.0, 10.0, 4)], 4);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&0].start, 0.0);
+        assert_eq!(by_id[&1].start, 10.0);
+        assert_eq!(by_id[&1].wait(), 9.0);
+    }
+
+    #[test]
+    fn parallel_jobs_share_machine() {
+        let r = run_fcfs(vec![job(0, 0.0, 10.0, 2), job(1, 0.0, 10.0, 2)], 4);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&0].start, 0.0);
+        assert_eq!(by_id[&1].start, 0.0);
+        assert!((r.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strict_mode_blocks_behind_wide_head() {
+        // FCFS head needs 4 cores (busy), a later 1-core job fits but must
+        // NOT start without backfilling.
+        let jobs = vec![
+            job(0, 0.0, 10.0, 3), // runs 0..10 on 3 of 4 cores
+            job(1, 1.0, 5.0, 4),  // head at t=1, does not fit until t=10
+            job(2, 2.0, 2.0, 1),  // would fit now, but FCFS order blocks it
+        ];
+        let r = run_fcfs(jobs, 4);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&1].start, 10.0);
+        assert_eq!(by_id[&2].start, 15.0, "strict scheduler must not backfill");
+    }
+
+    #[test]
+    fn easy_backfills_harmless_job() {
+        let jobs = vec![
+            job(0, 0.0, 10.0, 3), // running until t=10
+            job(1, 1.0, 5.0, 4),  // head, shadow time = 10
+            job(2, 2.0, 2.0, 1),  // fits the spare core, ends 4 <= 10 → backfill
+        ];
+        let mut config = cfg(4);
+        config.backfill = BackfillMode::Aggressive;
+        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&2].start, 2.0, "EASY should backfill job 2");
+        assert_eq!(by_id[&1].start, 10.0, "head must not be delayed");
+        assert_eq!(r.backfilled_jobs, 1);
+    }
+
+    #[test]
+    fn easy_rejects_backfill_that_would_delay_head() {
+        let jobs = vec![
+            job(0, 0.0, 10.0, 3), // running until t=10
+            job(1, 1.0, 5.0, 4),  // head, shadow = 10, spare = 0
+            job(2, 2.0, 20.0, 1), // ends at 22 > 10 and no spare → no backfill
+        ];
+        let mut config = cfg(4);
+        config.backfill = BackfillMode::Aggressive;
+        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&1].start, 10.0);
+        assert_eq!(by_id[&2].start, 15.0);
+        assert_eq!(r.backfilled_jobs, 0);
+    }
+
+    #[test]
+    fn easy_uses_spare_cores_for_long_jobs() {
+        // Machine: 8 cores. Job0 holds 4 until t=100. Head needs 6
+        // (shadow=100, spare at shadow = 8-6 = 2). A 2-core long job can
+        // backfill into the spare even though it outlives the shadow.
+        let jobs = vec![
+            job(0, 0.0, 100.0, 4),
+            job(1, 1.0, 50.0, 6),
+            job(2, 2.0, 500.0, 2),
+        ];
+        let mut config = cfg(8);
+        config.backfill = BackfillMode::Aggressive;
+        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&2].start, 2.0, "spare-core backfill");
+        assert_eq!(by_id[&1].start, 100.0, "head still starts at shadow");
+    }
+
+    #[test]
+    fn conservative_backfills_without_delaying_anyone() {
+        let jobs = vec![
+            job(0, 0.0, 10.0, 3), // running until 10
+            job(1, 1.0, 5.0, 4),  // reserved at 10
+            job(2, 2.0, 2.0, 1),  // fits now and ends before 10 → starts
+        ];
+        let mut config = cfg(4);
+        config.backfill = BackfillMode::Conservative;
+        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&2].start, 2.0);
+        assert_eq!(by_id[&1].start, 10.0);
+    }
+
+    #[test]
+    fn conservative_protects_all_reservations() {
+        // 4 cores. Job0 runs to t=10. Queue: head(4 cores, reserved t=10),
+        // second(1 core 8s, reserved t=15 after head)… a third job that
+        // fits *now* but would collide with head's reservation must wait.
+        let jobs = vec![
+            job(0, 0.0, 10.0, 3),
+            job(1, 1.0, 5.0, 4),
+            job(2, 2.0, 9.0, 1), // ends at 11 > 10: would delay head
+        ];
+        let mut config = cfg(4);
+        config.backfill = BackfillMode::Conservative;
+        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&1].start, 10.0);
+        assert_eq!(by_id[&2].start, 15.0, "conservative must respect head's reservation");
+    }
+
+    #[test]
+    fn fixed_order_discipline_respects_permutation() {
+        // Three same-shape jobs all present at t=0; machine fits one at a
+        // time; fixed order 2,0,1.
+        let jobs = vec![job(0, 0.0, 10.0, 4), job(1, 0.0, 10.0, 4), job(2, 0.0, 10.0, 4)];
+        let ranks: HashMap<JobId, usize> = [(2u32, 0usize), (0, 1), (1, 2)].into_iter().collect();
+        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::FixedOrder(&ranks), &cfg(4));
+        let by_id = r.by_id();
+        assert_eq!(by_id[&2].start, 0.0);
+        assert_eq!(by_id[&0].start, 10.0);
+        assert_eq!(by_id[&1].start, 20.0);
+    }
+
+    #[test]
+    fn estimate_mode_decisions_use_estimates() {
+        // SPT under estimates: job 1 has the shorter *estimate* but longer
+        // runtime; it must be picked first in UserEstimate mode.
+        let j0 = Job::new(0, 0.0, 5.0, 100.0, 4); // r=5, e=100
+        let j1 = Job::new(1, 0.0, 50.0, 10.0, 4); // r=50, e=10
+        let blocker = job(9, 0.0, 1.0, 4); // forces both into the queue
+        let mut config = SchedulerConfig::user_estimates(Platform::new(4));
+        config.backfill = BackfillMode::None;
+        let trace = Trace::from_jobs(vec![blocker, j0, j1]);
+        let r = simulate(&trace, &QueueDiscipline::Policy(&Spt), &config);
+        let by_id = r.by_id();
+        assert!(by_id[&1].start < by_id[&0].start, "estimate-SPT must favour job 1");
+    }
+
+    #[test]
+    fn execution_always_uses_actual_runtime() {
+        let j = Job::new(0, 0.0, 7.0, 1_000.0, 1);
+        let config = SchedulerConfig::user_estimates(Platform::new(4));
+        let r = simulate(&Trace::from_jobs(vec![j]), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r.completed[0].finish, 7.0);
+    }
+
+    #[test]
+    fn backfilling_with_underestimates_still_drains() {
+        // Job 0's estimate (5) is far below its runtime (100): the head's
+        // shadow computation sees an overdue job. Everything must still
+        // complete.
+        let j0 = Job::new(0, 0.0, 100.0, 5.0, 3);
+        let j1 = Job::new(1, 1.0, 5.0, 5.0, 4);
+        let j2 = Job::new(2, 2.0, 5.0, 5.0, 1);
+        let config = SchedulerConfig::estimates_with_backfilling(Platform::new(4));
+        let r = simulate(&Trace::from_jobs(vec![j0, j1, j2]), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r.completed.len(), 3);
+    }
+
+    #[test]
+    fn all_jobs_complete_under_saturation() {
+        let jobs: Vec<Job> = (0..50).map(|i| job(i, (i % 5) as f64, 10.0, 1 + (i % 4))).collect();
+        let r = run_fcfs(jobs, 4);
+        assert_eq!(r.completed.len(), 50);
+        for c in &r.completed {
+            assert!(c.start >= c.job.submit, "job {} started before arrival", c.job.id);
+            assert_eq!(c.finish, c.start + c.job.runtime);
+        }
+    }
+
+    #[test]
+    fn simultaneous_arrivals_are_handled_in_one_batch() {
+        let jobs = vec![job(0, 0.0, 10.0, 2), job(1, 0.0, 10.0, 2), job(2, 0.0, 10.0, 2)];
+        let r = run_fcfs(jobs, 4);
+        let by_id = r.by_id();
+        assert_eq!(by_id[&0].start, 0.0);
+        assert_eq!(by_id[&1].start, 0.0);
+        assert_eq!(by_id[&2].start, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests")]
+    fn oversized_job_panics() {
+        run_fcfs(vec![job(0, 0.0, 1.0, 64)], 4);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_schedule() {
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, (i as f64) * 3.7, 10.0 + (i % 7) as f64 * 20.0, 1 + (i % 6)))
+            .collect();
+        let a = run_fcfs(jobs.clone(), 8);
+        let b = run_fcfs(jobs, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kill_at_estimate_cuts_execution_short() {
+        // r = 100, e = 30: with walltime enforcement the job occupies the
+        // machine for 30 s and is reported killed.
+        let j = Job::new(0, 0.0, 100.0, 30.0, 2);
+        let mut config = SchedulerConfig::user_estimates(Platform::new(4));
+        config.kill_at_estimate = true;
+        let r = simulate(&Trace::from_jobs(vec![j]), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r.completed[0].finish, 30.0);
+        assert!(r.completed[0].was_killed());
+        // Without enforcement it runs to completion.
+        config.kill_at_estimate = false;
+        let r = simulate(&Trace::from_jobs(vec![j]), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r.completed[0].finish, 100.0);
+        assert!(!r.completed[0].was_killed());
+    }
+
+    #[test]
+    fn kill_at_estimate_frees_cores_for_waiters() {
+        let j0 = Job::new(0, 0.0, 1_000.0, 10.0, 4); // killed at t=10
+        let j1 = Job::new(1, 1.0, 5.0, 5.0, 4);
+        let mut config = SchedulerConfig::user_estimates(Platform::new(4));
+        config.kill_at_estimate = true;
+        let r = simulate(&Trace::from_jobs(vec![j0, j1]), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r.by_id()[&1].start, 10.0);
+    }
+
+    #[test]
+    fn deep_reservations_protect_second_blocked_job() {
+        // 5 cores. Job0 holds 3 until t=10. Head job1 (4c, 5s) is reserved
+        // [10, 15); the *second* blocked job2 needs the whole machine (5c,
+        // 10s). Job3 (1c, 30s) fits classic EASY's spare core at t=3 —
+        // which silently pushes job2 from 15 to 33. Depth-2 reservations
+        // protect job2: job3 must wait until job2's window has passed.
+        let jobs = vec![
+            job(0, 0.0, 10.0, 3),
+            job(1, 1.0, 5.0, 4),  // head: reserved [10, 15)
+            job(2, 2.0, 10.0, 5), // second blocked: whole machine
+            job(3, 3.0, 30.0, 1), // long 1-core backfill candidate
+        ];
+        // Classic EASY (depth 1): job3 takes the shadow spare core at t=3
+        // and job2 slips to t=33.
+        let mut config = cfg(5);
+        config.backfill = BackfillMode::Aggressive;
+        let r1 = simulate(&Trace::from_jobs(jobs.clone()), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r1.by_id()[&3].start, 3.0);
+        assert_eq!(r1.by_id()[&2].start, 33.0);
+        // Depth 2: job2's reservation [15, 25) is inviolable; job3 starts
+        // only after it, and job2 keeps its slot.
+        config.reservation_depth = 2;
+        let r2 = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r2.by_id()[&1].start, 10.0);
+        assert_eq!(r2.by_id()[&2].start, 15.0, "deep reservation must protect job 2");
+        assert_eq!(r2.by_id()[&3].start, 25.0);
+    }
+
+    #[test]
+    fn deep_easy_still_backfills_harmless_jobs() {
+        let jobs = vec![
+            job(0, 0.0, 10.0, 3),
+            job(1, 1.0, 5.0, 4), // head reserved [10, 15)
+            job(2, 2.0, 2.0, 1), // ends by t=4 < 10: harmless
+        ];
+        let mut config = cfg(4);
+        config.backfill = BackfillMode::Aggressive;
+        config.reservation_depth = 4;
+        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        assert_eq!(r.by_id()[&2].start, 2.0);
+        assert_eq!(r.by_id()[&1].start, 10.0);
+    }
+
+    #[test]
+    fn cached_scores_match_uncached_evaluation() {
+        // Force F1 through the time-dependent (uncached) path via a wrapper
+        // and check the schedule is identical to the cached fast path.
+        use dynsched_policies::{LearnedPolicy, Policy, TaskView};
+        struct Uncached(LearnedPolicy);
+        impl Policy for Uncached {
+            fn name(&self) -> &str {
+                "F1-uncached"
+            }
+            fn score(&self, t: &TaskView) -> f64 {
+                self.0.score(t)
+            }
+            // default time_dependent() = true -> per-event evaluation
+        }
+        let jobs: Vec<Job> = (0..60)
+            .map(|i| job(i, (i as f64) * 11.0, 30.0 + (i % 9) as f64 * 200.0, 1 + (i % 7)))
+            .collect();
+        let trace = Trace::from_jobs(jobs);
+        let config = cfg(8);
+        let cached = simulate(&trace, &QueueDiscipline::Policy(&LearnedPolicy::f1()), &config);
+        let uncached =
+            simulate(&trace, &QueueDiscipline::Policy(&Uncached(LearnedPolicy::f1())), &config);
+        assert_eq!(cached.completed, uncached.completed);
+    }
+
+    #[test]
+    fn events_processed_counts_arrivals_and_completions() {
+        let r = run_fcfs(vec![job(0, 0.0, 1.0, 1), job(1, 5.0, 1.0, 1)], 4);
+        assert_eq!(r.events_processed, 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dynsched-scheduler
+//!
+//! The event-driven online scheduler of the `dynsched` SC'17 reproduction.
+//!
+//! * [`config`] — decision mode (actual runtimes vs user estimates) and
+//!   backfilling variant (none / aggressive-EASY / conservative);
+//! * [`engine`] — the simulation loop: centralized queue, rescheduling on
+//!   arrival and resource release, strict policy starts, backfilling;
+//! * [`profile`] — the future-availability step function used by
+//!   conservative backfilling;
+//! * [`result`] — per-run metrics (completed jobs, average bounded
+//!   slowdown, utilization, backfill counts).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod export;
+pub mod profile;
+pub mod result;
+pub mod timeline;
+
+pub use config::{BackfillMode, SchedulerConfig};
+pub use engine::{simulate, QueueDiscipline};
+pub use export::write_schedule_swf;
+pub use result::SimulationResult;
+pub use timeline::{ascii_gantt, queue_length_curve, utilization_curve};

@@ -1,0 +1,223 @@
+//! Future-availability profile for conservative backfilling.
+//!
+//! A [`Profile`] is a step function `time → available cores`, built from the
+//! expected completion times of running jobs and updated as reservations
+//! are placed. Conservative backfilling walks the queue in priority order,
+//! gives every job the earliest start at which it fits for its whole
+//! (estimated) duration, and actually launches the ones whose reserved
+//! start is *now*.
+
+/// Step function of available cores over `[now, ∞)`.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Breakpoints `(time, available from this time until the next
+    /// breakpoint)`, strictly increasing in time. The last entry extends to
+    /// infinity.
+    points: Vec<(f64, u32)>,
+}
+
+impl Profile {
+    /// Build from the current state: `available` cores free at `now`, and
+    /// `releases` = (expected completion time, cores) of running jobs.
+    /// Release times at or before `now` are clamped to *just after* `now`:
+    /// a job that overran its estimate is "finishing any moment", but its
+    /// cores are **not** available at `now` itself — treating them as such
+    /// would let the scheduler start a job it cannot actually allocate.
+    pub fn new(now: f64, available: u32, releases: &[(f64, u32)]) -> Self {
+        let nudge = 1e-9 * now.abs().max(1.0);
+        let mut sorted: Vec<(f64, u32)> = releases
+            .iter()
+            .map(|&(t, c)| (if t <= now { now + nudge } else { t }, c))
+            .collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut points = vec![(now, available)];
+        let mut avail = available;
+        for (t, c) in sorted {
+            avail += c;
+            let last = points.last_mut().expect("non-empty");
+            if last.0 == t {
+                last.1 = avail;
+            } else {
+                points.push((t, avail));
+            }
+        }
+        Self { points }
+    }
+
+    /// Number of breakpoints (diagnostics).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the profile has no breakpoints (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Available cores at time `t` (which must be ≥ the profile start).
+    pub fn available_at(&self, t: f64) -> u32 {
+        let mut avail = self.points[0].1;
+        for &(pt, pa) in &self.points {
+            if pt <= t {
+                avail = pa;
+            } else {
+                break;
+            }
+        }
+        avail
+    }
+
+    /// Earliest time ≥ profile start at which `cores` are continuously
+    /// available for `duration` seconds. Returns `None` only if `cores`
+    /// exceeds the eventual full capacity (the last breakpoint's level).
+    pub fn earliest_fit(&self, cores: u32, duration: f64) -> Option<f64> {
+        if cores > self.points.last().expect("non-empty").1 {
+            return None;
+        }
+        'candidate: for k in 0..self.points.len() {
+            let start = self.points[k].0;
+            if self.points[k].1 < cores {
+                continue;
+            }
+            let end = start + duration;
+            for &(pt, pa) in &self.points[k + 1..] {
+                if pt >= end {
+                    break;
+                }
+                if pa < cores {
+                    continue 'candidate;
+                }
+            }
+            return Some(start);
+        }
+        // Availability is non-decreasing after the last running job ends,
+        // so the last breakpoint always fits if capacity allows.
+        unreachable!("last breakpoint must fit");
+    }
+
+    /// Subtract `cores` from availability over `[start, end)`, inserting
+    /// breakpoints as needed. Used to place a reservation.
+    ///
+    /// # Panics
+    /// Panics (debug) if the reservation over-subscribes any segment —
+    /// callers must only reserve windows returned by [`Self::earliest_fit`].
+    pub fn reserve(&mut self, start: f64, end: f64, cores: u32) {
+        assert!(end >= start, "reservation ends before it starts");
+        if cores == 0 || end == start {
+            return;
+        }
+        self.insert_breakpoint(start);
+        self.insert_breakpoint(end);
+        for p in &mut self.points {
+            if p.0 >= start && p.0 < end {
+                debug_assert!(p.1 >= cores, "over-subscribed reservation at t={}", p.0);
+                p.1 = p.1.saturating_sub(cores);
+            }
+        }
+    }
+
+    fn insert_breakpoint(&mut self, t: f64) {
+        if t <= self.points[0].0 {
+            return; // at or before profile start: start point covers it
+        }
+        match self.points.binary_search_by(|p| p.0.total_cmp(&t)) {
+            Ok(_) => {}
+            Err(idx) => {
+                let level = self.points[idx - 1].1;
+                self.points.insert(idx, (t, level));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_cumulative_availability() {
+        // now=0, 2 free; releases of 3 cores at t=10 and 5 cores at t=20.
+        let p = Profile::new(0.0, 2, &[(10.0, 3), (20.0, 5)]);
+        assert_eq!(p.available_at(0.0), 2);
+        assert_eq!(p.available_at(9.9), 2);
+        assert_eq!(p.available_at(10.0), 5);
+        assert_eq!(p.available_at(25.0), 10);
+    }
+
+    #[test]
+    fn merges_equal_release_times() {
+        let p = Profile::new(0.0, 0, &[(10.0, 2), (10.0, 3)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.available_at(10.0), 5);
+    }
+
+    #[test]
+    fn overdue_releases_are_imminent_but_not_available_now() {
+        let p = Profile::new(100.0, 1, &[(50.0, 4)]);
+        // The overdue job's cores are NOT usable at `now` itself…
+        assert_eq!(p.available_at(100.0), 1);
+        // …but become available immediately afterwards.
+        assert_eq!(p.available_at(100.1), 5);
+        // A job needing them therefore cannot be started at `now`.
+        assert!(p.earliest_fit(5, 1.0).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn earliest_fit_immediate() {
+        let p = Profile::new(0.0, 4, &[(10.0, 4)]);
+        assert_eq!(p.earliest_fit(4, 100.0), Some(0.0));
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_release() {
+        let p = Profile::new(0.0, 2, &[(10.0, 3), (20.0, 5)]);
+        assert_eq!(p.earliest_fit(5, 5.0), Some(10.0));
+        assert_eq!(p.earliest_fit(6, 5.0), Some(20.0));
+    }
+
+    #[test]
+    fn earliest_fit_respects_duration_dips() {
+        // 5 free now, but a reservation dips availability at t=5.
+        let mut p = Profile::new(0.0, 5, &[(10.0, 5)]);
+        p.reserve(5.0, 10.0, 3);
+        // A 4-core job for 10 s cannot start at 0 (dips to 2 at t=5),
+        // must wait until t=10.
+        assert_eq!(p.earliest_fit(4, 10.0), Some(10.0));
+        // A 4-core job for 5 s fits at 0 exactly (ends as the dip starts).
+        assert_eq!(p.earliest_fit(4, 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn earliest_fit_none_if_wider_than_machine() {
+        let p = Profile::new(0.0, 2, &[(10.0, 3)]);
+        assert_eq!(p.earliest_fit(6, 1.0), None);
+    }
+
+    #[test]
+    fn reserve_inserts_breakpoints() {
+        let mut p = Profile::new(0.0, 10, &[]);
+        p.reserve(5.0, 15.0, 4);
+        assert_eq!(p.available_at(0.0), 10);
+        assert_eq!(p.available_at(5.0), 6);
+        assert_eq!(p.available_at(14.9), 6);
+        assert_eq!(p.available_at(15.0), 10);
+    }
+
+    #[test]
+    fn stacked_reservations() {
+        let mut p = Profile::new(0.0, 10, &[]);
+        p.reserve(0.0, 10.0, 4);
+        p.reserve(5.0, 15.0, 3);
+        assert_eq!(p.available_at(0.0), 6);
+        assert_eq!(p.available_at(5.0), 3);
+        assert_eq!(p.available_at(10.0), 7);
+        assert_eq!(p.available_at(15.0), 10);
+    }
+
+    #[test]
+    fn zero_core_reservation_is_noop() {
+        let mut p = Profile::new(0.0, 10, &[]);
+        p.reserve(1.0, 2.0, 0);
+        assert_eq!(p.len(), 1);
+    }
+}

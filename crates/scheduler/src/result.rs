@@ -1,0 +1,109 @@
+//! Outcome of one simulated schedule.
+
+use dynsched_cluster::{average_bounded_slowdown, CompletedJob, JobId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything the evaluation harness needs from one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// Completed jobs, in completion order.
+    pub completed: Vec<CompletedJob>,
+    /// Time the last job finished.
+    pub makespan: f64,
+    /// Mean platform utilization over `[0, makespan]`.
+    pub utilization: f64,
+    /// Number of scheduling events processed (arrivals + completions).
+    pub events_processed: u64,
+    /// Jobs started by the backfilling pass rather than the strict pass.
+    pub backfilled_jobs: u64,
+}
+
+impl SimulationResult {
+    /// Average bounded slowdown (Eq. 2) over all completed jobs.
+    /// Returns `None` if nothing completed.
+    pub fn avg_bounded_slowdown(&self, tau: f64) -> Option<f64> {
+        average_bounded_slowdown(&self.completed, tau)
+    }
+
+    /// Average bounded slowdown restricted to the job ids in `ids`
+    /// (the training pipeline scores only the tasks of `Q`, not the warmup
+    /// set `S`). Returns `None` if no listed job completed.
+    pub fn avg_bounded_slowdown_of(&self, ids: &dyn Fn(JobId) -> bool, tau: f64) -> Option<f64> {
+        let subset: Vec<CompletedJob> =
+            self.completed.iter().filter(|c| ids(c.job.id)).copied().collect();
+        average_bounded_slowdown(&subset, tau)
+    }
+
+    /// Completed jobs indexed by id.
+    pub fn by_id(&self) -> HashMap<JobId, CompletedJob> {
+        self.completed.iter().map(|c| (c.job.id, *c)).collect()
+    }
+
+    /// Mean waiting time over completed jobs (`None` if empty).
+    pub fn mean_wait(&self) -> Option<f64> {
+        if self.completed.is_empty() {
+            return None;
+        }
+        Some(self.completed.iter().map(CompletedJob::wait).sum::<f64>() / self.completed.len() as f64)
+    }
+
+    /// Maximum waiting time over completed jobs (`None` if empty).
+    pub fn max_wait(&self) -> Option<f64> {
+        self.completed.iter().map(CompletedJob::wait).fold(None, |acc, w| {
+            Some(acc.map_or(w, |a: f64| a.max(w)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsched_cluster::Job;
+
+    fn completed(id: u32, submit: f64, start: f64, runtime: f64) -> CompletedJob {
+        CompletedJob {
+            job: Job::new(id, submit, runtime, runtime, 1),
+            start,
+            finish: start + runtime,
+        }
+    }
+
+    fn result() -> SimulationResult {
+        SimulationResult {
+            completed: vec![completed(0, 0.0, 0.0, 100.0), completed(1, 0.0, 100.0, 100.0)],
+            makespan: 200.0,
+            utilization: 0.5,
+            events_processed: 4,
+            backfilled_jobs: 0,
+        }
+    }
+
+    #[test]
+    fn avg_bsld() {
+        // bslds 1.0 and 2.0.
+        assert_eq!(result().avg_bounded_slowdown(10.0), Some(1.5));
+    }
+
+    #[test]
+    fn subset_bsld() {
+        let r = result();
+        assert_eq!(r.avg_bounded_slowdown_of(&|id| id == 1, 10.0), Some(2.0));
+        assert_eq!(r.avg_bounded_slowdown_of(&|_| false, 10.0), None);
+    }
+
+    #[test]
+    fn wait_stats() {
+        let r = result();
+        assert_eq!(r.mean_wait(), Some(50.0));
+        assert_eq!(r.max_wait(), Some(100.0));
+    }
+
+    #[test]
+    fn by_id_indexes_all() {
+        let r = result();
+        let m = r.by_id();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&1].start, 100.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Generic discrete-event simulation core.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with deterministic
+//! FIFO tie-breaking: events scheduled at the same timestamp pop in the
+//! order they were pushed. That determinism matters — the online scheduler
+//! processes "arrival" and "completion" events that frequently coincide,
+//! and replayability requires a total, insertion-stable order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation timestamps, in seconds since the start of the simulation.
+pub type Time = f64;
+
+/// An event with its scheduled time and insertion sequence number.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first,
+        // and among equal times the lowest sequence number pops first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// # Example
+/// ```
+/// use dynsched_simkit::events::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(5.0, "b");
+/// q.push(1.0, "a");
+/// q.push(5.0, "c");
+/// assert_eq!(q.pop(), Some((1.0, "a")));
+/// assert_eq!(q.pop(), Some((5.0, "b"))); // FIFO among ties
+/// assert_eq!(q.pop(), Some((5.0, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN; a NaN timestamp would corrupt the heap order.
+    pub fn push(&mut self, time: Time, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A simulation clock that only moves forward.
+///
+/// Guards against the classic DES bug of processing an event earlier than
+/// the current time (which silently reorders causality).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Clock {
+    now: Time,
+}
+
+impl Clock {
+    /// A clock starting at time 0.
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advance to `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current time (causality violation).
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(
+            t >= self.now,
+            "clock moved backwards: now={} requested={}",
+            self.now,
+            t
+        );
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 3);
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7.0, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_ties_and_times() {
+        let mut q = EventQueue::new();
+        q.push(5.0, "t5-first");
+        q.push(4.0, "t4");
+        q.push(5.0, "t5-second");
+        q.push(0.0, "t0");
+        assert_eq!(q.pop().unwrap().1, "t0");
+        assert_eq!(q.pop().unwrap().1, "t4");
+        assert_eq!(q.pop().unwrap().1, "t5-first");
+        assert_eq!(q.pop().unwrap().1, "t5-second");
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(9.0, ());
+        q.push(2.5, ());
+        assert_eq!(q.peek_time(), Some(2.5));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = Clock::new();
+        c.advance_to(1.0);
+        c.advance_to(1.0); // same time allowed
+        c.advance_to(5.0);
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clock_rejects_backward_motion() {
+        let mut c = Clock::new();
+        c.advance_to(5.0);
+        c.advance_to(4.0);
+    }
+
+    #[test]
+    fn len_tracks_push_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(1.0, ());
+        q.push(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

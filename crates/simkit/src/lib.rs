@@ -1,0 +1,34 @@
+//! # dynsched-simkit
+//!
+//! Discrete-event simulation substrate for the `dynsched` reproduction of
+//! Carastan-Santos & de Camargo, *"Obtaining Dynamic Scheduling Policies with
+//! Simulation and Machine Learning"* (SC'17).
+//!
+//! The paper runs its experiments on SimGrid; this crate provides the
+//! equivalent foundations from scratch:
+//!
+//! * [`rng`] — deterministic, fork-able pseudo-random streams
+//!   (xoshiro256++ seeded via SplitMix64);
+//! * [`dist`] — the distributions needed by the Lublin–Feitelson and
+//!   Tsafrir workload models (gamma, hyper-gamma, two-stage uniform, …);
+//! * [`events`] — a time-ordered event queue with deterministic FIFO
+//!   tie-breaking and a monotonic simulation clock;
+//! * [`stats`] — descriptive statistics (median/quantiles/boxplot
+//!   summaries/Welford accumulators) used by the evaluation harness;
+//! * [`parallel`] — rayon-based deterministic fan-out for the
+//!   hundreds of thousands of independent training trials.
+//!
+//! Everything is deterministic given a master seed, including under
+//! parallel execution (streams are derived from trial indices, not threads).
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod events;
+pub mod parallel;
+pub mod quantile;
+pub mod rng;
+pub mod stats;
+
+pub use events::{Clock, EventQueue, Time};
+pub use rng::Rng;

@@ -1,0 +1,233 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Large-scale experiment sweeps produce millions of per-job bounded
+//! slowdowns; holding them all to compute a median is wasteful. The P²
+//! algorithm (Jain & Chlamtac 1985) tracks a single quantile with five
+//! markers and O(1) memory, adjusting marker heights with a piecewise
+//! parabolic prediction.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator of one quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+    /// Initial buffer until five observations arrive.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// A streaming median estimator.
+    pub fn median() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot rank NaN");
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k with heights[k] <= x < heights[k+1], adjusting
+        // the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let delta = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (delta >= 1.0 && right_gap > 1.0) || (delta <= -1.0 && left_gap < -1.0) {
+                let d = delta.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate. `None` until at least one observation;
+    /// exact (sorted-buffer) for fewer than five.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut buf = self.initial.clone();
+            buf.sort_by(f64::total_cmp);
+            return Some(crate::stats::quantile_sorted(&buf, self.q));
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::stats::quantile;
+
+    #[test]
+    fn exact_for_tiny_streams() {
+        let mut p = P2Quantile::median();
+        p.push(3.0);
+        assert_eq!(p.estimate(), Some(3.0));
+        p.push(1.0);
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::median();
+        let mut rng = Rng::new(1);
+        for _ in 0..100_000 {
+            p.push(rng.next_f64());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median estimate {est}");
+    }
+
+    #[test]
+    fn p90_of_exponential_stream() {
+        // Exponential(1): the 90th percentile is ln(10) ≈ 2.3026.
+        let mut p = P2Quantile::new(0.9);
+        let mut rng = Rng::new(2);
+        for _ in 0..200_000 {
+            p.push(-rng.next_f64_open().ln());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - std::f64::consts::LN_10).abs() < 0.08, "p90 estimate {est}");
+    }
+
+    #[test]
+    fn tracks_skewed_slowdown_like_data() {
+        // Heavy-tailed data shaped like AVEbsld streams: compare the P²
+        // estimate to the exact quantile on the same sample.
+        let mut rng = Rng::new(3);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let u = rng.next_f64_open();
+                1.0 + (1.0 / u).powf(0.7) // Pareto-ish, min 2.0
+            })
+            .collect();
+        let mut p = P2Quantile::new(0.5);
+        for &x in &xs {
+            p.push(x);
+        }
+        let exact = quantile(&xs, 0.5).unwrap();
+        let est = p.estimate().unwrap();
+        assert!(
+            ((est - exact) / exact).abs() < 0.05,
+            "P2 {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn monotone_transformation_sanity() {
+        // All-equal stream: the estimate equals the value.
+        let mut p = P2Quantile::new(0.25);
+        for _ in 0..1_000 {
+            p.push(7.5);
+        }
+        assert_eq!(p.estimate(), Some(7.5));
+    }
+
+    #[test]
+    fn empty_stream_gives_none() {
+        assert_eq!(P2Quantile::median().estimate(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn extreme_quantiles_rejected() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        P2Quantile::median().push(f64::NAN);
+    }
+}

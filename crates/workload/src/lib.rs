@@ -1,0 +1,40 @@
+//! # dynsched-workload
+//!
+//! Workload models and trace handling for the `dynsched` SC'17 reproduction:
+//!
+//! * [`trace`] — in-memory job traces with windowing/rebasing and summary
+//!   statistics;
+//! * [`swf`] — full Standard Workload Format reader/writer, so real
+//!   Parallel Workloads Archive logs can be dropped into the harness;
+//! * [`lublin`] — the Lublin–Feitelson rigid-job model used to train the
+//!   paper's policies (sizes, size-correlated hyper-gamma runtimes, daily
+//!   arrival cycle, load calibration);
+//! * [`tsafrir`] — the Tsafrir et al. modal user runtime-estimate model;
+//! * [`sequence`] — the ten-disjoint-fifteen-day-sequences experiment
+//!   protocol;
+//! * [`archive`] — synthetic stand-ins for the four archive traces of the
+//!   paper's Table 5 (Curie, ANL Intrepid, SDSC Blue, CTC SP2).
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod feitelson;
+pub mod lublin;
+pub mod sequence;
+pub mod swf;
+pub mod trace;
+pub mod transform;
+pub mod tsafrir;
+pub mod validate;
+
+pub use archive::ArchivePlatform;
+pub use feitelson::FeitelsonModel;
+pub use lublin::LublinModel;
+pub use sequence::{extract_sequences, SequenceSpec};
+pub use swf::{
+    parse_swf, parse_swf_trace, parse_swf_with_header, write_swf, write_swf_trace, SwfHeader,
+    SwfRecord,
+};
+pub use trace::{Trace, TraceSummary};
+pub use tsafrir::TsafrirEstimates;
+pub use validate::{validate_trace, ValidationReport};

@@ -1,0 +1,168 @@
+//! Trace transformations used in workload studies.
+//!
+//! Standard manipulations from the workload-modelling literature (Feitelson
+//! et al. 2014, "Experience with using the Parallel Workloads Archive"):
+//! load scaling by stretching/compressing inter-arrival gaps, platform
+//! rescaling that remaps job widths between machines of different sizes,
+//! and shuffling user estimates to probe estimate sensitivity.
+
+use crate::trace::Trace;
+use dynsched_cluster::Job;
+use dynsched_simkit::Rng;
+
+/// Scale the offered load by dividing every inter-arrival gap by `factor`
+/// (`factor > 1` compresses arrivals → higher load). Job shapes are
+/// untouched; the first job keeps its submit time.
+///
+/// # Panics
+/// Panics if `factor` is not strictly positive and finite.
+pub fn scale_load(trace: &Trace, factor: f64) -> Trace {
+    assert!(factor > 0.0 && factor.is_finite(), "bad load factor {factor}");
+    let jobs = trace.jobs();
+    let Some(first) = jobs.first() else {
+        return Trace::default();
+    };
+    let origin = first.submit;
+    let scaled = jobs
+        .iter()
+        .map(|j| Job::new(j.id, origin + (j.submit - origin) / factor, j.runtime, j.estimate, j.cores))
+        .collect();
+    Trace::from_jobs(scaled)
+}
+
+/// Remap job widths from a `from_cores`-wide machine onto a
+/// `to_cores`-wide one, preserving each job's *fraction* of the machine
+/// (the archive community's standard resizing). Serial jobs stay serial;
+/// power-of-two sizes stay powers of two when the ratio itself is one.
+///
+/// # Panics
+/// Panics if either core count is zero.
+pub fn rescale_platform(trace: &Trace, from_cores: u32, to_cores: u32) -> Trace {
+    assert!(from_cores > 0 && to_cores > 0, "core counts must be positive");
+    let ratio = to_cores as f64 / from_cores as f64;
+    let jobs = trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let cores = if j.cores == 1 {
+                1
+            } else {
+                ((j.cores as f64 * ratio).round() as u32).clamp(1, to_cores)
+            };
+            Job::new(j.id, j.submit, j.runtime, j.estimate, cores)
+        })
+        .collect();
+    Trace::from_jobs(jobs)
+}
+
+/// Randomly permute the estimates among jobs (keeping each job's own
+/// runtime). Preserves the *marginal* estimate distribution while
+/// destroying the per-job runtime–estimate correlation — the classic probe
+/// for "do schedulers exploit estimate accuracy?". Estimates below the
+/// receiving job's runtime are clamped up to it so simulation semantics
+/// stay valid.
+pub fn shuffle_estimates(trace: &Trace, rng: &mut Rng) -> Trace {
+    let jobs = trace.jobs();
+    let mut estimates: Vec<f64> = jobs.iter().map(|j| j.estimate).collect();
+    rng.shuffle(&mut estimates);
+    let shuffled = jobs
+        .iter()
+        .zip(&estimates)
+        .map(|(j, &e)| Job::new(j.id, j.submit, j.runtime, e.max(j.runtime), j.cores))
+        .collect();
+    Trace::from_jobs(shuffled)
+}
+
+/// Replace every estimate with the actual runtime (perfect clairvoyance) —
+/// the oracle bound for estimate-sensitivity studies.
+pub fn perfect_estimates(trace: &Trace) -> Trace {
+    let jobs = trace
+        .jobs()
+        .iter()
+        .map(|j| Job::new(j.id, j.submit, j.runtime, j.runtime, j.cores))
+        .collect();
+    Trace::from_jobs(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, submit: f64, runtime: f64, estimate: f64, cores: u32) -> Job {
+        Job::new(id, submit, runtime, estimate, cores)
+    }
+
+    fn base() -> Trace {
+        Trace::from_jobs(vec![
+            job(0, 100.0, 50.0, 60.0, 1),
+            job(1, 200.0, 500.0, 900.0, 8),
+            job(2, 400.0, 20.0, 3_600.0, 64),
+        ])
+    }
+
+    #[test]
+    fn scale_load_compresses_gaps() {
+        let t = scale_load(&base(), 2.0);
+        let submits: Vec<f64> = t.jobs().iter().map(|j| j.submit).collect();
+        assert_eq!(submits, vec![100.0, 150.0, 250.0]);
+        // Offered load doubles (same area, half the span).
+        let before = base().summary(64).unwrap().offered_load;
+        let after = t.summary(64).unwrap().offered_load;
+        assert!((after / before - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_load_below_one_stretches() {
+        let t = scale_load(&base(), 0.5);
+        assert_eq!(t.jobs()[2].submit, 700.0);
+    }
+
+    #[test]
+    fn rescale_preserves_fractions() {
+        let t = rescale_platform(&base(), 64, 256);
+        let cores: Vec<u32> = t.jobs().iter().map(|j| j.cores).collect();
+        assert_eq!(cores, vec![1, 32, 256]); // serial stays serial; 8/64 -> 32/256
+    }
+
+    #[test]
+    fn rescale_down_clamps_to_platform() {
+        let t = rescale_platform(&base(), 64, 16);
+        for j in t.jobs() {
+            assert!(j.cores <= 16);
+            assert!(j.cores >= 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset_and_validity() {
+        let mut rng = Rng::new(3);
+        let t = shuffle_estimates(&base(), &mut rng);
+        for j in t.jobs() {
+            assert!(j.estimate >= j.runtime, "estimate clamped to runtime");
+        }
+        // Runtimes untouched.
+        for (a, b) in base().jobs().iter().zip(t.jobs()) {
+            assert_eq!(a.runtime, b.runtime);
+        }
+    }
+
+    #[test]
+    fn perfect_estimates_equal_runtimes() {
+        let t = perfect_estimates(&base());
+        for j in t.jobs() {
+            assert_eq!(j.estimate, j.runtime);
+        }
+    }
+
+    #[test]
+    fn empty_traces_pass_through() {
+        assert!(scale_load(&Trace::default(), 2.0).is_empty());
+        assert!(rescale_platform(&Trace::default(), 4, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_load_factor_rejected() {
+        scale_load(&base(), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Dynamic scheduling experiments on the workload model (§4.2; Figs. 4–6).
+//!
+//! Runs the paper's eight-policy line-up (FCFS, WFP, UNI, SPT, F4–F1) on
+//! Lublin-model workloads at 256 and 1024 cores under all three
+//! conditions — actual runtimes, user estimates, estimates + aggressive
+//! backfilling — and prints artifact-style statistics plus boxplot numbers.
+//!
+//! Run with:
+//!   cargo run --release --example compare_policies               # reduced scale
+//!   DYNSCHED_FULL=1 cargo run --release --example compare_policies  # paper scale
+//!                                                      (10 x 15-day sequences)
+
+use dynsched::core::report::artifact_report;
+use dynsched::core::scenarios::{model_scenario, Condition, ScenarioScale};
+use dynsched::core::{run_experiment, ExperimentResult};
+use dynsched::policies::paper_lineup;
+use dynsched::workload::SequenceSpec;
+
+fn scale() -> ScenarioScale {
+    if std::env::var("DYNSCHED_FULL").is_ok() {
+        ScenarioScale::default()
+    } else {
+        ScenarioScale {
+            spec: SequenceSpec { count: 5, days: 4.0, min_jobs: 10 },
+            ..ScenarioScale::default()
+        }
+    }
+}
+
+fn boxplot_block(result: &ExperimentResult) {
+    println!("Boxplot data (q1 / median / q3 / whiskers / outliers):");
+    for o in &result.outcomes {
+        println!(
+            "  {:>4}: {:>10.2} / {:>10.2} / {:>10.2} / [{:.2}, {:.2}] / {:?}",
+            o.policy,
+            o.summary.q1,
+            o.summary.median,
+            o.summary.q3,
+            o.summary.whisker_lo,
+            o.summary.whisker_hi,
+            o.summary.outliers,
+        );
+    }
+}
+
+fn main() {
+    let scale = scale();
+    let lineup = paper_lineup();
+    println!(
+        "Protocol: {} sequences x {} days each (paper: 10 x 15). Set DYNSCHED_FULL=1 for paper scale.\n",
+        scale.spec.count, scale.spec.days
+    );
+
+    for condition in Condition::ALL {
+        for nmax in [256u32, 1024] {
+            let experiment = model_scenario(nmax, condition, &scale);
+            let njobs: usize = experiment.sequences.iter().map(|s| s.len()).sum();
+            println!("--- {} ({} jobs total) ---", experiment.name, njobs);
+            let t0 = std::time::Instant::now();
+            let result = run_experiment(&experiment, &lineup);
+            print!("{}", artifact_report(&result));
+            boxplot_block(&result);
+            println!(
+                "best policy: {}   [{:.1} s]\n",
+                result.best_policy().unwrap_or("-"),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

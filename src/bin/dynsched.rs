@@ -1,0 +1,230 @@
+//! `dynsched` — command-line front end for the library.
+//!
+//! ```text
+//! dynsched validate <trace.swf> [cores]        audit an SWF trace
+//! dynsched simulate <trace.swf> <cores> [opts] schedule a trace, print stats
+//! dynsched train [opts]                        learn policies from the Lublin model
+//! dynsched table4 [--full]                     regenerate the paper's Table 4
+//! dynsched policies                            list built-in policies
+//! ```
+//!
+//! Everything here is a thin shell over the library crates; see
+//! `examples/` for programmatic use.
+
+use dynsched::cluster::{Platform, DEFAULT_TAU};
+use dynsched::core::pipeline::{learn_policies, TrainingConfig};
+use dynsched::core::report::{table4_comparison, table4_markdown};
+use dynsched::core::scenarios::{table4_experiments, ScenarioScale};
+use dynsched::core::trials::TrialSpec;
+use dynsched::core::tuples::TupleSpec;
+use dynsched::core::{learned_beat_adhoc, run_experiment};
+use dynsched::mlreg::EnumerateOptions;
+use dynsched::policies::{by_name, paper_lineup, save_learned, Policy};
+use dynsched::scheduler::{simulate, BackfillMode, QueueDiscipline, SchedulerConfig};
+use dynsched::workload::{parse_swf_with_header, validate_trace, LublinModel, SequenceSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dynsched — dynamic HPC scheduling policies from simulation + ML (SC'17 reproduction)
+
+USAGE:
+  dynsched validate <trace.swf> [cores]
+      Audit a Standard Workload Format trace (cores defaults to the
+      header's MaxProcs).
+
+  dynsched simulate <trace.swf> <cores> [--policy NAME] [--estimates]
+                    [--backfill none|easy|conservative] [--kill]
+      Schedule the trace and print artifact-style statistics.
+      NAME: FCFS, WFP, UNI, SPT, F1..F4, MF, LCFS, LPT, SAF, LAF (default F1).
+
+  dynsched train [--tuples N] [--trials N] [--cores N] [--seed N] [--out FILE]
+      Run the training pipeline (Lublin model) and print/export the best
+      learned policies.
+
+  dynsched table4 [--quick]
+      Regenerate the paper's Table 4 (all 18 experiments; --quick shrinks
+      the protocol).
+
+  dynsched policies
+      List built-in policies.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "validate" => cmd_validate(rest),
+        "simulate" => cmd_simulate(rest),
+        "train" => cmd_train(rest),
+        "table4" => cmd_table4(rest),
+        "policies" => cmd_policies(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `dynsched help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_swf(path: &str) -> Result<(dynsched::workload::SwfHeader, dynsched::workload::Trace), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_swf_with_header(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("validate needs a trace path")?;
+    let (header, trace) = load_swf(path)?;
+    let cores = args
+        .get(1)
+        .map(|c| c.parse::<u32>().map_err(|e| format!("bad core count: {e}")))
+        .transpose()?
+        .or(header.max_procs)
+        .ok_or("no core count given and the header has no MaxProcs")?;
+    if let Some(computer) = &header.computer {
+        println!("Computer: {computer}");
+    }
+    println!("Platform: {cores} cores");
+    let report = validate_trace(&trace, cores);
+    print!("{}", report.render());
+    if report.is_usable() {
+        Ok(())
+    } else {
+        Err("trace is not usable as-is (see ERROR findings)".to_string())
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("simulate needs a trace path")?;
+    let cores: u32 = args
+        .get(1)
+        .ok_or("simulate needs a core count")?
+        .parse()
+        .map_err(|e| format!("bad core count: {e}"))?;
+    let policy_name = flag_value(args, "--policy").unwrap_or("F1");
+    let policy = by_name(policy_name).ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
+
+    let mut config = if has_flag(args, "--estimates") {
+        SchedulerConfig::user_estimates(Platform::new(cores))
+    } else {
+        SchedulerConfig::actual_runtimes(Platform::new(cores))
+    };
+    config.backfill = match flag_value(args, "--backfill").unwrap_or("none") {
+        "none" => BackfillMode::None,
+        "easy" | "aggressive" => BackfillMode::Aggressive,
+        "conservative" => BackfillMode::Conservative,
+        other => return Err(format!("unknown backfill mode {other:?}")),
+    };
+    config.kill_at_estimate = has_flag(args, "--kill");
+
+    let (_, trace) = load_swf(path)?;
+    let trace = trace.capped_to(cores);
+    if trace.is_empty() {
+        return Err("no usable jobs after capping to the platform width".to_string());
+    }
+    println!("Scheduling {} jobs on {cores} cores under {}...", trace.len(), policy.name());
+    let t0 = std::time::Instant::now();
+    let result = simulate(&trace, &QueueDiscipline::Policy(policy.as_ref()), &config);
+    println!(
+        "AVEbsld = {:.2} | mean wait = {:.1} s | utilization = {:.3} | makespan = {:.2} days | backfilled = {} | [{:.1} s]",
+        result.avg_bounded_slowdown(DEFAULT_TAU).unwrap_or(f64::NAN),
+        result.mean_wait().unwrap_or(0.0),
+        result.utilization,
+        result.makespan / 86_400.0,
+        result.backfilled_jobs,
+        t0.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flag_value(args, name)
+            .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let tuples = parse_usize("--tuples", 12)?;
+    let trials = parse_usize("--trials", 8_000)?;
+    let cores = parse_usize("--cores", 256)? as u32;
+    let seed = parse_usize("--seed", 0x5C17)? as u64;
+
+    let config = TrainingConfig {
+        tuple_spec: TupleSpec::default(),
+        trial_spec: TrialSpec { trials, platform: Platform::new(cores), tau: DEFAULT_TAU },
+        tuples,
+        seed,
+    };
+    println!("Training: {tuples} tuples x {trials} trials on {cores} cores (seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let report = learn_policies(&config, &LublinModel::new(cores), &EnumerateOptions::default(), 4);
+    println!(
+        "{} observations, 576 fits in {:.1} s. Best functions:",
+        report.training_set.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for (i, fit) in report.fits.iter().take(4).enumerate() {
+        println!("  G{}: {}   (fitness {:.3e})", i + 1, fit.function.render_simplified(), fit.fitness);
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        std::fs::write(out, save_learned(&report.policies)).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("policy file written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_table4(args: &[String]) -> Result<(), String> {
+    let scale = if has_flag(args, "--quick") {
+        ScenarioScale { spec: SequenceSpec { count: 3, days: 2.0, min_jobs: 5 }, ..ScenarioScale::default() }
+    } else {
+        ScenarioScale::default()
+    };
+    let lineup = paper_lineup();
+    let mut results = Vec::new();
+    for (i, experiment) in table4_experiments(&scale).iter().enumerate() {
+        eprintln!("[{:>2}/18] {}", i + 1, experiment.name);
+        results.push(run_experiment(experiment, &lineup));
+    }
+    println!("{}", table4_markdown(&results));
+    println!("{}", table4_comparison(&results));
+    let wins = results.iter().filter(|r| learned_beat_adhoc(r)).count();
+    println!("shape: best learned beats best ad-hoc in {wins}/18 rows (paper: 18/18)");
+    Ok(())
+}
+
+fn cmd_policies() -> Result<(), String> {
+    println!("built-in policies (lower score runs first):");
+    for name in ["FCFS", "LCFS", "SPT", "LPT", "SAF", "LAF", "WFP", "UNI", "MF", "F1", "F2", "F3", "F4"] {
+        let p = by_name(name).expect("registry covers the list");
+        println!(
+            "  {:<5} {}",
+            p.name(),
+            if p.time_dependent() { "(aging: rescored every event)" } else { "(static: scored at arrival)" }
+        );
+    }
+    // Print each learned formula so users see what they deploy.
+    use dynsched::policies::LearnedPolicy;
+    println!("\nlearned functions (Table 3):");
+    for p in LearnedPolicy::table3() {
+        println!("  {} = {}", p.name(), p.function());
+    }
+    Ok(())
+}

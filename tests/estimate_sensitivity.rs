@@ -1,0 +1,86 @@
+//! Estimate-sensitivity study across crates: how much of a policy's
+//! performance relies on estimate quality? Uses the workload transforms
+//! (perfect / Tsafrir / shuffled estimates) against the estimate-driven
+//! scheduler.
+
+use dynsched::cluster::{Platform, DEFAULT_TAU};
+use dynsched::policies::{LearnedPolicy, Policy, Spt};
+use dynsched::scheduler::{simulate, QueueDiscipline, SchedulerConfig};
+use dynsched::simkit::Rng;
+use dynsched::workload::transform::{perfect_estimates, shuffle_estimates};
+use dynsched::workload::{LublinModel, Trace, TsafrirEstimates};
+
+fn saturated_trace(seed: u64) -> Trace {
+    let mut model = LublinModel::new(64);
+    model.arrival_scale = 0.08;
+    model.daily_cycle = false;
+    let mut rng = Rng::new(seed);
+    let trace = model.generate_jobs(300, &mut rng);
+    TsafrirEstimates::default().apply(&trace, &mut rng)
+}
+
+fn avebsld(trace: &Trace, policy: &dyn Policy) -> f64 {
+    let config = SchedulerConfig::user_estimates(Platform::new(64));
+    simulate(trace, &QueueDiscipline::Policy(policy), &config)
+        .avg_bounded_slowdown(DEFAULT_TAU)
+        .expect("jobs completed")
+}
+
+#[test]
+fn spt_degrades_when_estimates_decorrelate_from_runtimes() {
+    // SPT sorts by the estimate in estimate mode; shuffling estimates
+    // destroys the information it relies on. Average over several seeds to
+    // keep the comparison robust.
+    let mut perfect_total = 0.0;
+    let mut shuffled_total = 0.0;
+    for seed in 0..5u64 {
+        let trace = saturated_trace(seed);
+        let perfect = perfect_estimates(&trace);
+        let shuffled = shuffle_estimates(&trace, &mut Rng::new(seed ^ 0x5AFF));
+        perfect_total += avebsld(&perfect, &Spt);
+        shuffled_total += avebsld(&shuffled, &Spt);
+    }
+    assert!(
+        shuffled_total > perfect_total,
+        "SPT with shuffled estimates ({shuffled_total:.1}) must be worse than with \
+         perfect estimates ({perfect_total:.1})"
+    );
+}
+
+#[test]
+fn tsafrir_estimates_sit_between_perfect_and_shuffled_for_spt() {
+    let mut perfect_total = 0.0;
+    let mut tsafrir_total = 0.0;
+    for seed in 10..14u64 {
+        let trace = saturated_trace(seed);
+        perfect_total += avebsld(&perfect_estimates(&trace), &Spt);
+        tsafrir_total += avebsld(&trace, &Spt);
+    }
+    // Coarse, modal estimates lose information, so realistic estimates
+    // should not beat clairvoyance (ties possible on easy seeds).
+    assert!(
+        tsafrir_total >= perfect_total * 0.95,
+        "tsafrir {tsafrir_total:.1} vs perfect {perfect_total:.1}"
+    );
+}
+
+#[test]
+fn f1_is_robust_to_estimate_shuffling() {
+    // F1's score leans on log10(s) with a large coefficient and only
+    // log10(r) for the size term, so estimate corruption should hurt it
+    // far less (relatively) than SPT — the §4.2.2 robustness narrative.
+    let mut f1_ratio_total = 0.0;
+    let mut spt_ratio_total = 0.0;
+    let f1 = LearnedPolicy::f1();
+    for seed in 20..24u64 {
+        let trace = saturated_trace(seed);
+        let perfect = perfect_estimates(&trace);
+        let shuffled = shuffle_estimates(&trace, &mut Rng::new(seed));
+        f1_ratio_total += avebsld(&shuffled, &f1) / avebsld(&perfect, &f1).max(1.0);
+        spt_ratio_total += avebsld(&shuffled, &Spt) / avebsld(&perfect, &Spt).max(1.0);
+    }
+    assert!(
+        f1_ratio_total < spt_ratio_total * 1.5,
+        "F1 degradation ({f1_ratio_total:.2}) should not wildly exceed SPT's ({spt_ratio_total:.2})"
+    );
+}
