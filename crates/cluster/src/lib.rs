@@ -17,4 +17,4 @@ pub mod platform;
 pub use job::{
     average_bounded_slowdown, bounded_slowdown, CompletedJob, Job, JobId, DEFAULT_TAU,
 };
-pub use platform::{AllocationLedger, LedgerError, Platform};
+pub use platform::{AllocationLedger, CoreLedger, LedgerError, Platform};

@@ -9,9 +9,9 @@
 use dynsched_cluster::DEFAULT_TAU;
 use dynsched_policies::Policy;
 use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig};
+use dynsched_simkit::parallel::par_map;
 use dynsched_simkit::stats::{mean, median, std_dev, BoxplotSummary};
 use dynsched_workload::Trace;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One fully-specified experiment: sequences + scheduler configuration.
@@ -94,9 +94,7 @@ pub fn run_experiment(experiment: &Experiment, policies: &[Box<dyn Policy>]) -> 
     let cells: Vec<(usize, usize)> = (0..policies.len())
         .flat_map(|p| (0..experiment.sequences.len()).map(move |s| (p, s)))
         .collect();
-    let measured: Vec<(usize, usize, f64, u64)> = cells
-        .par_iter()
-        .map(|&(p, s)| {
+    let measured: Vec<(usize, usize, f64, u64)> = par_map(&cells, |&(p, s)| {
             let result = simulate(
                 &experiment.sequences[s],
                 &QueueDiscipline::Policy(policies[p].as_ref()),
@@ -106,8 +104,7 @@ pub fn run_experiment(experiment: &Experiment, policies: &[Box<dyn Policy>]) -> 
                 .avg_bounded_slowdown(experiment.tau)
                 .expect("sequences are non-empty");
             (p, s, ave, result.backfilled_jobs)
-        })
-        .collect();
+    });
 
     let mut per_policy: Vec<Vec<f64>> =
         vec![vec![0.0; experiment.sequences.len()]; policies.len()];

@@ -15,18 +15,20 @@
 //! Scores below the mean `1/|Q|` mark tasks whose early execution helps.
 //!
 //! Trials are embarrassingly parallel; we fan them out with the
-//! deterministic rayon driver, so the distribution is reproducible from the
-//! master seed regardless of thread count.
+//! deterministic parallel driver, so the distribution is reproducible from
+//! the master seed regardless of thread count. Each worker thread owns one
+//! reusable `SimWorkspace` (cleared between trials, never reallocated), and
+//! the tuple's trace is built once per call — the steady-state trial loop
+//! performs no heap allocation.
 
 use crate::tuples::TaskTuple;
-use dynsched_cluster::{JobId, Platform, DEFAULT_TAU};
+use dynsched_cluster::{Platform, DEFAULT_TAU};
 use dynsched_mlreg::{Observation, TrainingSet};
-use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig};
-use dynsched_simkit::parallel::run_indexed;
+use dynsched_scheduler::{QueueDiscipline, SchedulerConfig, SimWorkspace};
+use dynsched_simkit::parallel::run_indexed_scoped;
 use dynsched_simkit::Rng;
 use dynsched_workload::Trace;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Parameters of a trial run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,40 +73,83 @@ impl TrialScores {
     }
 }
 
+/// Reusable per-worker state for the batched trial kernel: one simulation
+/// workspace plus the permutation and rank buffers. Everything is cleared
+/// per trial; nothing carries information between trials (the determinism
+/// contract of [`run_indexed_scoped`]).
+#[derive(Default)]
+struct TrialState {
+    ws: SimWorkspace,
+    perm: Vec<usize>,
+    ranks: Vec<usize>,
+}
+
+/// Fill `ranks` (indexed by trace position: `S` first, then `Q`) for one
+/// permutation: `S` keeps its fixed order ahead of everything, the `k`-th
+/// task of `Q` gets rank `|S| + position of k in perm`. Tuples assign ids
+/// `0..|S|+|Q|` in submit order, so trace position equals job id here.
+fn fill_ranks(ranks: &mut Vec<usize>, s_size: usize, perm: &[usize]) {
+    ranks.clear();
+    ranks.resize(s_size + perm.len(), 0);
+    for (i, r) in ranks.iter_mut().enumerate().take(s_size) {
+        *r = i;
+    }
+    for (pos, &k) in perm.iter().enumerate() {
+        ranks[s_size + k] = s_size + pos;
+    }
+}
+
 /// Simulate one trial: queue priority = S in fixed order, then `Q` in the
 /// order given by `perm` (a permutation of `0..|Q|`). Returns `AVEbsld`
 /// over the tasks of `Q`.
+///
+/// One-shot convenience (builds the trace and a workspace per call); the
+/// batched path inside [`trial_scores`] amortizes both across trials.
 pub fn run_trial(tuple: &TaskTuple, perm: &[usize], spec: &TrialSpec) -> f64 {
     debug_assert_eq!(perm.len(), tuple.q_tasks.len());
-    let mut ranks: HashMap<JobId, usize> = HashMap::with_capacity(perm.len() + tuple.s_tasks.len());
-    for (i, s) in tuple.s_tasks.iter().enumerate() {
-        ranks.insert(s.id, i);
-    }
-    let base = tuple.s_tasks.len();
-    for (pos, &k) in perm.iter().enumerate() {
-        ranks.insert(tuple.q_id(k), base + pos);
-    }
     let trace = Trace::from_jobs(tuple.all_jobs());
     let config = SchedulerConfig::actual_runtimes(spec.platform);
-    let result = simulate(&trace, &QueueDiscipline::FixedOrder(&ranks), &config);
-    result
-        .avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), spec.tau)
+    let mut ranks = Vec::new();
+    fill_ranks(&mut ranks, tuple.s_tasks.len(), perm);
+    let mut ws = SimWorkspace::new();
+    ws.run(&trace, &QueueDiscipline::FixedOrder(&ranks), &config);
+    ws.avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), spec.tau)
         .expect("Q is non-empty")
 }
 
 /// Run `spec.trials` random-permutation trials of `tuple` in parallel and
 /// build the trial score distribution.
+///
+/// This is the batched kernel: the trace is built once, and every worker
+/// thread holds one [`SimWorkspace`] (plus permutation/rank buffers) that
+/// is cleared — not reallocated — between the trials it executes, so the
+/// steady state of the hot loop performs no heap allocation. Trial `i`'s
+/// RNG stream is forked from `(master seed, i)`, so the distribution is
+/// bit-identical for any worker count.
 pub fn trial_scores(tuple: &TaskTuple, spec: &TrialSpec, master: &Rng) -> TrialScores {
     let q = tuple.q_tasks.len();
     assert!(q > 0, "tuple has no probe tasks");
+    let trace = Trace::from_jobs(tuple.all_jobs());
+    let config = SchedulerConfig::actual_runtimes(spec.platform);
+    let s_size = tuple.s_tasks.len();
     // Collect per-trial outcomes in index order, then accumulate
     // sequentially: float addition is not associative, so a parallel tree
-    // reduction would make the scores depend on the rayon split points.
-    let outcomes: Vec<(usize, f64)> = run_indexed(master, spec.trials, |_, rng| {
-        let perm = rng.permutation(q);
-        let ave = run_trial(tuple, &perm, spec);
-        (perm[0], ave)
-    });
+    // reduction would make the scores depend on the reduction's split
+    // points.
+    let outcomes: Vec<(usize, f64)> =
+        run_indexed_scoped(master, spec.trials, TrialState::default, |_, rng, st| {
+            // Same RNG draws as `rng.permutation(q)`, into a kept buffer.
+            st.perm.clear();
+            st.perm.extend(0..q);
+            rng.shuffle(&mut st.perm);
+            fill_ranks(&mut st.ranks, s_size, &st.perm);
+            st.ws.run(&trace, &QueueDiscipline::FixedOrder(&st.ranks), &config);
+            let ave = st
+                .ws
+                .avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), spec.tau)
+                .expect("Q is non-empty");
+            (st.perm[0], ave)
+        });
     let mut sum_by_first = vec![0.0; q];
     let mut count_by_first = vec![0u64; q];
     let mut total = 0.0;

@@ -14,7 +14,7 @@
 use crate::dataset::TrainingSet;
 use crate::lm::{levenberg_marquardt, LmFit, LmOptions};
 use dynsched_policies::learned::{LearnedPolicy, NonlinearFunction};
-use rayon::prelude::*;
+use dynsched_simkit::parallel::par_map;
 use serde::{Deserialize, Serialize};
 
 /// Options for the enumeration run.
@@ -100,10 +100,8 @@ pub fn rank(function: &NonlinearFunction, training: &TrainingSet) -> f64 {
 /// non-finite sort last.
 pub fn fit_all(training: &TrainingSet, options: &EnumerateOptions) -> Vec<FitResult> {
     let family = NonlinearFunction::enumerate_family();
-    let mut results: Vec<FitResult> = family
-        .into_par_iter()
-        .map(|shape| fit_function(shape, training, options))
-        .collect();
+    let mut results: Vec<FitResult> =
+        par_map(&family, |shape| fit_function(*shape, training, options));
     results.sort_by(|a, b| {
         let fa = if a.fitness.is_finite() { a.fitness } else { f64::INFINITY };
         let fb = if b.fitness.is_finite() { b.fitness } else { f64::INFINITY };

@@ -9,39 +9,63 @@
 //!
 //! All *decisions* (queue order, backfill feasibility) use the processing
 //! time selected by the [`DecisionMode`](dynsched_policies::DecisionMode);
-//! *execution* always uses the
-//! actual runtime — exactly the paper's protocol for the user-estimate
-//! experiments.
+//! *execution* always uses the actual runtime — exactly the paper's
+//! protocol for the user-estimate experiments.
+//!
+//! # The zero-allocation hot path
+//!
+//! The training stage simulates hundreds of thousands of independent
+//! permutation trials per `(S, Q)` tuple; at that call rate the engine's
+//! per-call allocations (event heap, running-job hash table, per-timestamp
+//! batch vector, per-reschedule order/releases vectors) dominate the wall
+//! time. The engine therefore runs entirely out of a [`SimWorkspace`]:
+//!
+//! * every buffer lives in the workspace and is **cleared, not
+//!   reallocated** between runs — after a few warm-up runs the engine
+//!   performs no heap allocation at all;
+//! * job state is **index-dense**: jobs are keyed by their position in the
+//!   trace (`0..n`), so the running table is a flat `Vec` and
+//!   [`QueueDiscipline::FixedOrder`] is a plain rank slice — no `HashMap`
+//!   on any per-event path;
+//! * the running set's decision-mode release times are kept in a
+//!   **maintained sorted list** (binary-search insert on start, remove on
+//!   completion), so backfill passes no longer re-collect and re-sort the
+//!   releases at every rescheduling event.
+//!
+//! [`simulate`] is the convenience wrapper (fresh workspace per call);
+//! [`simulate_into`] reuses a caller-owned workspace. Both produce results
+//! bit-identical to the original engine, which is preserved in
+//! [`crate::reference`] as the oracle for the determinism regression tests.
+//! A workspace holds no cross-run state: every run starts by resetting all
+//! buffers, so reuse can never leak one simulation into the next.
 
 use crate::config::{BackfillMode, SchedulerConfig};
-use crate::profile::Profile;
+use crate::profile::{clamp_release, Profile};
 use crate::result::SimulationResult;
-use dynsched_cluster::{CompletedJob, Job, JobId};
-use dynsched_policies::{sort_views, Policy, TaskView};
+use dynsched_cluster::{CompletedJob, CoreLedger, Job, JobId};
+use dynsched_policies::{Policy, TaskView};
 use dynsched_simkit::{Clock, EventQueue};
 use dynsched_workload::Trace;
-use std::collections::HashMap;
 
 /// How the waiting queue is ordered at each rescheduling event.
 pub enum QueueDiscipline<'a> {
     /// Order by a scoring policy (lower score first).
     Policy(&'a dyn Policy),
-    /// Order by a fixed rank per job id — used by the training trials,
-    /// where the queue order is a random permutation of `Q`.
-    FixedOrder(&'a HashMap<JobId, usize>),
+    /// Order by a fixed rank per **trace position**: the job at
+    /// `trace.jobs()[i]` has rank `ranks[i]`, lower rank first. Ranks must
+    /// be distinct (ties would be resolved by arrival order, which is
+    /// usually not what a permutation trial means). Used by the training
+    /// trials, where the queue order is a random permutation of `Q`.
+    FixedOrder(&'a [usize]),
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival(usize),
-    Completion(JobId),
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Running {
-    job: Job,
-    start: f64,
-}
+/// Heap events are completions only, carrying the finished job's trace
+/// index. Arrivals never enter the heap: the trace is submit-sorted, so an
+/// advancing cursor yields them in exactly the order the reference
+/// engine's heap did (same-time arrivals in trace order, and — because the
+/// reference pushed all arrivals before any completion — arrivals ahead of
+/// completions at equal timestamps).
+type Completion = u32;
 
 /// A waiting job with its cached score. For time-independent policies the
 /// score is computed once at arrival (their scores never change); for
@@ -49,288 +73,600 @@ struct Running {
 /// is recomputed at every rescheduling event.
 #[derive(Debug, Clone, Copy)]
 struct QueueEntry {
+    /// Position of the job in the trace — the dense key for `start_of`
+    /// and `FixedOrder` ranks.
+    idx: u32,
     job: Job,
     cached_score: f64,
+    /// Set by the current reschedule pass; started entries are compacted
+    /// out of the queue at the end of the pass.
+    started: bool,
 }
 
-fn make_entry(job: Job, discipline: &QueueDiscipline<'_>, config: &SchedulerConfig) -> QueueEntry {
-    let cached_score = match discipline {
-        QueueDiscipline::Policy(policy) if !policy.time_dependent() => policy.score(&TaskView {
-            processing_time: config.decision_time(job.runtime, job.estimate),
-            cores: job.cores,
-            submit: job.submit,
-            now: job.submit,
-        }),
-        _ => 0.0,
-    };
-    QueueEntry { job, cached_score }
+/// One running job's expected release, kept sorted by
+/// `(decision-mode end time, trace index)`.
+type Release = (f64, u32, u32); // (decision_end, cores, idx)
+
+/// How the waiting queue is kept ordered. For *static* disciplines — fixed
+/// ranks, or policies whose scores never change after arrival — the queue
+/// itself is maintained in priority order by binary-search insertion, so a
+/// reschedule pays no sort at all (the priority order is the queue order).
+/// Time-dependent policies re-score and re-sort at every event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QueueOrder {
+    /// Queue maintained sorted by `ranks[idx]` (ranks are distinct).
+    ByRank,
+    /// Queue maintained sorted by `(cached_score, arrival order)` — equal
+    /// scores insert after their peers, which reproduces the reference's
+    /// stable-sort arrival tie-break.
+    ByCachedScore,
+    /// Re-sorted at every rescheduling event.
+    TimeDependent,
+}
+
+/// All per-simulation buffers, reusable across runs.
+///
+/// Construct once (per thread — it is `Send` but deliberately not shared),
+/// then call [`SimWorkspace::run`] any number of times; every buffer is
+/// cleared and refilled per run, retaining its allocation. Results stay in
+/// the workspace until the next run: read them with the accessor methods,
+/// or materialize an owned [`SimulationResult`] with
+/// [`SimWorkspace::result`]. The batched trial kernel reads
+/// [`SimWorkspace::avg_bounded_slowdown_of`] directly and never
+/// materializes a result — that is the fully allocation-free path.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    events: EventQueue<Completion>,
+    queue: Vec<QueueEntry>,
+    /// Priority order of queue positions for time-dependent policies
+    /// (static disciplines keep the queue itself priority-sorted).
+    order: Vec<usize>,
+    /// `(queue position, score)` scratch for time-dependent policies.
+    scored: Vec<(usize, f64)>,
+    /// Maintained sorted releases of the running set.
+    releases: Vec<Release>,
+    /// Clamped `(time, cores)` copy handed to the profile.
+    rel_scratch: Vec<(f64, u32)>,
+    profile: Profile,
+    /// Start time per trace index; NaN when not running.
+    start_of: Vec<f64>,
+    ledger: CoreLedger,
+    completed: Vec<CompletedJob>,
+    makespan: f64,
+    utilization: f64,
+    events_processed: u64,
+    backfilled: u64,
+}
+
+impl SimWorkspace {
+    /// A fresh workspace. Buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run one simulation, leaving the outcome in this workspace.
+    ///
+    /// # Panics
+    /// Panics if any job requests more cores than the platform has (it
+    /// could never start; pre-filter with `Trace::capped_to`), or if a
+    /// [`QueueDiscipline::FixedOrder`] slice is shorter than the trace.
+    pub fn run(&mut self, trace: &Trace, discipline: &QueueDiscipline<'_>, config: &SchedulerConfig) {
+        let jobs = trace.jobs();
+        let total_cores = config.platform.total_cores;
+        for j in jobs {
+            assert!(
+                j.cores <= total_cores,
+                "job {} requests {} cores on a {}-core platform",
+                j.id,
+                j.cores,
+                total_cores
+            );
+        }
+        if let QueueDiscipline::FixedOrder(ranks) = discipline {
+            assert!(
+                ranks.len() >= jobs.len(),
+                "fixed order needs a rank per trace position ({} ranks, {} jobs)",
+                ranks.len(),
+                jobs.len()
+            );
+        }
+
+        self.events.reset();
+        self.queue.clear();
+        self.releases.clear();
+        self.completed.clear();
+        self.start_of.clear();
+        self.start_of.resize(jobs.len(), f64::NAN);
+        self.ledger.reset(config.platform);
+        self.events_processed = 0;
+        self.backfilled = 0;
+
+        let queue_order = match discipline {
+            QueueDiscipline::FixedOrder(_) => QueueOrder::ByRank,
+            QueueDiscipline::Policy(p) if !p.time_dependent() => QueueOrder::ByCachedScore,
+            QueueDiscipline::Policy(_) => QueueOrder::TimeDependent,
+        };
+        let mut clock = Clock::new();
+        let mut events_processed = 0u64;
+        let SimWorkspace {
+            events,
+            queue,
+            order,
+            scored,
+            releases,
+            rel_scratch,
+            profile,
+            start_of,
+            ledger,
+            completed,
+            backfilled,
+            ..
+        } = self;
+        let mut eng = Engine {
+            jobs,
+            discipline,
+            config,
+            queue_order,
+            track_releases: config.backfill != BackfillMode::None,
+            events,
+            queue,
+            order,
+            scored,
+            releases,
+            rel_scratch,
+            profile,
+            start_of,
+            ledger,
+            completed,
+            backfilled,
+        };
+
+        // Arrivals come off the submit-sorted trace via `cursor`;
+        // completions off the heap. At equal timestamps arrivals process
+        // first, same-time arrivals in trace order, same-time completions
+        // in start (push) order — the exact FIFO batch order the reference
+        // engine's single heap produces.
+        let mut cursor = 0usize;
+        loop {
+            let next_arrival = jobs.get(cursor).map(|j| j.submit);
+            let t = match (next_arrival, eng.events.peek_time()) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+            clock.advance_to(t);
+            while cursor < jobs.len() && jobs[cursor].submit == t {
+                events_processed += 1;
+                eng.enqueue(cursor as u32);
+                cursor += 1;
+            }
+            while eng.events.peek_time() == Some(t) {
+                events_processed += 1;
+                let idx = eng.events.pop().expect("peeked").1;
+                eng.complete(idx, t);
+            }
+            eng.reschedule(t);
+        }
+
+        debug_assert!(eng.queue.is_empty(), "drained simulation left jobs waiting");
+        debug_assert!(eng.releases.is_empty(), "drained simulation left release entries");
+        debug_assert!(eng.ledger.used() == 0, "drained simulation left jobs running");
+        self.events_processed = events_processed;
+        self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
+        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+    }
+
+    /// Completed jobs of the last run, in completion order.
+    pub fn completed(&self) -> &[CompletedJob] {
+        &self.completed
+    }
+
+    /// Time the last job of the last run finished.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Mean platform utilization of the last run over `[0, makespan]`.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Scheduling events processed by the last run.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Jobs the last run started via backfilling.
+    pub fn backfilled_jobs(&self) -> u64 {
+        self.backfilled
+    }
+
+    /// Average bounded slowdown of the last run restricted to jobs whose id
+    /// satisfies `ids`, without allocating. Summation order (completion
+    /// order) matches [`SimulationResult::avg_bounded_slowdown_of`] exactly,
+    /// so the two are bit-identical.
+    pub fn avg_bounded_slowdown_of(&self, ids: &dyn Fn(JobId) -> bool, tau: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in self.completed.iter().filter(|c| ids(c.job.id)) {
+            sum += c.bounded_slowdown(tau);
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Materialize the last run's outcome as an owned [`SimulationResult`]
+    /// (one exact-size clone of the completed list — the only allocation a
+    /// warmed-up workspace performs).
+    pub fn result(&self) -> SimulationResult {
+        SimulationResult {
+            completed: self.completed.clone(),
+            makespan: self.makespan,
+            utilization: self.utilization,
+            events_processed: self.events_processed,
+            backfilled_jobs: self.backfilled,
+        }
+    }
+
+    /// Like [`SimWorkspace::result`], but moves the completed list out
+    /// (the next run regrows it). Used by the one-shot [`simulate`].
+    fn take_result(&mut self) -> SimulationResult {
+        SimulationResult {
+            completed: std::mem::take(&mut self.completed),
+            makespan: self.makespan,
+            utilization: self.utilization,
+            events_processed: self.events_processed,
+            backfilled_jobs: self.backfilled,
+        }
+    }
 }
 
 /// Simulate the online scheduling of `trace` under `discipline` and
 /// `config`. Runs until every job has completed (the queue drains).
 ///
+/// Convenience wrapper over [`simulate_into`] with a throwaway
+/// [`SimWorkspace`]; callers in a loop should hold a workspace and call
+/// [`simulate_into`] (or [`SimWorkspace::run`] plus the accessors) instead.
+///
 /// # Panics
-/// Panics if any job requests more cores than the platform has (it could
-/// never start; pre-filter with [`Trace::capped_to`]), or if a
-/// [`QueueDiscipline::FixedOrder`] map is missing a job id.
-pub fn simulate(trace: &Trace, discipline: &QueueDiscipline<'_>, config: &SchedulerConfig) -> SimulationResult {
-    let jobs = trace.jobs();
-    let total_cores = config.platform.total_cores;
-    for j in jobs {
-        assert!(
-            j.cores <= total_cores,
-            "job {} requests {} cores on a {}-core platform",
-            j.id,
-            j.cores,
-            total_cores
-        );
-    }
-
-    let mut events: EventQueue<Event> = EventQueue::with_capacity(jobs.len() * 2);
-    for (idx, job) in jobs.iter().enumerate() {
-        events.push(job.submit, Event::Arrival(idx));
-    }
-
-    let mut clock = Clock::new();
-    let mut ledger = dynsched_cluster::AllocationLedger::new(config.platform);
-    let mut queue: Vec<QueueEntry> = Vec::new(); // arrival order
-    let mut running: HashMap<JobId, Running> = HashMap::new();
-    let mut completed: Vec<CompletedJob> = Vec::with_capacity(jobs.len());
-    let mut events_processed = 0u64;
-    let mut backfilled = 0u64;
-
-    while let Some((t, first)) = events.pop() {
-        clock.advance_to(t);
-        let mut batch = vec![first];
-        while events.peek_time() == Some(t) {
-            batch.push(events.pop().expect("peeked").1);
-        }
-        for ev in batch {
-            events_processed += 1;
-            match ev {
-                Event::Arrival(idx) => queue.push(make_entry(jobs[idx], discipline, config)),
-                Event::Completion(id) => {
-                    let run = running.remove(&id).expect("completion for unknown job");
-                    ledger.release(id, t).expect("running job holds cores");
-                    completed.push(CompletedJob { job: run.job, start: run.start, finish: t });
-                }
-            }
-        }
-        reschedule(
-            t,
-            &mut queue,
-            &mut ledger,
-            &mut running,
-            &mut events,
-            discipline,
-            config,
-            &mut backfilled,
-        );
-    }
-
-    debug_assert!(queue.is_empty(), "drained simulation left jobs waiting");
-    debug_assert!(running.is_empty(), "drained simulation left jobs running");
-    let makespan = completed.iter().map(|c| c.finish).fold(0.0, f64::max);
-    let utilization = ledger.utilization(makespan).unwrap_or(0.0);
-    SimulationResult { completed, makespan, utilization, events_processed, backfilled_jobs: backfilled }
-}
-
-/// Priority order (indices into `queue`) under the active discipline.
-fn order_queue(
-    queue: &[QueueEntry],
-    now: f64,
+/// See [`SimWorkspace::run`].
+pub fn simulate(
+    trace: &Trace,
     discipline: &QueueDiscipline<'_>,
     config: &SchedulerConfig,
-) -> Vec<usize> {
-    match discipline {
-        QueueDiscipline::Policy(policy) if policy.time_dependent() => {
-            let views: Vec<TaskView> = queue
-                .iter()
-                .map(|e| TaskView {
-                    processing_time: config.decision_time(e.job.runtime, e.job.estimate),
-                    cores: e.job.cores,
-                    submit: e.job.submit,
-                    now,
+) -> SimulationResult {
+    let mut ws = SimWorkspace::new();
+    ws.run(trace, discipline, config);
+    ws.take_result()
+}
+
+/// Simulate reusing `ws`'s buffers; returns an owned result. Bit-identical
+/// to [`simulate`] for the same inputs regardless of the workspace's
+/// history — the workspace carries capacity, never state, between runs.
+pub fn simulate_into(
+    ws: &mut SimWorkspace,
+    trace: &Trace,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+) -> SimulationResult {
+    ws.run(trace, discipline, config);
+    ws.result()
+}
+
+/// The per-run view of a workspace: disjoint `&mut`s over its buffers plus
+/// the run's immutable inputs.
+struct Engine<'a, 'b> {
+    jobs: &'a [Job],
+    discipline: &'a QueueDiscipline<'b>,
+    config: &'a SchedulerConfig,
+    queue_order: QueueOrder,
+    /// Whether the maintained release list is needed at all: only the
+    /// backfilling modes ever read it, so under [`BackfillMode::None`] the
+    /// engine skips its upkeep entirely.
+    track_releases: bool,
+    events: &'a mut EventQueue<Completion>,
+    queue: &'a mut Vec<QueueEntry>,
+    order: &'a mut Vec<usize>,
+    scored: &'a mut Vec<(usize, f64)>,
+    releases: &'a mut Vec<Release>,
+    rel_scratch: &'a mut Vec<(f64, u32)>,
+    profile: &'a mut Profile,
+    start_of: &'a mut Vec<f64>,
+    ledger: &'a mut CoreLedger,
+    completed: &'a mut Vec<CompletedJob>,
+    backfilled: &'a mut u64,
+}
+
+impl Engine<'_, '_> {
+    fn enqueue(&mut self, idx: u32) {
+        let job = self.jobs[idx as usize];
+        let cached_score = match self.discipline {
+            QueueDiscipline::Policy(policy) if !policy.time_dependent() => {
+                policy.score(&TaskView {
+                    processing_time: self.config.decision_time(job.runtime, job.estimate),
+                    cores: job.cores,
+                    submit: job.submit,
+                    now: job.submit,
                 })
-                .collect();
-            sort_views(*policy, &views)
-        }
-        QueueDiscipline::Policy(_) => {
-            // Time-independent policy: scores were cached at arrival.
-            let mut idx: Vec<usize> = (0..queue.len()).collect();
-            idx.sort_by(|&a, &b| {
-                queue[a]
-                    .cached_score
-                    .total_cmp(&queue[b].cached_score)
-                    .then(a.cmp(&b))
-            });
-            idx
-        }
-        QueueDiscipline::FixedOrder(ranks) => {
-            let mut idx: Vec<usize> = (0..queue.len()).collect();
-            idx.sort_by_key(|&i| {
-                *ranks
-                    .get(&queue[i].job.id)
-                    .unwrap_or_else(|| panic!("fixed order missing job {}", queue[i].job.id))
-            });
-            idx
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn reschedule(
-    now: f64,
-    queue: &mut Vec<QueueEntry>,
-    ledger: &mut dynsched_cluster::AllocationLedger,
-    running: &mut HashMap<JobId, Running>,
-    events: &mut EventQueue<Event>,
-    discipline: &QueueDiscipline<'_>,
-    config: &SchedulerConfig,
-    backfilled: &mut u64,
-) {
-    if queue.is_empty() {
-        return;
-    }
-    let order = order_queue(queue, now, discipline, config);
-
-    let start_job = |job: Job,
-                         ledger: &mut dynsched_cluster::AllocationLedger,
-                         running: &mut HashMap<JobId, Running>,
-                         events: &mut EventQueue<Event>| {
-        ledger.allocate(job.id, job.cores, now).expect("start checked to fit");
-        running.insert(job.id, Running { job, start: now });
-        events.push(
-            now + config.execution_time(job.runtime, job.estimate),
-            Event::Completion(job.id),
-        );
-    };
-
-    let mut started = vec![false; queue.len()];
-
-    if config.backfill == BackfillMode::Conservative {
-        // Every job gets the earliest reservation that delays nobody ahead
-        // of it; jobs reserved for *now* start.
-        let releases: Vec<(f64, u32)> = running
-            .values()
-            .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
-            .collect();
-        let mut profile = Profile::new(now, ledger.available(), &releases);
-        for (rank, &qi) in order.iter().enumerate() {
-            let job = queue[qi].job;
-            let duration = config.decision_time(job.runtime, job.estimate).max(1e-9);
-            let start = profile
-                .earliest_fit(job.cores, duration)
-                .expect("job width pre-checked against platform");
-            profile.reserve(start, start + duration, job.cores);
-            if start == now {
-                start_job(job, ledger, running, events);
-                started[qi] = true;
-                if rank > 0 {
-                    *backfilled += 1;
-                }
             }
-        }
-    } else {
-        // Strict pass: start in priority order, stop at the first task that
-        // does not fit (§4.2: "the scheduler waits").
-        let mut blocked_at: Option<usize> = None;
-        for (pos, &qi) in order.iter().enumerate() {
-            let job = queue[qi].job;
-            if ledger.fits(job.cores) {
-                start_job(job, ledger, running, events);
-                started[qi] = true;
-            } else {
-                blocked_at = Some(pos);
-                break;
+            _ => 0.0,
+        };
+        let entry = QueueEntry { idx, job, cached_score, started: false };
+        // Static disciplines keep the queue in priority order: insert at
+        // the upper bound of the new key, so equal keys land *after* their
+        // peers — the arrival-order tie-break of a stable sort.
+        match self.queue_order {
+            QueueOrder::ByRank => {
+                let QueueDiscipline::FixedOrder(ranks) = self.discipline else {
+                    unreachable!("ByRank implies FixedOrder")
+                };
+                let key = ranks[idx as usize];
+                let pos = self.queue.partition_point(|e| ranks[e.idx as usize] <= key);
+                self.queue.insert(pos, entry);
             }
-        }
-
-        if config.backfill == BackfillMode::Aggressive && config.reservation_depth > 1 {
-            // Deep EASY: the first `reservation_depth` blocked jobs hold
-            // reservations in an availability profile; any other job may
-            // start only where the profile admits it *now*. Depth → ∞
-            // converges to conservative backfilling.
-            if let Some(head_pos) = blocked_at {
-                let releases: Vec<(f64, u32)> = running
-                    .values()
-                    .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
-                    .collect();
-                let mut profile = Profile::new(now, ledger.available(), &releases);
-                let mut reservations = 0u32;
-                for &qi in &order[head_pos..] {
-                    let job = queue[qi].job;
-                    let duration = config.decision_time(job.runtime, job.estimate).max(1e-9);
-                    let start = profile
-                        .earliest_fit(job.cores, duration)
-                        .expect("job width pre-checked against platform");
-                    if start == now {
-                        profile.reserve(start, start + duration, job.cores);
-                        start_job(job, ledger, running, events);
-                        started[qi] = true;
-                        *backfilled += 1;
-                    } else if reservations < config.reservation_depth {
-                        profile.reserve(start, start + duration, job.cores);
-                        reservations += 1;
-                    }
-                    // Beyond the reservation depth, unstartable jobs place
-                    // no reservation: later candidates may overtake them,
-                    // exactly like classic EASY's tail.
-                }
+            QueueOrder::ByCachedScore => {
+                let pos = self
+                    .queue
+                    .partition_point(|e| e.cached_score.total_cmp(&cached_score).is_le());
+                self.queue.insert(pos, entry);
             }
-        } else if config.backfill == BackfillMode::Aggressive {
-            if let Some(head_pos) = blocked_at {
-                let head = queue[order[head_pos]].job;
-                // Shadow time: when enough cores free up for the head,
-                // assuming running jobs finish at their decision-mode
-                // expected ends (clamped to now if overdue).
-                let mut releases: Vec<(f64, u32)> = running
-                    .values()
-                    .map(|r| {
-                        let end = r.start + config.decision_time(r.job.runtime, r.job.estimate);
-                        (end.max(now), r.job.cores)
-                    })
-                    .collect();
-                releases.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let mut avail = ledger.available();
-                let mut shadow = now;
-                let mut spare = 0u32;
-                for (end, cores) in releases {
-                    avail += cores;
-                    if avail >= head.cores {
-                        shadow = end;
-                        spare = avail - head.cores;
-                        break;
-                    }
-                }
-                // Backfill pass over the rest of the queue in priority
-                // order: a candidate may start if it fits now and either
-                // finishes (by its decision-mode runtime) before the shadow
-                // time, or only uses cores spare even at the shadow time.
-                for &qi in &order[head_pos + 1..] {
-                    let cand = queue[qi].job;
-                    if !ledger.fits(cand.cores) {
-                        continue;
-                    }
-                    let ends_by_shadow =
-                        now + config.decision_time(cand.runtime, cand.estimate) <= shadow;
-                    if ends_by_shadow {
-                        start_job(cand, ledger, running, events);
-                        started[qi] = true;
-                        *backfilled += 1;
-                    } else if cand.cores <= spare {
-                        spare -= cand.cores;
-                        start_job(cand, ledger, running, events);
-                        started[qi] = true;
-                        *backfilled += 1;
-                    }
-                }
-            }
+            QueueOrder::TimeDependent => self.queue.push(entry),
         }
     }
 
-    let mut keep = started.iter().map(|s| !s);
-    queue.retain(|_| keep.next().expect("one flag per job"));
+    fn complete(&mut self, idx: u32, t: f64) {
+        let job = self.jobs[idx as usize];
+        let start = self.start_of[idx as usize];
+        debug_assert!(!start.is_nan(), "completion for job that is not running");
+        self.ledger.release(job.cores, t);
+        if self.track_releases {
+            // The stored decision end was computed from the same operands
+            // at start time, so this recomputation finds it bit-exactly.
+            let dend = start + self.config.decision_time(job.runtime, job.estimate);
+            let pos = self
+                .releases
+                .binary_search_by(|&(e, _, i)| e.total_cmp(&dend).then(i.cmp(&idx)))
+                .expect("running job must be in the release list");
+            self.releases.remove(pos);
+        }
+        self.start_of[idx as usize] = f64::NAN;
+        self.completed.push(CompletedJob { job, start, finish: t });
+    }
+
+    fn start_job(&mut self, qi: usize, now: f64) {
+        let QueueEntry { idx, job, .. } = self.queue[qi];
+        self.ledger.allocate(job.cores, now);
+        self.start_of[idx as usize] = now;
+        if self.track_releases {
+            let dend = now + self.config.decision_time(job.runtime, job.estimate);
+            let at = self
+                .releases
+                .binary_search_by(|&(e, _, i)| e.total_cmp(&dend).then(i.cmp(&idx)))
+                .expect_err("job cannot start while already running");
+            self.releases.insert(at, (dend, job.cores, idx));
+        }
+        self.events
+            .push(now + self.config.execution_time(job.runtime, job.estimate), idx);
+        self.queue[qi].started = true;
+    }
+
+    /// Queue position holding the `pos`-th highest-priority job. Static
+    /// disciplines keep the queue itself priority-sorted, so the order is
+    /// the identity; time-dependent policies read the order computed by
+    /// [`Engine::order_queue`].
+    #[inline]
+    fn ord(&self, pos: usize) -> usize {
+        if self.queue_order == QueueOrder::TimeDependent {
+            self.order[pos]
+        } else {
+            pos
+        }
+    }
+
+    /// Rebuild `order` (priority order of queue positions) for a
+    /// time-dependent policy. Ordering semantics are identical to the
+    /// reference engine: scores sort ascending with arrival order as
+    /// tie-break, which makes the comparator total — so the non-allocating
+    /// unstable sort produces the same permutation the reference's stable
+    /// sort does.
+    fn order_queue(&mut self, now: f64) {
+        let QueueDiscipline::Policy(policy) = self.discipline else {
+            unreachable!("TimeDependent implies Policy")
+        };
+        self.scored.clear();
+        for (i, e) in self.queue.iter().enumerate() {
+            let view = TaskView {
+                processing_time: self.config.decision_time(e.job.runtime, e.job.estimate),
+                cores: e.job.cores,
+                submit: e.job.submit,
+                now,
+            };
+            let s = policy.score(&view);
+            debug_assert!(!s.is_nan(), "policy {} produced NaN for {view:?}", policy.name());
+            self.scored.push((i, s));
+        }
+        self.scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.order.clear();
+        self.order.extend(self.scored.iter().map(|&(i, _)| i));
+    }
+
+    #[cfg(debug_assertions)]
+    fn queue_is_priority_sorted(&self) -> bool {
+        match self.queue_order {
+            QueueOrder::ByRank => {
+                let QueueDiscipline::FixedOrder(ranks) = self.discipline else { return false };
+                self.queue
+                    .windows(2)
+                    .all(|w| ranks[w[0].idx as usize] <= ranks[w[1].idx as usize])
+            }
+            QueueOrder::ByCachedScore => self
+                .queue
+                .windows(2)
+                .all(|w| w[0].cached_score.total_cmp(&w[1].cached_score).is_le()),
+            QueueOrder::TimeDependent => true,
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn queue_is_priority_sorted(&self) -> bool {
+        true
+    }
+
+    /// Copy the maintained release list into profile scratch, applying the
+    /// overdue clamp. The list is sorted by raw end time; clamping can only
+    /// disorder it when an unclamped end falls inside the nudge window just
+    /// past `now`, so the (rare) re-sort is behind a sortedness check.
+    fn fill_rel_scratch(&mut self, now: f64) {
+        self.rel_scratch.clear();
+        let mut sorted = true;
+        let mut prev = f64::NEG_INFINITY;
+        for &(end, cores, _) in self.releases.iter() {
+            let t = clamp_release(now, end);
+            sorted &= prev <= t;
+            prev = t;
+            self.rel_scratch.push((t, cores));
+        }
+        if !sorted {
+            self.rel_scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        }
+    }
+
+    fn reschedule(&mut self, now: f64) {
+        if self.queue.is_empty() {
+            return;
+        }
+        if self.queue_order == QueueOrder::TimeDependent {
+            self.order_queue(now);
+        } else {
+            debug_assert!(self.queue_is_priority_sorted());
+        }
+        let len = self.queue.len();
+        let mut any_started = false;
+
+        if self.config.backfill == BackfillMode::Conservative {
+            // Every job gets the earliest reservation that delays nobody
+            // ahead of it; jobs reserved for *now* start.
+            self.fill_rel_scratch(now);
+            self.profile.rebuild_from_sorted(now, self.ledger.available(), self.rel_scratch);
+            for rank in 0..len {
+                let qi = self.ord(rank);
+                let job = self.queue[qi].job;
+                let duration = self.config.decision_time(job.runtime, job.estimate).max(1e-9);
+                let start = self
+                    .profile
+                    .earliest_fit(job.cores, duration)
+                    .expect("job width pre-checked against platform");
+                self.profile.reserve(start, start + duration, job.cores);
+                if start == now {
+                    self.start_job(qi, now);
+                    any_started = true;
+                    if rank > 0 {
+                        *self.backfilled += 1;
+                    }
+                }
+            }
+        } else {
+            // Strict pass: start in priority order, stop at the first task
+            // that does not fit (§4.2: "the scheduler waits").
+            let mut blocked_at: Option<usize> = None;
+            for pos in 0..len {
+                let qi = self.ord(pos);
+                let job = self.queue[qi].job;
+                if self.ledger.fits(job.cores) {
+                    self.start_job(qi, now);
+                    any_started = true;
+                } else {
+                    blocked_at = Some(pos);
+                    break;
+                }
+            }
+
+            if self.config.backfill == BackfillMode::Aggressive && self.config.reservation_depth > 1
+            {
+                // Deep EASY: the first `reservation_depth` blocked jobs
+                // hold reservations in an availability profile; any other
+                // job may start only where the profile admits it *now*.
+                // Depth → ∞ converges to conservative backfilling.
+                if let Some(head_pos) = blocked_at {
+                    self.fill_rel_scratch(now);
+                    self.profile.rebuild_from_sorted(now, self.ledger.available(), self.rel_scratch);
+                    let mut reservations = 0u32;
+                    for pos in head_pos..len {
+                        let qi = self.ord(pos);
+                        let job = self.queue[qi].job;
+                        let duration =
+                            self.config.decision_time(job.runtime, job.estimate).max(1e-9);
+                        let start = self
+                            .profile
+                            .earliest_fit(job.cores, duration)
+                            .expect("job width pre-checked against platform");
+                        if start == now {
+                            self.profile.reserve(start, start + duration, job.cores);
+                            self.start_job(qi, now);
+                            any_started = true;
+                            *self.backfilled += 1;
+                        } else if reservations < self.config.reservation_depth {
+                            self.profile.reserve(start, start + duration, job.cores);
+                            reservations += 1;
+                        }
+                        // Beyond the reservation depth, unstartable jobs
+                        // place no reservation: later candidates may
+                        // overtake them, exactly like classic EASY's tail.
+                    }
+                }
+            } else if self.config.backfill == BackfillMode::Aggressive {
+                if let Some(head_pos) = blocked_at {
+                    let head = self.queue[self.ord(head_pos)].job;
+                    // Shadow time: when enough cores free up for the head,
+                    // assuming running jobs finish at their decision-mode
+                    // expected ends (clamped to now if overdue). The
+                    // maintained list is sorted by raw end, and the clamp
+                    // is monotone, so this walk sees clamped ends in
+                    // sorted order without any re-sort.
+                    let mut avail = self.ledger.available();
+                    let mut shadow = now;
+                    let mut spare = 0u32;
+                    for &(end, cores, _) in self.releases.iter() {
+                        avail += cores;
+                        if avail >= head.cores {
+                            shadow = end.max(now);
+                            spare = avail - head.cores;
+                            break;
+                        }
+                    }
+                    // Backfill pass over the rest of the queue in priority
+                    // order: a candidate may start if it fits now and
+                    // either finishes (by its decision-mode runtime) before
+                    // the shadow time, or only uses cores spare even at the
+                    // shadow time.
+                    for pos in head_pos + 1..len {
+                        let qi = self.ord(pos);
+                        let cand = self.queue[qi].job;
+                        if !self.ledger.fits(cand.cores) {
+                            continue;
+                        }
+                        let ends_by_shadow =
+                            now + self.config.decision_time(cand.runtime, cand.estimate) <= shadow;
+                        if ends_by_shadow {
+                            self.start_job(qi, now);
+                            any_started = true;
+                            *self.backfilled += 1;
+                        } else if cand.cores <= spare {
+                            spare -= cand.cores;
+                            self.start_job(qi, now);
+                            any_started = true;
+                            *self.backfilled += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        if any_started {
+            self.queue.retain(|e| !e.started);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -480,9 +816,9 @@ mod tests {
     #[test]
     fn fixed_order_discipline_respects_permutation() {
         // Three same-shape jobs all present at t=0; machine fits one at a
-        // time; fixed order 2,0,1.
+        // time; fixed order 2,0,1 (job 2 rank 0, job 0 rank 1, job 1 rank 2).
         let jobs = vec![job(0, 0.0, 10.0, 4), job(1, 0.0, 10.0, 4), job(2, 0.0, 10.0, 4)];
-        let ranks: HashMap<JobId, usize> = [(2u32, 0usize), (0, 1), (1, 2)].into_iter().collect();
+        let ranks = [1usize, 2, 0];
         let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::FixedOrder(&ranks), &cfg(4));
         let by_id = r.by_id();
         assert_eq!(by_id[&2].start, 0.0);
@@ -551,6 +887,14 @@ mod tests {
     #[should_panic(expected = "requests")]
     fn oversized_job_panics() {
         run_fcfs(vec![job(0, 0.0, 1.0, 64)], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed order needs a rank")]
+    fn short_rank_slice_panics() {
+        let jobs = vec![job(0, 0.0, 1.0, 1), job(1, 0.0, 1.0, 1)];
+        let ranks = [0usize];
+        simulate(&Trace::from_jobs(jobs), &QueueDiscipline::FixedOrder(&ranks), &cfg(4));
     }
 
     #[test]
@@ -664,5 +1008,52 @@ mod tests {
     fn events_processed_counts_arrivals_and_completions() {
         let r = run_fcfs(vec![job(0, 0.0, 1.0, 1), job(1, 5.0, 1.0, 1)], 4);
         assert_eq!(r.events_processed, 4);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        // Run a mixed batch of simulations through one workspace and check
+        // each result equals a fresh-workspace run: no state leaks.
+        let mut ws = SimWorkspace::new();
+        for seed in 0..6u32 {
+            let jobs: Vec<Job> = (0..30)
+                .map(|i| {
+                    let k = i + seed * 7;
+                    job(i, (k % 11) as f64 * 5.3, 4.0 + (k % 9) as f64 * 13.0, 1 + (k % 5))
+                })
+                .collect();
+            let trace = Trace::from_jobs(jobs);
+            let mut config = cfg(6);
+            config.backfill = match seed % 3 {
+                0 => BackfillMode::None,
+                1 => BackfillMode::Aggressive,
+                _ => BackfillMode::Conservative,
+            };
+            let reused = simulate_into(&mut ws, &trace, &QueueDiscipline::Policy(&Fcfs), &config);
+            let fresh = simulate(&trace, &QueueDiscipline::Policy(&Fcfs), &config);
+            assert_eq!(reused, fresh, "seed {seed}: workspace reuse changed the schedule");
+        }
+    }
+
+    #[test]
+    fn workspace_accessors_match_result() {
+        let jobs = vec![job(0, 0.0, 10.0, 2), job(1, 0.0, 20.0, 2), job(2, 1.0, 5.0, 4)];
+        let mut ws = SimWorkspace::new();
+        ws.run(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &cfg(4));
+        let r = ws.result();
+        assert_eq!(ws.completed(), &r.completed[..]);
+        assert_eq!(ws.makespan(), r.makespan);
+        assert_eq!(ws.utilization(), r.utilization);
+        assert_eq!(ws.events_processed(), r.events_processed);
+        assert_eq!(ws.backfilled_jobs(), r.backfilled_jobs);
+        assert_eq!(
+            ws.avg_bounded_slowdown_of(&|_| true, 10.0),
+            r.avg_bounded_slowdown(10.0)
+        );
+        assert_eq!(
+            ws.avg_bounded_slowdown_of(&|id| id == 2, 10.0),
+            r.avg_bounded_slowdown_of(&|id| id == 2, 10.0)
+        );
+        assert_eq!(ws.avg_bounded_slowdown_of(&|_| false, 10.0), None);
     }
 }

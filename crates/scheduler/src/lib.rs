@@ -10,6 +10,33 @@
 //!   conservative backfilling;
 //! * [`result`] — per-run metrics (completed jobs, average bounded
 //!   slowdown, utilization, backfill counts).
+//!
+//! # Workspace reuse and the determinism contract
+//!
+//! The engine is zero-allocation in steady state: all per-simulation
+//! buffers live in a [`SimWorkspace`] that is cleared — never reallocated —
+//! between runs. [`simulate`] spins up a throwaway workspace per call;
+//! loops (the training trials foremost) hold one workspace per thread and
+//! call [`simulate_into`] or [`SimWorkspace::run`]. Two guarantees:
+//!
+//! 1. **No cross-run state.** A workspace carries heap *capacity* between
+//!    runs, never information: every run resets every buffer, so a reused
+//!    workspace produces results bit-identical to a fresh one (asserted by
+//!    the engine's unit tests and the `determinism_reference` integration
+//!    tests).
+//! 2. **Bit-identity with the original engine.** The allocation-per-call
+//!    engine the project started with is preserved in [`reference`]
+//!    (`#[doc(hidden)]`, for tests and benches only); the optimized engine
+//!    must match it result-for-result. Where the reference's behaviour
+//!    depended on `HashMap` iteration order (release-time ties among
+//!    overdue jobs in the EASY shadow scan), the optimized engine resolves
+//!    the tie deterministically by trace index instead — strictly more
+//!    reproducible, identical wherever the reference was well-defined.
+//!
+//! RNG never appears in this crate: randomized callers (the trial driver)
+//! derive each simulation's inputs from `(master seed, trial index)`
+//! upstream, which is why the whole pipeline is replayable at any thread
+//! count.
 
 #![warn(missing_docs)]
 
@@ -17,11 +44,13 @@ pub mod config;
 pub mod engine;
 pub mod export;
 pub mod profile;
+#[doc(hidden)]
+pub mod reference;
 pub mod result;
 pub mod timeline;
 
 pub use config::{BackfillMode, SchedulerConfig};
-pub use engine::{simulate, QueueDiscipline};
+pub use engine::{simulate, simulate_into, QueueDiscipline, SimWorkspace};
 pub use export::write_schedule_swf;
 pub use result::SimulationResult;
 pub use timeline::{ascii_gantt, queue_length_curve, utilization_curve};

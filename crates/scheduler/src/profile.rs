@@ -7,8 +7,24 @@
 //! (estimated) duration, and actually launches the ones whose reserved
 //! start is *now*.
 
+/// The clamp applied to release times at or before `now`: a job that
+/// overran its estimate is "finishing any moment", but its cores are
+/// **not** available at `now` itself — treating them as such would let the
+/// scheduler start a job it cannot actually allocate. Callers of
+/// [`Profile::rebuild_from_sorted`] must apply this to every release time
+/// themselves (the workspace does it while copying its maintained release
+/// list into scratch).
+#[inline]
+pub fn clamp_release(now: f64, t: f64) -> f64 {
+    if t <= now {
+        now + 1e-9 * now.abs().max(1.0)
+    } else {
+        t
+    }
+}
+
 /// Step function of available cores over `[now, ∞)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Profile {
     /// Breakpoints `(time, available from this time until the next
     /// breakpoint)`, strictly increasing in time. The last entry extends to
@@ -24,24 +40,39 @@ impl Profile {
     /// cores are **not** available at `now` itself — treating them as such
     /// would let the scheduler start a job it cannot actually allocate.
     pub fn new(now: f64, available: u32, releases: &[(f64, u32)]) -> Self {
-        let nudge = 1e-9 * now.abs().max(1.0);
         let mut sorted: Vec<(f64, u32)> = releases
             .iter()
-            .map(|&(t, c)| (if t <= now { now + nudge } else { t }, c))
+            .map(|&(t, c)| (clamp_release(now, t), c))
             .collect();
         sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut points = vec![(now, available)];
+        let mut profile = Self { points: Vec::with_capacity(sorted.len() + 1) };
+        profile.rebuild_from_sorted(now, available, &sorted);
+        profile
+    }
+
+    /// Rebuild in place from pre-processed releases, reusing the breakpoint
+    /// buffer. `releases` must be sorted by time and already clamped so
+    /// that no time is at or before `now` (see [`clamp_release`]) — the
+    /// workspace maintains its release list sorted, so the hot path pays
+    /// neither an allocation nor a sort here.
+    pub fn rebuild_from_sorted(&mut self, now: f64, available: u32, releases: &[(f64, u32)]) {
+        debug_assert!(
+            releases.windows(2).all(|w| w[0].0 <= w[1].0),
+            "releases must be sorted by time"
+        );
+        debug_assert!(releases.iter().all(|&(t, _)| t > now), "releases must be clamped past now");
+        self.points.clear();
+        self.points.push((now, available));
         let mut avail = available;
-        for (t, c) in sorted {
+        for &(t, c) in releases {
             avail += c;
-            let last = points.last_mut().expect("non-empty");
+            let last = self.points.last_mut().expect("non-empty");
             if last.0 == t {
                 last.1 = avail;
             } else {
-                points.push((t, avail));
+                self.points.push((t, avail));
             }
         }
-        Self { points }
     }
 
     /// Number of breakpoints (diagnostics).

@@ -1,0 +1,313 @@
+//! The original allocation-per-call scheduler engine, kept as an
+//! executable specification.
+//!
+//! [`simulate_reference`] is the engine as first written: it builds a fresh
+//! event queue, a `HashMap`-keyed running table, and per-reschedule `Vec`s
+//! on every call. The optimized engine in [`crate::engine`] must produce
+//! **bit-identical** [`SimulationResult`]s — the determinism regression
+//! tests diff the two across policies, fixed orders, and every backfill
+//! mode, and the `trial_throughput` bench uses this as the baseline the
+//! zero-allocation fast path is measured against.
+//!
+//! Not part of the supported API; only tests and benches should call this.
+
+use crate::config::{BackfillMode, SchedulerConfig};
+use crate::engine::QueueDiscipline;
+use crate::profile::Profile;
+use crate::result::SimulationResult;
+use dynsched_cluster::{CompletedJob, Job, JobId};
+use dynsched_policies::{sort_views, TaskView};
+use dynsched_simkit::{Clock, EventQueue};
+use dynsched_workload::Trace;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    Completion(JobId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    job: Job,
+    start: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    idx: usize,
+    job: Job,
+    cached_score: f64,
+}
+
+fn make_entry(
+    idx: usize,
+    job: Job,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+) -> QueueEntry {
+    let cached_score = match discipline {
+        QueueDiscipline::Policy(policy) if !policy.time_dependent() => policy.score(&TaskView {
+            processing_time: config.decision_time(job.runtime, job.estimate),
+            cores: job.cores,
+            submit: job.submit,
+            now: job.submit,
+        }),
+        _ => 0.0,
+    };
+    QueueEntry { idx, job, cached_score }
+}
+
+/// Simulate `trace` with the original engine. Same contract as
+/// [`crate::engine::simulate`]; allocation-heavy by design.
+pub fn simulate_reference(
+    trace: &Trace,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+) -> SimulationResult {
+    let jobs = trace.jobs();
+    let total_cores = config.platform.total_cores;
+    for j in jobs {
+        assert!(
+            j.cores <= total_cores,
+            "job {} requests {} cores on a {}-core platform",
+            j.id,
+            j.cores,
+            total_cores
+        );
+    }
+
+    let mut events: EventQueue<Event> = EventQueue::with_capacity(jobs.len() * 2);
+    for (idx, job) in jobs.iter().enumerate() {
+        events.push(job.submit, Event::Arrival(idx));
+    }
+
+    let mut clock = Clock::new();
+    let mut ledger = dynsched_cluster::AllocationLedger::new(config.platform);
+    let mut queue: Vec<QueueEntry> = Vec::new(); // arrival order
+    let mut running: HashMap<JobId, Running> = HashMap::new();
+    let mut completed: Vec<CompletedJob> = Vec::with_capacity(jobs.len());
+    let mut events_processed = 0u64;
+    let mut backfilled = 0u64;
+
+    while let Some((t, first)) = events.pop() {
+        clock.advance_to(t);
+        let mut batch = vec![first];
+        while events.peek_time() == Some(t) {
+            batch.push(events.pop().expect("peeked").1);
+        }
+        for ev in batch {
+            events_processed += 1;
+            match ev {
+                Event::Arrival(idx) => {
+                    queue.push(make_entry(idx, jobs[idx], discipline, config))
+                }
+                Event::Completion(id) => {
+                    let run = running.remove(&id).expect("completion for unknown job");
+                    ledger.release(id, t).expect("running job holds cores");
+                    completed.push(CompletedJob { job: run.job, start: run.start, finish: t });
+                }
+            }
+        }
+        reschedule(
+            t,
+            &mut queue,
+            &mut ledger,
+            &mut running,
+            &mut events,
+            discipline,
+            config,
+            &mut backfilled,
+        );
+    }
+
+    debug_assert!(queue.is_empty(), "drained simulation left jobs waiting");
+    debug_assert!(running.is_empty(), "drained simulation left jobs running");
+    let makespan = completed.iter().map(|c| c.finish).fold(0.0, f64::max);
+    let utilization = ledger.utilization(makespan).unwrap_or(0.0);
+    SimulationResult { completed, makespan, utilization, events_processed, backfilled_jobs: backfilled }
+}
+
+/// Priority order (indices into `queue`) under the active discipline.
+fn order_queue(
+    queue: &[QueueEntry],
+    now: f64,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+) -> Vec<usize> {
+    match discipline {
+        QueueDiscipline::Policy(policy) if policy.time_dependent() => {
+            let views: Vec<TaskView> = queue
+                .iter()
+                .map(|e| TaskView {
+                    processing_time: config.decision_time(e.job.runtime, e.job.estimate),
+                    cores: e.job.cores,
+                    submit: e.job.submit,
+                    now,
+                })
+                .collect();
+            sort_views(*policy, &views)
+        }
+        QueueDiscipline::Policy(_) => {
+            // Time-independent policy: scores were cached at arrival.
+            let mut idx: Vec<usize> = (0..queue.len()).collect();
+            idx.sort_by(|&a, &b| {
+                queue[a]
+                    .cached_score
+                    .total_cmp(&queue[b].cached_score)
+                    .then(a.cmp(&b))
+            });
+            idx
+        }
+        QueueDiscipline::FixedOrder(ranks) => {
+            let mut idx: Vec<usize> = (0..queue.len()).collect();
+            idx.sort_by_key(|&i| ranks[queue[i].idx]);
+            idx
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reschedule(
+    now: f64,
+    queue: &mut Vec<QueueEntry>,
+    ledger: &mut dynsched_cluster::AllocationLedger,
+    running: &mut HashMap<JobId, Running>,
+    events: &mut EventQueue<Event>,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    backfilled: &mut u64,
+) {
+    if queue.is_empty() {
+        return;
+    }
+    let order = order_queue(queue, now, discipline, config);
+
+    let start_job = |job: Job,
+                     ledger: &mut dynsched_cluster::AllocationLedger,
+                     running: &mut HashMap<JobId, Running>,
+                     events: &mut EventQueue<Event>| {
+        ledger.allocate(job.id, job.cores, now).expect("start checked to fit");
+        running.insert(job.id, Running { job, start: now });
+        events.push(
+            now + config.execution_time(job.runtime, job.estimate),
+            Event::Completion(job.id),
+        );
+    };
+
+    let mut started = vec![false; queue.len()];
+
+    if config.backfill == BackfillMode::Conservative {
+        // Every job gets the earliest reservation that delays nobody ahead
+        // of it; jobs reserved for *now* start.
+        let releases: Vec<(f64, u32)> = running
+            .values()
+            .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
+            .collect();
+        let mut profile = Profile::new(now, ledger.available(), &releases);
+        for (rank, &qi) in order.iter().enumerate() {
+            let job = queue[qi].job;
+            let duration = config.decision_time(job.runtime, job.estimate).max(1e-9);
+            let start = profile
+                .earliest_fit(job.cores, duration)
+                .expect("job width pre-checked against platform");
+            profile.reserve(start, start + duration, job.cores);
+            if start == now {
+                start_job(job, ledger, running, events);
+                started[qi] = true;
+                if rank > 0 {
+                    *backfilled += 1;
+                }
+            }
+        }
+    } else {
+        // Strict pass: start in priority order, stop at the first task that
+        // does not fit (§4.2: "the scheduler waits").
+        let mut blocked_at: Option<usize> = None;
+        for (pos, &qi) in order.iter().enumerate() {
+            let job = queue[qi].job;
+            if ledger.fits(job.cores) {
+                start_job(job, ledger, running, events);
+                started[qi] = true;
+            } else {
+                blocked_at = Some(pos);
+                break;
+            }
+        }
+
+        if config.backfill == BackfillMode::Aggressive && config.reservation_depth > 1 {
+            // Deep EASY: the first `reservation_depth` blocked jobs hold
+            // reservations in an availability profile; any other job may
+            // start only where the profile admits it *now*.
+            if let Some(head_pos) = blocked_at {
+                let releases: Vec<(f64, u32)> = running
+                    .values()
+                    .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
+                    .collect();
+                let mut profile = Profile::new(now, ledger.available(), &releases);
+                let mut reservations = 0u32;
+                for &qi in &order[head_pos..] {
+                    let job = queue[qi].job;
+                    let duration = config.decision_time(job.runtime, job.estimate).max(1e-9);
+                    let start = profile
+                        .earliest_fit(job.cores, duration)
+                        .expect("job width pre-checked against platform");
+                    if start == now {
+                        profile.reserve(start, start + duration, job.cores);
+                        start_job(job, ledger, running, events);
+                        started[qi] = true;
+                        *backfilled += 1;
+                    } else if reservations < config.reservation_depth {
+                        profile.reserve(start, start + duration, job.cores);
+                        reservations += 1;
+                    }
+                }
+            }
+        } else if config.backfill == BackfillMode::Aggressive {
+            if let Some(head_pos) = blocked_at {
+                let head = queue[order[head_pos]].job;
+                // Shadow time: when enough cores free up for the head.
+                let mut releases: Vec<(f64, u32)> = running
+                    .values()
+                    .map(|r| {
+                        let end = r.start + config.decision_time(r.job.runtime, r.job.estimate);
+                        (end.max(now), r.job.cores)
+                    })
+                    .collect();
+                releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut avail = ledger.available();
+                let mut shadow = now;
+                let mut spare = 0u32;
+                for (end, cores) in releases {
+                    avail += cores;
+                    if avail >= head.cores {
+                        shadow = end;
+                        spare = avail - head.cores;
+                        break;
+                    }
+                }
+                for &qi in &order[head_pos + 1..] {
+                    let cand = queue[qi].job;
+                    if !ledger.fits(cand.cores) {
+                        continue;
+                    }
+                    let ends_by_shadow =
+                        now + config.decision_time(cand.runtime, cand.estimate) <= shadow;
+                    if ends_by_shadow {
+                        start_job(cand, ledger, running, events);
+                        started[qi] = true;
+                        *backfilled += 1;
+                    } else if cand.cores <= spare {
+                        spare -= cand.cores;
+                        start_job(cand, ledger, running, events);
+                        started[qi] = true;
+                        *backfilled += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut keep = started.iter().map(|s| !s);
+    queue.retain(|_| keep.next().expect("one flag per job"));
+}

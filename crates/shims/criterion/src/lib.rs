@@ -1,0 +1,297 @@
+//! Offline stand-in for [criterion.rs](https://bheisler.github.io/criterion.rs/).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API subset the `dynsched-bench` suite uses — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `Throughput` — as a small wall-clock
+//! harness: warm up for the configured duration, then measure batches until
+//! the measurement budget is spent, and report the per-iteration mean with
+//! min/max over batches. No statistics beyond that; the point is a stable,
+//! machine-parsable number per benchmark, not confidence intervals.
+//!
+//! Output format (one line per benchmark):
+//! `bench: <id> ... <mean> per iter (min <min>, max <max>, N iters)`
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (elements or bytes per
+/// iteration); reported as a rate next to the timing line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark identifier (`group/name` for grouped benches).
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest batch, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest batch, seconds per iteration.
+    pub max_s: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements (or bytes) per second, when a throughput is annotated.
+    pub fn rate(&self) -> Option<f64> {
+        let per_iter = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+        };
+        (self.mean_s > 0.0).then(|| per_iter / self.mean_s)
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Run `f` repeatedly: warm up for the configured warm-up time, then
+    /// measure batches until the measurement budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost so batches can be
+        // sized to make timer overhead negligible.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.config.measurement.as_secs_f64();
+        let batches = self.config.sample_size.max(2) as u64;
+        let batch_iters =
+            ((budget / batches as f64 / per_iter.max(1e-9)).floor() as u64).max(1);
+        self.samples.clear();
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push((batch_iters, t0.elapsed()));
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    config: Config,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            config: Config {
+                sample_size: 10,
+                warm_up: Duration::from_millis(300),
+                measurement: Duration::from_secs(2),
+                filter: None,
+            },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Pick up a name filter from the command line (`cargo bench -- foo`).
+    /// Harness flags (`--bench`, `--exact`, …) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.config.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher<'_>),
+    ) {
+        if let Some(filter) = &self.config.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { config: &self.config, samples: Vec::new() };
+        f(&mut b);
+        let mut total_iters = 0u64;
+        let mut total_time = 0.0f64;
+        let mut min_s = f64::INFINITY;
+        let mut max_s: f64 = 0.0;
+        for &(iters, dt) in &b.samples {
+            let per = dt.as_secs_f64() / iters as f64;
+            min_s = min_s.min(per);
+            max_s = max_s.max(per);
+            total_iters += iters;
+            total_time += dt.as_secs_f64();
+        }
+        let mean_s = if total_iters > 0 { total_time / total_iters as f64 } else { 0.0 };
+        let m = Measurement { id, mean_s, min_s, max_s, iters: total_iters, throughput };
+        let rate = m
+            .rate()
+            .map(|r| {
+                let unit = match m.throughput {
+                    Some(Throughput::Bytes(_)) => "B/s",
+                    _ => "elem/s",
+                };
+                format!("  ({r:.0} {unit})")
+            })
+            .unwrap_or_default();
+        println!(
+            "bench: {:<48} {:>12} per iter (min {}, max {}, {} iters){}",
+            m.id,
+            fmt_time(m.mean_s),
+            fmt_time(m.min_s),
+            fmt_time(m.max_s),
+            m.iters,
+            rate
+        );
+        self.results.push(m);
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id.to_string(), None, &mut f);
+        self
+    }
+
+    /// Open a named group (ids become `group/name`).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// All measurements taken so far (for machine-readable exports).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print a closing summary of every measurement.
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("\n--- benchmark summary ({} benches) ---", self.results.len());
+        for m in &self.results {
+            println!("  {:<48} {:>12}/iter", m.id, fmt_time(m.mean_s));
+        }
+    }
+}
+
+/// Grouped benchmarks with a shared throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let t = self.throughput;
+        self.criterion.run_one(full, t, &mut f);
+        self
+    }
+
+    /// Close the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = fast();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].iters > 0);
+        assert!(c.measurements()[0].mean_s >= 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_ids_and_rates() {
+        let mut c = fast();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("x", |b| b.iter(|| std::hint::black_box(2 * 2)));
+        g.finish();
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "grp/x");
+        assert!(m.rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = fast();
+        c.config.filter = Some("only-this".to_string());
+        c.bench_function("other", |b| b.iter(|| ()));
+        assert!(c.measurements().is_empty());
+    }
+}

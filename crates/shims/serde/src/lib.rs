@@ -1,0 +1,16 @@
+//! No-op stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives
+//! expand to nothing (see the sibling `serde_derive` shim) — nothing
+//! in-tree serializes values, the annotations only declare intent for a
+//! future on-disk format. Replace with the real crates when needed.
+
+/// Marker trait matching `serde::Serialize`'s name. No functionality.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name. No functionality.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

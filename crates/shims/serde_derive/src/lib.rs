@@ -1,0 +1,24 @@
+//! No-op stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, and nothing in-tree
+//! actually serializes values yet — the `#[derive(Serialize, Deserialize)]`
+//! attributes across the workspace only declare intent. These derives
+//! therefore expand to nothing (no trait impls), which keeps every
+//! annotated type compiling without pulling in the real serde machinery.
+//! Swap this shim for the real crates the day an on-disk format needs it.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helper attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helper attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -118,6 +118,16 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Drop all pending events *and* restart the FIFO tie-break sequence,
+    /// keeping the heap's allocation. This is what makes an [`EventQueue`]
+    /// reusable across simulations: after `reset()` the queue behaves
+    /// exactly like a freshly constructed one (same pop order for the same
+    /// pushes), with no reallocation.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
 }
 
 /// A simulation clock that only moves forward.

@@ -15,11 +15,22 @@
 //!   tie-breaking and a monotonic simulation clock;
 //! * [`stats`] — descriptive statistics (median/quantiles/boxplot
 //!   summaries/Welford accumulators) used by the evaluation harness;
-//! * [`parallel`] — rayon-based deterministic fan-out for the
-//!   hundreds of thousands of independent training trials.
+//! * [`parallel`] — deterministic fan-out for the hundreds of thousands of
+//!   independent training trials, on an in-tree scoped thread pool.
+//!
+//! # Determinism contract
 //!
 //! Everything is deterministic given a master seed, including under
-//! parallel execution (streams are derived from trial indices, not threads).
+//! parallel execution. The rule that makes this hold is: **every randomized
+//! task derives its RNG stream from `(master seed, task index)`** via
+//! [`Rng::fork`] — never from thread identity, wall-clock, or any shared
+//! mutable state. The parallel drivers additionally guarantee index-ordered
+//! output, so `run_indexed(master, n, f)` equals the sequential
+//! `(0..n).map(|i| f(i, &mut master.fork(i)))` bit for bit at any thread
+//! count. [`parallel::run_indexed_scoped`] extends the contract to
+//! worker-local *scratch* state (e.g. a reusable simulation workspace):
+//! the state may carry heap capacity between tasks, but must never carry
+//! information — closures reset it before use.
 
 #![warn(missing_docs)]
 

@@ -1,18 +1,128 @@
 //! Deterministic data-parallel experiment driving.
 //!
 //! The training stage of the paper runs hundreds of thousands of independent
-//! trial simulations. We parallelise them with rayon, but keep results
-//! bit-identical to a sequential run by deriving each trial's RNG stream
-//! from `(master seed, trial index)` — never from thread identity.
+//! trial simulations. We fan them out over an in-tree scoped thread pool
+//! (`std::thread::scope` + an atomic work counter; the build environment has
+//! no crates.io access, so no rayon), but keep results bit-identical to a
+//! sequential run by deriving each task's RNG stream from
+//! `(master seed, task index)` — never from thread identity.
+//!
+//! # Determinism contract
+//!
+//! Every driver here guarantees: output slot `i` depends only on the master
+//! seed and `i`, and the returned vector is ordered by index. Worker threads
+//! claim contiguous chunks of indices dynamically, so scheduling varies run
+//! to run — but since no per-task state leaks between indices (worker-local
+//! state handed out by [`run_indexed_scoped`] must be *reset* by the closure,
+//! never read), results do not.
 
 use crate::rng::Rng;
-use rayon::prelude::*;
+use std::cell::Cell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static WORKER_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Run `f` with every fan-out on *this* thread capped at `limit` worker
+/// threads. Exists so tests can prove results are identical at any pool
+/// width; production code should let the drivers size themselves.
+pub fn with_worker_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_LIMIT.with(|c| c.set(self.0));
+        }
+    }
+    // Restore on unwind too: a panicking closure (an assertion in a test)
+    // must not pin this thread to the override for later callers.
+    let _restore = Restore(WORKER_LIMIT.with(|c| c.replace(Some(limit.max(1)))));
+    f()
+}
+
+/// Number of worker threads for `count` tasks.
+fn worker_count(count: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    WORKER_LIMIT
+        .with(Cell::get)
+        .unwrap_or(hw)
+        .min(count)
+        .max(1)
+}
+
+/// Shareable raw pointer to the output buffer. Safety: workers write
+/// disjoint index ranges (each index is claimed by exactly one chunk).
+struct OutPtr<T>(*mut MaybeUninit<T>);
+unsafe impl<T: Send> Send for OutPtr<T> {}
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+/// Core fan-out: run `f(index, &mut worker_state)` for every index in
+/// `0..count` on a scoped thread pool, collecting results in index order.
+/// `init` is called once per worker thread to build its reusable state.
+fn fan_out<T, S, I, F>(count: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(count);
+    if workers == 1 {
+        let mut state = init();
+        return (0..count).map(|i| f(i, &mut state)).collect();
+    }
+
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(count);
+    // Chunks small enough to balance uneven task costs, large enough to
+    // keep the atomic counter cold.
+    let chunk = (count / (workers * 8)).max(1);
+    let next = AtomicUsize::new(0);
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let out_ptr = &out_ptr;
+                let mut state = init();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= count {
+                        break;
+                    }
+                    let end = (start + chunk).min(count);
+                    for i in start..end {
+                        let value = f(i, &mut state);
+                        // Safety: index `i` belongs to exactly one claimed
+                        // chunk, so this write is race-free; the slot is
+                        // within the `count`-capacity allocation.
+                        unsafe { (*out_ptr.0.add(i)).write(value) };
+                    }
+                }
+            });
+        }
+    });
+    // Safety: the scope joined all workers, and together they initialized
+    // every slot in 0..count exactly once. If a task panicked, the scope
+    // re-raises after joining and this block never runs; slots that were
+    // already written are then leaked (Vec<MaybeUninit<T>> does not drop
+    // its elements) — a deliberate trade: leaking is memory-safe, and a
+    // panic inside `f` is a programming error that ends the run.
+    unsafe {
+        out.set_len(count);
+        let ptr = out.as_mut_ptr() as *mut T;
+        let cap = out.capacity();
+        std::mem::forget(out);
+        Vec::from_raw_parts(ptr, count, cap)
+    }
+}
 
 /// Run `count` independent jobs in parallel, each with its own forked RNG.
 ///
 /// `f(index, rng)` is invoked once per index in `0..count`; the output vector
-/// is ordered by index. Results are independent of the rayon thread pool's
-/// scheduling, because stream `i` depends only on `master.seed()` and `i`.
+/// is ordered by index. Results are independent of thread scheduling,
+/// because stream `i` depends only on `master.seed()` and `i`.
 ///
 /// # Example
 /// ```
@@ -29,22 +139,49 @@ where
     T: Send,
     F: Fn(usize, &mut Rng) -> T + Sync,
 {
-    (0..count)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = master.fork(i as u64);
-            f(i, &mut rng)
-        })
-        .collect()
+    run_indexed_scoped(master, count, || (), |i, rng, ()| f(i, rng))
 }
 
-/// Like [`run_indexed`], but folds results with `identity`/`fold`/`reduce`
-/// instead of materialising a vector. The reduction must be associative and
-/// commutative for the outcome to be deterministic (e.g. a counter merge or
-/// a per-key map union). **Floating-point sums are not associative** — when
-/// bit-exact reproducibility across thread counts matters, prefer
-/// [`run_indexed`] followed by a sequential fold, as the training pipeline
-/// does.
+/// Like [`run_indexed`], but hands each worker thread a reusable state
+/// built by `init` — the hook the batched trial kernel uses to give every
+/// worker one simulation workspace that is cleared, not reallocated,
+/// between trials.
+///
+/// Determinism: `state` is worker-local and survives across the indices a
+/// worker happens to process, so `f` must treat it as *scratch* — fully
+/// reset before use, never read to influence the result. Under that
+/// contract the output for index `i` still depends only on
+/// `(master.seed(), i)` and is bit-identical for any thread count.
+pub fn run_indexed_scoped<T, S, I, F>(master: &Rng, count: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut Rng, &mut S) -> T + Sync,
+{
+    fan_out(count, init, |i, state| {
+        let mut rng = master.fork(i as u64);
+        f(i, &mut rng, state)
+    })
+}
+
+/// Parallel map over a slice, output in input order. No RNG involved; for
+/// deterministic randomized work use [`run_indexed`] / [`map_items`].
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    fan_out(items.len(), || (), |i, ()| f(&items[i]))
+}
+
+/// Like [`run_indexed`], but folds results into `workers` partial
+/// accumulators (one per contiguous index range) and reduces them
+/// left-to-right. Deterministic for *associative* operations; for
+/// floating-point sums — which are not associative — the partial split
+/// still depends on the worker count, so when bit-exact reproducibility
+/// across machines matters, prefer [`run_indexed`] followed by a
+/// sequential fold, as the training pipeline does.
 pub fn run_indexed_reduce<A, F, R, I>(
     master: &Rng,
     count: usize,
@@ -58,13 +195,25 @@ where
     F: Fn(A, usize, &mut Rng) -> A + Sync,
     R: Fn(A, A) -> A + Sync + Send,
 {
-    (0..count)
-        .into_par_iter()
-        .fold(&identity, |acc, i| {
-            let mut rng = master.fork(i as u64);
-            fold(acc, i, &mut rng)
-        })
-        .reduce(&identity, reduce)
+    if count == 0 {
+        return identity();
+    }
+    let workers = worker_count(count);
+    let per = count.div_ceil(workers);
+    let partials: Vec<A> = par_map(
+        &(0..workers)
+            .map(|w| (w * per, ((w + 1) * per).min(count)))
+            .collect::<Vec<_>>(),
+        |&(start, end)| {
+            let mut acc = identity();
+            for i in start..end {
+                let mut rng = master.fork(i as u64);
+                acc = fold(acc, i, &mut rng);
+            }
+            acc
+        },
+    );
+    partials.into_iter().fold(identity(), reduce)
 }
 
 /// Run a job per element of `items`, in parallel, each with a forked stream.
@@ -74,14 +223,7 @@ where
     U: Send,
     F: Fn(&T, usize, &mut Rng) -> U + Sync,
 {
-    items
-        .par_iter()
-        .enumerate()
-        .map(|(i, item)| {
-            let mut rng = master.fork(i as u64);
-            f(item, i, &mut rng)
-        })
-        .collect()
+    run_indexed(master, items.len(), |i, rng| f(&items[i], i, rng))
 }
 
 #[cfg(test)]
@@ -103,6 +245,37 @@ mod tests {
         let a = run_indexed(&master, 100, |_, rng| rng.next_f64());
         let b = run_indexed(&master, 100, |_, rng| rng.next_f64());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scoped_state_is_reusable_scratch() {
+        // The worker-local buffer is cleared per task; results must be as if
+        // each task had a fresh one.
+        let master = Rng::new(99);
+        let got = run_indexed_scoped(
+            &master,
+            500,
+            Vec::<u64>::new,
+            |i, rng, buf| {
+                buf.clear();
+                buf.extend((0..4).map(|_| rng.next_u64()));
+                buf.iter().fold(i as u64, |a, &x| a.wrapping_add(x))
+            },
+        );
+        let want: Vec<u64> = (0..500u64)
+            .map(|i| {
+                let mut rng = master.fork(i);
+                (0..4).fold(i, |a, _| a.wrapping_add(rng.next_u64()))
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<i64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
@@ -146,5 +319,16 @@ mod tests {
         let master = Rng::new(9);
         let out: Vec<u64> = run_indexed(&master, 0, |_, rng| rng.next_u64());
         assert!(out.is_empty());
+        let empty: Vec<u8> = par_map(&[] as &[u8], |&b| b);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn non_copy_results_survive_the_unsafe_collection() {
+        let master = Rng::new(31);
+        let out = run_indexed(&master, 300, |i, rng| format!("{i}:{}", rng.next_u64()));
+        for (i, s) in out.iter().enumerate() {
+            assert!(s.starts_with(&format!("{i}:")));
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! Streams are derived with [`Rng::fork`], which hashes the parent seed with
 //! a stream index through SplitMix64. Two forks with different indices are
 //! statistically independent for every practical purpose, which is what the
-//! rayon-parallel trial driver relies on (each trial forks its own stream, so
+//! parallel trial driver relies on (each trial forks its own stream, so
 //! results do not depend on thread scheduling).
 
 /// SplitMix64 seed expander (Steele, Lea & Flood; public-domain reference).

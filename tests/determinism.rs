@@ -18,12 +18,14 @@ fn trial_scores_identical_across_thread_pools() {
     let trial_spec = TrialSpec { trials: 256, platform: Platform::new(64), tau: 10.0 };
 
     let wide = trial_scores(&tuple, &trial_spec, &Rng::new(11));
-    let narrow = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .expect("pool")
-        .install(|| trial_scores(&tuple, &trial_spec, &Rng::new(11)));
+    let narrow = dynsched::simkit::parallel::with_worker_limit(1, || {
+        trial_scores(&tuple, &trial_spec, &Rng::new(11))
+    });
+    let mid = dynsched::simkit::parallel::with_worker_limit(3, || {
+        trial_scores(&tuple, &trial_spec, &Rng::new(11))
+    });
     assert_eq!(wide, narrow, "results must not depend on thread count");
+    assert_eq!(wide, mid, "results must not depend on thread count");
 }
 
 #[test]

@@ -1,5 +1,7 @@
 //! Property tests for the post-initial-build extensions: walltime kills,
-//! deep reservations, transforms, and the streaming quantile.
+//! deep reservations, transforms, and the streaming quantile. Cases are
+//! generated with the in-tree deterministic RNG (no crates.io access, so no
+//! proptest); failures report the case seed that reproduces them.
 
 use dynsched::cluster::{Job, Platform};
 use dynsched::policies::{paper_lineup, Fcfs};
@@ -8,60 +10,65 @@ use dynsched::simkit::quantile::P2Quantile;
 use dynsched::simkit::Rng;
 use dynsched::workload::transform::{rescale_platform, scale_load};
 use dynsched::workload::Trace;
-use proptest::prelude::*;
 
-fn arb_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
-    prop::collection::vec(
-        (0.0f64..5_000.0, 1.0f64..5_000.0, 0.2f64..3.0, 1u32..32),
-        1..max_jobs,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (submit, runtime, over, cores))| {
-                // `over` below 1 produces under-estimates on purpose.
-                Job::new(i as u32, submit, runtime, (runtime * over).max(1.0), cores)
-            })
-            .collect()
-    })
+/// Random jobs whose estimates may under- *or* over-shoot the runtime
+/// (factor in `[0.2, 3)`).
+fn random_jobs(rng: &mut Rng, max_jobs: usize) -> Vec<Job> {
+    let n = rng.range_u64(1, max_jobs as u64) as usize;
+    (0..n)
+        .map(|i| {
+            let submit = rng.range_f64(0.0, 5_000.0);
+            let runtime = rng.range_f64(1.0, 5_000.0);
+            let over = rng.range_f64(0.2, 3.0);
+            let cores = rng.range_u64(1, 31) as u32;
+            // `over` below 1 produces under-estimates on purpose.
+            Job::new(i as u32, submit, runtime, (runtime * over).max(1.0), cores)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn kill_mode_schedules_are_legal(jobs in arb_jobs(30)) {
+#[test]
+fn kill_mode_schedules_are_legal() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x1111 ^ case);
+        let jobs = random_jobs(&mut rng, 30);
         let mut config = SchedulerConfig::user_estimates(Platform::new(32));
         config.kill_at_estimate = true;
         let trace = Trace::from_jobs(jobs.clone());
         let result = simulate(&trace, &QueueDiscipline::Policy(&Fcfs), &config);
-        prop_assert_eq!(result.completed.len(), jobs.len());
+        assert_eq!(result.completed.len(), jobs.len(), "case {case}");
         for c in &result.completed {
             // Executed exactly min(runtime, estimate); killed flag agrees.
             let expect = c.job.runtime.min(c.job.estimate);
-            prop_assert!((c.executed() - expect).abs() < 1e-9);
-            prop_assert_eq!(c.was_killed(), c.job.estimate < c.job.runtime - 1e-9);
-            prop_assert!(c.bounded_slowdown(10.0) >= 1.0);
+            assert!((c.executed() - expect).abs() < 1e-9, "case {case}");
+            assert_eq!(
+                c.was_killed(),
+                c.job.estimate < c.job.runtime - 1e-9,
+                "case {case}"
+            );
+            assert!(c.bounded_slowdown(10.0) >= 1.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn deep_reservations_stay_legal_for_every_depth(
-        jobs in arb_jobs(25),
-        depth in 1u32..6,
-        policy_idx in 0usize..8,
-    ) {
-        let lineup = paper_lineup();
+#[test]
+fn deep_reservations_stay_legal_for_every_depth() {
+    let lineup = paper_lineup();
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x2222 ^ case);
+        let jobs = random_jobs(&mut rng, 25);
+        let depth = rng.range_u64(1, 5) as u32;
+        let policy = &lineup[rng.next_below(lineup.len() as u64) as usize];
         let mut config = SchedulerConfig::user_estimates(Platform::new(32));
         config.backfill = BackfillMode::Aggressive;
         config.reservation_depth = depth;
         let trace = Trace::from_jobs(jobs.clone());
-        let result = simulate(&trace, &QueueDiscipline::Policy(lineup[policy_idx].as_ref()), &config);
-        prop_assert_eq!(result.completed.len(), jobs.len());
+        let result = simulate(&trace, &QueueDiscipline::Policy(policy.as_ref()), &config);
+        assert_eq!(result.completed.len(), jobs.len(), "case {case}");
         // Core conservation via event replay.
         let mut events: Vec<(f64, i64)> = Vec::new();
         for c in &result.completed {
-            prop_assert!(c.start >= c.job.submit);
+            assert!(c.start >= c.job.submit, "case {case}");
             events.push((c.start, c.job.cores as i64));
             events.push((c.finish, -(c.job.cores as i64)));
         }
@@ -69,44 +76,59 @@ proptest! {
         let mut used = 0i64;
         for (_, d) in events {
             used += d;
-            prop_assert!((0..=32).contains(&used));
+            assert!((0..=32).contains(&used), "case {case}: depth {depth}, {used} in use");
         }
     }
+}
 
-    #[test]
-    fn scale_load_preserves_job_multiset(jobs in arb_jobs(25), factor in 0.25f64..4.0) {
+#[test]
+fn scale_load_preserves_job_multiset() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x3333 ^ case);
+        let jobs = random_jobs(&mut rng, 25);
+        let factor = rng.range_f64(0.25, 4.0);
         let trace = Trace::from_jobs(jobs);
         let scaled = scale_load(&trace, factor);
-        prop_assert_eq!(scaled.len(), trace.len());
+        assert_eq!(scaled.len(), trace.len(), "case {case}");
         for (a, b) in trace.jobs().iter().zip(scaled.jobs()) {
-            prop_assert_eq!(a.runtime, b.runtime);
-            prop_assert_eq!(a.cores, b.cores);
-            prop_assert_eq!(a.estimate, b.estimate);
+            assert_eq!(a.runtime, b.runtime, "case {case}");
+            assert_eq!(a.cores, b.cores, "case {case}");
+            assert_eq!(a.estimate, b.estimate, "case {case}");
         }
         // Round-tripping the factor restores submit times.
         let back = scale_load(&scaled, 1.0 / factor);
         for (a, b) in trace.jobs().iter().zip(back.jobs()) {
-            prop_assert!((a.submit - b.submit).abs() < 1e-6 * a.submit.max(1.0));
+            assert!(
+                (a.submit - b.submit).abs() < 1e-6 * a.submit.max(1.0),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn rescale_platform_respects_bounds(jobs in arb_jobs(25), to_cores in 2u32..512) {
+#[test]
+fn rescale_platform_respects_bounds() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x4444 ^ case);
+        let jobs = random_jobs(&mut rng, 25);
+        let to_cores = rng.range_u64(2, 511) as u32;
         let trace = Trace::from_jobs(jobs);
         let rescaled = rescale_platform(&trace, 32, to_cores);
         for j in rescaled.jobs() {
-            prop_assert!(j.cores >= 1 && j.cores <= to_cores);
+            assert!(j.cores >= 1 && j.cores <= to_cores, "case {case}");
         }
         // Serial jobs stay serial.
         for (a, b) in trace.jobs().iter().zip(rescaled.jobs()) {
             if a.cores == 1 {
-                prop_assert_eq!(b.cores, 1);
+                assert_eq!(b.cores, 1, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn p2_median_tracks_exact_median(seed in 0u64..500) {
+#[test]
+fn p2_median_tracks_exact_median() {
+    for seed in 0..100u64 {
         let mut rng = Rng::new(seed);
         let xs: Vec<f64> = (0..2_000).map(|_| rng.next_f64() * 100.0).collect();
         let mut p2 = P2Quantile::median();
@@ -117,6 +139,6 @@ proptest! {
         sorted.sort_by(f64::total_cmp);
         let exact = sorted[1_000];
         let est = p2.estimate().unwrap();
-        prop_assert!((est - exact).abs() < 5.0, "est {est} exact {exact}");
+        assert!((est - exact).abs() < 5.0, "seed {seed}: est {est} exact {exact}");
     }
 }
