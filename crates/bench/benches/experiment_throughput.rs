@@ -1,0 +1,247 @@
+//! Evaluation-grid throughput: the batched evaluation session (one
+//! metrics-only cell per `(policy, sequence)`, one reusable workspace per
+//! worker) against two per-cell baselines:
+//!
+//! * **per-cell `simulate()`** — the allocating wrapper over *today's*
+//!   engine: fresh workspace per cell, full per-job result materialized,
+//!   then reduced to one AVEbsld number. This isolates what the session's
+//!   amortization (workspace reuse + metrics-only reduction) buys, since
+//!   the baseline shares the engine's reschedule fast paths.
+//! * **per-cell seed engine** — the same loop over
+//!   `scheduler::reference`, the engine the evaluation harness originally
+//!   ran on and the baseline the repo's performance tracking measures
+//!   against (as in `trial_throughput`).
+//!
+//! The grid shape mirrors the paper's protocol — a policy line-up crossed
+//! with a set of sequences under one scheduler configuration — and the
+//! numbers are recorded in `BENCH_experiment_throughput.json` at the repo
+//! root, alongside the trial-throughput file, so the performance
+//! trajectory is tracked across PRs.
+
+use criterion::{Criterion, Throughput};
+use dynsched_bench::{banner, criterion, full_scale};
+use dynsched_cluster::{Platform, DEFAULT_TAU};
+use dynsched_core::session::EvalSession;
+use dynsched_core::{run_experiment, Experiment};
+use dynsched_policies::{Fcfs, LearnedPolicy, Policy, Spt, Wfp3};
+use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig, SimMetrics};
+use dynsched_simkit::parallel::par_map;
+use dynsched_simkit::Rng;
+use dynsched_workload::{LublinModel, Trace};
+use std::hint::black_box;
+
+/// Saturated short sequences: many cells, so per-cell overhead (workspace
+/// allocation, result materialization) is visible next to simulation work
+/// — the regime every grid-scale study (Table 4, sweeps) lives in.
+fn sequences(count: usize, jobs: usize) -> Vec<Trace> {
+    let mut model = LublinModel::new(32);
+    model.daily_cycle = false;
+    model.arrival_scale = 0.05;
+    let mut rng = Rng::new(0xE7A1);
+    (0..count).map(|_| model.generate_jobs(jobs, &mut rng)).collect()
+}
+
+fn lineup() -> Vec<Box<dyn Policy>> {
+    vec![Box::new(Fcfs), Box::new(Spt), Box::new(Wfp3), Box::new(LearnedPolicy::f1())]
+}
+
+/// The evaluation loop exactly as the pre-session harness ran it: the
+/// `(policy × sequence)` cells fanned out with `par_map`, each cell
+/// calling the allocating `simulate()` wrapper and reducing the full
+/// result afterwards.
+fn legacy_grid(
+    policies: &[Box<dyn Policy>],
+    seqs: &[Trace],
+    config: &SchedulerConfig,
+) -> Vec<(f64, u64)> {
+    let cells: Vec<(usize, usize)> = (0..policies.len())
+        .flat_map(|p| (0..seqs.len()).map(move |s| (p, s)))
+        .collect();
+    par_map(&cells, |&(p, s)| {
+        let result = simulate(
+            &seqs[s],
+            &QueueDiscipline::Policy(policies[p].as_ref()),
+            config,
+        );
+        (
+            result.avg_bounded_slowdown(DEFAULT_TAU).expect("non-empty"),
+            result.backfilled_jobs,
+        )
+    })
+}
+
+/// The same per-cell loop over the seed engine (`scheduler::reference`) —
+/// the baseline the repo's performance tracking measures against, as in
+/// `trial_throughput`.
+fn seed_grid(
+    policies: &[Box<dyn Policy>],
+    seqs: &[Trace],
+    config: &SchedulerConfig,
+) -> Vec<(f64, u64)> {
+    let cells: Vec<(usize, usize)> = (0..policies.len())
+        .flat_map(|p| (0..seqs.len()).map(move |s| (p, s)))
+        .collect();
+    par_map(&cells, |&(p, s)| {
+        let result = dynsched_scheduler::reference::simulate_reference(
+            &seqs[s],
+            &QueueDiscipline::Policy(policies[p].as_ref()),
+            config,
+        );
+        (
+            result.avg_bounded_slowdown(DEFAULT_TAU).expect("non-empty"),
+            result.backfilled_jobs,
+        )
+    })
+}
+
+fn session_grid(
+    policies: &[Box<dyn Policy>],
+    seqs: &[Trace],
+    config: &SchedulerConfig,
+) -> Vec<SimMetrics> {
+    let mut session = EvalSession::new();
+    session.push_grid(policies, seqs, config, DEFAULT_TAU);
+    session.run()
+}
+
+struct Timed {
+    seconds: f64,
+    cells_per_sec: f64,
+    us_per_cell: f64,
+}
+
+/// Best-of-`reps` wall time (the minimum is the least noise-contaminated
+/// estimate on a shared machine).
+fn time_cells(cells: usize, reps: usize, mut f: impl FnMut()) -> Timed {
+    let mut seconds = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        seconds = seconds.min(t0.elapsed().as_secs_f64());
+    }
+    Timed {
+        seconds,
+        cells_per_sec: cells as f64 / seconds,
+        us_per_cell: seconds / cells as f64 * 1e6,
+    }
+}
+
+fn regenerate() {
+    banner("Evaluation-grid throughput: batched session vs per-cell baselines");
+    let (n_seqs, n_jobs, reps) = if full_scale() { (512, 120, 5) } else { (256, 16, 5) };
+    let seqs = sequences(n_seqs, n_jobs);
+    let policies = lineup();
+    let config = SchedulerConfig::actual_runtimes(Platform::new(32));
+    let cells = policies.len() * seqs.len();
+
+    let mut session_out = None;
+    let session = time_cells(cells, reps, || {
+        session_out = Some(session_grid(&policies, &seqs, &config))
+    });
+    let mut legacy_out = None;
+    let legacy = time_cells(cells, reps, || {
+        legacy_out = Some(legacy_grid(&policies, &seqs, &config))
+    });
+    let mut seed_out = None;
+    let seed = time_cells(cells, reps, || {
+        seed_out = Some(seed_grid(&policies, &seqs, &config))
+    });
+
+    // Cross-path check: the session's metrics must reproduce both per-cell
+    // reductions bit for bit.
+    let session_out = session_out.unwrap();
+    let legacy_out = legacy_out.unwrap();
+    let seed_out = seed_out.unwrap();
+    assert_eq!(session_out.len(), legacy_out.len());
+    for (m, (ave, bf)) in session_out.iter().zip(&legacy_out) {
+        assert_eq!(m.avg_bounded_slowdown(), Some(*ave), "session diverged from per-cell path");
+        assert_eq!(m.backfilled_jobs, *bf);
+    }
+    for (m, (ave, bf)) in session_out.iter().zip(&seed_out) {
+        assert_eq!(m.avg_bounded_slowdown(), Some(*ave), "session diverged from seed engine");
+        assert_eq!(m.backfilled_jobs, *bf);
+    }
+
+    let speedup_fast = session.cells_per_sec / legacy.cells_per_sec;
+    let speedup_seed = session.cells_per_sec / seed.cells_per_sec;
+    println!(
+        "session:               {} cells in {:.3} s  ->  {:.2} µs/cell ({:.0} cells/s)",
+        cells, session.seconds, session.us_per_cell, session.cells_per_sec
+    );
+    println!(
+        "per-cell simulate():   {} cells in {:.3} s  ->  {:.2} µs/cell ({:.0} cells/s)  [{speedup_fast:.2}x]",
+        cells, legacy.seconds, legacy.us_per_cell, legacy.cells_per_sec
+    );
+    println!(
+        "per-cell seed engine:  {} cells in {:.3} s  ->  {:.2} µs/cell ({:.0} cells/s)  [{speedup_seed:.2}x]",
+        cells, seed.seconds, seed.us_per_cell, seed.cells_per_sec
+    );
+
+    let json = format!(
+        "{{\n  \
+           \"bench\": \"experiment_throughput\",\n  \
+           \"scale\": \"{}\",\n  \
+           \"grid\": {{ \"policies\": {}, \"sequences\": {}, \"jobs_per_sequence\": {}, \"cells\": {} }},\n  \
+           \"session\": {{ \"seconds\": {:.4}, \"cells_per_sec\": {:.1}, \"us_per_cell\": {:.3} }},\n  \
+           \"per_cell_simulate\": {{ \"seconds\": {:.4}, \"cells_per_sec\": {:.1}, \"us_per_cell\": {:.3} }},\n  \
+           \"per_cell_seed_engine\": {{ \"seconds\": {:.4}, \"cells_per_sec\": {:.1}, \"us_per_cell\": {:.3} }},\n  \
+           \"speedup_vs_per_cell_simulate\": {:.3},\n  \
+           \"speedup_vs_seed_engine\": {:.3}\n}}\n",
+        if full_scale() { "paper" } else { "reduced" },
+        policies.len(),
+        seqs.len(),
+        n_jobs,
+        cells,
+        session.seconds,
+        session.cells_per_sec,
+        session.us_per_cell,
+        legacy.seconds,
+        legacy.cells_per_sec,
+        legacy.us_per_cell,
+        seed.seconds,
+        seed.cells_per_sec,
+        seed.us_per_cell,
+        speedup_fast,
+        speedup_seed,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment_throughput.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let seqs = sequences(16, 60);
+    let policies = lineup();
+    let config = SchedulerConfig::estimates_with_backfilling(Platform::new(32));
+    let cells = (policies.len() * seqs.len()) as u64;
+    let mut g = c.benchmark_group("experiment/grid");
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("session", |b| {
+        b.iter(|| black_box(session_grid(&policies, &seqs, &config)))
+    });
+    g.bench_function("per_cell_simulate", |b| {
+        b.iter(|| black_box(legacy_grid(&policies, &seqs, &config)))
+    });
+    g.bench_function("per_cell_seed_engine", |b| {
+        b.iter(|| black_box(seed_grid(&policies, &seqs, &config)))
+    });
+    g.finish();
+
+    let experiment = Experiment::new(
+        "bench",
+        sequences(8, 60),
+        SchedulerConfig::actual_runtimes(Platform::new(32)),
+    );
+    c.bench_function("experiment/run_experiment_8x4", |b| {
+        b.iter(|| black_box(run_experiment(&experiment, &policies)))
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

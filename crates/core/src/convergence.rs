@@ -6,7 +6,7 @@
 //! scores across repetitions, and normalizes; 256k trials give a
 //! normalized deviation of 0.02, at which point they stop.
 
-use crate::trials::{trial_scores, TrialSpec};
+use crate::trials::{trial_scores_batched, TrialBatch, TrialSpec};
 use crate::tuples::TaskTuple;
 use dynsched_simkit::stats::std_dev_population;
 use dynsched_simkit::Rng;
@@ -30,6 +30,13 @@ pub struct ConvergencePoint {
 /// batches (fresh permutation streams), computes the per-task standard
 /// deviation of the score across repetitions, averages over tasks, and
 /// finally normalizes the whole curve by its maximum.
+///
+/// Every `(count × repetition)` cell of the study runs in **one** batched
+/// trial session ([`trial_scores_batched`]): the tuple's trace is built
+/// once and the whole curve shares a single fan-out, with per-cell streams
+/// forked from `(master, count index × 1000 + repetition)` exactly as the
+/// sequential per-cell loop did — the per-cell distributions are
+/// bit-identical to it.
 pub fn convergence_curve(
     tuple: &TaskTuple,
     trial_counts: &[usize],
@@ -39,15 +46,24 @@ pub fn convergence_curve(
 ) -> Vec<ConvergencePoint> {
     assert!(repetitions >= 2, "need at least two repetitions for a deviation");
     let q = tuple.q_tasks.len();
+    let batches: Vec<TrialBatch<'_>> = trial_counts
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, &count)| {
+            (0..repetitions).map(move |rep| TrialBatch {
+                tuple,
+                trials: count,
+                master: master.fork((ci * 1_000 + rep) as u64),
+            })
+        })
+        .collect();
+    let all_scores = trial_scores_batched(&batches, base_spec.platform, base_spec.tau);
+
     let mut raw: Vec<(usize, f64)> = Vec::with_capacity(trial_counts.len());
     for (ci, &count) in trial_counts.iter().enumerate() {
-        let spec = TrialSpec { trials: count, ..*base_spec };
-        // Distinct stream per (count, repetition); score matrix is
-        // repetitions × q.
+        // Score matrix of this count: repetitions × q.
         let mut per_task: Vec<Vec<f64>> = vec![Vec::with_capacity(repetitions); q];
-        for rep in 0..repetitions {
-            let stream = master.fork((ci * 1_000 + rep) as u64);
-            let scores = trial_scores(tuple, &spec, &stream);
+        for scores in &all_scores[ci * repetitions..(ci + 1) * repetitions] {
             for (k, &s) in scores.scores.iter().enumerate() {
                 per_task[k].push(s);
             }

@@ -6,10 +6,10 @@
 //! slowdown** per sequence — the statistic behind every boxplot figure and
 //! every median in Table 4.
 
+use crate::session::EvalSession;
 use dynsched_cluster::DEFAULT_TAU;
 use dynsched_policies::Policy;
-use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig};
-use dynsched_simkit::parallel::par_map;
+use dynsched_scheduler::{SchedulerConfig, SimMetrics};
 use dynsched_simkit::stats::{mean, median, std_dev, BoxplotSummary};
 use dynsched_workload::Trace;
 use serde::{Deserialize, Serialize};
@@ -82,57 +82,84 @@ impl ExperimentResult {
     }
 }
 
-/// Run `experiment` under every policy. The (policy × sequence) grid is
-/// simulated in parallel; results are deterministic because each cell's
-/// simulation is a pure function of its inputs.
+/// Run `experiment` under every policy through one batched
+/// [`EvalSession`]: every `(policy × sequence)` cell runs the engine's
+/// metrics-only mode with a per-worker reusable workspace. Results are
+/// deterministic because each cell's simulation is a pure function of its
+/// inputs.
 ///
 /// # Panics
 /// Panics if the experiment has no sequences, or a sequence contains a job
 /// wider than the platform.
 pub fn run_experiment(experiment: &Experiment, policies: &[Box<dyn Policy>]) -> ExperimentResult {
-    assert!(!experiment.sequences.is_empty(), "experiment without sequences");
-    let cells: Vec<(usize, usize)> = (0..policies.len())
-        .flat_map(|p| (0..experiment.sequences.len()).map(move |s| (p, s)))
-        .collect();
-    let measured: Vec<(usize, usize, f64, u64)> = par_map(&cells, |&(p, s)| {
-            let result = simulate(
-                &experiment.sequences[s],
-                &QueueDiscipline::Policy(policies[p].as_ref()),
-                &experiment.scheduler,
-            );
-            let ave = result
-                .avg_bounded_slowdown(experiment.tau)
-                .expect("sequences are non-empty");
-            (p, s, ave, result.backfilled_jobs)
-    });
+    run_experiments(std::slice::from_ref(experiment), policies)
+        .pop()
+        .expect("one experiment in, one result out")
+}
 
-    let mut per_policy: Vec<Vec<f64>> =
-        vec![vec![0.0; experiment.sequences.len()]; policies.len()];
-    let mut backfills: Vec<Vec<f64>> =
-        vec![vec![0.0; experiment.sequences.len()]; policies.len()];
-    for (p, s, ave, bf) in measured {
-        per_policy[p][s] = ave;
-        backfills[p][s] = bf as f64;
+/// Run several experiments as **one** batched evaluation session: all
+/// `(experiment × policy × sequence)` cells share a single fan-out, so a
+/// Table 4 run or a load sweep saturates the pool end to end instead of
+/// paying a parallel-region barrier per experiment. Results come back in
+/// experiment order and are bit-identical to calling [`run_experiment`]
+/// per experiment.
+///
+/// # Panics
+/// Panics if any experiment has no sequences, or a sequence contains a
+/// job wider than its platform.
+pub fn run_experiments(
+    experiments: &[Experiment],
+    policies: &[Box<dyn Policy>],
+) -> Vec<ExperimentResult> {
+    let mut session = EvalSession::new();
+    for experiment in experiments {
+        assert!(!experiment.sequences.is_empty(), "experiment without sequences");
+        session.push_grid(
+            policies,
+            &experiment.sequences,
+            &experiment.scheduler,
+            experiment.tau,
+        );
     }
+    let table = session.run();
 
-    let outcomes = policies
+    // The session's result table is index-dense in push order, so each
+    // experiment's policy-major block slices straight out of it — no
+    // scatter/re-sort bookkeeping.
+    let mut out = Vec::with_capacity(experiments.len());
+    let mut base = 0usize;
+    for experiment in experiments {
+        let n_seq = experiment.sequences.len();
+        let outcomes = policies
+            .iter()
+            .enumerate()
+            .map(|(p, policy)| {
+                let row = &table[base + p * n_seq..base + (p + 1) * n_seq];
+                outcome_from_metrics(policy.name(), row)
+            })
+            .collect();
+        base += policies.len() * n_seq;
+        out.push(ExperimentResult { name: experiment.name.clone(), outcomes });
+    }
+    out
+}
+
+/// Reduce one policy's row of per-sequence metrics to a [`PolicyOutcome`].
+fn outcome_from_metrics(policy: &str, row: &[SimMetrics]) -> PolicyOutcome {
+    let ave_bslds: Vec<f64> = row
         .iter()
-        .enumerate()
-        .map(|(p, policy)| {
-            let xs = &per_policy[p];
-            PolicyOutcome {
-                policy: policy.name().to_string(),
-                ave_bslds: xs.clone(),
-                summary: BoxplotSummary::from_samples(xs).expect("non-empty"),
-                median: median(xs).expect("non-empty"),
-                mean: mean(xs).expect("non-empty"),
-                std_dev: std_dev(xs).unwrap_or(0.0),
-                mean_backfilled: mean(&backfills[p]).expect("non-empty"),
-            }
-        })
+        .map(|m| m.avg_bounded_slowdown().expect("sequences are non-empty"))
         .collect();
-
-    ExperimentResult { name: experiment.name.clone(), outcomes }
+    let backfills: Vec<f64> = row.iter().map(|m| m.backfilled_jobs as f64).collect();
+    PolicyOutcome {
+        policy: policy.to_string(),
+        summary: BoxplotSummary::from_samples(&ave_bslds).expect("non-empty"),
+        median: median(&ave_bslds).expect("non-empty"),
+        mean: mean(&ave_bslds).expect("non-empty"),
+        std_dev: std_dev(&ave_bslds).unwrap_or(0.0),
+        mean_backfilled: mean(&backfills).expect("non-empty"),
+        ave_bslds,
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +245,23 @@ mod tests {
             assert_eq!(o.median, 1.0);
             assert_eq!(o.std_dev, 0.0);
         }
+    }
+
+    #[test]
+    fn batched_experiments_equal_individual_runs() {
+        let exps: Vec<Experiment> = (0..3)
+            .map(|k| {
+                Experiment::new(
+                    format!("exp-{k}"),
+                    heavy_tailed_sequences(10 + k, 2),
+                    SchedulerConfig::actual_runtimes(Platform::new(32)),
+                )
+            })
+            .collect();
+        let batched = run_experiments(&exps, &lineup());
+        let individual: Vec<ExperimentResult> =
+            exps.iter().map(|e| run_experiment(e, &lineup())).collect();
+        assert_eq!(batched, individual);
     }
 
     #[test]

@@ -11,11 +11,31 @@
 //! * [`convergence`] — the trial-count convergence study (Fig. 2);
 //! * [`pipeline`] — tuples → trials → pooled `score(r,n,s)` → weighted
 //!   nonlinear regression → ranked policies (Table 3);
+//! * [`session`] — the batched evaluation session every grid runs
+//!   through: cells fanned out with one reusable workspace per worker,
+//!   each cell in the engine's metrics-only mode;
 //! * [`experiments`] — the dynamic scheduling experiment harness
 //!   (ten 15-day sequences × policy line-up, Figs. 4–9);
 //! * [`scenarios`] — constructors for all 18 Table 4 rows;
 //! * [`report`] — artifact-style output, Table 4 comparison against the
 //!   published medians, Fig. 3 heatmap grids.
+//!
+//! ## The evaluation workspace-reuse contract
+//!
+//! Every evaluation path — [`run_experiment`] grids, [`sweep_load`]
+//! curves, [`convergence_curve`] repetitions, the
+//! 18 Table 4 rows via [`scenarios::table4_results`] — flattens into one
+//! batched cell set: an [`session::EvalSession`] for simulation cells, a
+//! [`trials::trial_scores_batched`] call for permutation-trial cells.
+//! Each worker thread owns one reusable
+//! [`SimWorkspace`](dynsched_scheduler::SimWorkspace) that is cleared,
+//! never reallocated, between cells, and simulation cells run the
+//! engine's metrics-only mode — so the steady-state evaluation loop
+//! performs no heap allocation. Cells are pure functions of their inputs
+//! and results come back index-dense in push order, which makes every
+//! output bit-identical at any thread count (and bit-identical to the
+//! historical per-cell `simulate()` loops — the `eval_session` regression
+//! suite pins this).
 //!
 //! ## Quickstart
 //!
@@ -50,16 +70,26 @@ pub mod experiments;
 pub mod pipeline;
 pub mod report;
 pub mod scenarios;
+pub mod session;
 pub mod sweep;
 pub mod trials;
 pub mod tuples;
 
 pub use convergence::{convergence_curve, paper_trial_counts, ConvergencePoint};
 pub use custom::{learn_custom_policies, tuple_from_trace, CustomTrainingConfig};
-pub use experiments::{run_experiment, Experiment, ExperimentResult, PolicyOutcome};
+pub use experiments::{
+    run_experiment, run_experiments, Experiment, ExperimentResult, PolicyOutcome,
+};
 pub use pipeline::{generate_training_set, learn_policies, LearnedReport, TrainingConfig};
 pub use report::{artifact_report, learned_beat_adhoc, table4_comparison, table4_markdown};
-pub use scenarios::{archive_scenario, model_scenario, table4_experiments, Condition, ScenarioScale};
+pub use scenarios::{
+    archive_scenario, model_scenario, table4_experiments, table4_results, Condition,
+    ScenarioScale,
+};
+pub use session::{EvalCell, EvalSession};
 pub use sweep::{sweep_load, sweep_table, LoadPoint};
-pub use trials::{run_trial, to_observations, trial_scores, TrialScores, TrialSpec};
+pub use trials::{
+    run_trial, to_observations, trial_scores, trial_scores_batched, TrialBatch, TrialScores,
+    TrialSpec,
+};
 pub use tuples::{TaskTuple, TupleSpec};

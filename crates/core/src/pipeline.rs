@@ -13,7 +13,7 @@
 //!    and rank them (Eq. 5);
 //! 5. export the best `k` as scheduling policies.
 
-use crate::trials::{to_observations, trial_scores, TrialSpec};
+use crate::trials::{to_observations, trial_scores_batched, TrialBatch, TrialSpec};
 use crate::tuples::{TaskTuple, TupleSpec};
 use dynsched_mlreg::{fit_all, top_policies, EnumerateOptions, FitResult, TrainingSet};
 use dynsched_policies::LearnedPolicy;
@@ -59,23 +59,41 @@ pub struct LearnedReport {
 }
 
 /// Generate the pooled training distribution (workflow 1 + 2 of the
-/// artifact). The per-tuple trial batches run rayon-parallel internally.
+/// artifact). Every tuple's trial batch runs in **one** batched trial
+/// session ([`trial_scores_batched`]), so the whole training stage is a
+/// single fan-out over `tuples × trials` — no per-tuple parallel-region
+/// barrier. Streams are forked exactly as the sequential per-tuple loop
+/// did (`2i` seeds tuple `i`, `2i+1` its trials), so the pooled set is
+/// bit-identical to it.
 pub fn generate_training_set(
     config: &TrainingConfig,
     model: &LublinModel,
 ) -> (Vec<TaskTuple>, TrainingSet) {
     assert!(config.tuples > 0, "need at least one tuple");
     let master = Rng::new(config.seed);
+    let tuples: Vec<TaskTuple> = (0..config.tuples)
+        .map(|i| {
+            let mut tuple_rng = master.fork(2 * i as u64);
+            TaskTuple::generate(&config.tuple_spec, model, &mut tuple_rng)
+        })
+        .collect();
+    let batches: Vec<TrialBatch<'_>> = tuples
+        .iter()
+        .enumerate()
+        .map(|(i, tuple)| TrialBatch {
+            tuple,
+            trials: config.trial_spec.trials,
+            master: master.fork(2 * i as u64 + 1),
+        })
+        .collect();
     let mut pooled = TrainingSet::default();
-    let mut tuples = Vec::with_capacity(config.tuples);
-    for i in 0..config.tuples {
-        // Stream 2i seeds the tuple, 2i+1 seeds its trials.
-        let mut tuple_rng = master.fork(2 * i as u64);
-        let tuple = TaskTuple::generate(&config.tuple_spec, model, &mut tuple_rng);
-        let trial_master = master.fork(2 * i as u64 + 1);
-        let scores = trial_scores(&tuple, &config.trial_spec, &trial_master);
-        pooled.extend_from(&to_observations(&tuple, &scores));
-        tuples.push(tuple);
+    let scores = trial_scores_batched(
+        &batches,
+        config.trial_spec.platform,
+        config.trial_spec.tau,
+    );
+    for (tuple, scores) in tuples.iter().zip(scores) {
+        pooled.extend_from(&to_observations(tuple, &scores));
     }
     (tuples, pooled)
 }

@@ -1,0 +1,198 @@
+//! Batched evaluation sessions: the single entry point every evaluation
+//! grid goes through.
+//!
+//! The paper's evaluation protocol dwarfs its training stage in simulated
+//! work: Table 4 alone is 18 scenarios × a policy line-up × ten 15-day
+//! sequences, and the extensions (load sweeps, convergence curves,
+//! estimate-sensitivity studies) multiply the grid further. An
+//! [`EvalSession`] treats any such grid as one flat set of *cells* — each
+//! cell a `(trace, policy, scheduler-config, τ)` quadruple — fanned out
+//! over the deterministic thread pool with **one reusable
+//! [`SimWorkspace`] per worker**. Every cell runs in the engine's
+//! metrics-only mode ([`simulate_metrics_into`]), which streams completion
+//! events into a [`SimMetrics`] accumulator instead of materializing a
+//! per-job schedule, so the steady-state evaluation loop performs no heap
+//! allocation at all.
+//!
+//! # Determinism contract
+//!
+//! Cells are pure functions of their inputs, results come back as an
+//! index-dense table in push order, and worker state is scratch (cleared
+//! per cell, never read) — so a session's output is bit-identical for any
+//! thread count, and bit-identical to calling the allocating
+//! [`simulate`](dynsched_scheduler::simulate) wrapper per cell and
+//! reducing afterwards. The `eval_session` regression suite pins both
+//! properties.
+
+use dynsched_policies::Policy;
+use dynsched_scheduler::{
+    simulate_metrics_into, QueueDiscipline, SchedulerConfig, SimMetrics, SimWorkspace,
+};
+use dynsched_simkit::parallel::par_map_scoped;
+use dynsched_workload::Trace;
+use std::ops::Range;
+
+/// One evaluation cell: simulate `trace` under `policy` with `config`,
+/// reduce to a [`SimMetrics`] under threshold `tau`.
+#[derive(Clone, Copy)]
+pub struct EvalCell<'a> {
+    /// The sequence to schedule.
+    pub trace: &'a Trace,
+    /// Queue-ordering policy.
+    pub policy: &'a dyn Policy,
+    /// Platform, decision mode, backfilling.
+    pub config: &'a SchedulerConfig,
+    /// Bounded-slowdown threshold τ.
+    pub tau: f64,
+}
+
+/// A batched evaluation: an ordered cell set plus the fan-out that runs
+/// it. Build with [`EvalSession::push`] / [`EvalSession::push_grid`], then
+/// call [`EvalSession::run`] once; the result table is index-dense in push
+/// order, so callers slice it back into their own grid shape without any
+/// scatter/re-sort bookkeeping.
+#[derive(Default)]
+pub struct EvalSession<'a> {
+    cells: Vec<EvalCell<'a>>,
+}
+
+impl<'a> EvalSession<'a> {
+    /// An empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cells queued so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are queued.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Queue one cell; returns its index in the result table.
+    pub fn push(&mut self, cell: EvalCell<'a>) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Queue a full `(policy × sequence)` grid in policy-major order;
+    /// returns the cell-index range it occupies. Within the range, the
+    /// cell of policy `p` and sequence `s` sits at
+    /// `range.start + p * sequences.len() + s`.
+    pub fn push_grid(
+        &mut self,
+        policies: &'a [Box<dyn Policy>],
+        sequences: &'a [Trace],
+        config: &'a SchedulerConfig,
+        tau: f64,
+    ) -> Range<usize> {
+        let start = self.cells.len();
+        for policy in policies {
+            for trace in sequences {
+                self.cells.push(EvalCell { trace, policy: policy.as_ref(), config, tau });
+            }
+        }
+        start..self.cells.len()
+    }
+
+    /// Run every queued cell and return the index-dense metrics table
+    /// (`table[i]` is the cell pushed `i`-th). One simulation workspace
+    /// per worker thread, metrics-only engine mode per cell.
+    pub fn run(&self) -> Vec<SimMetrics> {
+        par_map_scoped(&self.cells, SimWorkspace::new, |cell, ws| {
+            simulate_metrics_into(
+                ws,
+                cell.trace,
+                &QueueDiscipline::Policy(cell.policy),
+                cell.config,
+                cell.tau,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsched_cluster::{Platform, DEFAULT_TAU};
+    use dynsched_policies::{Fcfs, Spt};
+    use dynsched_scheduler::{simulate, SimMetrics};
+    use dynsched_simkit::parallel::with_worker_limit;
+    use dynsched_simkit::Rng;
+    use dynsched_workload::LublinModel;
+
+    fn sequences(count: usize) -> Vec<Trace> {
+        let mut model = LublinModel::new(32);
+        model.daily_cycle = false;
+        model.arrival_scale = 0.05;
+        let mut rng = Rng::new(91);
+        (0..count).map(|_| model.generate_jobs(50, &mut rng)).collect()
+    }
+
+    #[test]
+    fn session_matches_per_cell_simulate() {
+        let seqs = sequences(4);
+        let policies: Vec<Box<dyn Policy>> = vec![Box::new(Fcfs), Box::new(Spt)];
+        let config = SchedulerConfig::actual_runtimes(Platform::new(32));
+        let mut session = EvalSession::new();
+        let range = session.push_grid(&policies, &seqs, &config, DEFAULT_TAU);
+        assert_eq!(range, 0..8);
+        let table = session.run();
+        for (p, policy) in policies.iter().enumerate() {
+            for (s, seq) in seqs.iter().enumerate() {
+                let cell = &table[p * seqs.len() + s];
+                let want = SimMetrics::from_result(
+                    &simulate(seq, &QueueDiscipline::Policy(policy.as_ref()), &config),
+                    DEFAULT_TAU,
+                );
+                assert_eq!(cell, &want, "policy {p}, sequence {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_is_thread_count_independent() {
+        let seqs = sequences(3);
+        let policies: Vec<Box<dyn Policy>> = vec![Box::new(Fcfs), Box::new(Spt)];
+        let config = SchedulerConfig::estimates_with_backfilling(Platform::new(32));
+        let eval = || {
+            let mut session = EvalSession::new();
+            session.push_grid(&policies, &seqs, &config, DEFAULT_TAU);
+            session.run()
+        };
+        let wide = eval();
+        let narrow = with_worker_limit(1, eval);
+        assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn mixed_cells_keep_push_order() {
+        let seqs = sequences(2);
+        let fcfs = Fcfs;
+        let spt = Spt;
+        let a = SchedulerConfig::actual_runtimes(Platform::new(32));
+        let b = SchedulerConfig::user_estimates(Platform::new(32));
+        let mut session = EvalSession::new();
+        let i0 = session.push(EvalCell { trace: &seqs[0], policy: &fcfs, config: &a, tau: 10.0 });
+        let i1 = session.push(EvalCell { trace: &seqs[1], policy: &spt, config: &b, tau: 7.0 });
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(session.len(), 2);
+        let table = session.run();
+        assert_eq!(table[1].tau, 7.0);
+        let want = SimMetrics::from_result(
+            &simulate(&seqs[1], &QueueDiscipline::Policy(&spt), &b),
+            7.0,
+        );
+        assert_eq!(table[1], want);
+    }
+
+    #[test]
+    fn empty_session_runs_to_empty_table() {
+        let session = EvalSession::new();
+        assert!(session.is_empty());
+        assert!(session.run().is_empty());
+    }
+}

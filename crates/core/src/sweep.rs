@@ -7,7 +7,7 @@
 //! gaps ([`scale_load`]), so every load point schedules *the same jobs*
 //! and differences are purely contention effects.
 
-use crate::experiments::{run_experiment, Experiment, ExperimentResult};
+use crate::experiments::{run_experiments, Experiment, ExperimentResult};
 use dynsched_policies::Policy;
 use dynsched_scheduler::SchedulerConfig;
 use dynsched_workload::transform::scale_load;
@@ -26,8 +26,11 @@ pub struct LoadPoint {
 /// Sweep offered load over `targets` by rescaling `sequences`.
 ///
 /// Each sequence's own base load may differ; the rescaling factor is
-/// chosen per sequence so all sequences hit the same target. Returns one
-/// [`LoadPoint`] per target, in order.
+/// chosen per sequence so all sequences hit the same target. The whole
+/// sweep — every `(target × policy × sequence)` cell — runs as **one**
+/// batched evaluation session (see [`crate::session`]), so the pool stays
+/// saturated across load points. Returns one [`LoadPoint`] per target, in
+/// order.
 ///
 /// # Panics
 /// Panics if `sequences` is empty, a sequence is empty, or any target is
@@ -48,7 +51,7 @@ pub fn sweep_load(
                 .offered_load
         })
         .collect();
-    targets
+    let experiments: Vec<Experiment> = targets
         .iter()
         .map(|&target| {
             assert!(target > 0.0, "target load must be positive");
@@ -57,13 +60,13 @@ pub fn sweep_load(
                 .zip(&base_loads)
                 .map(|(seq, &base)| scale_load(seq, target / base))
                 .collect();
-            let experiment = Experiment::new(
-                format!("{name} @ load {target:.2}"),
-                rescaled,
-                scheduler,
-            );
-            LoadPoint { offered_load: target, result: run_experiment(&experiment, policies) }
+            Experiment::new(format!("{name} @ load {target:.2}"), rescaled, scheduler)
         })
+        .collect();
+    targets
+        .iter()
+        .zip(run_experiments(&experiments, policies))
+        .map(|(&target, result)| LoadPoint { offered_load: target, result })
         .collect()
 }
 

@@ -25,7 +25,7 @@ use crate::tuples::TaskTuple;
 use dynsched_cluster::{Platform, DEFAULT_TAU};
 use dynsched_mlreg::{Observation, TrainingSet};
 use dynsched_scheduler::{QueueDiscipline, SchedulerConfig, SimWorkspace};
-use dynsched_simkit::parallel::run_indexed_scoped;
+use dynsched_simkit::parallel::run_scoped;
 use dynsched_simkit::Rng;
 use dynsched_workload::Trace;
 use serde::{Deserialize, Serialize};
@@ -76,7 +76,7 @@ impl TrialScores {
 /// Reusable per-worker state for the batched trial kernel: one simulation
 /// workspace plus the permutation and rank buffers. Everything is cleared
 /// per trial; nothing carries information between trials (the determinism
-/// contract of [`run_indexed_scoped`]).
+/// contract of [`run_scoped`]).
 #[derive(Default)]
 struct TrialState {
     ws: SimWorkspace,
@@ -127,40 +127,120 @@ pub fn run_trial(tuple: &TaskTuple, perm: &[usize], spec: &TrialSpec) -> f64 {
 /// RNG stream is forked from `(master seed, i)`, so the distribution is
 /// bit-identical for any worker count.
 pub fn trial_scores(tuple: &TaskTuple, spec: &TrialSpec, master: &Rng) -> TrialScores {
-    let q = tuple.q_tasks.len();
-    assert!(q > 0, "tuple has no probe tasks");
-    let trace = Trace::from_jobs(tuple.all_jobs());
-    let config = SchedulerConfig::actual_runtimes(spec.platform);
-    let s_size = tuple.s_tasks.len();
-    // Collect per-trial outcomes in index order, then accumulate
-    // sequentially: float addition is not associative, so a parallel tree
-    // reduction would make the scores depend on the reduction's split
-    // points.
-    let outcomes: Vec<(usize, f64)> =
-        run_indexed_scoped(master, spec.trials, TrialState::default, |_, rng, st| {
-            // Same RNG draws as `rng.permutation(q)`, into a kept buffer.
-            st.perm.clear();
-            st.perm.extend(0..q);
-            rng.shuffle(&mut st.perm);
-            fill_ranks(&mut st.ranks, s_size, &st.perm);
-            st.ws.run(&trace, &QueueDiscipline::FixedOrder(&st.ranks), &config);
-            let ave = st
-                .ws
-                .avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), spec.tau)
-                .expect("Q is non-empty");
-            (st.perm[0], ave)
-        });
-    let mut sum_by_first = vec![0.0; q];
-    let mut count_by_first = vec![0u64; q];
-    let mut total = 0.0;
-    for (first, ave) in outcomes {
-        sum_by_first[first] += ave;
-        count_by_first[first] += 1;
-        total += ave;
+    let batch = TrialBatch { tuple, trials: spec.trials, master: master.clone() };
+    trial_scores_batched(std::slice::from_ref(&batch), spec.platform, spec.tau)
+        .pop()
+        .expect("one batch in, one distribution out")
+}
+
+/// One cell of a batched trial run: `trials` random permutations of
+/// `tuple`'s probe set, drawn from `master` (trial `i` forks stream `i`).
+pub struct TrialBatch<'a> {
+    /// The `(S, Q)` tuple to permute.
+    pub tuple: &'a TaskTuple,
+    /// Number of permutation trials for this cell.
+    pub trials: usize,
+    /// Master RNG of this cell's permutation streams.
+    pub master: Rng,
+}
+
+/// Run many trial batches — different tuples, different trial counts,
+/// different streams — as **one** fan-out over the global trial index
+/// space, and build each batch's score distribution.
+///
+/// This is how the whole training stage and the convergence study keep the
+/// pool saturated: instead of one parallel region per tuple (or per
+/// repetition), every trial of every batch is an index in a single
+/// [`run_scoped`] call, executed by workers that each own one reusable
+/// [`SimWorkspace`]. Traces are built once per distinct tuple (consecutive
+/// batches sharing a tuple share the trace). `platform` and `tau` are
+/// shared by every cell; each batch's `trials` field supplies its own
+/// count (which is why this takes no [`TrialSpec`] — its `trials` field
+/// would be a silently ignored parameter).
+///
+/// Determinism: batch `b`'s distribution depends only on
+/// `(b.tuple, b.trials, b.master.seed())` — trial `i` of a batch forks
+/// stream `i` from that batch's master, and per-batch accumulation runs
+/// sequentially in trial order — so the output is bit-identical to calling
+/// [`trial_scores`] per batch, at any thread count.
+pub fn trial_scores_batched(
+    batches: &[TrialBatch<'_>],
+    platform: Platform,
+    tau: f64,
+) -> Vec<TrialScores> {
+    let config = SchedulerConfig::actual_runtimes(platform);
+    // One trace per *distinct* tuple; batches over the same tuple (the
+    // convergence study's repetitions) share it.
+    let mut traces: Vec<Trace> = Vec::new();
+    let mut trace_of: Vec<usize> = Vec::with_capacity(batches.len());
+    let mut seen: Vec<*const TaskTuple> = Vec::new();
+    for b in batches {
+        assert!(!b.tuple.q_tasks.is_empty(), "tuple has no probe tasks");
+        let key = b.tuple as *const TaskTuple;
+        let ti = match seen.iter().position(|&p| std::ptr::eq(p, key)) {
+            Some(i) => i,
+            None => {
+                seen.push(key);
+                traces.push(Trace::from_jobs(b.tuple.all_jobs()));
+                traces.len() - 1
+            }
+        };
+        trace_of.push(ti);
     }
-    assert!(total > 0.0, "bounded slowdowns are >= 1, total must be positive");
-    let scores = sum_by_first.iter().map(|s| s / total).collect();
-    TrialScores { scores, trials: spec.trials, first_counts: count_by_first }
+    // Global index layout: batch b owns indices offsets[b]..offsets[b+1].
+    let mut offsets: Vec<usize> = Vec::with_capacity(batches.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for b in batches {
+        total += b.trials;
+        offsets.push(total);
+    }
+
+    // Collect per-trial outcomes in global index order, then accumulate
+    // sequentially per batch: float addition is not associative, so a
+    // parallel tree reduction would make the scores depend on the
+    // reduction's split points.
+    let outcomes: Vec<(usize, f64)> = run_scoped(total, TrialState::default, |g, st| {
+        let b = offsets.partition_point(|&o| o <= g) - 1;
+        let batch = &batches[b];
+        let tuple = batch.tuple;
+        let mut rng = batch.master.fork((g - offsets[b]) as u64);
+        let q = tuple.q_tasks.len();
+        // Same RNG draws as `rng.permutation(q)`, into a kept buffer.
+        st.perm.clear();
+        st.perm.extend(0..q);
+        rng.shuffle(&mut st.perm);
+        fill_ranks(&mut st.ranks, tuple.s_tasks.len(), &st.perm);
+        st.ws.run(
+            &traces[trace_of[b]],
+            &QueueDiscipline::FixedOrder(&st.ranks),
+            &config,
+        );
+        let ave = st
+            .ws
+            .avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), tau)
+            .expect("Q is non-empty");
+        (st.perm[0], ave)
+    });
+
+    batches
+        .iter()
+        .enumerate()
+        .map(|(b, batch)| {
+            let q = batch.tuple.q_tasks.len();
+            let mut sum_by_first = vec![0.0; q];
+            let mut count_by_first = vec![0u64; q];
+            let mut total = 0.0;
+            for &(first, ave) in &outcomes[offsets[b]..offsets[b + 1]] {
+                sum_by_first[first] += ave;
+                count_by_first[first] += 1;
+                total += ave;
+            }
+            assert!(total > 0.0, "bounded slowdowns are >= 1, total must be positive");
+            let scores = sum_by_first.iter().map(|s| s / total).collect();
+            TrialScores { scores, trials: batch.trials, first_counts: count_by_first }
+        })
+        .collect()
 }
 
 /// Convert one tuple's scores into training observations
@@ -230,6 +310,26 @@ mod tests {
         let a = trial_scores(&tuple, &small_spec(256), &Rng::new(10));
         let b = trial_scores(&tuple, &small_spec(256), &Rng::new(10));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_cells_equal_individual_calls() {
+        // Mixed batch: two tuples, varying trial counts, distinct streams
+        // — including two batches sharing one tuple (shared trace path).
+        let t1 = small_tuple(7);
+        let t2 = small_tuple(8);
+        let spec = small_spec(0);
+        let batches = vec![
+            TrialBatch { tuple: &t1, trials: 128, master: Rng::new(100) },
+            TrialBatch { tuple: &t2, trials: 64, master: Rng::new(101) },
+            TrialBatch { tuple: &t1, trials: 96, master: Rng::new(102) },
+        ];
+        let got = trial_scores_batched(&batches, spec.platform, spec.tau);
+        for (b, scores) in batches.iter().zip(&got) {
+            let want =
+                trial_scores(b.tuple, &small_spec(b.trials), &b.master);
+            assert_eq!(scores, &want);
+        }
     }
 
     #[test]

@@ -38,10 +38,40 @@
 //! [`crate::reference`] as the oracle for the determinism regression tests.
 //! A workspace holds no cross-run state: every run starts by resetting all
 //! buffers, so reuse can never leak one simulation into the next.
+//!
+//! # Metrics-only mode
+//!
+//! The evaluation layer reduces every simulation to one
+//! [`SimMetrics`] — an AVEbsld sum under τ, a
+//! backfill count, a makespan — and discards the per-job schedule. For that
+//! caller the per-run `Vec<CompletedJob>` is pure overhead, so the engine's
+//! main loop is generic over a *completion sink*: the full mode pushes each
+//! completion into the workspace's list, the metrics mode
+//! ([`SimWorkspace::run_metrics`] / [`simulate_metrics_into`]) streams it
+//! straight into the accumulator. With a warmed-up workspace the metrics
+//! path performs **no heap allocation at all**, and because events stream
+//! in completion order the accumulated sums are bit-identical to
+//! materializing a result and reducing it afterwards.
+//!
+//! # Reschedule fast paths
+//!
+//! Two structural optimizations keep grid-scale evaluation cheap without
+//! changing any observable schedule (both are proven bit-identical against
+//! [`crate::reference`]):
+//!
+//! * **No-op reschedule skip.** Under [`BackfillMode::None`] with a static
+//!   queue order, an arrival that sorts behind a blocked queue head cannot
+//!   start anything: availability is unchanged and the strict pass stops at
+//!   the same head. The engine tracks head-blocked state and skips the
+//!   entire pass for such arrivals.
+//! * **SoA queue keys.** The priority key of every waiting job (fixed-order
+//!   rank or cached score) lives in a dense `Vec<f64>` parallel to the
+//!   entry list, so the binary-search insertions and sortedness scans touch
+//!   8-byte keys instead of full queue entries.
 
 use crate::config::{BackfillMode, SchedulerConfig};
 use crate::profile::{clamp_release, Profile};
-use crate::result::SimulationResult;
+use crate::result::{SimMetrics, SimulationResult};
 use dynsched_cluster::{CompletedJob, CoreLedger, Job, JobId};
 use dynsched_policies::{Policy, TaskView};
 use dynsched_simkit::{Clock, EventQueue};
@@ -67,20 +97,40 @@ pub enum QueueDiscipline<'a> {
 /// completions at equal timestamps).
 type Completion = u32;
 
-/// A waiting job with its cached score. For time-independent policies the
-/// score is computed once at arrival (their scores never change); for
-/// aging policies and fixed-order trials the field is unused and the order
-/// is recomputed at every rescheduling event.
+/// A waiting job. Its priority key (fixed-order rank or cached score) is
+/// *not* stored here: keys live in a parallel `Vec<f64>` (`q_keys`) so the
+/// binary-search scans that order the queue stay dense — the SoA split.
 #[derive(Debug, Clone, Copy)]
 struct QueueEntry {
     /// Position of the job in the trace — the dense key for `start_of`
     /// and `FixedOrder` ranks.
     idx: u32,
     job: Job,
-    cached_score: f64,
     /// Set by the current reschedule pass; started entries are compacted
     /// out of the queue at the end of the pass.
     started: bool,
+}
+
+/// Where completion events go. The full mode materializes the per-job
+/// schedule; the metrics mode folds each event into a [`SimMetrics`]
+/// accumulator as it happens (same order, same float operations — that is
+/// the bit-identity argument).
+trait CompletionSink {
+    fn record(&mut self, c: CompletedJob);
+}
+
+impl CompletionSink for Vec<CompletedJob> {
+    #[inline]
+    fn record(&mut self, c: CompletedJob) {
+        self.push(c);
+    }
+}
+
+impl CompletionSink for SimMetrics {
+    #[inline]
+    fn record(&mut self, c: CompletedJob) {
+        self.push(&c);
+    }
 }
 
 /// One running job's expected release, kept sorted by
@@ -118,6 +168,10 @@ enum QueueOrder {
 pub struct SimWorkspace {
     events: EventQueue<Completion>,
     queue: Vec<QueueEntry>,
+    /// Priority key per queue position (rank as f64, or cached score),
+    /// maintained in lockstep with `queue` for static disciplines — the
+    /// SoA half the binary-search scans read.
+    q_keys: Vec<f64>,
     /// Priority order of queue positions for time-dependent policies
     /// (static disciplines keep the queue itself priority-sorted).
     order: Vec<usize>,
@@ -132,6 +186,10 @@ pub struct SimWorkspace {
     start_of: Vec<f64>,
     ledger: CoreLedger,
     completed: Vec<CompletedJob>,
+    /// Set while the workspace's last run was metrics-only (`run_metrics`):
+    /// the completion list was streamed away, so the per-job accessors
+    /// must refuse rather than return an empty-but-plausible result.
+    metrics_only: bool,
     makespan: f64,
     utilization: f64,
     events_processed: u64,
@@ -151,6 +209,57 @@ impl SimWorkspace {
     /// could never start; pre-filter with `Trace::capped_to`), or if a
     /// [`QueueDiscipline::FixedOrder`] slice is shorter than the trace.
     pub fn run(&mut self, trace: &Trace, discipline: &QueueDiscipline<'_>, config: &SchedulerConfig) {
+        // Lend the completion list out as the sink (it goes back below, so
+        // a reused workspace keeps its capacity).
+        let mut completed = std::mem::take(&mut self.completed);
+        completed.clear();
+        self.run_with(trace, discipline, config, &mut completed);
+        self.completed = completed;
+        self.metrics_only = false;
+        self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
+        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+    }
+
+    /// Run one simulation in **metrics-only mode**: completion events are
+    /// folded straight into the returned [`SimMetrics`] and no per-job
+    /// schedule is materialized — with a warmed-up workspace this path
+    /// performs no heap allocation at all. The accumulated values are
+    /// bit-identical to running [`SimWorkspace::run`] and reducing with
+    /// [`SimMetrics::from_result`], because events stream in completion
+    /// order (the determinism suite proves this against the reference
+    /// engine). Makespan, utilization, event and backfill counters stay
+    /// readable through the accessors; the per-job accessors
+    /// ([`SimWorkspace::completed`], [`SimWorkspace::result`],
+    /// [`SimWorkspace::avg_bounded_slowdown_of`]) panic until the next
+    /// materializing [`SimWorkspace::run`], since no schedule was kept.
+    ///
+    /// # Panics
+    /// See [`SimWorkspace::run`].
+    pub fn run_metrics(
+        &mut self,
+        trace: &Trace,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+        tau: f64,
+    ) -> SimMetrics {
+        let mut metrics = SimMetrics::new(tau);
+        self.completed.clear();
+        self.metrics_only = true;
+        self.run_with(trace, discipline, config, &mut metrics);
+        metrics.backfilled_jobs = self.backfilled;
+        self.makespan = metrics.makespan;
+        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+        metrics
+    }
+
+    /// The engine proper, generic over where completions go.
+    fn run_with<K: CompletionSink>(
+        &mut self,
+        trace: &Trace,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+        sink: &mut K,
+    ) {
         let jobs = trace.jobs();
         let total_cores = config.platform.total_cores;
         for j in jobs {
@@ -173,8 +282,8 @@ impl SimWorkspace {
 
         self.events.reset();
         self.queue.clear();
+        self.q_keys.clear();
         self.releases.clear();
-        self.completed.clear();
         self.start_of.clear();
         self.start_of.resize(jobs.len(), f64::NAN);
         self.ledger.reset(config.platform);
@@ -191,6 +300,7 @@ impl SimWorkspace {
         let SimWorkspace {
             events,
             queue,
+            q_keys,
             order,
             scored,
             releases,
@@ -198,7 +308,6 @@ impl SimWorkspace {
             profile,
             start_of,
             ledger,
-            completed,
             backfilled,
             ..
         } = self;
@@ -208,8 +317,15 @@ impl SimWorkspace {
             config,
             queue_order,
             track_releases: config.backfill != BackfillMode::None,
+            // The no-op skip only applies where a blocked head is a stable
+            // fact: strict mode (nothing behind the head can ever start)
+            // with a static order (the head cannot change by re-scoring).
+            skip_eligible: config.backfill == BackfillMode::None
+                && queue_order != QueueOrder::TimeDependent,
+            head_blocked: false,
             events,
             queue,
+            q_keys,
             order,
             scored,
             releases,
@@ -217,7 +333,7 @@ impl SimWorkspace {
             profile,
             start_of,
             ledger,
-            completed,
+            sink,
             backfilled,
         };
 
@@ -253,12 +369,19 @@ impl SimWorkspace {
         debug_assert!(eng.releases.is_empty(), "drained simulation left release entries");
         debug_assert!(eng.ledger.used() == 0, "drained simulation left jobs running");
         self.events_processed = events_processed;
-        self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
-        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
     }
 
     /// Completed jobs of the last run, in completion order.
+    ///
+    /// # Panics
+    /// Panics if the last run was metrics-only ([`SimWorkspace::run_metrics`]
+    /// streams completions away instead of materializing them — an empty
+    /// list here would be silently wrong, not empty).
     pub fn completed(&self) -> &[CompletedJob] {
+        assert!(
+            !self.metrics_only,
+            "the last run was metrics-only: per-job completions were not materialized"
+        );
         &self.completed
     }
 
@@ -286,10 +409,14 @@ impl SimWorkspace {
     /// satisfies `ids`, without allocating. Summation order (completion
     /// order) matches [`SimulationResult::avg_bounded_slowdown_of`] exactly,
     /// so the two are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the last run was metrics-only (see
+    /// [`SimWorkspace::completed`]).
     pub fn avg_bounded_slowdown_of(&self, ids: &dyn Fn(JobId) -> bool, tau: f64) -> Option<f64> {
         let mut sum = 0.0;
         let mut n = 0usize;
-        for c in self.completed.iter().filter(|c| ids(c.job.id)) {
+        for c in self.completed().iter().filter(|c| ids(c.job.id)) {
             sum += c.bounded_slowdown(tau);
             n += 1;
         }
@@ -299,7 +426,16 @@ impl SimWorkspace {
     /// Materialize the last run's outcome as an owned [`SimulationResult`]
     /// (one exact-size clone of the completed list — the only allocation a
     /// warmed-up workspace performs).
+    ///
+    /// # Panics
+    /// Panics if the last run was metrics-only (see
+    /// [`SimWorkspace::completed`]): its per-job schedule was streamed into
+    /// the accumulator, so there is nothing to materialize.
     pub fn result(&self) -> SimulationResult {
+        assert!(
+            !self.metrics_only,
+            "the last run was metrics-only: per-job completions were not materialized"
+        );
         SimulationResult {
             completed: self.completed.clone(),
             makespan: self.makespan,
@@ -354,9 +490,28 @@ pub fn simulate_into(
     ws.result()
 }
 
+/// Simulate in metrics-only mode, reusing `ws`'s buffers: the run is
+/// reduced to a [`SimMetrics`] (AVEbsld sum under `tau`, backfill count,
+/// makespan) while it happens, and no per-job schedule is materialized.
+/// This is the batched evaluation session's per-cell kernel — with a
+/// warmed-up workspace it performs no heap allocation. Bit-identical to
+/// reducing [`simulate`]'s result with [`SimMetrics::from_result`].
+///
+/// # Panics
+/// See [`SimWorkspace::run`].
+pub fn simulate_metrics_into(
+    ws: &mut SimWorkspace,
+    trace: &Trace,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    tau: f64,
+) -> SimMetrics {
+    ws.run_metrics(trace, discipline, config, tau)
+}
+
 /// The per-run view of a workspace: disjoint `&mut`s over its buffers plus
 /// the run's immutable inputs.
-struct Engine<'a, 'b> {
+struct Engine<'a, 'b, K: CompletionSink> {
     jobs: &'a [Job],
     discipline: &'a QueueDiscipline<'b>,
     config: &'a SchedulerConfig,
@@ -365,8 +520,18 @@ struct Engine<'a, 'b> {
     /// backfilling modes ever read it, so under [`BackfillMode::None`] the
     /// engine skips its upkeep entirely.
     track_releases: bool,
+    /// Whether the no-op reschedule skip may ever fire (strict mode with a
+    /// static queue order).
+    skip_eligible: bool,
+    /// True while the queue head is known not to fit *and* nothing that
+    /// could change that has happened: set when a strict pass leaves the
+    /// queue blocked, cleared by any completion (cores freed) or by an
+    /// arrival that takes over the head slot. While true, a reschedule is
+    /// provably a no-op and is skipped.
+    head_blocked: bool,
     events: &'a mut EventQueue<Completion>,
     queue: &'a mut Vec<QueueEntry>,
+    q_keys: &'a mut Vec<f64>,
     order: &'a mut Vec<usize>,
     scored: &'a mut Vec<(usize, f64)>,
     releases: &'a mut Vec<Release>,
@@ -374,44 +539,51 @@ struct Engine<'a, 'b> {
     profile: &'a mut Profile,
     start_of: &'a mut Vec<f64>,
     ledger: &'a mut CoreLedger,
-    completed: &'a mut Vec<CompletedJob>,
+    sink: &'a mut K,
     backfilled: &'a mut u64,
 }
 
-impl Engine<'_, '_> {
+impl<K: CompletionSink> Engine<'_, '_, K> {
     fn enqueue(&mut self, idx: u32) {
         let job = self.jobs[idx as usize];
-        let cached_score = match self.discipline {
-            QueueDiscipline::Policy(policy) if !policy.time_dependent() => {
-                policy.score(&TaskView {
-                    processing_time: self.config.decision_time(job.runtime, job.estimate),
-                    cores: job.cores,
-                    submit: job.submit,
-                    now: job.submit,
-                })
-            }
-            _ => 0.0,
-        };
-        let entry = QueueEntry { idx, job, cached_score, started: false };
+        let entry = QueueEntry { idx, job, started: false };
         // Static disciplines keep the queue in priority order: insert at
-        // the upper bound of the new key, so equal keys land *after* their
-        // peers — the arrival-order tie-break of a stable sort.
+        // the upper bound of the new key (scanned over the dense SoA key
+        // array), so equal keys land *after* their peers — the
+        // arrival-order tie-break of a stable sort. An insert at position
+        // 0 replaces the head, so any blocked-head fact is invalidated.
         match self.queue_order {
             QueueOrder::ByRank => {
                 let QueueDiscipline::FixedOrder(ranks) = self.discipline else {
                     unreachable!("ByRank implies FixedOrder")
                 };
-                let key = ranks[idx as usize];
-                let pos = self.queue.partition_point(|e| ranks[e.idx as usize] <= key);
+                // Ranks are array indices, far below 2^53: the f64 image
+                // is exact and ordered identically to the integers.
+                let key = ranks[idx as usize] as f64;
+                let pos = self.q_keys.partition_point(|&k| k <= key);
                 self.queue.insert(pos, entry);
+                self.q_keys.insert(pos, key);
+                self.head_blocked &= pos > 0;
             }
             QueueOrder::ByCachedScore => {
-                let pos = self
-                    .queue
-                    .partition_point(|e| e.cached_score.total_cmp(&cached_score).is_le());
+                let QueueDiscipline::Policy(policy) = self.discipline else {
+                    unreachable!("ByCachedScore implies Policy")
+                };
+                let key = policy.score(&TaskView {
+                    processing_time: self.config.decision_time(job.runtime, job.estimate),
+                    cores: job.cores,
+                    submit: job.submit,
+                    now: job.submit,
+                });
+                let pos = self.q_keys.partition_point(|k| k.total_cmp(&key).is_le());
                 self.queue.insert(pos, entry);
+                self.q_keys.insert(pos, key);
+                self.head_blocked &= pos > 0;
             }
-            QueueOrder::TimeDependent => self.queue.push(entry),
+            QueueOrder::TimeDependent => {
+                self.queue.push(entry);
+                self.q_keys.push(0.0);
+            }
         }
     }
 
@@ -420,6 +592,8 @@ impl Engine<'_, '_> {
         let start = self.start_of[idx as usize];
         debug_assert!(!start.is_nan(), "completion for job that is not running");
         self.ledger.release(job.cores, t);
+        // Freed cores may unblock the head; the next reschedule must look.
+        self.head_blocked = false;
         if self.track_releases {
             // The stored decision end was computed from the same operands
             // at start time, so this recomputation finds it bit-exactly.
@@ -431,7 +605,7 @@ impl Engine<'_, '_> {
             self.releases.remove(pos);
         }
         self.start_of[idx as usize] = f64::NAN;
-        self.completed.push(CompletedJob { job, start, finish: t });
+        self.sink.record(CompletedJob { job, start, finish: t });
     }
 
     fn start_job(&mut self, qi: usize, now: f64) {
@@ -494,16 +668,10 @@ impl Engine<'_, '_> {
     #[cfg(debug_assertions)]
     fn queue_is_priority_sorted(&self) -> bool {
         match self.queue_order {
-            QueueOrder::ByRank => {
-                let QueueDiscipline::FixedOrder(ranks) = self.discipline else { return false };
-                self.queue
-                    .windows(2)
-                    .all(|w| ranks[w[0].idx as usize] <= ranks[w[1].idx as usize])
+            QueueOrder::ByRank => self.q_keys.windows(2).all(|w| w[0] <= w[1]),
+            QueueOrder::ByCachedScore => {
+                self.q_keys.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le())
             }
-            QueueOrder::ByCachedScore => self
-                .queue
-                .windows(2)
-                .all(|w| w[0].cached_score.total_cmp(&w[1].cached_score).is_le()),
             QueueOrder::TimeDependent => true,
         }
     }
@@ -534,6 +702,15 @@ impl Engine<'_, '_> {
 
     fn reschedule(&mut self, now: f64) {
         if self.queue.is_empty() {
+            return;
+        }
+        if self.head_blocked {
+            // Fast path: strict mode, static order, and nothing since the
+            // last pass could have unblocked the head (no completion, no
+            // arrival ahead of it). The strict pass would stop at the same
+            // head immediately — a guaranteed no-op, so skip it.
+            debug_assert!(self.skip_eligible);
+            debug_assert!(!self.ledger.fits(self.queue[0].job.cores));
             return;
         }
         if self.queue_order == QueueOrder::TimeDependent {
@@ -580,6 +757,12 @@ impl Engine<'_, '_> {
                     blocked_at = Some(pos);
                     break;
                 }
+            }
+            // In strict mode a blocked pass is now a standing fact: until a
+            // completion frees cores or a higher-priority arrival lands,
+            // every further reschedule would stop at this same head.
+            if self.skip_eligible {
+                self.head_blocked = blocked_at.is_some();
             }
 
             if self.config.backfill == BackfillMode::Aggressive && self.config.reservation_depth > 1
@@ -664,7 +847,19 @@ impl Engine<'_, '_> {
         }
 
         if any_started {
-            self.queue.retain(|e| !e.started);
+            // Compact `queue` and its SoA key array in lockstep.
+            let mut w = 0usize;
+            for r in 0..self.queue.len() {
+                if !self.queue[r].started {
+                    if w != r {
+                        self.queue[w] = self.queue[r];
+                        self.q_keys[w] = self.q_keys[r];
+                    }
+                    w += 1;
+                }
+            }
+            self.queue.truncate(w);
+            self.q_keys.truncate(w);
         }
     }
 }
@@ -1033,6 +1228,56 @@ mod tests {
             let fresh = simulate(&trace, &QueueDiscipline::Policy(&Fcfs), &config);
             assert_eq!(reused, fresh, "seed {seed}: workspace reuse changed the schedule");
         }
+    }
+
+    #[test]
+    fn metrics_mode_agrees_with_full_mode() {
+        // Interleave metrics-only and full runs through one workspace: the
+        // metrics must always equal the full run's reduction, and mode
+        // switching must not leak state either way.
+        let mut ws = SimWorkspace::new();
+        for seed in 0..6u32 {
+            let jobs: Vec<Job> = (0..30)
+                .map(|i| {
+                    let k = i + seed * 13;
+                    job(i, (k % 7) as f64 * 4.1, 3.0 + (k % 11) as f64 * 9.0, 1 + (k % 5))
+                })
+                .collect();
+            let trace = Trace::from_jobs(jobs);
+            let mut config = cfg(6);
+            config.backfill = match seed % 3 {
+                0 => BackfillMode::None,
+                1 => BackfillMode::Aggressive,
+                _ => BackfillMode::Conservative,
+            };
+            let discipline = QueueDiscipline::Policy(&Fcfs);
+            let metrics = simulate_metrics_into(&mut ws, &trace, &discipline, &config, 10.0);
+            let full = simulate_into(&mut ws, &trace, &discipline, &config);
+            assert_eq!(metrics, SimMetrics::from_result(&full, 10.0), "seed {seed}");
+            assert_eq!(metrics.avg_bounded_slowdown(), full.avg_bounded_slowdown(10.0));
+            assert_eq!(metrics.makespan, full.makespan);
+        }
+    }
+
+    #[test]
+    fn metrics_mode_keeps_accessors_coherent() {
+        let jobs = vec![job(0, 0.0, 10.0, 2), job(1, 0.0, 20.0, 2), job(2, 1.0, 5.0, 4)];
+        let trace = Trace::from_jobs(jobs);
+        let mut ws = SimWorkspace::new();
+        let m = ws.run_metrics(&trace, &QueueDiscipline::Policy(&Fcfs), &cfg(4), 10.0);
+        assert_eq!(ws.makespan(), m.makespan);
+        assert_eq!(ws.backfilled_jobs(), m.backfilled_jobs);
+        assert_eq!(ws.events_processed(), 6);
+        assert!(ws.utilization() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics-only")]
+    fn per_job_accessors_refuse_after_metrics_run() {
+        let trace = Trace::from_jobs(vec![job(0, 0.0, 10.0, 2)]);
+        let mut ws = SimWorkspace::new();
+        ws.run_metrics(&trace, &QueueDiscipline::Policy(&Fcfs), &cfg(4), 10.0);
+        let _ = ws.result();
     }
 
     #[test]

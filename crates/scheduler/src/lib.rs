@@ -25,13 +25,28 @@
 //!    the engine's unit tests and the `determinism_reference` integration
 //!    tests).
 //! 2. **Bit-identity with the original engine.** The allocation-per-call
-//!    engine the project started with is preserved in [`reference`]
+//!    engine the project started with is preserved in [`mod@reference`]
 //!    (`#[doc(hidden)]`, for tests and benches only); the optimized engine
 //!    must match it result-for-result. Where the reference's behaviour
 //!    depended on `HashMap` iteration order (release-time ties among
 //!    overdue jobs in the EASY shadow scan), the optimized engine resolves
 //!    the tie deterministically by trace index instead — strictly more
 //!    reproducible, identical wherever the reference was well-defined.
+//!
+//! # Metrics-only evaluation mode
+//!
+//! The evaluation layer (experiment grids, load sweeps, Table 4 rows)
+//! reduces every cell to a few scalars. [`simulate_metrics_into`] /
+//! [`SimWorkspace::run_metrics`] run the same engine but stream completion
+//! events into a [`SimMetrics`] accumulator (AVEbsld sum under τ, backfill
+//! count, makespan) instead of materializing per-job vectors — zero heap
+//! allocation per cell once the workspace is warm. Events stream in
+//! completion order, so the accumulated sums are bit-identical to reducing
+//! a full [`SimulationResult`] after the fact ([`SimMetrics::from_result`]
+//! is that reduction; [`reference::reference_metrics`] applies it to the
+//! original engine, and the `determinism_reference` suite diffs the two).
+//! The contract for callers holding a workspace across cells is unchanged:
+//! capacity carries over, state never does.
 //!
 //! RNG never appears in this crate: randomized callers (the trial driver)
 //! derive each simulation's inputs from `(master seed, trial index)`
@@ -50,7 +65,9 @@ pub mod result;
 pub mod timeline;
 
 pub use config::{BackfillMode, SchedulerConfig};
-pub use engine::{simulate, simulate_into, QueueDiscipline, SimWorkspace};
+pub use engine::{
+    simulate, simulate_into, simulate_metrics_into, QueueDiscipline, SimWorkspace,
+};
 pub use export::write_schedule_swf;
-pub use result::SimulationResult;
+pub use result::{SimMetrics, SimulationResult};
 pub use timeline::{ascii_gantt, queue_length_curve, utilization_curve};

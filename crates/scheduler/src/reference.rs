@@ -14,7 +14,7 @@
 use crate::config::{BackfillMode, SchedulerConfig};
 use crate::engine::QueueDiscipline;
 use crate::profile::Profile;
-use crate::result::SimulationResult;
+use crate::result::{SimMetrics, SimulationResult};
 use dynsched_cluster::{CompletedJob, Job, JobId};
 use dynsched_policies::{sort_views, TaskView};
 use dynsched_simkit::{Clock, EventQueue};
@@ -126,6 +126,20 @@ pub fn simulate_reference(
     let makespan = completed.iter().map(|c| c.finish).fold(0.0, f64::max);
     let utilization = ledger.utilization(makespan).unwrap_or(0.0);
     SimulationResult { completed, makespan, utilization, events_processed, backfilled_jobs: backfilled }
+}
+
+/// The metrics-mode oracle: run the reference engine, then reduce its
+/// materialized result with the exact fold the optimized engine's
+/// streaming path applies per completion event. The optimized
+/// [`crate::engine::simulate_metrics_into`] must match this bit for bit —
+/// same AVEbsld sum under `tau`, same backfill count, same makespan.
+pub fn reference_metrics(
+    trace: &Trace,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    tau: f64,
+) -> SimMetrics {
+    SimMetrics::from_result(&simulate_reference(trace, discipline, config), tau)
 }
 
 /// Priority order (indices into `queue`) under the active discipline.

@@ -56,6 +56,65 @@ impl SimulationResult {
     }
 }
 
+/// Streaming reduction of one simulation run: everything the evaluation
+/// layer keeps from a cell, without the per-job completion list.
+///
+/// The engine's metrics-only mode
+/// ([`simulate_metrics_into`](crate::simulate_metrics_into)) feeds
+/// completion events into [`SimMetrics::push`] as they happen — in
+/// completion order, the same order [`SimulationResult`] stores jobs — so
+/// the accumulated sums are **bit-identical** to materializing a full
+/// result and reducing it afterwards ([`SimMetrics::from_result`] is that
+/// reduction, and the determinism suite diffs the two). τ is fixed at
+/// construction because the bounded-slowdown sum depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Bounded-slowdown threshold the sum was accumulated under.
+    pub tau: f64,
+    /// Σ bounded slowdown over completed jobs, in completion order.
+    pub bsld_sum: f64,
+    /// Number of completed jobs.
+    pub completed_jobs: u64,
+    /// Jobs started by the backfilling pass rather than the strict pass.
+    pub backfilled_jobs: u64,
+    /// Time the last job finished (0 when nothing completed).
+    pub makespan: f64,
+}
+
+impl SimMetrics {
+    /// An empty accumulator for threshold `tau`.
+    pub fn new(tau: f64) -> Self {
+        Self { tau, bsld_sum: 0.0, completed_jobs: 0, backfilled_jobs: 0, makespan: 0.0 }
+    }
+
+    /// Fold one completion event into the accumulator. Call in completion
+    /// order to stay bit-identical to the materialized reduction.
+    #[inline]
+    pub fn push(&mut self, c: &CompletedJob) {
+        self.bsld_sum += c.bounded_slowdown(self.tau);
+        self.completed_jobs += 1;
+        self.makespan = self.makespan.max(c.finish);
+    }
+
+    /// Reduce a materialized [`SimulationResult`] to the same accumulator
+    /// the streaming path produces (the oracle the determinism tests use).
+    pub fn from_result(result: &SimulationResult, tau: f64) -> Self {
+        let mut m = Self::new(tau);
+        for c in &result.completed {
+            m.push(c);
+        }
+        m.backfilled_jobs = result.backfilled_jobs;
+        m
+    }
+
+    /// Average bounded slowdown (Eq. 2); `None` if nothing completed.
+    /// Bit-identical to [`SimulationResult::avg_bounded_slowdown`] for the
+    /// same run, because both divide the same completion-order sum.
+    pub fn avg_bounded_slowdown(&self) -> Option<f64> {
+        (self.completed_jobs > 0).then(|| self.bsld_sum / self.completed_jobs as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +164,22 @@ mod tests {
         let m = r.by_id();
         assert_eq!(m.len(), 2);
         assert_eq!(m[&1].start, 100.0);
+    }
+
+    #[test]
+    fn metrics_reduction_matches_result_statistics() {
+        let r = result();
+        let m = SimMetrics::from_result(&r, 10.0);
+        assert_eq!(m.avg_bounded_slowdown(), r.avg_bounded_slowdown(10.0));
+        assert_eq!(m.makespan, r.completed.iter().map(|c| c.finish).fold(0.0, f64::max));
+        assert_eq!(m.completed_jobs, 2);
+        assert_eq!(m.backfilled_jobs, r.backfilled_jobs);
+    }
+
+    #[test]
+    fn empty_metrics_have_no_average() {
+        let m = SimMetrics::new(10.0);
+        assert_eq!(m.avg_bounded_slowdown(), None);
+        assert_eq!(m.makespan, 0.0);
     }
 }

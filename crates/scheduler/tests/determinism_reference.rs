@@ -9,9 +9,10 @@
 
 use dynsched_cluster::{Job, Platform};
 use dynsched_policies::paper_lineup;
-use dynsched_scheduler::reference::simulate_reference;
+use dynsched_scheduler::reference::{reference_metrics, simulate_reference};
 use dynsched_scheduler::{
-    simulate, simulate_into, BackfillMode, QueueDiscipline, SchedulerConfig, SimWorkspace,
+    simulate, simulate_into, simulate_metrics_into, BackfillMode, QueueDiscipline,
+    SchedulerConfig, SimMetrics, SimWorkspace,
 };
 use dynsched_simkit::Rng;
 use dynsched_workload::Trace;
@@ -102,6 +103,86 @@ fn fast_path_matches_reference_for_fixed_orders() {
             let got = simulate_into(&mut ws, &trace, &discipline, &config);
             assert_eq!(got, want, "round {round}, config {config:?}");
         }
+    }
+}
+
+#[test]
+fn metrics_mode_matches_reference_reduction() {
+    // The streaming metrics path must reproduce, bit for bit, the metric
+    // values obtained by running the *reference* engine and reducing its
+    // materialized result — and the full fast path reduced after the fact.
+    let lineup = paper_lineup();
+    let mut ws = SimWorkspace::new();
+    let mut rng = Rng::new(0x3E721C5);
+    let tau = 10.0;
+    for round in 0..6 {
+        let trace = random_trace(&mut rng, 30, 32);
+        for (k, config) in configs(32).iter().enumerate() {
+            let policy = &lineup[(round + k) % lineup.len()];
+            let discipline = QueueDiscipline::Policy(policy.as_ref());
+            let want = reference_metrics(&trace, &discipline, config, tau);
+            let got = simulate_metrics_into(&mut ws, &trace, &discipline, config, tau);
+            assert_eq!(got, want, "round {round}, policy {}, config {config:?}", policy.name());
+            let full = SimMetrics::from_result(
+                &simulate_into(&mut ws, &trace, &discipline, config),
+                tau,
+            );
+            assert_eq!(got, full, "streaming vs materialized reduction diverged");
+            assert_eq!(got.avg_bounded_slowdown(), full.avg_bounded_slowdown());
+        }
+    }
+}
+
+#[test]
+fn metrics_mode_matches_reference_for_fixed_orders() {
+    let mut ws = SimWorkspace::new();
+    let mut rng = Rng::new(0xF1F2F3);
+    for round in 0..6u32 {
+        let trace = random_trace(&mut rng, 24, 16);
+        let ranks = rng.permutation(trace.len());
+        let discipline = QueueDiscipline::FixedOrder(&ranks);
+        for config in configs(16) {
+            let want = reference_metrics(&trace, &discipline, &config, 10.0);
+            let got = simulate_metrics_into(&mut ws, &trace, &discipline, &config, 10.0);
+            assert_eq!(got, want, "round {round}, config {config:?}");
+        }
+    }
+}
+
+#[test]
+fn noop_reschedule_skip_matches_reference_under_saturation() {
+    // Traces engineered to hammer the BackfillMode::None fast path: a wide
+    // head blocks the machine while a burst of narrow jobs arrives behind
+    // it. Every arrival that sorts behind the blocked head must leave the
+    // schedule untouched — the skipped pass is proven a no-op by diffing
+    // the whole run against the reference engine, per policy and per
+    // fixed order.
+    let lineup = paper_lineup();
+    let mut ws = SimWorkspace::new();
+    let mut rng = Rng::new(0xB10C7ED);
+    for round in 0..8 {
+        let wide = Job::new(0, 0.0, 3_000.0, 3_000.0, 16); // holds the machine
+        let mut jobs = vec![wide];
+        for i in 1..40u32 {
+            let submit = rng.range_f64(1.0, 2_500.0);
+            let runtime = rng.range_f64(1.0, 500.0);
+            let cores = rng.range_u64(1, 4) as u32;
+            jobs.push(Job::new(i, submit, runtime, runtime * 1.5, cores));
+        }
+        let trace = Trace::from_jobs(jobs);
+        let mut config = SchedulerConfig::actual_runtimes(Platform::new(16));
+        config.backfill = BackfillMode::None;
+        for policy in &lineup {
+            let discipline = QueueDiscipline::Policy(policy.as_ref());
+            let want = simulate_reference(&trace, &discipline, &config);
+            let got = simulate_into(&mut ws, &trace, &discipline, &config);
+            assert_eq!(got, want, "round {round}, policy {}", policy.name());
+        }
+        let ranks = rng.permutation(trace.len());
+        let discipline = QueueDiscipline::FixedOrder(&ranks);
+        let want = simulate_reference(&trace, &discipline, &config);
+        let got = simulate_into(&mut ws, &trace, &discipline, &config);
+        assert_eq!(got, want, "round {round}, fixed order");
     }
 }
 

@@ -118,6 +118,35 @@ where
     }
 }
 
+/// Deterministic scoped fan-out without RNG: run `f(i, &mut state)` for
+/// every `i` in `0..count` on the pool, collecting results in index order.
+/// `init` builds one reusable state per worker thread (the evaluation
+/// session hands each worker a simulation workspace this way). The scratch
+/// contract of [`run_indexed_scoped`] applies: `f` must fully reset the
+/// state before use, so slot `i` depends only on `i`.
+pub fn run_scoped<T, S, I, F>(count: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    fan_out(count, init, f)
+}
+
+/// Like [`par_map`], but hands each worker thread a reusable state built by
+/// `init` — the batched evaluation session uses this to give every worker
+/// one simulation workspace that is cleared, not reallocated, between the
+/// cells it executes. Same scratch contract as [`run_indexed_scoped`].
+pub fn par_map_scoped<T, U, S, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&T, &mut S) -> U + Sync,
+{
+    fan_out(items.len(), init, |i, state| f(&items[i], state))
+}
+
 /// Run `count` independent jobs in parallel, each with its own forked RNG.
 ///
 /// `f(index, rng)` is invoked once per index in `0..count`; the output vector
@@ -269,6 +298,36 @@ mod tests {
             })
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn run_scoped_matches_sequential() {
+        let got = run_scoped(
+            321,
+            Vec::<usize>::new,
+            |i, buf| {
+                buf.clear();
+                buf.extend(0..i % 5);
+                i * 3 + buf.len()
+            },
+        );
+        let want: Vec<usize> = (0..321).map(|i| i * 3 + i % 5).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_scoped_is_thread_count_independent() {
+        let items: Vec<u64> = (0..400).collect();
+        let eval = || {
+            par_map_scoped(&items, || 0u64, |&x, scratch| {
+                *scratch = x; // reset, then use
+                *scratch * 2 + 1
+            })
+        };
+        let wide = eval();
+        let narrow = with_worker_limit(1, eval);
+        assert_eq!(wide, narrow);
+        assert_eq!(wide[7], 15);
     }
 
     #[test]

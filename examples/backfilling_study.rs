@@ -10,7 +10,7 @@
 
 use dynsched::cluster::Platform;
 use dynsched::core::scenarios::ScenarioScale;
-use dynsched::core::{run_experiment, Experiment};
+use dynsched::core::{run_experiments, Experiment};
 use dynsched::policies::paper_lineup;
 use dynsched::scheduler::{BackfillMode, SchedulerConfig};
 use dynsched::simkit::Rng;
@@ -44,13 +44,16 @@ fn main() {
         "{:<6} {:>22} {:>22} {:>22}",
         "policy", "none: med / bf", "EASY: med / bf", "conservative: med / bf"
     );
-    let mut results = Vec::new();
-    for (_, mode) in &modes {
-        let mut scheduler = SchedulerConfig::user_estimates(Platform::new(nmax));
-        scheduler.backfill = *mode;
-        let experiment = Experiment::new("ablation", sequences.clone(), scheduler);
-        results.push(run_experiment(&experiment, &lineup));
-    }
+    // One batched session across all three backfilling modes.
+    let experiments: Vec<Experiment> = modes
+        .iter()
+        .map(|(_, mode)| {
+            let mut scheduler = SchedulerConfig::user_estimates(Platform::new(nmax));
+            scheduler.backfill = *mode;
+            Experiment::new("ablation", sequences.clone(), scheduler)
+        })
+        .collect();
+    let results = run_experiments(&experiments, &lineup);
     for (i, policy) in lineup.iter().enumerate() {
         use dynsched::policies::Policy as _;
         let cells: Vec<String> = results

@@ -12,7 +12,7 @@
 
 use dynsched::core::report::artifact_report;
 use dynsched::core::scenarios::{model_scenario, Condition, ScenarioScale};
-use dynsched::core::{run_experiment, ExperimentResult};
+use dynsched::core::{run_experiments, ExperimentResult};
 use dynsched::policies::paper_lineup;
 use dynsched::workload::SequenceSpec;
 
@@ -51,20 +51,26 @@ fn main() {
         scale.spec.count, scale.spec.days
     );
 
-    for condition in Condition::ALL {
-        for nmax in [256u32, 1024] {
-            let experiment = model_scenario(nmax, condition, &scale);
-            let njobs: usize = experiment.sequences.iter().map(|s| s.len()).sum();
-            println!("--- {} ({} jobs total) ---", experiment.name, njobs);
-            let t0 = std::time::Instant::now();
-            let result = run_experiment(&experiment, &lineup);
-            print!("{}", artifact_report(&result));
-            boxplot_block(&result);
-            println!(
-                "best policy: {}   [{:.1} s]\n",
-                result.best_policy().unwrap_or("-"),
-                t0.elapsed().as_secs_f64()
-            );
-        }
+    // All six (condition × platform size) experiments run as one batched
+    // evaluation session.
+    let experiments: Vec<_> = Condition::ALL
+        .into_iter()
+        .flat_map(|condition| {
+            [256u32, 1024].map(|nmax| model_scenario(nmax, condition, &scale))
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let results = run_experiments(&experiments, &lineup);
+    eprintln!(
+        "{} experiments evaluated in {:.1} s (one batched session)\n",
+        results.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for (experiment, result) in experiments.iter().zip(&results) {
+        let njobs: usize = experiment.sequences.iter().map(|s| s.len()).sum();
+        println!("--- {} ({} jobs total) ---", experiment.name, njobs);
+        print!("{}", artifact_report(result));
+        boxplot_block(result);
+        println!("best policy: {}\n", result.best_policy().unwrap_or("-"));
     }
 }

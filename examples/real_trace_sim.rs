@@ -14,7 +14,7 @@
 use dynsched::cluster::Platform;
 use dynsched::core::report::artifact_report;
 use dynsched::core::scenarios::{archive_scenario, Condition, ScenarioScale};
-use dynsched::core::{run_experiment, Experiment};
+use dynsched::core::{run_experiments, Experiment};
 use dynsched::policies::paper_lineup;
 use dynsched::workload::{extract_sequences, parse_swf_trace, ArchivePlatform, SequenceSpec};
 
@@ -39,13 +39,18 @@ fn run_on_swf(path: &str, cores: u32, scale: &ScenarioScale) {
     let sequences = extract_sequences(&trace, &scale.spec)
         .unwrap_or_else(|e| panic!("cannot extract sequences: {e}"));
     let lineup = paper_lineup();
-    for condition in Condition::ALL {
-        let experiment = Experiment::new(
-            format!("{path}, {}", condition.label()),
-            sequences.clone(),
-            condition.scheduler(Platform::new(cores)),
-        );
-        let result = run_experiment(&experiment, &lineup);
+    // All three conditions in one batched session.
+    let experiments: Vec<Experiment> = Condition::ALL
+        .into_iter()
+        .map(|condition| {
+            Experiment::new(
+                format!("{path}, {}", condition.label()),
+                sequences.clone(),
+                condition.scheduler(Platform::new(cores)),
+            )
+        })
+        .collect();
+    for result in run_experiments(&experiments, &lineup) {
         print!("{}", artifact_report(&result));
         println!();
     }
@@ -76,19 +81,33 @@ fn main() {
     );
 
     let lineup = paper_lineup();
-    for condition in Condition::ALL {
+    // Every (condition × platform) experiment runs in one batched session.
+    let experiments: Vec<Experiment> = Condition::ALL
+        .into_iter()
+        .flat_map(|condition| {
+            ArchivePlatform::ALL
+                .iter()
+                .map(move |platform| archive_scenario(platform, condition, &scale))
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let results = run_experiments(&experiments, &lineup);
+    eprintln!(
+        "{} experiments evaluated in {:.1} s (one batched session)\n",
+        results.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let per_condition = ArchivePlatform::ALL.len();
+    for (i, (condition, chunk)) in
+        Condition::ALL.iter().zip(results.chunks(per_condition)).enumerate()
+    {
         println!("==== Condition: {} ====", condition.label());
-        for platform in &ArchivePlatform::ALL {
-            let experiment = archive_scenario(platform, condition, &scale);
+        for (experiment, result) in
+            experiments[i * per_condition..].iter().zip(chunk)
+        {
             let njobs: usize = experiment.sequences.iter().map(|s| s.len()).sum();
-            let t0 = std::time::Instant::now();
-            let result = run_experiment(&experiment, &lineup);
-            print!("{}", artifact_report(&result));
-            println!(
-                "jobs={njobs} best={} [{:.1} s]\n",
-                result.best_policy().unwrap_or("-"),
-                t0.elapsed().as_secs_f64()
-            );
+            print!("{}", artifact_report(result));
+            println!("jobs={njobs} best={}\n", result.best_policy().unwrap_or("-"));
         }
     }
 }

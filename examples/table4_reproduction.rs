@@ -13,7 +13,7 @@
 
 use dynsched::core::report::{table4_comparison, table4_markdown};
 use dynsched::core::scenarios::{table4_experiments, ScenarioScale};
-use dynsched::core::{run_experiment, learned_beat_adhoc};
+use dynsched::core::{learned_beat_adhoc, run_experiments};
 use dynsched::policies::paper_lineup;
 use dynsched::workload::SequenceSpec;
 
@@ -33,18 +33,13 @@ fn main() {
 
     let lineup = paper_lineup();
     let experiments = table4_experiments(&scale);
-    let mut results = Vec::with_capacity(experiments.len());
-    for (i, experiment) in experiments.iter().enumerate() {
-        let t0 = std::time::Instant::now();
-        let result = run_experiment(experiment, &lineup);
-        eprintln!(
-            "[{:>2}/18] {}  (best {}, {:.1} s)",
-            i + 1,
-            result.name,
-            result.best_policy().unwrap_or("-"),
-            t0.elapsed().as_secs_f64()
-        );
-        results.push(result);
+    // All 18 rows × 8 policies × sequences run as ONE batched evaluation
+    // session — a single fan-out with reusable per-worker workspaces.
+    let t0 = std::time::Instant::now();
+    let results = run_experiments(&experiments, &lineup);
+    eprintln!("18 rows evaluated in {:.1} s (one batched session)", t0.elapsed().as_secs_f64());
+    for (i, result) in results.iter().enumerate() {
+        eprintln!("[{:>2}/18] {}  (best {})", i + 1, result.name, result.best_policy().unwrap_or("-"));
     }
 
     println!("\n== Measured medians (Table 4 layout) ==\n");

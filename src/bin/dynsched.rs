@@ -17,7 +17,7 @@ use dynsched::core::report::{table4_comparison, table4_markdown};
 use dynsched::core::scenarios::{table4_experiments, ScenarioScale};
 use dynsched::core::trials::TrialSpec;
 use dynsched::core::tuples::TupleSpec;
-use dynsched::core::{learned_beat_adhoc, run_experiment};
+use dynsched::core::{learned_beat_adhoc, run_experiments};
 use dynsched::mlreg::EnumerateOptions;
 use dynsched::policies::{by_name, paper_lineup, save_learned, Policy};
 use dynsched::scheduler::{simulate, BackfillMode, QueueDiscipline, SchedulerConfig};
@@ -198,11 +198,12 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
         ScenarioScale::default()
     };
     let lineup = paper_lineup();
-    let mut results = Vec::new();
-    for (i, experiment) in table4_experiments(&scale).iter().enumerate() {
+    // One batched evaluation session across all 18 rows.
+    let experiments = table4_experiments(&scale);
+    for (i, experiment) in experiments.iter().enumerate() {
         eprintln!("[{:>2}/18] {}", i + 1, experiment.name);
-        results.push(run_experiment(experiment, &lineup));
     }
+    let results = run_experiments(&experiments, &lineup);
     println!("{}", table4_markdown(&results));
     println!("{}", table4_comparison(&results));
     let wins = results.iter().filter(|r| learned_beat_adhoc(r)).count();
