@@ -1,0 +1,169 @@
+//! Learning-stage throughput: the batched enumeration session (one
+//! reusable fit workspace per worker, shared pre-transformed feature
+//! table) against the pre-refactor sequential enumeration
+//! (`dynsched_mlreg::reference` — per-fit allocation, base functions
+//! recomputed inside every residual pass), the baseline convention the
+//! other two throughput benches use for the seed engine.
+//!
+//! Also times the batched path pinned to one worker, isolating what the
+//! feature table + workspace reuse buy without parallelism.
+//!
+//! Numbers land in `BENCH_learning_throughput.json` at the repo root,
+//! committed alongside the trial/experiment files so the performance
+//! trajectory is visible across PRs; CI regenerates and uploads it.
+
+use criterion::{Criterion, Throughput};
+use dynsched_bench::{banner, criterion, full_scale, trial_count};
+use dynsched_cluster::Platform;
+use dynsched_core::pipeline::{generate_training_set, TrainingConfig};
+use dynsched_core::trials::TrialSpec;
+use dynsched_core::tuples::TupleSpec;
+use dynsched_mlreg::{
+    fit_all, fit_all_reference, fit_function, fit_function_reference, EnumerateOptions, FitResult,
+    TrainingSet,
+};
+use dynsched_policies::NonlinearFunction;
+use dynsched_simkit::parallel::with_worker_limit;
+use dynsched_workload::LublinModel;
+use std::hint::black_box;
+
+/// The real training distribution at bench scale: pooled trial scores
+/// from the Lublin model, exactly what the enumeration sees in a full
+/// run.
+fn training_set() -> TrainingSet {
+    let (tuples, q_size, trials) = if full_scale() { (16, 32, trial_count()) } else { (8, 16, 768) };
+    let config = TrainingConfig {
+        tuple_spec: TupleSpec { s_size: 8, q_size, max_start_offset: 50_000.0 },
+        trial_spec: TrialSpec { trials, platform: Platform::new(128), tau: 10.0 },
+        tuples,
+        seed: 0x1EA2,
+    };
+    let (_, ts) = generate_training_set(&config, &LublinModel::new(128));
+    ts
+}
+
+struct Timed {
+    seconds: f64,
+    fits_per_sec: f64,
+    ms_per_fit: f64,
+}
+
+/// Best-of-`reps` wall time (the minimum is the least noise-contaminated
+/// estimate on a shared machine).
+fn time_fits(fits: usize, reps: usize, mut f: impl FnMut()) -> Timed {
+    let mut seconds = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        seconds = seconds.min(t0.elapsed().as_secs_f64());
+    }
+    Timed {
+        seconds,
+        fits_per_sec: fits as f64 / seconds,
+        ms_per_fit: seconds / fits as f64 * 1e3,
+    }
+}
+
+fn regenerate() {
+    banner("Learning throughput: batched enumeration vs sequential reference");
+    let ts = training_set();
+    let options = EnumerateOptions::default();
+    let fits = 576usize;
+    let reps = 3;
+    println!("training set: {} observations", ts.len());
+
+    let mut batched_out: Option<Vec<FitResult>> = None;
+    let batched = time_fits(fits, reps, || batched_out = Some(fit_all(&ts, &options)));
+    let mut narrow_out: Option<Vec<FitResult>> = None;
+    let narrow = time_fits(fits, reps, || {
+        narrow_out = Some(with_worker_limit(1, || fit_all(&ts, &options)))
+    });
+    let mut reference_out: Option<Vec<FitResult>> = None;
+    let reference =
+        time_fits(fits, reps, || reference_out = Some(fit_all_reference(&ts, &options)));
+
+    // Cross-path check: all three enumerations must agree bit for bit —
+    // the same contract the learning_pipeline golden suite pins.
+    let batched_out = batched_out.unwrap();
+    assert_eq!(batched_out, narrow_out.unwrap(), "thread count changed the enumeration");
+    assert_eq!(batched_out, reference_out.unwrap(), "batched path diverged from the oracle");
+
+    let speedup_parallel = batched.fits_per_sec / reference.fits_per_sec;
+    let speedup_single = narrow.fits_per_sec / reference.fits_per_sec;
+    println!(
+        "batched session:      {fits} fits in {:.3} s  ->  {:.3} ms/fit ({:.0} fits/s)",
+        batched.seconds, batched.ms_per_fit, batched.fits_per_sec
+    );
+    println!(
+        "batched, 1 worker:    {fits} fits in {:.3} s  ->  {:.3} ms/fit ({:.0} fits/s)  [{speedup_single:.2}x]",
+        narrow.seconds, narrow.ms_per_fit, narrow.fits_per_sec
+    );
+    println!(
+        "sequential reference: {fits} fits in {:.3} s  ->  {:.3} ms/fit ({:.0} fits/s)  [{speedup_parallel:.2}x]",
+        reference.seconds, reference.ms_per_fit, reference.fits_per_sec
+    );
+
+    let json = format!(
+        "{{\n  \
+           \"bench\": \"learning_throughput\",\n  \
+           \"scale\": \"{}\",\n  \
+           \"observations\": {},\n  \
+           \"candidate_functions\": {fits},\n  \
+           \"batched_session\": {{ \"seconds\": {:.4}, \"fits_per_sec\": {:.1}, \"ms_per_fit\": {:.4} }},\n  \
+           \"batched_single_worker\": {{ \"seconds\": {:.4}, \"fits_per_sec\": {:.1}, \"ms_per_fit\": {:.4} }},\n  \
+           \"sequential_reference\": {{ \"seconds\": {:.4}, \"fits_per_sec\": {:.1}, \"ms_per_fit\": {:.4} }},\n  \
+           \"speedup_vs_sequential_reference\": {:.3},\n  \
+           \"speedup_single_worker_vs_reference\": {:.3}\n}}\n",
+        if full_scale() { "paper" } else { "reduced" },
+        ts.len(),
+        batched.seconds,
+        batched.fits_per_sec,
+        batched.ms_per_fit,
+        narrow.seconds,
+        narrow.fits_per_sec,
+        narrow.ms_per_fit,
+        reference.seconds,
+        reference.fits_per_sec,
+        reference.ms_per_fit,
+        speedup_parallel,
+        speedup_single,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_learning_throughput.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let ts = training_set();
+    let options = EnumerateOptions::default();
+    let shape = NonlinearFunction::enumerate_family()[99];
+
+    let mut g = c.benchmark_group("learning/fit_one");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("batched_kernel", |b| {
+        b.iter(|| black_box(fit_function(shape, &ts, &options)))
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| black_box(fit_function_reference(shape, &ts, &options)))
+    });
+    g.finish();
+
+    let mut quick = EnumerateOptions::default();
+    quick.lm.max_iterations = 15;
+    let mut g = c.benchmark_group("learning/enumerate_576");
+    g.throughput(Throughput::Elements(576));
+    g.bench_function("batched_session", |b| b.iter(|| black_box(fit_all(&ts, &quick))));
+    g.bench_function("sequential_reference", |b| {
+        b.iter(|| black_box(fit_all_reference(&ts, &quick)))
+    });
+    g.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -10,7 +10,10 @@
 //!   distribution, rayon-parallel and deterministic;
 //! * [`convergence`] — the trial-count convergence study (Fig. 2);
 //! * [`pipeline`] — tuples → trials → pooled `score(r,n,s)` → weighted
-//!   nonlinear regression → ranked policies (Table 3);
+//!   nonlinear regression → ranked policies (Table 3), plus
+//!   [`pipeline::run_full`]: the entire paper loop (train → fit → select
+//!   → evaluate against the baselines over the Table-4 grid) as one
+//!   orchestrated, deterministic run;
 //! * [`session`] — the batched evaluation session every grid runs
 //!   through: cells fanned out with one reusable workspace per worker,
 //!   each cell in the engine's metrics-only mode;
@@ -36,6 +39,13 @@
 //! output bit-identical at any thread count (and bit-identical to the
 //! historical per-cell `simulate()` loops — the `eval_session` regression
 //! suite pins this).
+//!
+//! The learning layer follows the same architecture: the 576-candidate
+//! regression sweep inside [`learn_policies`] / [`run_full`] fans out
+//! with one reusable fit workspace per worker (see `dynsched_mlreg`),
+//! and the `learning_pipeline` golden suite pins the whole
+//! train → fit → select → evaluate loop bit-identical at 1 vs n threads
+//! and to the sequential pre-refactor enumeration.
 //!
 //! ## Quickstart
 //!
@@ -80,8 +90,13 @@ pub use custom::{learn_custom_policies, tuple_from_trace, CustomTrainingConfig};
 pub use experiments::{
     run_experiment, run_experiments, Experiment, ExperimentResult, PolicyOutcome,
 };
-pub use pipeline::{generate_training_set, learn_policies, LearnedReport, TrainingConfig};
-pub use report::{artifact_report, learned_beat_adhoc, table4_comparison, table4_markdown};
+pub use pipeline::{
+    generate_training_set, learn_policies, run_full, FullRunConfig, FullRunReport, LearnedReport,
+    TrainingConfig,
+};
+pub use report::{
+    artifact_report, full_run_markdown, learned_beat_adhoc, table4_comparison, table4_markdown,
+};
 pub use scenarios::{
     archive_scenario, model_scenario, table4_experiments, table4_results, Condition,
     ScenarioScale,

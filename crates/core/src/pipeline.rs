@@ -13,10 +13,12 @@
 //!    and rank them (Eq. 5);
 //! 5. export the best `k` as scheduling policies.
 
+use crate::experiments::ExperimentResult;
+use crate::scenarios::{table4_results, ScenarioScale};
 use crate::trials::{to_observations, trial_scores_batched, TrialBatch, TrialSpec};
 use crate::tuples::{TaskTuple, TupleSpec};
 use dynsched_mlreg::{fit_all, top_policies, EnumerateOptions, FitResult, TrainingSet};
-use dynsched_policies::LearnedPolicy;
+use dynsched_policies::{baseline_lineup, LearnedPolicy, Policy};
 use dynsched_simkit::Rng;
 use dynsched_workload::LublinModel;
 use serde::{Deserialize, Serialize};
@@ -111,6 +113,68 @@ pub fn learn_policies(
     LearnedReport { tuples, training_set, fits, policies }
 }
 
+/// Configuration of a one-shot learn→evaluate run ([`run_full`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FullRunConfig {
+    /// Training stage: tuples × trials → pooled distribution.
+    pub training: TrainingConfig,
+    /// Regression stage: Eq. 4 weighting and optimizer options.
+    pub enumerate: EnumerateOptions,
+    /// How many ranked functions to keep as policies (`G1..Gk`).
+    pub top_k: usize,
+    /// Evaluation stage: the Table-4 scenario protocol (sequence count,
+    /// window length, offered load, seed).
+    pub eval_scale: ScenarioScale,
+}
+
+impl Default for FullRunConfig {
+    fn default() -> Self {
+        Self {
+            training: TrainingConfig::default(),
+            enumerate: EnumerateOptions::default(),
+            top_k: 4,
+            eval_scale: ScenarioScale::default(),
+        }
+    }
+}
+
+/// Everything a one-shot [`run_full`] produces: the training stage's
+/// [`LearnedReport`] plus the evaluation of the learned policies against
+/// the ad-hoc baselines over the full Table-4 scenario grid.
+#[derive(Debug)]
+pub struct FullRunReport {
+    /// Tuples, pooled distribution, all 576 fits (best first), `G1..Gk`.
+    pub learned: LearnedReport,
+    /// Policy names in evaluation column order: the four ad-hoc baselines
+    /// (`FCFS, WFP, UNI, SPT`), then the learned `G1..Gk`.
+    pub lineup: Vec<String>,
+    /// All 18 Table-4 rows, in the paper's row order, evaluated under
+    /// [`lineup`](Self::lineup).
+    pub evaluation: Vec<ExperimentResult>,
+}
+
+/// Execute the paper's entire loop as **one orchestrated run**: generate
+/// the training distribution, fit and rank all 576 candidate functions
+/// (one batched enumeration session), keep the `top_k` as policies, and
+/// evaluate them against the ad-hoc baselines across the Table-4 scenario
+/// grid (one batched evaluation session spanning all
+/// `row × policy × sequence` cells).
+///
+/// Every stage runs on the deterministic thread pool with per-worker
+/// reusable workspaces, so the whole report — training set, fit table,
+/// policy identities, and every AVEbsld cell — is bit-identical at any
+/// thread count. The `learning_pipeline` golden suite pins this.
+pub fn run_full(config: &FullRunConfig, model: &LublinModel) -> FullRunReport {
+    let learned = learn_policies(&config.training, model, &config.enumerate, config.top_k);
+    let mut lineup: Vec<Box<dyn Policy>> = baseline_lineup();
+    for policy in &learned.policies {
+        lineup.push(Box::new(policy.clone()));
+    }
+    let names: Vec<String> = lineup.iter().map(|p| p.name().to_string()).collect();
+    let evaluation = table4_results(&config.eval_scale, &lineup);
+    FullRunReport { learned, lineup: names, evaluation }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +208,35 @@ mod tests {
         let (_, a) = generate_training_set(&tiny_config(), &model);
         let (_, b) = generate_training_set(&tiny_config(), &model);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_full_links_training_to_evaluation() {
+        use dynsched_workload::SequenceSpec;
+        let mut enumerate = EnumerateOptions::default();
+        enumerate.lm.max_iterations = 20;
+        let config = FullRunConfig {
+            training: tiny_config(),
+            enumerate,
+            top_k: 3,
+            eval_scale: ScenarioScale {
+                spec: SequenceSpec { count: 2, days: 1.0, min_jobs: 2 },
+                ..ScenarioScale::default()
+            },
+        };
+        let model = LublinModel::new(64);
+        let report = run_full(&config, &model);
+        assert_eq!(report.lineup, ["FCFS", "WFP", "UNI", "SPT", "G1", "G2", "G3"]);
+        assert_eq!(report.evaluation.len(), 18, "full Table-4 grid");
+        for row in &report.evaluation {
+            let names: Vec<&str> = row.outcomes.iter().map(|o| o.policy.as_str()).collect();
+            assert_eq!(names, report.lineup, "{}", row.name);
+        }
+        // The shipped policies are exactly the top fits, in rank order.
+        assert_eq!(report.learned.policies.len(), 3);
+        for (policy, fit) in report.learned.policies.iter().zip(&report.learned.fits) {
+            assert_eq!(policy.function(), &fit.function);
+        }
     }
 
     #[test]

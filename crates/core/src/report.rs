@@ -7,6 +7,7 @@
 //! source of EXPERIMENTS.md.
 
 use crate::experiments::ExperimentResult;
+use crate::pipeline::FullRunReport;
 use dynsched_policies::NonlinearFunction;
 use std::fmt::Write as _;
 
@@ -73,7 +74,7 @@ pub fn artifact_report(result: &ExperimentResult) -> String {
 pub fn table4_markdown(results: &[ExperimentResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| Experiment | {} |", TABLE4_POLICIES.join(" | "));
-    let _ = writeln!(out, "|---|{}|", "---:|".repeat(TABLE4_POLICIES.len()));
+    let _ = writeln!(out, "|---|{}", "---:|".repeat(TABLE4_POLICIES.len()));
     for r in results {
         let cells: Vec<String> = TABLE4_POLICIES
             .iter()
@@ -111,6 +112,85 @@ pub fn table4_comparison(results: &[ExperimentResult]) -> String {
             if learned_beat_adhoc(r) { "✓" } else { "✗" }
         );
     }
+    out
+}
+
+/// Render a one-shot learn→evaluate run ([`run_full`]) as a single
+/// markdown artifact: the ranked learned functions with their
+/// coefficients and fitness, then the AVEbsld median table over the full
+/// Table-4 scenario grid, then the paper's structural claim evaluated on
+/// *this* run's policies (best generated vs best ad-hoc, row by row).
+///
+/// [`run_full`]: crate::pipeline::run_full
+pub fn full_run_markdown(report: &FullRunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# One-shot training → evaluation run");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Training: {} observations pooled from {} tuples; {} candidate functions fitted.",
+        report.learned.training_set.len(),
+        report.learned.tuples.len(),
+        report.learned.fits.len(),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Learned policies (best fit first)");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| Policy | Function | Coefficients | Fitness (Eq. 5) | Converged |");
+    let _ = writeln!(out, "|---|---|---|---:|---|");
+    for (policy, fit) in report.learned.policies.iter().zip(&report.learned.fits) {
+        let [c1, c2, c3] = fit.function.coefficients;
+        let _ = writeln!(
+            out,
+            "| {} | `{}` | [{c1:.6e}, {c2:.6e}, {c3:.6e}] | {:.6e} | {} |",
+            dynsched_policies::Policy::name(policy),
+            fit.function.render_simplified(),
+            fit.fitness,
+            if fit.converged { "yes" } else { "no" },
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Evaluation: AVEbsld medians, Table-4 scenario grid");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| Experiment | {} |", report.lineup.join(" | "));
+    let _ = writeln!(out, "|---|{}", "---:|".repeat(report.lineup.len()));
+    for row in &report.evaluation {
+        let cells: Vec<String> = report
+            .lineup
+            .iter()
+            .map(|p| row.median_of(p).map_or("-".to_string(), |m| format!("{m:.2}")))
+            .collect();
+        let _ = writeln!(out, "| {} | {} |", row.name, cells.join(" | "));
+    }
+    let _ = writeln!(out);
+    let generated: Vec<&str> = report
+        .lineup
+        .iter()
+        .filter(|n| n.starts_with('G'))
+        .map(String::as_str)
+        .collect();
+    let adhoc: Vec<&str> = report
+        .lineup
+        .iter()
+        .filter(|n| !n.starts_with('G'))
+        .map(String::as_str)
+        .collect();
+    let best_of = |row: &ExperimentResult, names: &[&str]| -> Option<f64> {
+        names.iter().filter_map(|n| row.median_of(n)).min_by(f64::total_cmp)
+    };
+    let wins = report
+        .evaluation
+        .iter()
+        .filter(|row| match (best_of(row, &generated), best_of(row, &adhoc)) {
+            (Some(g), Some(a)) => g < a,
+            _ => false,
+        })
+        .count();
+    let _ = writeln!(
+        out,
+        "Shape: best learned (G*) beats best ad-hoc in {wins}/{} rows (paper: 18/18).",
+        report.evaluation.len(),
+    );
     out
 }
 
@@ -342,6 +422,49 @@ mod tests {
         assert!(learned_beat_adhoc(&good));
         let bad = fake_result(&[("FCFS", 10.0), ("WFP", 90.0), ("UNI", 80.0), ("SPT", 70.0), ("F4", 60.0), ("F3", 50.0), ("F2", 40.0), ("F1", 30.0)]);
         assert!(!learned_beat_adhoc(&bad));
+    }
+
+    #[test]
+    fn full_run_markdown_renders_every_section() {
+        use crate::pipeline::{FullRunReport, LearnedReport};
+        use dynsched_mlreg::{FitResult, TrainingSet};
+        use dynsched_policies::NonlinearFunction;
+        let family = NonlinearFunction::enumerate_family();
+        let fits: Vec<FitResult> = [(10usize, 0.01), (44, 0.02)]
+            .iter()
+            .map(|&(i, fitness)| FitResult {
+                function: family[i].with_coefficients([1e-4, 2e-4, 3e-4]),
+                family_index: i,
+                fitness,
+                weighted_sse: 1.0,
+                converged: true,
+            })
+            .collect();
+        let policies: Vec<LearnedPolicy> = fits
+            .iter()
+            .enumerate()
+            .map(|(i, f)| LearnedPolicy::generated(i + 1, f.function))
+            .collect();
+        let mut row = fake_result(&[("FCFS", 100.0), ("SPT", 50.0), ("G1", 10.0), ("G2", 20.0)]);
+        row.name = "Workload model, nmax = 256, actual runtimes r".to_string();
+        let report = FullRunReport {
+            learned: LearnedReport {
+                tuples: vec![],
+                training_set: TrainingSet::default(),
+                fits,
+                policies,
+            },
+            lineup: vec!["FCFS".into(), "SPT".into(), "G1".into(), "G2".into()],
+            evaluation: vec![row],
+        };
+        let md = full_run_markdown(&report);
+        assert!(md.contains("## Learned policies"));
+        assert!(md.contains("| G1 |"));
+        assert!(md.contains("## Evaluation"));
+        assert!(md.contains("| FCFS | SPT | G1 | G2 |"));
+        assert!(md.contains("10.00"));
+        // G1 (10.0) beats the best ad-hoc (SPT, 50.0) in the single row.
+        assert!(md.contains("beats best ad-hoc in 1/1 rows"));
     }
 
     #[test]

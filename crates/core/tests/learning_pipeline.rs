@@ -1,0 +1,144 @@
+//! End-to-end golden suite for the batched learning pipeline.
+//!
+//! Pins the full `run_full` loop — training set → 576-candidate fit
+//! session → top-k selection → Table-4-grid evaluation — at reduced
+//! scale:
+//!
+//! * **bit-identical at 1 vs n worker threads** (the batched-session
+//!   determinism contract carried through the learning layer), and
+//! * **bit-identical to the pre-refactor sequential enumeration**
+//!   (`dynsched_mlreg::reference`), the oracle for the fit/rank stage.
+//!
+//! If an engine, optimizer, or session change breaks either property,
+//! this suite is the tripwire — see ROADMAP "Notes from PR 3".
+
+use dynsched_cluster::Platform;
+use dynsched_core::pipeline::{generate_training_set, run_full, FullRunConfig, TrainingConfig};
+use dynsched_core::scenarios::ScenarioScale;
+use dynsched_core::trials::TrialSpec;
+use dynsched_core::tuples::TupleSpec;
+use dynsched_mlreg::{fit_all_reference, EnumerateOptions};
+use dynsched_simkit::parallel::with_worker_limit;
+use dynsched_workload::{LublinModel, SequenceSpec};
+
+/// A reduced-scale full run: small tuples, short trial batches, a 2×1-day
+/// evaluation protocol — the paper's structure end to end, minutes of
+/// debug-mode work compressed to seconds.
+fn golden_config() -> FullRunConfig {
+    let mut enumerate = EnumerateOptions::default();
+    enumerate.lm.max_iterations = 25;
+    FullRunConfig {
+        training: TrainingConfig {
+            tuple_spec: TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 },
+            trial_spec: TrialSpec { trials: 192, platform: Platform::new(64), tau: 10.0 },
+            tuples: 3,
+            seed: 42,
+        },
+        enumerate,
+        top_k: 3,
+        eval_scale: ScenarioScale {
+            spec: SequenceSpec { count: 2, days: 1.0, min_jobs: 2 },
+            ..ScenarioScale::default()
+        },
+    }
+}
+
+#[test]
+fn run_full_is_bit_identical_at_any_thread_count() {
+    let config = golden_config();
+    let model = LublinModel::new(64);
+    let wide = run_full(&config, &model);
+    let narrow = with_worker_limit(1, || run_full(&config, &model));
+
+    // Training stage: the pooled distribution itself.
+    assert_eq!(wide.learned.training_set, narrow.learned.training_set);
+    assert_eq!(wide.learned.tuples, narrow.learned.tuples);
+
+    // Fit stage: all 576 results — coefficients, fitness, ranking order.
+    assert_eq!(wide.learned.fits.len(), 576);
+    assert_eq!(wide.learned.fits, narrow.learned.fits);
+
+    // Selection stage: top-k identities and coefficients.
+    assert_eq!(wide.lineup, narrow.lineup);
+    for (a, b) in wide.learned.policies.iter().zip(&narrow.learned.policies) {
+        assert_eq!(dynsched_policies::Policy::name(a), dynsched_policies::Policy::name(b));
+        assert_eq!(a.function(), b.function());
+    }
+
+    // Evaluation stage: every AVEbsld cell of the 18-row grid.
+    assert_eq!(wide.evaluation, narrow.evaluation);
+}
+
+#[test]
+fn fit_stage_matches_the_pre_refactor_sequential_path() {
+    let config = golden_config();
+    let model = LublinModel::new(64);
+    let report = run_full(&config, &model);
+
+    // Rebuild the training set independently and walk the family with the
+    // preserved pre-refactor enumeration (sequential, per-fit allocation,
+    // raw-observation residuals, stable fitness-only sort).
+    let (_, training_set) = generate_training_set(&config.training, &model);
+    assert_eq!(training_set, report.learned.training_set);
+    let reference = fit_all_reference(&training_set, &config.enumerate);
+    assert_eq!(report.learned.fits, reference, "batched fit_all diverged from the oracle");
+}
+
+#[test]
+fn run_full_output_has_the_golden_shape() {
+    let config = golden_config();
+    let model = LublinModel::new(64);
+    let report = run_full(&config, &model);
+
+    // Lineup: the four ad-hoc baselines then G1..G3, in that order.
+    assert_eq!(report.lineup, ["FCFS", "WFP", "UNI", "SPT", "G1", "G2", "G3"]);
+
+    // Fits arrive best-first under the total ranking order.
+    for w in report.learned.fits.windows(2) {
+        let key = |f: &dynsched_mlreg::FitResult| {
+            if f.fitness.is_finite() {
+                (f.fitness, f.family_index)
+            } else {
+                (f64::INFINITY, f.family_index)
+            }
+        };
+        let (ka, kb) = (key(&w[0]), key(&w[1]));
+        assert!(ka <= kb, "fits out of order: {ka:?} then {kb:?}");
+    }
+
+    // The shipped policies are the top fits verbatim.
+    for (i, policy) in report.learned.policies.iter().enumerate() {
+        assert_eq!(policy.function(), &report.learned.fits[i].function);
+    }
+
+    // All 18 Table-4 rows, each with every lineup column, every AVEbsld
+    // sample within the statistic's lower bound.
+    assert_eq!(report.evaluation.len(), 18);
+    for row in &report.evaluation {
+        let names: Vec<&str> = row.outcomes.iter().map(|o| o.policy.as_str()).collect();
+        assert_eq!(names, report.lineup, "{}", row.name);
+        for outcome in &row.outcomes {
+            assert_eq!(outcome.ave_bslds.len(), 2, "two sequences per row");
+            for &x in &outcome.ave_bslds {
+                assert!(x >= 1.0 && x.is_finite(), "{}: AVEbsld {x}", row.name);
+            }
+        }
+    }
+
+    // The markdown artifact renders the whole thing.
+    let md = dynsched_core::report::full_run_markdown(&report);
+    assert!(md.contains("## Learned policies"));
+    assert!(md.contains("| G1 |"));
+    assert!(md.contains("## Evaluation"));
+    assert!(md.lines().filter(|l| l.starts_with("| ")).count() >= 18 + 3);
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let config = golden_config();
+    let model = LublinModel::new(64);
+    let a = run_full(&config, &model);
+    let b = run_full(&config, &model);
+    assert_eq!(a.learned.fits, b.learned.fits);
+    assert_eq!(a.evaluation, b.evaluation);
+}

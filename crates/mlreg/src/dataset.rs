@@ -6,6 +6,7 @@
 //! module is the in-memory form plus the CSV codec, and carries the Eq. 4
 //! weighting (`w = r·n`) used by the regression.
 
+use dynsched_policies::learned::BaseFunc;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -106,6 +107,88 @@ impl TrainingSet {
     }
 }
 
+/// Pre-transformed view of a [`TrainingSet`] for the enumeration sweep.
+///
+/// Every family member evaluates `c1·α(r) op1 c2·β(n) op2 c3·γ(s)`; the
+/// base-function values `α(r), β(n), γ(s)` do not depend on the
+/// coefficients being fitted, so the optimizer recomputes transcendentals
+/// (`log10`, `sqrt`) thousands of times for values that never change. A
+/// `FeatureTable` evaluates all four base functions on all three variables
+/// of every observation **once** (12 dense columns), after which a
+/// residual pass is pure coefficient arithmetic over cached slices —
+/// bit-identical to evaluating on the raw observations, because
+/// [`eval`](dynsched_policies::learned::NonlinearFunction::eval) routes
+/// through the same
+/// [`eval_transformed`](dynsched_policies::learned::NonlinearFunction::eval_transformed)
+/// combine step.
+///
+/// Build it once per training set and share it (immutably) across worker
+/// threads; it is the read-only half of the enumeration's workspace-reuse
+/// contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureTable {
+    /// `runtime[b][i] = BaseFunc::ALL[b].eval(obs[i].runtime)`.
+    runtime: [Vec<f64>; 4],
+    /// Same for the core count `n`.
+    cores: [Vec<f64>; 4],
+    /// Same for the submit time `s`.
+    submit: [Vec<f64>; 4],
+    scores: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl FeatureTable {
+    /// Evaluate every base function on every observation of `training`.
+    pub fn build(training: &TrainingSet) -> Self {
+        let obs = training.observations();
+        let column = |pick: &dyn Fn(&Observation) -> f64| -> [Vec<f64>; 4] {
+            BaseFunc::ALL.map(|base| obs.iter().map(|o| base.eval(pick(o))).collect())
+        };
+        Self {
+            runtime: column(&|o| o.runtime),
+            cores: column(&|o| o.cores),
+            submit: column(&|o| o.submit),
+            scores: obs.iter().map(|o| o.score).collect(),
+            weights: obs.iter().map(Observation::weight).collect(),
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// `α(r)` for every observation.
+    pub fn alpha(&self, base: BaseFunc) -> &[f64] {
+        &self.runtime[base.index()]
+    }
+
+    /// `β(n)` for every observation.
+    pub fn beta(&self, base: BaseFunc) -> &[f64] {
+        &self.cores[base.index()]
+    }
+
+    /// `γ(s)` for every observation.
+    pub fn gamma(&self, base: BaseFunc) -> &[f64] {
+        &self.submit[base.index()]
+    }
+
+    /// The observed scores.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The Eq. 4 weights `r·n`, one per observation.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
 /// CSV parse error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsvError {
@@ -168,6 +251,23 @@ mod tests {
     fn weight_is_area() {
         let o = Observation { runtime: 100.0, cores: 8.0, submit: 0.0, score: 0.03 };
         assert_eq!(o.weight(), 800.0);
+    }
+
+    #[test]
+    fn feature_table_caches_every_base_function() {
+        let ts = TrainingSet::from_csv(ARTIFACT_SAMPLE).unwrap();
+        let table = FeatureTable::build(&ts);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        for (i, o) in ts.observations().iter().enumerate() {
+            for base in BaseFunc::ALL {
+                assert_eq!(table.alpha(base)[i].to_bits(), base.eval(o.runtime).to_bits());
+                assert_eq!(table.beta(base)[i].to_bits(), base.eval(o.cores).to_bits());
+                assert_eq!(table.gamma(base)[i].to_bits(), base.eval(o.submit).to_bits());
+            }
+            assert_eq!(table.scores()[i], o.score);
+            assert_eq!(table.weights()[i], o.weight());
+        }
     }
 
     #[test]

@@ -10,11 +10,24 @@
 //!
 //! and rank the fitted functions by Eq. 5, the unweighted mean absolute
 //! error. The four best of the paper's run are its Table 3 (F1–F4).
+//!
+//! # Batched enumeration
+//!
+//! [`fit_all`] is the learning layer's batched session: the 576 fits fan
+//! out over the deterministic thread pool with **one reusable
+//! [`FitWorkspace`] per worker** (normal-equation matrices, Jacobian,
+//! residual and weight buffers — warm after the first fit, zero heap
+//! allocation afterwards), all reading one shared read-only
+//! [`FeatureTable`] of pre-transformed base-function values. Ranking
+//! breaks fitness ties by [`FitResult::family_index`], a total order, so
+//! the result is bit-identical at any thread count and identical to the
+//! pre-refactor sequential enumeration preserved in [`crate::reference`]
+//! (the oracle the `learning_pipeline` golden suite pins against).
 
-use crate::dataset::TrainingSet;
-use crate::lm::{levenberg_marquardt, LmFit, LmOptions};
+use crate::dataset::{FeatureTable, TrainingSet};
+use crate::lm::{levenberg_marquardt_scoped, LmOptions, LmWorkspace};
 use dynsched_policies::learned::{LearnedPolicy, NonlinearFunction};
-use dynsched_simkit::parallel::par_map;
+use dynsched_simkit::parallel::par_map_scoped;
 use serde::{Deserialize, Serialize};
 
 /// Options for the enumeration run.
@@ -47,6 +60,10 @@ impl Default for EnumerateOptions {
 pub struct FitResult {
     /// The function, with fitted coefficients.
     pub function: NonlinearFunction,
+    /// Position of the function's shape in the
+    /// [`NonlinearFunction::enumerate_family`] order — a stable identity
+    /// used to break fitness ties deterministically.
+    pub family_index: usize,
     /// Eq. 5: mean absolute error (unweighted). Lower is better.
     pub fitness: f64,
     /// Eq. 4: weighted sum of squared errors at the fitted coefficients.
@@ -55,34 +72,84 @@ pub struct FitResult {
     pub converged: bool,
 }
 
+/// Reusable per-worker state of the batched enumeration: the optimizer's
+/// [`LmWorkspace`] plus the per-fit weight buffer. Cleared (fully
+/// overwritten) per fit, never read across fits — the scratch contract of
+/// the parallel drivers.
+#[derive(Debug, Clone, Default)]
+pub struct FitWorkspace {
+    lm: LmWorkspace,
+    weights: Vec<f64>,
+}
+
 /// Fit one family member against the training set.
+///
+/// One-shot convenience: builds a [`FeatureTable`] and a fresh
+/// [`FitWorkspace`] per call. [`fit_all`] amortizes both across the whole
+/// family; results are bit-identical either way.
 pub fn fit_function(
     shape: NonlinearFunction,
     training: &TrainingSet,
     options: &EnumerateOptions,
 ) -> FitResult {
-    let obs = training.observations();
-    assert!(!obs.is_empty(), "cannot fit an empty training set");
-    let weights: Vec<f64> = obs
-        .iter()
-        .map(|o| if options.weighted { o.weight() } else { 1.0 })
-        .collect();
+    assert!(!training.is_empty(), "cannot fit an empty training set");
+    let table = FeatureTable::build(training);
+    fit_function_scoped(shape, &table, options, &mut FitWorkspace::default())
+}
 
-    let fit: LmFit = levenberg_marquardt(
+/// Fit one family member out of a shared [`FeatureTable`] and a reusable
+/// [`FitWorkspace`] — the batched kernel behind [`fit_all`]. Zero heap
+/// allocation once `ws` is warm (the returned [`FitResult`] is plain
+/// `Copy`-sized data).
+pub fn fit_function_scoped(
+    shape: NonlinearFunction,
+    table: &FeatureTable,
+    options: &EnumerateOptions,
+    ws: &mut FitWorkspace,
+) -> FitResult {
+    assert!(!table.is_empty(), "cannot fit an empty training set");
+    let n = table.len();
+    let alpha_r = table.alpha(shape.alpha);
+    let beta_n = table.beta(shape.beta);
+    let gamma_s = table.gamma(shape.gamma);
+    let scores = table.scores();
+
+    ws.weights.clear();
+    if options.weighted {
+        ws.weights.extend_from_slice(table.weights());
+    } else {
+        ws.weights.resize(n, 1.0);
+    }
+    let weights = &ws.weights;
+
+    let outcome = levenberg_marquardt_scoped(
+        &mut ws.lm,
         |params, out| {
             let f = shape.with_coefficients([params[0], params[1], params[2]]);
-            for (i, o) in obs.iter().enumerate() {
-                out[i] = weights[i] * (f.eval(o.runtime, o.cores, o.submit) - o.score);
+            for i in 0..n {
+                out[i] =
+                    weights[i] * (f.eval_transformed(alpha_r[i], beta_n[i], gamma_s[i]) - scores[i]);
             }
         },
         &options.initial,
-        obs.len(),
+        n,
         &options.lm,
     );
 
-    let fitted = shape.with_coefficients([fit.params[0], fit.params[1], fit.params[2]]);
-    let fitness = rank(&fitted, training);
-    FitResult { function: fitted, fitness, weighted_sse: fit.cost, converged: fit.converged }
+    let params = ws.lm.params();
+    let fitted = shape.with_coefficients([params[0], params[1], params[2]]);
+    // Eq. 5 over the cached features — the same arithmetic as [`rank`].
+    let fitness = (0..n)
+        .map(|i| (fitted.eval_transformed(alpha_r[i], beta_n[i], gamma_s[i]) - scores[i]).abs())
+        .sum::<f64>()
+        / n as f64;
+    FitResult {
+        function: fitted,
+        family_index: shape.family_position(),
+        fitness,
+        weighted_sse: outcome.cost,
+        converged: outcome.converged,
+    }
 }
 
 /// Eq. 5: `rank(f) = (1/|Tr|) Σ |f(r,n,s) − score(r,n,s)|`.
@@ -95,29 +162,50 @@ pub fn rank(function: &NonlinearFunction, training: &TrainingSet) -> f64 {
         / obs.len() as f64
 }
 
-/// Fit every member of the family in parallel and return the results
-/// sorted by increasing fitness (best fit first). Fits whose fitness is
-/// non-finite sort last.
+/// The total order of the ranking: increasing fitness (non-finite last),
+/// ties broken by the shape's position in the family enumeration. Because
+/// the secondary key is unique per candidate, the order never depends on
+/// how (or on how many threads) the candidates were evaluated.
+fn ranking_order(a: &FitResult, b: &FitResult) -> std::cmp::Ordering {
+    let key = |r: &FitResult| if r.fitness.is_finite() { r.fitness } else { f64::INFINITY };
+    key(a).total_cmp(&key(b)).then(a.family_index.cmp(&b.family_index))
+}
+
+/// Fit every member of the family as one batched session and return the
+/// results sorted by increasing fitness (best fit first; non-finite
+/// fitness sorts last, ties broken by family order). The fits fan out
+/// over the deterministic thread pool with one reusable [`FitWorkspace`]
+/// per worker, all sharing one pre-transformed [`FeatureTable`]; the
+/// result is bit-identical at any thread count and to the sequential
+/// [`crate::reference::fit_all_reference`] oracle.
 pub fn fit_all(training: &TrainingSet, options: &EnumerateOptions) -> Vec<FitResult> {
+    assert!(!training.is_empty(), "cannot fit an empty training set");
     let family = NonlinearFunction::enumerate_family();
-    let mut results: Vec<FitResult> =
-        par_map(&family, |shape| fit_function(*shape, training, options));
-    results.sort_by(|a, b| {
-        let fa = if a.fitness.is_finite() { a.fitness } else { f64::INFINITY };
-        let fb = if b.fitness.is_finite() { b.fitness } else { f64::INFINITY };
-        fa.total_cmp(&fb)
+    let table = FeatureTable::build(training);
+    let mut results: Vec<FitResult> = par_map_scoped(&family, FitWorkspace::default, |shape, ws| {
+        fit_function_scoped(*shape, &table, options, ws)
     });
+    // The tie-break key is unique, so an unstable sort is fully
+    // deterministic here.
+    results.sort_unstable_by(ranking_order);
     results
 }
 
 /// Convert the `k` best fits into policies named `G1..Gk` ("G" for
 /// *generated*, to distinguish them from the paper's published F1–F4).
+///
+/// Selection re-applies the full ranking order (fitness, then family
+/// index) rather than trusting the slice order, so the top-k is the same
+/// for any permutation of `results` — parallel enumeration, partial
+/// re-sorts or merged result sets cannot change which policies ship.
 pub fn top_policies(results: &[FitResult], k: usize) -> Vec<LearnedPolicy> {
-    results
+    let mut order: Vec<&FitResult> = results.iter().collect();
+    order.sort_by(|a, b| ranking_order(a, b));
+    order
         .iter()
         .take(k)
         .enumerate()
-        .map(|(i, r)| LearnedPolicy::new(format!("G{}", i + 1), r.function))
+        .map(|(i, r)| LearnedPolicy::generated(i + 1, r.function))
         .collect()
 }
 
@@ -273,5 +361,83 @@ mod tests {
         let ts = TrainingSet::default();
         let shape = NonlinearFunction::enumerate_family()[0];
         fit_function(shape, &ts, &EnumerateOptions::default());
+    }
+
+    #[test]
+    fn fit_all_is_thread_count_independent() {
+        use dynsched_simkit::parallel::with_worker_limit;
+        let ts = synthetic_f1_set();
+        let mut opts = EnumerateOptions::default();
+        opts.lm.max_iterations = 25;
+        let wide = fit_all(&ts, &opts);
+        let narrow = with_worker_limit(1, || fit_all(&ts, &opts));
+        assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn ranking_ties_break_by_family_index() {
+        // Hand-build results with equal fitness: the order must come out
+        // by family index no matter how the input is arranged.
+        let family = NonlinearFunction::enumerate_family();
+        let mk = |i: usize, fitness: f64| FitResult {
+            function: family[i],
+            family_index: i,
+            fitness,
+            weighted_sse: 0.0,
+            converged: true,
+        };
+        let mut results = [mk(300, 0.5), mk(7, 0.5), mk(120, 0.5), mk(42, 0.1)];
+        results.sort_unstable_by(ranking_order);
+        let order: Vec<usize> = results.iter().map(|r| r.family_index).collect();
+        assert_eq!(order, vec![42, 7, 120, 300]);
+    }
+
+    #[test]
+    fn top_policies_ignore_input_order() {
+        // Equal-rank candidates arriving in any evaluation order must
+        // produce the same top-k — the parallel-enumeration guarantee.
+        let family = NonlinearFunction::enumerate_family();
+        let mk = |i: usize, fitness: f64| FitResult {
+            function: family[i].with_coefficients([i as f64, 1.0, 1.0]),
+            family_index: i,
+            fitness,
+            weighted_sse: 0.0,
+            converged: true,
+        };
+        let sorted = vec![mk(3, 0.1), mk(10, 0.2), mk(55, 0.2), mk(200, 0.2), mk(400, 0.9)];
+        let mut jumbled = vec![sorted[3].clone(), sorted[0].clone(), sorted[4].clone(),
+            sorted[2].clone(), sorted[1].clone()];
+        let from_sorted = top_policies(&sorted, 3);
+        let from_jumbled = top_policies(&jumbled, 3);
+        assert_eq!(from_sorted.len(), 3);
+        for (a, b) in from_sorted.iter().zip(&from_jumbled) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.function(), b.function());
+        }
+        assert_eq!(from_sorted[1].name(), "G2");
+        assert_eq!(from_sorted[1].function().coefficients[0], 10.0);
+        // And reversing the jumble changes nothing either.
+        jumbled.reverse();
+        let reversed = top_policies(&jumbled, 3);
+        for (a, b) in from_sorted.iter().zip(&reversed) {
+            assert_eq!(a.function(), b.function());
+        }
+    }
+
+    #[test]
+    fn non_finite_fitness_sorts_last() {
+        let family = NonlinearFunction::enumerate_family();
+        let mk = |i: usize, fitness: f64| FitResult {
+            function: family[i],
+            family_index: i,
+            fitness,
+            weighted_sse: 0.0,
+            converged: false,
+        };
+        let mut results = [mk(0, f64::NAN), mk(1, 2.0), mk(2, f64::INFINITY), mk(3, 1.0)];
+        results.sort_unstable_by(ranking_order);
+        let order: Vec<usize> = results.iter().map(|r| r.family_index).collect();
+        // NaN and +inf map to the same key; family index orders them.
+        assert_eq!(order, vec![3, 1, 0, 2]);
     }
 }

@@ -56,33 +56,69 @@ impl Matrix {
         self.cols
     }
 
+    /// Reshape to `rows × cols` and zero every entry, reusing the existing
+    /// allocation when it is large enough. The workspace-based solvers use
+    /// this instead of [`Matrix::zeros`] so their steady state allocates
+    /// nothing.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix must be non-empty");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrite this matrix with a copy of `other`, reusing the
+    /// allocation when possible.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// `Aᵀ·A` (the Gram matrix), computed directly.
     pub fn gram(&self) -> Matrix {
         let mut g = Matrix::zeros(self.cols, self.cols);
+        self.gram_into(&mut g);
+        g
+    }
+
+    /// [`gram`](Self::gram) into a caller-owned output matrix (reshaped as
+    /// needed, no allocation in steady state). Bit-identical to `gram`.
+    pub fn gram_into(&self, out: &mut Matrix) {
+        out.reset(self.cols, self.cols);
         for i in 0..self.cols {
             for j in i..self.cols {
                 let mut acc = 0.0;
                 for k in 0..self.rows {
                     acc += self[(k, i)] * self[(k, j)];
                 }
-                g[(i, j)] = acc;
-                g[(j, i)] = acc;
+                out[(i, j)] = acc;
+                out[(j, i)] = acc;
             }
         }
-        g
     }
 
     /// `Aᵀ·v` for a vector `v` of length `rows`.
     pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.transpose_mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// [`transpose_mul_vec`](Self::transpose_mul_vec) into a caller-owned
+    /// buffer (cleared and refilled; no allocation once warm).
+    pub fn transpose_mul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.rows, "dimension mismatch");
-        let mut out = vec![0.0; self.cols];
+        out.clear();
+        out.resize(self.cols, 0.0);
         for k in 0..self.rows {
             let vk = v[k];
             for (j, o) in out.iter_mut().enumerate() {
                 *o += self[(k, j)] * vk;
             }
         }
-        out
     }
 
     /// `A·v` for a vector `v` of length `cols`.
@@ -135,11 +171,26 @@ impl std::error::Error for SolveError {}
 /// # Panics
 /// Panics if `A` is not square or `b` has the wrong length.
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
-    assert_eq!(a.rows, a.cols, "solve needs a square matrix");
-    assert_eq!(b.len(), a.rows, "rhs length mismatch");
-    let n = a.rows;
     let mut lu = a.clone();
     let mut x: Vec<f64> = b.to_vec();
+    solve_in_place(&mut lu, &mut x)?;
+    Ok(x)
+}
+
+/// Destructive form of [`solve`]: factorizes `lu` in place and overwrites
+/// `x` (on entry the right-hand side) with the solution. The LM workspace
+/// uses this with reusable buffers so the normal-equation solves of the
+/// fit loop allocate nothing. Arithmetic is identical to [`solve`].
+///
+/// On error, `lu` and `x` are left partially eliminated — callers must
+/// treat both as scratch.
+///
+/// # Panics
+/// Panics if `lu` is not square or `x` has the wrong length.
+pub fn solve_in_place(lu: &mut Matrix, x: &mut [f64]) -> Result<(), SolveError> {
+    assert_eq!(lu.rows, lu.cols, "solve needs a square matrix");
+    assert_eq!(x.len(), lu.rows, "rhs length mismatch");
+    let n = lu.rows;
 
     for col in 0..n {
         // Partial pivot.
@@ -182,7 +233,7 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         }
         x[col] = acc / lu[(col, col)];
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Euclidean norm of a vector.
@@ -281,5 +332,52 @@ mod tests {
     #[should_panic]
     fn ragged_rows_rejected() {
         Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let b = [8.0, -11.0, -3.0];
+        let via_solve = solve(&a, &b).unwrap();
+        let mut lu = Matrix::zeros(1, 1);
+        lu.copy_from(&a);
+        let mut x = b.to_vec();
+        solve_in_place(&mut lu, &mut x).unwrap();
+        assert_eq!(x, via_solve, "the two entry points must be bit-identical");
+    }
+
+    #[test]
+    fn scratch_buffers_are_reusable() {
+        // One set of buffers driven through systems of different sizes must
+        // reproduce the allocating paths exactly.
+        let mut gram = Matrix::zeros(1, 1);
+        let mut atv = Vec::new();
+        for n in [2usize, 4, 3] {
+            let rows: Vec<Vec<f64>> = (0..n + 2)
+                .map(|i| (0..n).map(|j| ((i * 7 + j * 3) % 11) as f64 - 5.0).collect())
+                .collect();
+            let a = Matrix::from_rows(&rows);
+            let v: Vec<f64> = (0..n + 2).map(|i| i as f64 * 0.5 - 1.0).collect();
+            a.gram_into(&mut gram);
+            assert_eq!(gram, a.gram());
+            a.transpose_mul_vec_into(&v, &mut atv);
+            assert_eq!(atv, a.transpose_mul_vec(&v));
+        }
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.reset(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(m[(i, j)], 0.0);
+            }
+        }
     }
 }

@@ -9,8 +9,16 @@
 //! The residual abstraction is generic: `residuals(params, out)` fills one
 //! entry per observation (weights already applied by the caller), so the
 //! solver is reusable for any small-parameter fit.
+//!
+//! Two entry points share one kernel: [`levenberg_marquardt`] allocates
+//! its working buffers per call, while [`levenberg_marquardt_scoped`] runs
+//! out of a caller-owned [`LmWorkspace`] — once the workspace is warm, an
+//! entire fit performs **no heap allocation**. The batched enumeration
+//! hands one workspace to each worker thread and reuses it across the
+//! hundreds of fits that worker executes. Both paths are bit-identical:
+//! the wrapper simply runs the kernel on a fresh workspace.
 
-use crate::linalg::{solve, Matrix};
+use crate::linalg::{solve_in_place, Matrix};
 
 /// Options controlling the optimizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +69,69 @@ fn cost_of(res: &[f64]) -> f64 {
     res.iter().map(|r| r * r).sum()
 }
 
+/// Reusable working storage for [`levenberg_marquardt_scoped`]: the
+/// parameter/residual vectors, the Jacobian, the normal-equation matrices
+/// and every intermediate buffer of the step loop. All buffers grow to the
+/// largest problem they have seen and are then reused — a warm workspace
+/// fits without allocating. The scratch contract of the parallel drivers
+/// applies: every buffer is fully overwritten before being read, so no
+/// state leaks between fits.
+#[derive(Debug, Clone)]
+pub struct LmWorkspace {
+    params: Vec<f64>,
+    res: Vec<f64>,
+    probe: Vec<f64>,
+    stepped: Vec<f64>,
+    jac: Matrix,
+    gram: Matrix,
+    damped: Matrix,
+    gradient: Vec<f64>,
+    delta: Vec<f64>,
+    candidate: Vec<f64>,
+}
+
+impl Default for LmWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LmWorkspace {
+    /// An empty workspace; buffers are sized lazily by the first fit.
+    pub fn new() -> Self {
+        Self {
+            params: Vec::new(),
+            res: Vec::new(),
+            probe: Vec::new(),
+            stepped: Vec::new(),
+            jac: Matrix::zeros(1, 1),
+            gram: Matrix::zeros(1, 1),
+            damped: Matrix::zeros(1, 1),
+            gradient: Vec::new(),
+            delta: Vec::new(),
+            candidate: Vec::new(),
+        }
+    }
+
+    /// The parameters of the most recent fit (the fitted values after
+    /// [`levenberg_marquardt_scoped`] returns).
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+}
+
+/// Outcome of a workspace fit; the fitted parameters stay in the
+/// workspace ([`LmWorkspace::params`]) so the hot path moves no vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOutcome {
+    /// Final cost: sum of squared residuals.
+    pub cost: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether a tolerance-based stopping criterion was met.
+    pub converged: bool,
+}
+
 /// Minimize `Σ residuals(params)²` starting from `initial`.
 ///
 /// `residuals(params, out)` must fill `out` (length fixed across calls)
@@ -68,7 +139,7 @@ fn cost_of(res: &[f64]) -> f64 {
 /// immediately rejected step (the optimizer backs off rather than
 /// panicking, mirroring MINPACK's behaviour on wild steps).
 pub fn levenberg_marquardt<F>(
-    mut residuals: F,
+    residuals: F,
     initial: &[f64],
     n_residuals: usize,
     options: &LmOptions,
@@ -76,22 +147,49 @@ pub fn levenberg_marquardt<F>(
 where
     F: FnMut(&[f64], &mut [f64]),
 {
+    let mut ws = LmWorkspace::new();
+    let outcome = levenberg_marquardt_scoped(&mut ws, residuals, initial, n_residuals, options);
+    LmFit {
+        params: ws.params,
+        cost: outcome.cost,
+        iterations: outcome.iterations,
+        converged: outcome.converged,
+    }
+}
+
+/// [`levenberg_marquardt`] running out of a caller-owned workspace: once
+/// `ws` is warm, the whole fit allocates nothing. The fitted parameters
+/// are left in `ws.params()`. Results are bit-identical to the allocating
+/// wrapper (which is just this kernel on a fresh workspace).
+pub fn levenberg_marquardt_scoped<F>(
+    ws: &mut LmWorkspace,
+    mut residuals: F,
+    initial: &[f64],
+    n_residuals: usize,
+    options: &LmOptions,
+) -> LmOutcome
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
     let n_params = initial.len();
     assert!(n_params > 0, "no parameters to fit");
     assert!(n_residuals > 0, "no residuals to minimize");
 
-    let mut params = initial.to_vec();
-    let mut res = vec![0.0; n_residuals];
-    residuals(&params, &mut res);
-    let mut cost = cost_of(&res);
+    ws.params.clear();
+    ws.params.extend_from_slice(initial);
+    ws.res.clear();
+    ws.res.resize(n_residuals, 0.0);
+    residuals(&ws.params, &mut ws.res);
+    let mut cost = cost_of(&ws.res);
     if !cost.is_finite() {
-        // A hopeless start: report it honestly.
-        return LmFit { params, cost: f64::INFINITY, iterations: 0, converged: false };
+        // A hopeless start: report it honestly (params stay at `initial`).
+        return LmOutcome { cost: f64::INFINITY, iterations: 0, converged: false };
     }
 
     let mut lambda = options.initial_lambda;
-    let mut jac = Matrix::zeros(n_residuals, n_params);
-    let mut probe = vec![0.0; n_residuals];
+    ws.jac.reset(n_residuals, n_params);
+    ws.probe.clear();
+    ws.probe.resize(n_residuals, 0.0);
     let mut converged = false;
     let mut iterations = 0;
 
@@ -99,48 +197,52 @@ where
         iterations = iter + 1;
         // Forward-difference Jacobian.
         for j in 0..n_params {
-            let h = 1e-7 * params[j].abs().max(1e-7);
-            let mut stepped = params.clone();
-            stepped[j] += h;
-            residuals(&stepped, &mut probe);
+            let h = 1e-7 * ws.params[j].abs().max(1e-7);
+            ws.stepped.clear();
+            ws.stepped.extend_from_slice(&ws.params);
+            ws.stepped[j] += h;
+            residuals(&ws.stepped, &mut ws.probe);
             for i in 0..n_residuals {
-                let d = (probe[i] - res[i]) / h;
-                jac[(i, j)] = if d.is_finite() { d } else { 0.0 };
+                let d = (ws.probe[i] - ws.res[i]) / h;
+                ws.jac[(i, j)] = if d.is_finite() { d } else { 0.0 };
             }
         }
 
-        let gram = jac.gram();
-        let gradient = jac.transpose_mul_vec(&res);
+        ws.jac.gram_into(&mut ws.gram);
+        ws.jac.transpose_mul_vec_into(&ws.res, &mut ws.gradient);
 
         // Inner loop: adapt λ until a step is accepted or λ explodes.
         let mut stepped_ok = false;
         while lambda <= options.max_lambda {
             // (JᵀJ + λ·diag(JᵀJ)) δ = -Jᵀr   (Marquardt scaling).
-            let mut damped = gram.clone();
+            ws.damped.copy_from(&ws.gram);
             for d in 0..n_params {
-                let diag = damped[(d, d)];
+                let diag = ws.damped[(d, d)];
                 // A dead parameter (zero column) still needs a positive
                 // pivot for the solve.
-                damped[(d, d)] = diag + lambda * diag.max(1e-30);
+                ws.damped[(d, d)] = diag + lambda * diag.max(1e-30);
             }
-            let neg_grad: Vec<f64> = gradient.iter().map(|g| -g).collect();
-            let Ok(delta) = solve(&damped, &neg_grad) else {
+            ws.delta.clear();
+            ws.delta.extend(ws.gradient.iter().map(|g| -g));
+            if solve_in_place(&mut ws.damped, &mut ws.delta).is_err() {
                 lambda *= options.lambda_factor;
                 continue;
-            };
-            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + d).collect();
-            residuals(&candidate, &mut probe);
-            let new_cost = cost_of(&probe);
+            }
+            ws.candidate.clear();
+            ws.candidate.extend(ws.params.iter().zip(&ws.delta).map(|(p, d)| p + d));
+            residuals(&ws.candidate, &mut ws.probe);
+            let new_cost = cost_of(&ws.probe);
             if new_cost.is_finite() && new_cost < cost {
                 // Accept.
                 let rel_impr = (cost - new_cost) / cost.max(f64::MIN_POSITIVE);
-                let rel_step = delta
+                let rel_step = ws
+                    .delta
                     .iter()
-                    .zip(&params)
+                    .zip(&ws.params)
                     .map(|(d, p)| d.abs() / p.abs().max(1e-12))
                     .fold(0.0, f64::max);
-                params = candidate;
-                res.copy_from_slice(&probe);
+                std::mem::swap(&mut ws.params, &mut ws.candidate);
+                ws.res.copy_from_slice(&ws.probe);
                 cost = new_cost;
                 lambda = (lambda / options.lambda_factor).max(1e-12);
                 stepped_ok = true;
@@ -163,7 +265,7 @@ where
         }
     }
 
-    LmFit { params, cost, iterations, converged }
+    LmOutcome { cost, iterations, converged }
 }
 
 #[cfg(test)]
@@ -299,6 +401,39 @@ mod tests {
         );
         assert!(!fit.converged);
         assert!(fit.cost.is_infinite());
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_fits() {
+        // One workspace driven through unrelated problems (different sizes,
+        // different parameter counts) must reproduce per-call fits exactly.
+        let mut ws = LmWorkspace::new();
+        let xs: Vec<f64> = (0..25).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (-0.5 * x).exp()).collect();
+        let exp_res = |p: &[f64], out: &mut [f64]| {
+            for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                out[i] = p[0] * (p[1] * x).exp() - y;
+            }
+        };
+        let lin_res = |p: &[f64], out: &mut [f64]| {
+            for (i, &x) in xs.iter().enumerate() {
+                out[i] = p[0] * x + p[1] - (3.0 * x + 2.0);
+            }
+        };
+        for _ in 0..3 {
+            let opts = LmOptions::default();
+            let got = levenberg_marquardt_scoped(&mut ws, exp_res, &[1.0, -0.1], xs.len(), &opts);
+            let want = levenberg_marquardt(exp_res, &[1.0, -0.1], xs.len(), &opts);
+            assert_eq!(ws.params(), &want.params[..]);
+            assert_eq!(got.cost, want.cost);
+            assert_eq!(got.iterations, want.iterations);
+            assert_eq!(got.converged, want.converged);
+
+            let got = levenberg_marquardt_scoped(&mut ws, lin_res, &[0.0, 0.0], xs.len(), &opts);
+            let want = levenberg_marquardt(lin_res, &[0.0, 0.0], xs.len(), &opts);
+            assert_eq!(ws.params(), &want.params[..]);
+            assert_eq!(got.cost, want.cost);
+        }
     }
 
     #[test]

@@ -37,6 +37,17 @@ impl BaseFunc {
     /// All base functions, in the paper's table order.
     pub const ALL: [BaseFunc; 4] = [BaseFunc::Id, BaseFunc::Log10, BaseFunc::Sqrt, BaseFunc::Inv];
 
+    /// Position of this base function in [`ALL`](Self::ALL) — the shared
+    /// index used by the family-enumeration order and by feature tables.
+    pub fn index(self) -> usize {
+        match self {
+            BaseFunc::Id => 0,
+            BaseFunc::Log10 => 1,
+            BaseFunc::Sqrt => 2,
+            BaseFunc::Inv => 3,
+        }
+    }
+
     /// Evaluate with the domain guards documented per variant. Guards keep
     /// every score finite on real trace data (`s = 0` for the first job of
     /// a window, sub-second runtimes, etc.).
@@ -151,10 +162,21 @@ impl NonlinearFunction {
     /// * `op1 = +` and `op2 ∈ {·, ÷}` evaluates as `A + (B op2 C)`;
     /// * everything else evaluates left-to-right as `(A op1 B) op2 C`.
     pub fn eval(&self, r: f64, n: f64, s: f64) -> f64 {
+        self.eval_transformed(self.alpha.eval(r), self.beta.eval(n), self.gamma.eval(s))
+    }
+
+    /// Evaluate on *pre-transformed* base-function values `α(r)`, `β(n)`,
+    /// `γ(s)`. This is [`eval`](Self::eval) with the transcendental stage
+    /// hoisted out: the regression stage caches the base-function values of
+    /// every observation once and replays only the coefficient arithmetic
+    /// per optimizer step, and because `eval` routes through this method the
+    /// two paths are bit-identical by construction.
+    #[inline]
+    pub fn eval_transformed(&self, alpha_r: f64, beta_n: f64, gamma_s: f64) -> f64 {
         let [c1, c2, c3] = self.coefficients;
-        let a = c1 * self.alpha.eval(r);
-        let b = c2 * self.beta.eval(n);
-        let c = c3 * self.gamma.eval(s);
+        let a = c1 * alpha_r;
+        let b = c2 * beta_n;
+        let c = c3 * gamma_s;
         let out = if self.op1 == OpKind::Add && self.op2.is_multiplicative() {
             self.op1.apply(a, self.op2.apply(b, c))
         } else {
@@ -163,12 +185,29 @@ impl NonlinearFunction {
         // The guards above make NaN unreachable for finite inputs; the
         // sanitizer below is a belt-and-braces fallback so a queue sort can
         // never be corrupted in release builds.
-        debug_assert!(!out.is_nan(), "NaN from {self:?} at r={r} n={n} s={s}");
+        debug_assert!(
+            !out.is_nan(),
+            "NaN from {self:?} at α(r)={alpha_r} β(n)={beta_n} γ(s)={gamma_s}"
+        );
         if out.is_nan() {
             f64::MAX
         } else {
             out
         }
+    }
+
+    /// Position of this function's *shape* in the [`enumerate_family`]
+    /// order — a total, coefficient-independent identity key. The
+    /// enumeration layer uses it to break fitness ties deterministically,
+    /// so a parallel fit sweep can never reorder equal-rank candidates.
+    ///
+    /// [`enumerate_family`]: Self::enumerate_family
+    pub fn family_position(&self) -> usize {
+        let op = |o: OpKind| OpKind::ALL.iter().position(|&x| x == o).unwrap();
+        (((self.alpha.index() * 4 + self.beta.index()) * 4 + self.gamma.index()) * 3
+            + op(self.op1))
+            * 3
+            + op(self.op2)
     }
 
     /// The 64 shape combinations × 9 operator pairs = 576 members of the
@@ -251,6 +290,13 @@ impl LearnedPolicy {
     /// The underlying function.
     pub fn function(&self) -> &NonlinearFunction {
         &self.function
+    }
+
+    /// A policy learned by *this* reproduction's pipeline, named `G{rank}`
+    /// ("G" for generated, to distinguish our fits from the paper's
+    /// published F1–F4). `rank` is 1-based: the best fit is `G1`.
+    pub fn generated(rank: usize, function: NonlinearFunction) -> Self {
+        Self::new(format!("G{rank}"), function)
     }
 
     /// **F1** of Table 3: `log10(r)·n + 8.70e2·log10(s)`.
@@ -411,6 +457,42 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for f in &family {
             assert!(seen.insert((f.alpha, f.beta, f.gamma, f.op1, f.op2)));
+        }
+    }
+
+    #[test]
+    fn family_position_matches_enumeration_order() {
+        for (i, f) in NonlinearFunction::enumerate_family().iter().enumerate() {
+            assert_eq!(f.family_position(), i);
+            // Coefficients must not affect the identity key.
+            assert_eq!(f.with_coefficients([3.0, -1.0, 0.5]).family_position(), i);
+        }
+    }
+
+    #[test]
+    fn generated_policies_are_named_g_rank() {
+        let f = NonlinearFunction::with_shape(
+            BaseFunc::Id,
+            OpKind::Mul,
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Log10,
+        );
+        let p = LearnedPolicy::generated(3, f);
+        assert_eq!(p.name(), "G3");
+        assert_eq!(p.function(), &f);
+    }
+
+    #[test]
+    fn eval_transformed_matches_eval_across_family() {
+        for f in NonlinearFunction::enumerate_family() {
+            let f = f.with_coefficients([1e-4, -2.0, 7.5]);
+            for &(r, n, s) in &[(5.0, 1.0, 100.0), (20_000.0, 256.0, 0.0), (0.5, 16.0, 9e4)] {
+                let direct = f.eval(r, n, s);
+                let staged =
+                    f.eval_transformed(f.alpha.eval(r), f.beta.eval(n), f.gamma.eval(s));
+                assert_eq!(direct.to_bits(), staged.to_bits(), "{f:?} at ({r},{n},{s})");
+            }
         }
     }
 

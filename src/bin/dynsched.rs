@@ -4,6 +4,7 @@
 //! dynsched validate <trace.swf> [cores]        audit an SWF trace
 //! dynsched simulate <trace.swf> <cores> [opts] schedule a trace, print stats
 //! dynsched train [opts]                        learn policies from the Lublin model
+//! dynsched run [opts]                          one-shot learn → evaluate (the whole paper loop)
 //! dynsched table4 [--full]                     regenerate the paper's Table 4
 //! dynsched policies                            list built-in policies
 //! ```
@@ -12,8 +13,8 @@
 //! `examples/` for programmatic use.
 
 use dynsched::cluster::{Platform, DEFAULT_TAU};
-use dynsched::core::pipeline::{learn_policies, TrainingConfig};
-use dynsched::core::report::{table4_comparison, table4_markdown};
+use dynsched::core::pipeline::{learn_policies, run_full, FullRunConfig, TrainingConfig};
+use dynsched::core::report::{full_run_markdown, table4_comparison, table4_markdown};
 use dynsched::core::scenarios::{table4_experiments, ScenarioScale};
 use dynsched::core::trials::TrialSpec;
 use dynsched::core::tuples::TupleSpec;
@@ -41,6 +42,15 @@ USAGE:
       Run the training pipeline (Lublin model) and print/export the best
       learned policies.
 
+  dynsched run [--tuples N] [--trials N] [--cores N] [--seed N] [--top K]
+               [--quick] [--out FILE]
+      One-shot run of the whole paper loop: train on the Lublin model,
+      fit and rank all 576 candidate functions, keep the top K as
+      policies G1..GK, and evaluate them against the ad-hoc baselines
+      across the full Table-4 scenario grid. Prints a single markdown
+      report (--out also writes it to FILE; --quick shrinks the
+      evaluation protocol).
+
   dynsched table4 [--quick]
       Regenerate the paper's Table 4 (all 18 experiments; --quick shrinks
       the protocol).
@@ -60,6 +70,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(rest),
         "simulate" => cmd_simulate(rest),
         "train" => cmd_train(rest),
+        "run" => cmd_run(rest),
         "table4" => cmd_table4(rest),
         "policies" => cmd_policies(),
         "help" | "--help" | "-h" => {
@@ -83,6 +94,24 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+fn usize_flag(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    flag_value(args, name)
+        .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+/// The training knobs `train` and `run` share: `(tuples, trials, cores,
+/// seed)` with common defaults.
+fn training_flags(args: &[String]) -> Result<(usize, usize, u32, u64), String> {
+    Ok((
+        usize_flag(args, "--tuples", 12)?,
+        usize_flag(args, "--trials", 8_000)?,
+        usize_flag(args, "--cores", 256)? as u32,
+        usize_flag(args, "--seed", 0x5C17)? as u64,
+    ))
 }
 
 fn load_swf(path: &str) -> Result<(dynsched::workload::SwfHeader, dynsched::workload::Trace), String> {
@@ -156,16 +185,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
-        flag_value(args, name)
-            .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
-            .transpose()
-            .map(|v| v.unwrap_or(default))
-    };
-    let tuples = parse_usize("--tuples", 12)?;
-    let trials = parse_usize("--trials", 8_000)?;
-    let cores = parse_usize("--cores", 256)? as u32;
-    let seed = parse_usize("--seed", 0x5C17)? as u64;
+    let (tuples, trials, cores, seed) = training_flags(args)?;
 
     let config = TrainingConfig {
         tuple_spec: TupleSpec::default(),
@@ -187,6 +207,44 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     if let Some(out) = flag_value(args, "--out") {
         std::fs::write(out, save_learned(&report.policies)).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("policy file written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (tuples, trials, cores, seed) = training_flags(args)?;
+    let top_k = usize_flag(args, "--top", 4)?;
+
+    let config = FullRunConfig {
+        training: TrainingConfig {
+            tuple_spec: TupleSpec::default(),
+            trial_spec: TrialSpec { trials, platform: Platform::new(cores), tau: DEFAULT_TAU },
+            tuples,
+            seed,
+        },
+        enumerate: EnumerateOptions::default(),
+        top_k,
+        eval_scale: if has_flag(args, "--quick") {
+            ScenarioScale {
+                spec: SequenceSpec { count: 3, days: 2.0, min_jobs: 5 },
+                ..ScenarioScale::default()
+            }
+        } else {
+            ScenarioScale::default()
+        },
+    };
+    eprintln!(
+        "One-shot run: {tuples} tuples x {trials} trials on {cores} cores, top {top_k}, \
+         then the 18-row Table-4 grid (seed {seed})..."
+    );
+    let t0 = std::time::Instant::now();
+    let report = run_full(&config, &LublinModel::new(cores));
+    let markdown = full_run_markdown(&report);
+    print!("{markdown}");
+    eprintln!("[{:.1} s total]", t0.elapsed().as_secs_f64());
+    if let Some(out) = flag_value(args, "--out") {
+        std::fs::write(out, &markdown).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("report written to {out}");
     }
     Ok(())
 }
