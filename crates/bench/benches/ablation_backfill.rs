@@ -33,7 +33,10 @@ fn regenerate() {
     for (label, mode) in variants {
         let mut scheduler = base.scheduler;
         scheduler.backfill = mode;
-        let experiment = Experiment { scheduler, ..base.clone() };
+        let experiment = Experiment {
+            scheduler,
+            ..base.clone()
+        };
         let result = run_experiment(&experiment, &lineup);
         print!("{label:>14}");
         for o in &result.outcomes {

@@ -23,8 +23,16 @@ fn regenerate() {
     println!("{:>4} {:>8} {:>14}  winner", "|Q|", "obs", "fitness");
     for q in [8usize, 16, 32, 64] {
         let config = TrainingConfig {
-            tuple_spec: TupleSpec { s_size: 16, q_size: q, max_start_offset: 172_800.0 },
-            trial_spec: TrialSpec { trials, platform: Platform::new(256), tau: 10.0 },
+            tuple_spec: TupleSpec {
+                s_size: 16,
+                q_size: q,
+                max_start_offset: 172_800.0,
+            },
+            trial_spec: TrialSpec {
+                trials,
+                platform: Platform::new(256),
+                tau: 10.0,
+            },
             tuples: 8,
             seed: 0xAB51,
         };
@@ -44,9 +52,21 @@ fn regenerate() {
 
 fn bench(c: &mut Criterion) {
     let model = LublinModel::new(256);
-    let spec_small = TupleSpec { s_size: 16, q_size: 8, max_start_offset: 172_800.0 };
-    let spec_big = TupleSpec { s_size: 16, q_size: 64, max_start_offset: 172_800.0 };
-    let trial_spec = TrialSpec { trials: 256, platform: Platform::new(256), tau: 10.0 };
+    let spec_small = TupleSpec {
+        s_size: 16,
+        q_size: 8,
+        max_start_offset: 172_800.0,
+    };
+    let spec_big = TupleSpec {
+        s_size: 16,
+        q_size: 64,
+        max_start_offset: 172_800.0,
+    };
+    let trial_spec = TrialSpec {
+        trials: 256,
+        platform: Platform::new(256),
+        tau: 10.0,
+    };
     let small = TaskTuple::generate(&spec_small, &model, &mut Rng::new(1));
     let big = TaskTuple::generate(&spec_big, &model, &mut Rng::new(1));
     c.bench_function("ablation_q/trials_q8", |b| {

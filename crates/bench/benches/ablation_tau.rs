@@ -25,7 +25,10 @@ fn regenerate() {
     }
     println!();
     for tau in [1.0, 10.0, 60.0] {
-        let experiment = Experiment { tau, ..base.clone() };
+        let experiment = Experiment {
+            tau,
+            ..base.clone()
+        };
         let result = run_experiment(&experiment, &lineup);
         print!("{tau:>6}");
         for o in &result.outcomes {
@@ -40,7 +43,9 @@ fn regenerate() {
 
 fn bench(c: &mut Criterion) {
     let xs: Vec<f64> = (0..1_000).map(|i| 1.0 + (i % 97) as f64).collect();
-    c.bench_function("ablation_tau/median_1000", |b| b.iter(|| black_box(median(&xs))));
+    c.bench_function("ablation_tau/median_1000", |b| {
+        b.iter(|| black_box(median(&xs)))
+    });
 }
 
 fn main() {

@@ -20,7 +20,11 @@ fn big_task_mae(ts: &TrainingSet, f: &dynsched_policies::NonlinearFunction) -> f
     let mut areas: Vec<f64> = ts.observations().iter().map(|o| o.weight()).collect();
     areas.sort_by(f64::total_cmp);
     let cutoff = areas[areas.len() * 3 / 4];
-    let big: Vec<_> = ts.observations().iter().filter(|o| o.weight() >= cutoff).collect();
+    let big: Vec<_> = ts
+        .observations()
+        .iter()
+        .filter(|o| o.weight() >= cutoff)
+        .collect();
     big.iter()
         .map(|o| (f.eval(o.runtime, o.cores, o.submit) - o.score).abs())
         .sum::<f64>()
@@ -31,18 +35,31 @@ fn regenerate() {
     banner("Ablation: Eq. 4 area weighting in the regression");
     let config = TrainingConfig {
         tuple_spec: TupleSpec::default(),
-        trial_spec: TrialSpec { trials: trial_count().min(8_192), platform: Platform::new(256), tau: 10.0 },
+        trial_spec: TrialSpec {
+            trials: trial_count().min(8_192),
+            platform: Platform::new(256),
+            tau: 10.0,
+        },
         tuples: 8,
         seed: 0xAB1A,
     };
     let (_, training) = generate_training_set(&config, &LublinModel::new(256));
     for (label, weighted) in [("weighted (paper)", true), ("unweighted", false)] {
-        let fits = fit_all(&training, &EnumerateOptions { weighted, ..Default::default() });
+        let fits = fit_all(
+            &training,
+            &EnumerateOptions {
+                weighted,
+                ..Default::default()
+            },
+        );
         let best = &fits[0];
         println!("{label}:");
         println!("  winner: {}", best.function.render_simplified());
         println!("  overall fitness (Eq. 5 MAE): {:.6e}", best.fitness);
-        println!("  MAE on biggest-quartile tasks: {:.6e}\n", big_task_mae(&training, &best.function));
+        println!(
+            "  MAE on biggest-quartile tasks: {:.6e}\n",
+            big_task_mae(&training, &best.function)
+        );
     }
     println!("reading: the weighted fit should track big tasks at least as well,");
     println!("which is what keeps them from blocking queues when the fit becomes a policy.");
@@ -50,8 +67,16 @@ fn regenerate() {
 
 fn bench(c: &mut Criterion) {
     let config = TrainingConfig {
-        tuple_spec: TupleSpec { s_size: 8, q_size: 16, max_start_offset: 100_000.0 },
-        trial_spec: TrialSpec { trials: 512, platform: Platform::new(256), tau: 10.0 },
+        tuple_spec: TupleSpec {
+            s_size: 8,
+            q_size: 16,
+            max_start_offset: 100_000.0,
+        },
+        trial_spec: TrialSpec {
+            trials: 512,
+            platform: Platform::new(256),
+            tau: 10.0,
+        },
         tuples: 4,
         seed: 2,
     };

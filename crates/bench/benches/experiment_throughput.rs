@@ -38,11 +38,18 @@ fn sequences(count: usize, jobs: usize) -> Vec<Trace> {
     model.daily_cycle = false;
     model.arrival_scale = 0.05;
     let mut rng = Rng::new(0xE7A1);
-    (0..count).map(|_| model.generate_jobs(jobs, &mut rng)).collect()
+    (0..count)
+        .map(|_| model.generate_jobs(jobs, &mut rng))
+        .collect()
 }
 
 fn lineup() -> Vec<Box<dyn Policy>> {
-    vec![Box::new(Fcfs), Box::new(Spt), Box::new(Wfp3), Box::new(LearnedPolicy::f1())]
+    vec![
+        Box::new(Fcfs),
+        Box::new(Spt),
+        Box::new(Wfp3),
+        Box::new(LearnedPolicy::f1()),
+    ]
 }
 
 /// The evaluation loop exactly as the pre-session harness ran it: the
@@ -99,8 +106,9 @@ fn session_grid(
     seqs: &[Trace],
     config: &SchedulerConfig,
 ) -> Vec<SimMetrics> {
+    let views: Vec<_> = seqs.iter().map(|s| s.to_view()).collect();
     let mut session = EvalSession::new();
-    session.push_grid(policies, seqs, config, DEFAULT_TAU);
+    session.push_grid(policies, &views, config, DEFAULT_TAU);
     session.run()
 }
 
@@ -128,7 +136,11 @@ fn time_cells(cells: usize, reps: usize, mut f: impl FnMut()) -> Timed {
 
 fn regenerate() {
     banner("Evaluation-grid throughput: batched session vs per-cell baselines");
-    let (n_seqs, n_jobs, reps) = if full_scale() { (512, 120, 5) } else { (256, 16, 5) };
+    let (n_seqs, n_jobs, reps) = if full_scale() {
+        (512, 120, 5)
+    } else {
+        (256, 16, 5)
+    };
     let seqs = sequences(n_seqs, n_jobs);
     let policies = lineup();
     let config = SchedulerConfig::actual_runtimes(Platform::new(32));
@@ -154,11 +166,19 @@ fn regenerate() {
     let seed_out = seed_out.unwrap();
     assert_eq!(session_out.len(), legacy_out.len());
     for (m, (ave, bf)) in session_out.iter().zip(&legacy_out) {
-        assert_eq!(m.avg_bounded_slowdown(), Some(*ave), "session diverged from per-cell path");
+        assert_eq!(
+            m.avg_bounded_slowdown(),
+            Some(*ave),
+            "session diverged from per-cell path"
+        );
         assert_eq!(m.backfilled_jobs, *bf);
     }
     for (m, (ave, bf)) in session_out.iter().zip(&seed_out) {
-        assert_eq!(m.avg_bounded_slowdown(), Some(*ave), "session diverged from seed engine");
+        assert_eq!(
+            m.avg_bounded_slowdown(),
+            Some(*ave),
+            "session diverged from seed engine"
+        );
         assert_eq!(m.backfilled_jobs, *bf);
     }
 
@@ -204,7 +224,10 @@ fn regenerate() {
         speedup_fast,
         speedup_seed,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment_throughput.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_experiment_throughput.json"
+    );
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -17,10 +17,14 @@ fn regenerate() {
     banner("Figure 1: trial score distributions (mean = 1/32 = 0.03125)");
     let model = LublinModel::new(256);
     let spec = TupleSpec::default();
-    let trial_spec = TrialSpec { trials: trial_count(), platform: Platform::new(256), tau: 10.0 };
+    let trial_spec = TrialSpec {
+        trials: trial_count(),
+        platform: Platform::new(256),
+        tau: 10.0,
+    };
     for (panel, seed) in [("(a)", 101u64), ("(b)", 202u64)] {
         let tuple = TaskTuple::generate(&spec, &model, &mut Rng::new(seed));
-        let scores = trial_scores(&tuple, &trial_spec, &Rng::new(seed ^ 0xF1)) ;
+        let scores = trial_scores(&tuple, &trial_spec, &Rng::new(seed ^ 0xF1));
         println!("panel {panel}: {} trials", scores.trials);
         println!("task-id  score     bar (each # = 0.002)");
         for (k, &s) in scores.scores.iter().enumerate() {
@@ -35,7 +39,11 @@ fn regenerate() {
 fn bench(c: &mut Criterion) {
     let model = LublinModel::new(256);
     let tuple = TaskTuple::generate(&TupleSpec::default(), &model, &mut Rng::new(7));
-    let spec = TrialSpec { trials: 256, platform: Platform::new(256), tau: 10.0 };
+    let spec = TrialSpec {
+        trials: 256,
+        platform: Platform::new(256),
+        tau: 10.0,
+    };
     let master = Rng::new(8);
     c.bench_function("fig1/single_trial_48_jobs", |b| {
         let perm: Vec<usize> = (0..32).collect();

@@ -20,11 +20,21 @@ fn regenerate() {
     } else {
         (vec![1_000, 2_000, 4_000, 8_000, 16_000], 5)
     };
-    let base = TrialSpec { trials: 0, platform: Platform::new(256), tau: 10.0 };
+    let base = TrialSpec {
+        trials: 0,
+        platform: Platform::new(256),
+        tau: 10.0,
+    };
     let curve = convergence_curve(&tuple, &counts, reps, &base, &Rng::new(43));
-    println!("{:>10} {:>12} {:>16}", "trials", "score std", "normalized std");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "trials", "score std", "normalized std"
+    );
     for p in &curve {
-        println!("{:>10} {:>12.6} {:>16.4}", p.trials, p.score_std, p.normalized_std);
+        println!(
+            "{:>10} {:>12.6} {:>16.4}",
+            p.trials, p.score_std, p.normalized_std
+        );
     }
     println!("\npaper: normalized std ≈ 0.02 at 256k trials; the curve should fall");
     println!("roughly as 1/sqrt(trials) (each doubling divides it by ~1.41).");
@@ -33,7 +43,11 @@ fn regenerate() {
 fn bench(c: &mut Criterion) {
     let model = LublinModel::new(256);
     let tuple = TaskTuple::generate(&TupleSpec::default(), &model, &mut Rng::new(5));
-    let base = TrialSpec { trials: 0, platform: Platform::new(256), tau: 10.0 };
+    let base = TrialSpec {
+        trials: 0,
+        platform: Platform::new(256),
+        tau: 10.0,
+    };
     c.bench_function("fig2/convergence_point_2x128_trials", |b| {
         b.iter(|| black_box(convergence_curve(&tuple, &[128], 2, &base, &Rng::new(6))))
     });

@@ -31,9 +31,21 @@ fn regenerate() {
     let out_dir = std::path::Path::new("target/figures");
     std::fs::create_dir_all(out_dir).expect("create target/figures");
     let panels = [
-        ("a_runtime_vs_cores", HeatmapAxes::paper_fig3a(), "x: r (0..2.7e4 s), y: n (1..256)"),
-        ("b_runtime_vs_submit", HeatmapAxes::paper_fig3b(), "x: r (0..2.7e4 s), y: s (0..256 s)"),
-        ("c_cores_vs_submit", HeatmapAxes::paper_fig3c(), "x: n (1..256), y: s (0..256 s)"),
+        (
+            "a_runtime_vs_cores",
+            HeatmapAxes::paper_fig3a(),
+            "x: r (0..2.7e4 s), y: n (1..256)",
+        ),
+        (
+            "b_runtime_vs_submit",
+            HeatmapAxes::paper_fig3b(),
+            "x: r (0..2.7e4 s), y: s (0..256 s)",
+        ),
+        (
+            "c_cores_vs_submit",
+            HeatmapAxes::paper_fig3c(),
+            "x: n (1..256), y: s (0..256 s)",
+        ),
     ];
     for policy in LearnedPolicy::table3() {
         use dynsched_policies::Policy as _;

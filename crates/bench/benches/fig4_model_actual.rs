@@ -5,7 +5,9 @@
 //! median average bounded slowdown; F1 is best because this matches the
 //! training configuration exactly.
 
-use dynsched_bench::{banner, bench_first_sequence, criterion, regenerate_model_figure, scenario_scale};
+use dynsched_bench::{
+    banner, bench_first_sequence, criterion, regenerate_model_figure, scenario_scale,
+};
 use dynsched_core::scenarios::{model_scenario, Condition};
 
 fn main() {

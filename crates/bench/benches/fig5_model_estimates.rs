@@ -5,7 +5,9 @@
 //! (FCFS is unchanged — it ignores processing times), but F1–F4 remain
 //! 4.9–108× better than the best ad-hoc policy at 256 cores.
 
-use dynsched_bench::{banner, bench_first_sequence, criterion, regenerate_model_figure, scenario_scale};
+use dynsched_bench::{
+    banner, bench_first_sequence, criterion, regenerate_model_figure, scenario_scale,
+};
 use dynsched_core::scenarios::{model_scenario, Condition};
 
 fn main() {
@@ -16,6 +18,10 @@ fn main() {
 
     let mut c = criterion();
     let experiment = model_scenario(256, Condition::UserEstimates, &scenario_scale());
-    bench_first_sequence(&mut c, "fig5/simulate_one_sequence_f1_estimates", &experiment);
+    bench_first_sequence(
+        &mut c,
+        "fig5/simulate_one_sequence_f1_estimates",
+        &experiment,
+    );
     c.final_summary();
 }

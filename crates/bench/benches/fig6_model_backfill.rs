@@ -7,7 +7,9 @@
 //! are already well ordered) but stay ≥12× better than the best ad-hoc
 //! policy in median.
 
-use dynsched_bench::{banner, bench_first_sequence, criterion, regenerate_model_figure, scenario_scale};
+use dynsched_bench::{
+    banner, bench_first_sequence, criterion, regenerate_model_figure, scenario_scale,
+};
 use dynsched_core::scenarios::{model_scenario, Condition};
 
 fn main() {
@@ -18,6 +20,10 @@ fn main() {
 
     let mut c = criterion();
     let experiment = model_scenario(256, Condition::EstimatesWithBackfilling, &scenario_scale());
-    bench_first_sequence(&mut c, "fig6/simulate_one_sequence_f1_backfill", &experiment);
+    bench_first_sequence(
+        &mut c,
+        "fig6/simulate_one_sequence_f1_backfill",
+        &experiment,
+    );
     c.final_summary();
 }

@@ -5,7 +5,9 @@
 //! inter-quartile ranges; the best F varies by platform (F2 on Curie,
 //! SDSC Blue and CTC SP2; F3 on ANL Intrepid).
 
-use dynsched_bench::{banner, bench_first_sequence, criterion, regenerate_archive_figure, scenario_scale};
+use dynsched_bench::{
+    banner, bench_first_sequence, criterion, regenerate_archive_figure, scenario_scale,
+};
 use dynsched_core::scenarios::{archive_scenario, Condition};
 use dynsched_workload::ArchivePlatform;
 
@@ -19,8 +21,11 @@ fn main() {
     println!("  CTC SP2:   439.72/309.72/29.87/87.55/19.02/14.06/5.32/10.27");
 
     let mut c = criterion();
-    let experiment =
-        archive_scenario(&ArchivePlatform::CTC_SP2, Condition::ActualRuntimes, &scenario_scale());
+    let experiment = archive_scenario(
+        &ArchivePlatform::CTC_SP2,
+        Condition::ActualRuntimes,
+        &scenario_scale(),
+    );
     bench_first_sequence(&mut c, "fig7/simulate_one_sequence_f1_ctc", &experiment);
     c.final_summary();
 }

@@ -5,7 +5,9 @@
 //! medians and tighter quartiles on every platform; the ad-hoc policies
 //! show large outliers that hurt perceived QoS.
 
-use dynsched_bench::{banner, bench_first_sequence, criterion, regenerate_archive_figure, scenario_scale};
+use dynsched_bench::{
+    banner, bench_first_sequence, criterion, regenerate_archive_figure, scenario_scale,
+};
 use dynsched_core::scenarios::{archive_scenario, Condition};
 use dynsched_workload::ArchivePlatform;
 
@@ -19,8 +21,11 @@ fn main() {
     println!("  CTC SP2:   439.72/369.93/98.58/290.39/31.23/21.58/13.78/15.14");
 
     let mut c = criterion();
-    let experiment =
-        archive_scenario(&ArchivePlatform::SDSC_BLUE, Condition::UserEstimates, &scenario_scale());
+    let experiment = archive_scenario(
+        &ArchivePlatform::SDSC_BLUE,
+        Condition::UserEstimates,
+        &scenario_scale(),
+    );
     bench_first_sequence(&mut c, "fig8/simulate_one_sequence_f1_sdsc", &experiment);
     c.final_summary();
 }

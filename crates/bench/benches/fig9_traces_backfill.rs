@@ -5,7 +5,9 @@
 //! learned policies gain little but remain the better general choice in
 //! median and/or quartile spread on most platforms.
 
-use dynsched_bench::{banner, bench_first_sequence, criterion, regenerate_archive_figure, scenario_scale};
+use dynsched_bench::{
+    banner, bench_first_sequence, criterion, regenerate_archive_figure, scenario_scale,
+};
 use dynsched_core::scenarios::{archive_scenario, Condition};
 use dynsched_workload::ArchivePlatform;
 
@@ -24,6 +26,10 @@ fn main() {
         Condition::EstimatesWithBackfilling,
         &scenario_scale(),
     );
-    bench_first_sequence(&mut c, "fig9/simulate_one_sequence_f1_curie_bf", &experiment);
+    bench_first_sequence(
+        &mut c,
+        "fig9/simulate_one_sequence_f1_curie_bf",
+        &experiment,
+    );
     c.final_summary();
 }

@@ -38,8 +38,14 @@ fn regenerate() {
     banner("Generalization: Lublin-trained policies on a Feitelson'96-style workload");
     let lineup = paper_lineup();
     for (label, scheduler) in [
-        ("actual runtimes", SchedulerConfig::actual_runtimes(Platform::new(256))),
-        ("estimates + EASY", SchedulerConfig::estimates_with_backfilling(Platform::new(256))),
+        (
+            "actual runtimes",
+            SchedulerConfig::actual_runtimes(Platform::new(256)),
+        ),
+        (
+            "estimates + EASY",
+            SchedulerConfig::estimates_with_backfilling(Platform::new(256)),
+        ),
     ] {
         let experiment = Experiment::new(
             format!("Feitelson'96-style workload, 256 cores, {label}"),
@@ -50,7 +56,11 @@ fn regenerate() {
         print!("{}", artifact_report(&result));
         println!(
             "learned beats ad-hoc: {}\n",
-            if learned_beat_adhoc(&result) { "yes" } else { "NO" }
+            if learned_beat_adhoc(&result) {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!("reading: the F-policies were never trained on this generator; if they");

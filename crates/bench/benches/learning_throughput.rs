@@ -31,10 +31,22 @@ use std::hint::black_box;
 /// from the Lublin model, exactly what the enumeration sees in a full
 /// run.
 fn training_set() -> TrainingSet {
-    let (tuples, q_size, trials) = if full_scale() { (16, 32, trial_count()) } else { (8, 16, 768) };
+    let (tuples, q_size, trials) = if full_scale() {
+        (16, 32, trial_count())
+    } else {
+        (8, 16, 768)
+    };
     let config = TrainingConfig {
-        tuple_spec: TupleSpec { s_size: 8, q_size, max_start_offset: 50_000.0 },
-        trial_spec: TrialSpec { trials, platform: Platform::new(128), tau: 10.0 },
+        tuple_spec: TupleSpec {
+            s_size: 8,
+            q_size,
+            max_start_offset: 50_000.0,
+        },
+        trial_spec: TrialSpec {
+            trials,
+            platform: Platform::new(128),
+            tau: 10.0,
+        },
         tuples,
         seed: 0x1EA2,
     };
@@ -79,14 +91,23 @@ fn regenerate() {
         narrow_out = Some(with_worker_limit(1, || fit_all(&ts, &options)))
     });
     let mut reference_out: Option<Vec<FitResult>> = None;
-    let reference =
-        time_fits(fits, reps, || reference_out = Some(fit_all_reference(&ts, &options)));
+    let reference = time_fits(fits, reps, || {
+        reference_out = Some(fit_all_reference(&ts, &options))
+    });
 
     // Cross-path check: all three enumerations must agree bit for bit —
     // the same contract the learning_pipeline golden suite pins.
     let batched_out = batched_out.unwrap();
-    assert_eq!(batched_out, narrow_out.unwrap(), "thread count changed the enumeration");
-    assert_eq!(batched_out, reference_out.unwrap(), "batched path diverged from the oracle");
+    assert_eq!(
+        batched_out,
+        narrow_out.unwrap(),
+        "thread count changed the enumeration"
+    );
+    assert_eq!(
+        batched_out,
+        reference_out.unwrap(),
+        "batched path diverged from the oracle"
+    );
 
     let speedup_parallel = batched.fits_per_sec / reference.fits_per_sec;
     let speedup_single = narrow.fits_per_sec / reference.fits_per_sec;
@@ -128,7 +149,10 @@ fn regenerate() {
         speedup_parallel,
         speedup_single,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_learning_throughput.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_learning_throughput.json"
+    );
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
@@ -154,7 +178,9 @@ fn bench(c: &mut Criterion) {
     quick.lm.max_iterations = 15;
     let mut g = c.benchmark_group("learning/enumerate_576");
     g.throughput(Throughput::Elements(576));
-    g.bench_function("batched_session", |b| b.iter(|| black_box(fit_all(&ts, &quick))));
+    g.bench_function("batched_session", |b| {
+        b.iter(|| black_box(fit_all(&ts, &quick)))
+    });
     g.bench_function("sequential_reference", |b| {
         b.iter(|| black_box(fit_all_reference(&ts, &quick)))
     });

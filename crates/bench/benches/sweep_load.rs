@@ -21,7 +21,9 @@ fn sequences(count: usize, jobs: usize) -> Vec<Trace> {
     let mut model = LublinModel::new(256);
     model.daily_cycle = false; // pure contention effects, no burst artefacts
     let mut rng = Rng::new(0x10AD);
-    (0..count).map(|_| model.generate_jobs(jobs, &mut rng)).collect()
+    (0..count)
+        .map(|_| model.generate_jobs(jobs, &mut rng))
+        .collect()
 }
 
 fn regenerate() {

@@ -40,10 +40,18 @@ fn regenerate() {
     );
     let t0 = std::time::Instant::now();
     let fits = fit_all(&training, &EnumerateOptions::default());
-    println!("fitted 576 functions in {:.1} s\n", t0.elapsed().as_secs_f64());
+    println!(
+        "fitted 576 functions in {:.1} s\n",
+        t0.elapsed().as_secs_f64()
+    );
     println!("rank  fitness      function (simplified)");
     for (i, fit) in fits.iter().take(6).enumerate() {
-        println!("{:>4}  {:.6e}  {}", i + 1, fit.fitness, fit.function.render_simplified());
+        println!(
+            "{:>4}  {:.6e}  {}",
+            i + 1,
+            fit.fitness,
+            fit.function.render_simplified()
+        );
     }
     println!("\npaper's Table 3:");
     println!("  F1: log10(r)*n + 8.70e2*log10(s)");
@@ -57,8 +65,16 @@ fn regenerate() {
 
 fn bench(c: &mut Criterion) {
     let config = TrainingConfig {
-        tuple_spec: TupleSpec { s_size: 8, q_size: 16, max_start_offset: 100_000.0 },
-        trial_spec: TrialSpec { trials: 512, platform: Platform::new(256), tau: 10.0 },
+        tuple_spec: TupleSpec {
+            s_size: 8,
+            q_size: 16,
+            max_start_offset: 100_000.0,
+        },
+        trial_spec: TrialSpec {
+            trials: 512,
+            platform: Platform::new(256),
+            tau: 10.0,
+        },
         tuples: 4,
         seed: 1,
     };

@@ -53,7 +53,11 @@ fn legacy_trial_scores(tuple: &TaskTuple, spec: &TrialSpec, master: &Rng) -> Tri
         total += ave;
     }
     let scores = sum_by_first.iter().map(|s| s / total).collect();
-    TrialScores { scores, trials: spec.trials, first_counts: count_by_first }
+    TrialScores {
+        scores,
+        trials: spec.trials,
+        first_counts: count_by_first,
+    }
 }
 
 struct Timed {
@@ -83,7 +87,11 @@ fn regenerate() {
     let model = LublinModel::new(256);
     let tuple = TaskTuple::generate(&TupleSpec::default(), &model, &mut Rng::new(3));
     let trials = if full_scale() { 262_144 } else { 16_384 };
-    let spec = TrialSpec { trials, platform: Platform::new(256), tau: 10.0 };
+    let spec = TrialSpec {
+        trials,
+        platform: Platform::new(256),
+        tau: 10.0,
+    };
 
     let mut fast_scores = None;
     let fast = time_trials(trials, 3, || {
@@ -92,7 +100,10 @@ fn regenerate() {
     // The legacy baseline is slow by construction; cap its trial count and
     // compare rates (each trial is independent, so the rate is flat).
     let legacy_trials = trials.min(4_096);
-    let legacy_spec = TrialSpec { trials: legacy_trials, ..spec };
+    let legacy_spec = TrialSpec {
+        trials: legacy_trials,
+        ..spec
+    };
     let mut legacy_scores = None;
     let legacy = time_trials(legacy_trials, 3, || {
         legacy_scores = Some(legacy_trial_scores(&tuple, &legacy_spec, &Rng::new(4)))
@@ -107,7 +118,10 @@ fn regenerate() {
         "fast engine diverged from the seed engine"
     );
     let fast_scores = fast_scores.unwrap();
-    assert_eq!(fast_scores.first_counts.iter().sum::<u64>() as usize, trials);
+    assert_eq!(
+        fast_scores.first_counts.iter().sum::<u64>() as usize,
+        trials
+    );
 
     let speedup = fast.trials_per_sec / legacy.trials_per_sec;
     println!(
@@ -146,7 +160,10 @@ fn regenerate() {
         speedup,
         fast.us_per_trial * 256_000.0 / 1e6,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trial_throughput.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_trial_throughput.json"
+    );
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
@@ -156,7 +173,11 @@ fn regenerate() {
 fn bench(c: &mut Criterion) {
     let model = LublinModel::new(256);
     let tuple = TaskTuple::generate(&TupleSpec::default(), &model, &mut Rng::new(3));
-    let spec = TrialSpec { trials: 1_024, platform: Platform::new(256), tau: 10.0 };
+    let spec = TrialSpec {
+        trials: 1_024,
+        platform: Platform::new(256),
+        tau: 10.0,
+    };
     let perm: Vec<usize> = (0..32).collect();
     c.bench_function("throughput/one_trial_48_jobs_256c", |b| {
         b.iter(|| black_box(run_trial(&tuple, &perm, &spec)))

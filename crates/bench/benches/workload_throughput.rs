@@ -1,0 +1,205 @@
+//! Workload-layer throughput: the interned columnar trace store against
+//! per-row trace construction.
+//!
+//! The measured unit is the paper's own evaluation protocol: building the
+//! full 18-row Table-4 experiment grid and running it as one batched
+//! session. The **store-backed** path interns sequence builds in a
+//! [`TraceStore`] (6 distinct workloads for 18 rows — each workload's
+//! sequences are shared by its three evaluation conditions); the
+//! **per-row** baseline constructs every row's sequences from scratch,
+//! exactly as the pre-store harness did. Both paths then evaluate through
+//! the identical batched session, and the bench asserts their results are
+//! bit-identical — the store changes construction work only, never a
+//! schedule.
+//!
+//! Numbers land in `BENCH_workload_throughput.json` at the repo root,
+//! committed and uploaded alongside the other three throughput files so
+//! the trajectory is visible across PRs.
+
+use criterion::Criterion;
+use dynsched_bench::{banner, criterion, full_scale};
+use dynsched_core::scenarios::{
+    archive_scenario, model_scenario, table4_experiments_in, table4_results_in, Condition,
+    ScenarioScale,
+};
+use dynsched_core::{run_experiments, Experiment, ExperimentResult};
+use dynsched_policies::{Fcfs, LearnedPolicy, Policy, Spt};
+use dynsched_workload::{ArchivePlatform, SequenceSpec, TraceStore};
+use std::hint::black_box;
+
+fn scale() -> ScenarioScale {
+    if full_scale() {
+        ScenarioScale::default()
+    } else {
+        ScenarioScale {
+            spec: SequenceSpec {
+                count: 3,
+                days: 2.0,
+                min_jobs: 5,
+            },
+            ..ScenarioScale::default()
+        }
+    }
+}
+
+fn lineup() -> Vec<Box<dyn Policy>> {
+    vec![Box::new(Fcfs), Box::new(Spt), Box::new(LearnedPolicy::f1())]
+}
+
+/// The pre-store harness, verbatim in spirit: every Table-4 row
+/// constructs its own sequences from scratch — 18 independent builds,
+/// three per workload (one per evaluation condition) — in the paper's row
+/// order.
+fn per_row_experiments(scale: &ScenarioScale) -> Vec<Experiment> {
+    let mut rows = Vec::with_capacity(18);
+    for condition in Condition::ALL {
+        for nmax in [256u32, 1024] {
+            rows.push(model_scenario(nmax, condition, scale));
+        }
+    }
+    for condition in Condition::ALL {
+        for platform in &ArchivePlatform::ALL {
+            rows.push(archive_scenario(platform, condition, scale));
+        }
+    }
+    rows
+}
+
+fn per_row_grid(scale: &ScenarioScale, policies: &[Box<dyn Policy>]) -> Vec<ExperimentResult> {
+    run_experiments(&per_row_experiments(scale), policies)
+}
+
+fn store_grid(scale: &ScenarioScale, policies: &[Box<dyn Policy>]) -> Vec<ExperimentResult> {
+    table4_results_in(&TraceStore::new(), scale, policies)
+}
+
+struct Timed {
+    seconds: f64,
+}
+
+/// Best-of-`reps` wall time (the minimum is the least noise-contaminated
+/// estimate on a shared machine).
+fn best_of(reps: usize, mut f: impl FnMut()) -> Timed {
+    let mut seconds = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        seconds = seconds.min(t0.elapsed().as_secs_f64());
+    }
+    Timed { seconds }
+}
+
+fn regenerate() {
+    banner("Workload-layer throughput: interned trace store vs per-row construction");
+    let scale = scale();
+    let policies = lineup();
+    let reps = 3;
+
+    // Construction only: the 18-row grid's sequence builds.
+    let store = TraceStore::new();
+    let rows = table4_experiments_in(&store, &scale);
+    let total_jobs: usize = rows
+        .iter()
+        .flat_map(|r| r.sequences.iter())
+        .map(|s| s.len())
+        .sum();
+    println!(
+        "grid: 18 rows, {} builds + {} store hits, {} jobs across all sequences",
+        store.builds(),
+        store.hits(),
+        total_jobs
+    );
+    let build_store = best_of(reps, || {
+        black_box(table4_experiments_in(&TraceStore::new(), &scale));
+    });
+    let build_per_row = best_of(reps, || {
+        black_box(per_row_experiments(&scale));
+    });
+
+    // End to end: construction + one batched evaluation session.
+    let mut store_out = None;
+    let e2e_store = best_of(reps, || store_out = Some(store_grid(&scale, &policies)));
+    let mut per_row_out = None;
+    let e2e_per_row = best_of(reps, || per_row_out = Some(per_row_grid(&scale, &policies)));
+
+    // Cross-path check: interning must never change a result.
+    assert_eq!(
+        store_out.unwrap(),
+        per_row_out.unwrap(),
+        "store-backed grid diverged from per-row construction"
+    );
+
+    let build_speedup = build_per_row.seconds / build_store.seconds;
+    let e2e_speedup = e2e_per_row.seconds / e2e_store.seconds;
+    println!(
+        "construction:  store-backed {:.3} s vs per-row {:.3} s  [{build_speedup:.2}x]",
+        build_store.seconds, build_per_row.seconds
+    );
+    println!(
+        "grid end-to-end: store-backed {:.3} s vs per-row {:.3} s  [{e2e_speedup:.2}x]",
+        e2e_store.seconds, e2e_per_row.seconds
+    );
+
+    let json = format!(
+        "{{\n  \
+           \"bench\": \"workload_throughput\",\n  \
+           \"scale\": \"{}\",\n  \
+           \"grid\": {{ \"rows\": 18, \"builds\": {}, \"store_hits\": {}, \"jobs\": {}, \"policies\": {} }},\n  \
+           \"construction\": {{ \"store_seconds\": {:.4}, \"per_row_seconds\": {:.4}, \"speedup\": {:.3} }},\n  \
+           \"grid_end_to_end\": {{ \"store_seconds\": {:.4}, \"per_row_seconds\": {:.4}, \"speedup\": {:.3} }}\n}}\n",
+        if full_scale() { "paper" } else { "reduced" },
+        store.builds(),
+        store.hits(),
+        total_jobs,
+        policies.len(),
+        build_store.seconds,
+        build_per_row.seconds,
+        build_speedup,
+        e2e_store.seconds,
+        e2e_per_row.seconds,
+        e2e_speedup,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_workload_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Construction kernels at a small fixed point, so Criterion's numbers
+    // track the store/columnarization overheads rather than calibration
+    // noise.
+    let scale = ScenarioScale {
+        spec: SequenceSpec {
+            count: 2,
+            days: 1.0,
+            min_jobs: 2,
+        },
+        ..ScenarioScale::default()
+    };
+    c.bench_function("workload/table4_grid_store", |b| {
+        b.iter(|| black_box(table4_experiments_in(&TraceStore::new(), &scale)))
+    });
+    c.bench_function("workload/table4_grid_per_row", |b| {
+        b.iter(|| black_box(per_row_experiments(&scale)))
+    });
+
+    // Columnarization alone.
+    use dynsched_simkit::Rng;
+    use dynsched_workload::LublinModel;
+    let trace = LublinModel::new(64).generate_jobs(2_000, &mut Rng::new(0xC01));
+    c.bench_function("workload/columnarize_2k_jobs", |b| {
+        b.iter(|| black_box(trace.to_view()))
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -29,7 +29,11 @@ pub fn scenario_scale() -> ScenarioScale {
         ScenarioScale::default()
     } else {
         ScenarioScale {
-            spec: SequenceSpec { count: 4, days: 3.0, min_jobs: 10 },
+            spec: SequenceSpec {
+                count: 4,
+                days: 3.0,
+                min_jobs: 10,
+            },
             ..ScenarioScale::default()
         }
     }
@@ -88,7 +92,13 @@ pub fn run_and_print(experiment: &Experiment) -> ExperimentResult {
         let slug: String = result
             .name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{slug}.csv"));
         if std::fs::write(&path, dynsched_core::report::boxplot_csv(&result)).is_ok() {

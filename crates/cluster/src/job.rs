@@ -37,10 +37,25 @@ impl Job {
     /// `estimate` is non-finite.
     pub fn new(id: JobId, submit: Time, runtime: Time, estimate: Time, cores: u32) -> Self {
         assert!(cores > 0, "job {id}: a rigid job uses at least one core");
-        assert!(submit.is_finite() && submit >= 0.0, "job {id}: bad submit time {submit}");
-        assert!(runtime.is_finite() && runtime >= 0.0, "job {id}: bad runtime {runtime}");
-        assert!(estimate.is_finite() && estimate >= 0.0, "job {id}: bad estimate {estimate}");
-        Self { id, submit, runtime, estimate, cores }
+        assert!(
+            submit.is_finite() && submit >= 0.0,
+            "job {id}: bad submit time {submit}"
+        );
+        assert!(
+            runtime.is_finite() && runtime >= 0.0,
+            "job {id}: bad runtime {runtime}"
+        );
+        assert!(
+            estimate.is_finite() && estimate >= 0.0,
+            "job {id}: bad estimate {estimate}"
+        );
+        Self {
+            id,
+            submit,
+            runtime,
+            estimate,
+            cores,
+        }
     }
 
     /// Core-seconds of real work (`r · n`), the "area" of the job.
@@ -124,7 +139,11 @@ mod tests {
 
     fn completed(submit: Time, start: Time, runtime: Time) -> CompletedJob {
         let job = Job::new(0, submit, runtime, runtime, 1);
-        CompletedJob { job, start, finish: start + runtime }
+        CompletedJob {
+            job,
+            start,
+            finish: start + runtime,
+        }
     }
 
     #[test]

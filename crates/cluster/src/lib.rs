@@ -14,7 +14,5 @@
 pub mod job;
 pub mod platform;
 
-pub use job::{
-    average_bounded_slowdown, bounded_slowdown, CompletedJob, Job, JobId, DEFAULT_TAU,
-};
+pub use job::{average_bounded_slowdown, bounded_slowdown, CompletedJob, Job, JobId, DEFAULT_TAU};
 pub use platform::{AllocationLedger, CoreLedger, LedgerError, Platform};

@@ -53,8 +53,14 @@ pub enum LedgerError {
 impl std::fmt::Display for LedgerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LedgerError::InsufficientCores { requested, available } => {
-                write!(f, "requested {requested} cores but only {available} available")
+            LedgerError::InsufficientCores {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} cores but only {available} available"
+                )
             }
             LedgerError::AlreadyAllocated(id) => write!(f, "job {id} already allocated"),
             LedgerError::NotAllocated(id) => write!(f, "job {id} holds no allocation"),
@@ -141,7 +147,10 @@ impl AllocationLedger {
             return Err(LedgerError::AlreadyAllocated(job));
         }
         if cores > self.available() {
-            return Err(LedgerError::InsufficientCores { requested: cores, available: self.available() });
+            return Err(LedgerError::InsufficientCores {
+                requested: cores,
+                available: self.available(),
+            });
         }
         self.advance_time(now);
         self.used += cores;
@@ -152,7 +161,10 @@ impl AllocationLedger {
 
     /// Release the allocation held by `job` at time `now`.
     pub fn release(&mut self, job: JobId, now: Time) -> Result<u32, LedgerError> {
-        let cores = self.holdings.remove(&job).ok_or(LedgerError::NotAllocated(job))?;
+        let cores = self
+            .holdings
+            .remove(&job)
+            .ok_or(LedgerError::NotAllocated(job))?;
         self.advance_time(now);
         self.used -= cores;
         Ok(cores)
@@ -244,7 +256,11 @@ impl CoreLedger {
     /// fit before every start, so this is an engine bug, not an input error.
     #[inline]
     pub fn allocate(&mut self, cores: u32, now: Time) {
-        debug_assert!(cores <= self.available(), "oversubscribed: {cores} > {}", self.available());
+        debug_assert!(
+            cores <= self.available(),
+            "oversubscribed: {cores} > {}",
+            self.available()
+        );
         self.advance_time(now);
         self.used += cores;
     }
@@ -255,7 +271,11 @@ impl CoreLedger {
     /// Panics (debug only) if more cores are released than are in use.
     #[inline]
     pub fn release(&mut self, cores: u32, now: Time) {
-        debug_assert!(cores <= self.used, "released {cores} cores but only {} in use", self.used);
+        debug_assert!(
+            cores <= self.used,
+            "released {cores} cores but only {} in use",
+            self.used
+        );
         self.advance_time(now);
         self.used -= cores;
     }
@@ -291,7 +311,13 @@ mod tests {
         let mut l = AllocationLedger::new(Platform::new(8));
         l.allocate(1, 5, 0.0).unwrap();
         let err = l.allocate(2, 4, 0.0).unwrap_err();
-        assert_eq!(err, LedgerError::InsufficientCores { requested: 4, available: 3 });
+        assert_eq!(
+            err,
+            LedgerError::InsufficientCores {
+                requested: 4,
+                available: 3
+            }
+        );
         // Ledger unchanged by the failed allocation.
         assert_eq!(l.available(), 3);
     }
@@ -300,7 +326,10 @@ mod tests {
     fn double_allocation_rejected() {
         let mut l = AllocationLedger::new(Platform::new(8));
         l.allocate(1, 2, 0.0).unwrap();
-        assert_eq!(l.allocate(1, 2, 1.0).unwrap_err(), LedgerError::AlreadyAllocated(1));
+        assert_eq!(
+            l.allocate(1, 2, 1.0).unwrap_err(),
+            LedgerError::AlreadyAllocated(1)
+        );
     }
 
     #[test]
@@ -323,7 +352,7 @@ mod tests {
         let mut l = AllocationLedger::new(Platform::new(10));
         l.allocate(1, 10, 0.0).unwrap(); // full from t=0
         l.release(1, 50.0).unwrap(); // idle from t=50
-        // At t=100: busy 10*50 core-s over 10*100 capacity = 0.5.
+                                     // At t=100: busy 10*50 core-s over 10*100 capacity = 0.5.
         assert!((l.utilization(100.0).unwrap() - 0.5).abs() < 1e-12);
         // At t=50: utilization exactly 1.
         assert!((l.utilization(50.0).unwrap() - 1.0).abs() < 1e-12);

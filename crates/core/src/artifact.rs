@@ -32,7 +32,11 @@ pub struct ArtifactCsvError {
 
 impl std::fmt::Display for ArtifactCsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "artifact CSV error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "artifact CSV error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -86,16 +90,28 @@ pub fn parse_task_set(input: &str, s_size: usize) -> Result<TaskTuple, ArtifactC
                 message: format!("invalid task ({}, {}, {})", f[0], f[1], f[2]),
             });
         }
-        jobs.push(Job::new(id, f[2], f[0].max(1e-9), f[0].max(1e-9), f[1] as u32));
+        jobs.push(Job::new(
+            id,
+            f[2],
+            f[0].max(1e-9),
+            f[0].max(1e-9),
+            f[1] as u32,
+        ));
     }
     if jobs.len() <= s_size {
         return Err(ArtifactCsvError {
             line: 0,
-            message: format!("file has {} tasks, need more than |S| = {s_size}", jobs.len()),
+            message: format!(
+                "file has {} tasks, need more than |S| = {s_size}",
+                jobs.len()
+            ),
         });
     }
     let q_tasks = jobs.split_off(s_size);
-    Ok(TaskTuple { s_tasks: jobs, q_tasks })
+    Ok(TaskTuple {
+        s_tasks: jobs,
+        q_tasks,
+    })
 }
 
 /// Serialize one tuple's trial scores in the `training-data/` format:
@@ -103,7 +119,11 @@ pub fn parse_task_set(input: &str, s_size: usize) -> Result<TaskTuple, ArtifactC
 pub fn write_trial_scores(tuple: &TaskTuple, scores: &TrialScores) -> String {
     let mut out = String::new();
     for (job, score) in tuple.q_tasks.iter().zip(&scores.scores) {
-        let _ = writeln!(out, "{},{},{},{}", job.runtime, job.cores, job.submit, score);
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            job.runtime, job.cores, job.submit, score
+        );
     }
     out
 }
@@ -133,7 +153,11 @@ mod tests {
     use dynsched_workload::LublinModel;
 
     fn tuple() -> TaskTuple {
-        let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 };
+        let spec = TupleSpec {
+            s_size: 4,
+            q_size: 8,
+            max_start_offset: 50_000.0,
+        };
         TaskTuple::generate(&spec, &LublinModel::new(64), &mut Rng::new(1))
     }
 
@@ -165,7 +189,11 @@ mod tests {
     #[test]
     fn trial_scores_roundtrip() {
         let t = tuple();
-        let spec = TrialSpec { trials: 64, platform: Platform::new(64), tau: 10.0 };
+        let spec = TrialSpec {
+            trials: 64,
+            platform: Platform::new(64),
+            tau: 10.0,
+        };
         let scores = trial_scores(&t, &spec, &Rng::new(2));
         let text = write_trial_scores(&t, &scores);
         let rows = parse_trial_scores(&text).unwrap();

@@ -44,7 +44,10 @@ pub fn convergence_curve(
     base_spec: &TrialSpec,
     master: &Rng,
 ) -> Vec<ConvergencePoint> {
-    assert!(repetitions >= 2, "need at least two repetitions for a deviation");
+    assert!(
+        repetitions >= 2,
+        "need at least two repetitions for a deviation"
+    );
     let q = tuple.q_tasks.len();
     let batches: Vec<TrialBatch<'_>> = trial_counts
         .iter()
@@ -75,7 +78,10 @@ pub fn convergence_curve(
             / q as f64;
         raw.push((count, mean_std));
     }
-    let max_std = raw.iter().map(|&(_, s)| s).fold(f64::MIN_POSITIVE, f64::max);
+    let max_std = raw
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::MIN_POSITIVE, f64::max);
     raw.into_iter()
         .map(|(trials, score_std)| ConvergencePoint {
             trials,
@@ -107,10 +113,18 @@ mod tests {
 
     #[test]
     fn deviation_shrinks_with_more_trials() {
-        let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 };
+        let spec = TupleSpec {
+            s_size: 4,
+            q_size: 8,
+            max_start_offset: 50_000.0,
+        };
         let model = LublinModel::new(64);
         let tuple = TaskTuple::generate(&spec, &model, &mut Rng::new(21));
-        let base = TrialSpec { trials: 0, platform: Platform::new(64), tau: 10.0 };
+        let base = TrialSpec {
+            trials: 0,
+            platform: Platform::new(64),
+            tau: 10.0,
+        };
         let curve = convergence_curve(&tuple, &[64, 1_024], 4, &base, &Rng::new(22));
         assert_eq!(curve.len(), 2);
         assert!(

@@ -53,7 +53,13 @@ pub fn tuple_from_trace(trace: &Trace, spec: &TupleSpec, rng: &mut Rng) -> TaskT
             // Q must arrive strictly after S; trace windows can contain
             // simultaneous submits, so nudge by a microsecond when needed.
             let submit = j.submit.max(t0 + 1e-6);
-            Job::new((spec.s_size + i) as JobId, submit, j.runtime, j.estimate, j.cores)
+            Job::new(
+                (spec.s_size + i) as JobId,
+                submit,
+                j.runtime,
+                j.estimate,
+                j.cores,
+            )
         })
         .collect();
     TaskTuple { s_tasks, q_tasks }
@@ -96,7 +102,12 @@ pub fn learn_custom_policies(
     }
     let fits = fit_all(&pooled, enumerate);
     let policies = top_policies(&fits, top_k);
-    LearnedReport { tuples, training_set: pooled, fits, policies }
+    LearnedReport {
+        tuples,
+        training_set: pooled,
+        fits,
+        policies,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +122,11 @@ mod tests {
     }
 
     fn spec() -> TupleSpec {
-        TupleSpec { s_size: 4, q_size: 8, max_start_offset: 0.0 }
+        TupleSpec {
+            s_size: 4,
+            q_size: 8,
+            max_start_offset: 0.0,
+        }
     }
 
     #[test]
@@ -139,7 +154,10 @@ mod tests {
         // Every (runtime, cores) pair of the tuple exists in the trace.
         for job in t.all_jobs() {
             assert!(
-                trace.jobs().iter().any(|j| j.runtime == job.runtime && j.cores == job.cores),
+                trace
+                    .jobs()
+                    .iter()
+                    .any(|j| j.runtime == job.runtime && j.cores == job.cores),
                 "tuple job not found in trace"
             );
         }
@@ -158,7 +176,11 @@ mod tests {
         let trace = platform_trace();
         let config = CustomTrainingConfig {
             tuple_spec: spec(),
-            trial_spec: TrialSpec { trials: 160, platform: Platform::new(64), tau: 10.0 },
+            trial_spec: TrialSpec {
+                trials: 160,
+                platform: Platform::new(64),
+                tau: 10.0,
+            },
             tuples: 4,
             seed: 9,
         };

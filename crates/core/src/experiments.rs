@@ -11,16 +11,22 @@ use dynsched_cluster::DEFAULT_TAU;
 use dynsched_policies::Policy;
 use dynsched_scheduler::{SchedulerConfig, SimMetrics};
 use dynsched_simkit::stats::{mean, median, std_dev, BoxplotSummary};
-use dynsched_workload::Trace;
+use dynsched_workload::{Trace, TraceView};
 use serde::{Deserialize, Serialize};
 
 /// One fully-specified experiment: sequences + scheduler configuration.
+///
+/// Sequences are columnar [`TraceView`] handles: an experiment built from
+/// a [`TraceStore`](dynsched_workload::TraceStore)-backed scenario
+/// constructor shares its storage with every other experiment naming the
+/// same workload tuple (the Table-4 grid holds 18 rows over 6 distinct
+/// sequence sets), and cloning an experiment copies handles, not jobs.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     /// Display name (e.g. `"Workload model, nmax = 256, actual runtimes r"`).
     pub name: String,
     /// The sequences to schedule (each rebased to start at 0).
-    pub sequences: Vec<Trace>,
+    pub sequences: Vec<TraceView>,
     /// Platform, decision mode, backfilling.
     pub scheduler: SchedulerConfig,
     /// Bounded-slowdown threshold τ.
@@ -28,9 +34,29 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Build an experiment with the default τ = 10 s.
+    /// Build an experiment from owned AoS traces (columnarized here) with
+    /// the default τ = 10 s.
     pub fn new(name: impl Into<String>, sequences: Vec<Trace>, scheduler: SchedulerConfig) -> Self {
-        Self { name: name.into(), sequences, scheduler, tau: DEFAULT_TAU }
+        Self::from_views(
+            name,
+            sequences.iter().map(Trace::to_view).collect(),
+            scheduler,
+        )
+    }
+
+    /// Build an experiment over already-columnarized (usually
+    /// store-interned) sequences with the default τ = 10 s.
+    pub fn from_views(
+        name: impl Into<String>,
+        sequences: Vec<TraceView>,
+        scheduler: SchedulerConfig,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            sequences,
+            scheduler,
+            tau: DEFAULT_TAU,
+        }
     }
 }
 
@@ -113,7 +139,10 @@ pub fn run_experiments(
 ) -> Vec<ExperimentResult> {
     let mut session = EvalSession::new();
     for experiment in experiments {
-        assert!(!experiment.sequences.is_empty(), "experiment without sequences");
+        assert!(
+            !experiment.sequences.is_empty(),
+            "experiment without sequences"
+        );
         session.push_grid(
             policies,
             &experiment.sequences,
@@ -139,7 +168,10 @@ pub fn run_experiments(
             })
             .collect();
         base += policies.len() * n_seq;
-        out.push(ExperimentResult { name: experiment.name.clone(), outcomes });
+        out.push(ExperimentResult {
+            name: experiment.name.clone(),
+            outcomes,
+        });
     }
     out
 }
@@ -179,7 +211,9 @@ mod tests {
             m
         };
         let mut rng = Rng::new(seed);
-        (0..count).map(|_| model.generate_jobs(60, &mut rng)).collect()
+        (0..count)
+            .map(|_| model.generate_jobs(60, &mut rng))
+            .collect()
     }
 
     fn lineup() -> Vec<Box<dyn Policy>> {

@@ -19,7 +19,10 @@
 //!   each cell in the engine's metrics-only mode;
 //! * [`experiments`] — the dynamic scheduling experiment harness
 //!   (ten 15-day sequences × policy line-up, Figs. 4–9);
-//! * [`scenarios`] — constructors for all 18 Table 4 rows;
+//! * [`scenarios`] — constructors for all 18 Table 4 rows, plus the
+//!   registry-scenario entry points ([`scenario_results`]) that evaluate
+//!   any named workload family of
+//!   [`dynsched_workload::registry`] under the same protocol;
 //! * [`report`] — artifact-style output, Table 4 comparison against the
 //!   published medians, Fig. 3 heatmap grids.
 //!
@@ -98,11 +101,12 @@ pub use report::{
     artifact_report, full_run_markdown, learned_beat_adhoc, table4_comparison, table4_markdown,
 };
 pub use scenarios::{
-    archive_scenario, model_scenario, table4_experiments, table4_results, Condition,
-    ScenarioScale,
+    archive_scenario, archive_scenario_in, model_scenario, model_scenario_in, scenario_experiment,
+    scenario_results, table4_experiments, table4_experiments_in, table4_results, table4_results_in,
+    Condition, ScenarioScale,
 };
 pub use session::{EvalCell, EvalSession};
-pub use sweep::{sweep_load, sweep_table, LoadPoint};
+pub use sweep::{sweep_load, sweep_scenario, sweep_table, LoadPoint};
 pub use trials::{
     run_trial, to_observations, trial_scores, trial_scores_batched, TrialBatch, TrialScores,
     TrialSpec,

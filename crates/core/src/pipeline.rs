@@ -14,7 +14,7 @@
 //! 5. export the best `k` as scheduling policies.
 
 use crate::experiments::ExperimentResult;
-use crate::scenarios::{table4_results, ScenarioScale};
+use crate::scenarios::{table4_results_in, ScenarioScale};
 use crate::trials::{to_observations, trial_scores_batched, TrialBatch, TrialSpec};
 use crate::tuples::{TaskTuple, TupleSpec};
 use dynsched_mlreg::{fit_all, top_policies, EnumerateOptions, FitResult, TrainingSet};
@@ -89,11 +89,7 @@ pub fn generate_training_set(
         })
         .collect();
     let mut pooled = TrainingSet::default();
-    let scores = trial_scores_batched(
-        &batches,
-        config.trial_spec.platform,
-        config.trial_spec.tau,
-    );
+    let scores = trial_scores_batched(&batches, config.trial_spec.platform, config.trial_spec.tau);
     for (tuple, scores) in tuples.iter().zip(scores) {
         pooled.extend_from(&to_observations(tuple, &scores));
     }
@@ -110,7 +106,12 @@ pub fn learn_policies(
     let (tuples, training_set) = generate_training_set(config, model);
     let fits = fit_all(&training_set, enumerate);
     let policies = top_policies(&fits, top_k);
-    LearnedReport { tuples, training_set, fits, policies }
+    LearnedReport {
+        tuples,
+        training_set,
+        fits,
+        policies,
+    }
 }
 
 /// Configuration of a one-shot learn→evaluate run ([`run_full`]).
@@ -171,8 +172,17 @@ pub fn run_full(config: &FullRunConfig, model: &LublinModel) -> FullRunReport {
         lineup.push(Box::new(policy.clone()));
     }
     let names: Vec<String> = lineup.iter().map(|p| p.name().to_string()).collect();
-    let evaluation = table4_results(&config.eval_scale, &lineup);
-    FullRunReport { learned, lineup: names, evaluation }
+    // One trace store for the whole evaluation stage: the 18 Table-4 rows
+    // intern 6 distinct workloads (shared across conditions), and the
+    // interned build is bit-identical to per-row construction, so the
+    // report's cells are unchanged by the sharing.
+    let store = dynsched_workload::TraceStore::new();
+    let evaluation = table4_results_in(&store, &config.eval_scale, &lineup);
+    FullRunReport {
+        learned,
+        lineup: names,
+        evaluation,
+    }
 }
 
 #[cfg(test)]
@@ -182,8 +192,16 @@ mod tests {
 
     fn tiny_config() -> TrainingConfig {
         TrainingConfig {
-            tuple_spec: TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 },
-            trial_spec: TrialSpec { trials: 192, platform: Platform::new(64), tau: 10.0 },
+            tuple_spec: TupleSpec {
+                s_size: 4,
+                q_size: 8,
+                max_start_offset: 50_000.0,
+            },
+            trial_spec: TrialSpec {
+                trials: 192,
+                platform: Platform::new(64),
+                tau: 10.0,
+            },
             tuples: 3,
             seed: 42,
         }
@@ -220,13 +238,20 @@ mod tests {
             enumerate,
             top_k: 3,
             eval_scale: ScenarioScale {
-                spec: SequenceSpec { count: 2, days: 1.0, min_jobs: 2 },
+                spec: SequenceSpec {
+                    count: 2,
+                    days: 1.0,
+                    min_jobs: 2,
+                },
                 ..ScenarioScale::default()
             },
         };
         let model = LublinModel::new(64);
         let report = run_full(&config, &model);
-        assert_eq!(report.lineup, ["FCFS", "WFP", "UNI", "SPT", "G1", "G2", "G3"]);
+        assert_eq!(
+            report.lineup,
+            ["FCFS", "WFP", "UNI", "SPT", "G1", "G2", "G3"]
+        );
         assert_eq!(report.evaluation.len(), 18, "full Table-4 grid");
         for row in &report.evaluation {
             let names: Vec<&str> = row.outcomes.iter().map(|o| o.policy.as_str()).collect();

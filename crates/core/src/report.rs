@@ -17,27 +17,94 @@ pub const TABLE4_POLICIES: [&str; 8] = ["FCFS", "WFP", "UNI", "SPT", "F4", "F3",
 /// The published medians of Table 4 (row label, eight medians in
 /// [`TABLE4_POLICIES`] order).
 pub const PAPER_TABLE4: [(&str, [f64; 8]); 18] = [
-    ("Workload model, nmax = 256, actual runtimes r", [5846.87, 3630.66, 1799.74, 943.59, 583.89, 89.93, 29.65, 29.58]),
-    ("Workload model, nmax = 1024, actual runtimes r", [10315.62, 7759.03, 4310.26, 4061.44, 1518.73, 831.18, 244.80, 217.13]),
-    ("Workload model, nmax = 256, runtime estimates e", [5846.87, 6021.69, 3561.56, 4415.27, 719.88, 405.68, 207.05, 33.03]),
-    ("Workload model, nmax = 1024, runtime estimates e", [10315.62, 9713.40, 5930.50, 7573.58, 2605.45, 2065.47, 1292.64, 249.80]),
-    ("Workload model, nmax = 256, aggressive backfilling", [842.66, 654.81, 470.72, 623.86, 329.49, 163.74, 45.72, 32.82]),
-    ("Workload model, nmax = 1024, aggressive backfilling", [3018.94, 3792.40, 2804.38, 3024.49, 1571.95, 1055.82, 490.77, 223.52]),
-    ("Curie workload trace, actual runtimes r", [227.67, 182.95, 93.76, 132.59, 20.25, 10.66, 3.58, 10.38]),
-    ("Anl Interpid workload trace, actual runtimes r", [30.04, 11.78, 6.03, 3.34, 1.94, 1.71, 1.87, 2.14]),
-    ("SDSC Blue workload trace, actual runtimes r", [299.83, 44.40, 20.37, 21.77, 14.33, 10.38, 4.31, 10.22]),
-    ("CTC SP2 workload trace, actual runtimes r", [439.72, 309.72, 29.87, 87.55, 19.02, 14.06, 5.32, 10.27]),
-    ("Curie workload trace, runtime estimates e", [227.67, 251.54, 135.53, 213.03, 48.45, 24.98, 12.47, 21.85]),
-    ("Anl Interpid workload trace, runtime estimates e", [30.04, 17.82, 11.42, 5.44, 4.15, 3.15, 2.57, 2.64]),
-    ("SDSC Blue workload trace, runtime estimates e", [299.83, 94.87, 39.69, 36.42, 24.26, 10.16, 9.88, 12.14]),
-    ("CTC SP2 workload trace, runtime estimates e", [439.72, 369.93, 98.58, 290.39, 31.23, 21.58, 13.78, 15.14]),
-    ("Curie workload trace, aggressive backfilling", [59.03, 49.23, 24.35, 35.72, 24.54, 23.91, 18.69, 21.73]),
-    ("Anl Interpid workload trace, aggressive backfilling", [8.56, 6.00, 4.01, 3.70, 3.52, 2.87, 2.54, 2.64]),
-    ("SDSC Blue workload trace, aggressive backfilling", [36.40, 17.76, 13.07, 10.20, 9.37, 10.18, 9.66, 11.97]),
-    ("CTC SP2 workload trace, aggressive backfilling", [74.96, 54.32, 24.06, 17.32, 14.12, 14.40, 10.77, 14.07]),
+    (
+        "Workload model, nmax = 256, actual runtimes r",
+        [
+            5846.87, 3630.66, 1799.74, 943.59, 583.89, 89.93, 29.65, 29.58,
+        ],
+    ),
+    (
+        "Workload model, nmax = 1024, actual runtimes r",
+        [
+            10315.62, 7759.03, 4310.26, 4061.44, 1518.73, 831.18, 244.80, 217.13,
+        ],
+    ),
+    (
+        "Workload model, nmax = 256, runtime estimates e",
+        [
+            5846.87, 6021.69, 3561.56, 4415.27, 719.88, 405.68, 207.05, 33.03,
+        ],
+    ),
+    (
+        "Workload model, nmax = 1024, runtime estimates e",
+        [
+            10315.62, 9713.40, 5930.50, 7573.58, 2605.45, 2065.47, 1292.64, 249.80,
+        ],
+    ),
+    (
+        "Workload model, nmax = 256, aggressive backfilling",
+        [842.66, 654.81, 470.72, 623.86, 329.49, 163.74, 45.72, 32.82],
+    ),
+    (
+        "Workload model, nmax = 1024, aggressive backfilling",
+        [
+            3018.94, 3792.40, 2804.38, 3024.49, 1571.95, 1055.82, 490.77, 223.52,
+        ],
+    ),
+    (
+        "Curie workload trace, actual runtimes r",
+        [227.67, 182.95, 93.76, 132.59, 20.25, 10.66, 3.58, 10.38],
+    ),
+    (
+        "Anl Interpid workload trace, actual runtimes r",
+        [30.04, 11.78, 6.03, 3.34, 1.94, 1.71, 1.87, 2.14],
+    ),
+    (
+        "SDSC Blue workload trace, actual runtimes r",
+        [299.83, 44.40, 20.37, 21.77, 14.33, 10.38, 4.31, 10.22],
+    ),
+    (
+        "CTC SP2 workload trace, actual runtimes r",
+        [439.72, 309.72, 29.87, 87.55, 19.02, 14.06, 5.32, 10.27],
+    ),
+    (
+        "Curie workload trace, runtime estimates e",
+        [227.67, 251.54, 135.53, 213.03, 48.45, 24.98, 12.47, 21.85],
+    ),
+    (
+        "Anl Interpid workload trace, runtime estimates e",
+        [30.04, 17.82, 11.42, 5.44, 4.15, 3.15, 2.57, 2.64],
+    ),
+    (
+        "SDSC Blue workload trace, runtime estimates e",
+        [299.83, 94.87, 39.69, 36.42, 24.26, 10.16, 9.88, 12.14],
+    ),
+    (
+        "CTC SP2 workload trace, runtime estimates e",
+        [439.72, 369.93, 98.58, 290.39, 31.23, 21.58, 13.78, 15.14],
+    ),
+    (
+        "Curie workload trace, aggressive backfilling",
+        [59.03, 49.23, 24.35, 35.72, 24.54, 23.91, 18.69, 21.73],
+    ),
+    (
+        "Anl Interpid workload trace, aggressive backfilling",
+        [8.56, 6.00, 4.01, 3.70, 3.52, 2.87, 2.54, 2.64],
+    ),
+    (
+        "SDSC Blue workload trace, aggressive backfilling",
+        [36.40, 17.76, 13.07, 10.20, 9.37, 10.18, 9.66, 11.97],
+    ),
+    (
+        "CTC SP2 workload trace, aggressive backfilling",
+        [74.96, 54.32, 24.06, 17.32, 14.12, 14.40, 10.77, 14.07],
+    ),
 ];
 
-fn stat_line(result: &ExperimentResult, pick: impl Fn(&crate::experiments::PolicyOutcome) -> f64) -> String {
+fn stat_line(
+    result: &ExperimentResult,
+    pick: impl Fn(&crate::experiments::PolicyOutcome) -> f64,
+) -> String {
     result
         .outcomes
         .iter()
@@ -59,7 +126,11 @@ fn stat_line(result: &ExperimentResult, pick: impl Fn(&crate::experiments::Polic
 /// ```
 pub fn artifact_report(result: &ExperimentResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Performing scheduling performance test: {}.", result.name);
+    let _ = writeln!(
+        out,
+        "Performing scheduling performance test: {}.",
+        result.name
+    );
     let _ = writeln!(out, "Experiment Statistics:");
     let _ = writeln!(out, "Medians:");
     let _ = writeln!(out, "{}", stat_line(result, |o| o.median));
@@ -78,7 +149,10 @@ pub fn table4_markdown(results: &[ExperimentResult]) -> String {
     for r in results {
         let cells: Vec<String> = TABLE4_POLICIES
             .iter()
-            .map(|p| r.median_of(p).map_or("-".to_string(), |m| format!("{m:.2}")))
+            .map(|p| {
+                r.median_of(p)
+                    .map_or("-".to_string(), |m| format!("{m:.2}"))
+            })
             .collect();
         let _ = writeln!(out, "| {} | {} |", r.name, cells.join(" | "));
     }
@@ -102,7 +176,9 @@ pub fn table4_comparison(results: &[ExperimentResult]) -> String {
             .find(|(name, _)| row_matches(name, &r.name));
         for (i, p) in TABLE4_POLICIES.iter().enumerate() {
             let paper = paper_row.map_or("-".to_string(), |(_, vals)| format!("{:.2}", vals[i]));
-            let measured = r.median_of(p).map_or("-".to_string(), |m| format!("{m:.2}"));
+            let measured = r
+                .median_of(p)
+                .map_or("-".to_string(), |m| format!("{m:.2}"));
             let _ = writeln!(out, "| {} | {} | {} | {} |", r.name, p, paper, measured);
         }
         let _ = writeln!(
@@ -136,7 +212,10 @@ pub fn full_run_markdown(report: &FullRunReport) -> String {
     let _ = writeln!(out);
     let _ = writeln!(out, "## Learned policies (best fit first)");
     let _ = writeln!(out);
-    let _ = writeln!(out, "| Policy | Function | Coefficients | Fitness (Eq. 5) | Converged |");
+    let _ = writeln!(
+        out,
+        "| Policy | Function | Coefficients | Fitness (Eq. 5) | Converged |"
+    );
     let _ = writeln!(out, "|---|---|---|---:|---|");
     for (policy, fit) in report.learned.policies.iter().zip(&report.learned.fits) {
         let [c1, c2, c3] = fit.function.coefficients;
@@ -158,7 +237,10 @@ pub fn full_run_markdown(report: &FullRunReport) -> String {
         let cells: Vec<String> = report
             .lineup
             .iter()
-            .map(|p| row.median_of(p).map_or("-".to_string(), |m| format!("{m:.2}")))
+            .map(|p| {
+                row.median_of(p)
+                    .map_or("-".to_string(), |m| format!("{m:.2}"))
+            })
             .collect();
         let _ = writeln!(out, "| {} | {} |", row.name, cells.join(" | "));
     }
@@ -176,15 +258,20 @@ pub fn full_run_markdown(report: &FullRunReport) -> String {
         .map(String::as_str)
         .collect();
     let best_of = |row: &ExperimentResult, names: &[&str]| -> Option<f64> {
-        names.iter().filter_map(|n| row.median_of(n)).min_by(f64::total_cmp)
+        names
+            .iter()
+            .filter_map(|n| row.median_of(n))
+            .min_by(f64::total_cmp)
     };
     let wins = report
         .evaluation
         .iter()
-        .filter(|row| match (best_of(row, &generated), best_of(row, &adhoc)) {
-            (Some(g), Some(a)) => g < a,
-            _ => false,
-        })
+        .filter(
+            |row| match (best_of(row, &generated), best_of(row, &adhoc)) {
+                (Some(g), Some(a)) => g < a,
+                _ => false,
+            },
+        )
         .count();
     let _ = writeln!(
         out,
@@ -203,7 +290,10 @@ pub fn learned_beat_adhoc(result: &ExperimentResult) -> bool {
             .filter_map(|n| result.median_of(n))
             .min_by(f64::total_cmp)
     };
-    match (best_of(&["F1", "F2", "F3", "F4"]), best_of(&["FCFS", "WFP", "UNI", "SPT"])) {
+    match (
+        best_of(&["F1", "F2", "F3", "F4"]),
+        best_of(&["FCFS", "WFP", "UNI", "SPT"]),
+    ) {
         (Some(f), Some(adhoc)) => f < adhoc,
         _ => false,
     }
@@ -318,17 +408,29 @@ impl HeatmapAxes {
     /// The paper's Fig. 3a panel ranges (r up to 2.7e4 s, n up to 256,
     /// s fixed mid-window).
     pub fn paper_fig3a() -> Self {
-        HeatmapAxes::RuntimeVsCores { r: (0.0, 2.7e4), n: (1.0, 256.0), s: 128.0 }
+        HeatmapAxes::RuntimeVsCores {
+            r: (0.0, 2.7e4),
+            n: (1.0, 256.0),
+            s: 128.0,
+        }
     }
 
     /// The paper's Fig. 3b panel.
     pub fn paper_fig3b() -> Self {
-        HeatmapAxes::RuntimeVsSubmit { r: (0.0, 2.7e4), s: (0.0, 256.0), n: 128.0 }
+        HeatmapAxes::RuntimeVsSubmit {
+            r: (0.0, 2.7e4),
+            s: (0.0, 256.0),
+            n: 128.0,
+        }
     }
 
     /// The paper's Fig. 3c panel.
     pub fn paper_fig3c() -> Self {
-        HeatmapAxes::CoresVsSubmit { n: (1.0, 256.0), s: (0.0, 256.0), r: 1.3e4 }
+        HeatmapAxes::CoresVsSubmit {
+            n: (1.0, 256.0),
+            s: (0.0, 256.0),
+            r: 1.3e4,
+        }
     }
 }
 
@@ -338,9 +440,17 @@ impl HeatmapAxes {
 /// `target/figures/`.
 pub fn boxplot_csv(result: &ExperimentResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "policy,q1,median,q3,whisker_lo,whisker_hi,mean,outliers");
+    let _ = writeln!(
+        out,
+        "policy,q1,median,q3,whisker_lo,whisker_hi,mean,outliers"
+    );
     for o in &result.outcomes {
-        let outliers: Vec<String> = o.summary.outliers.iter().map(|x| format!("{x:.4}")).collect();
+        let outliers: Vec<String> = o
+            .summary
+            .outliers
+            .iter()
+            .map(|x| format!("{x:.4}"))
+            .collect();
         let _ = writeln!(
             out,
             "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
@@ -418,9 +528,27 @@ mod tests {
 
     #[test]
     fn learned_beat_adhoc_detects_shape() {
-        let good = fake_result(&[("FCFS", 100.0), ("WFP", 90.0), ("UNI", 80.0), ("SPT", 70.0), ("F4", 60.0), ("F3", 50.0), ("F2", 40.0), ("F1", 30.0)]);
+        let good = fake_result(&[
+            ("FCFS", 100.0),
+            ("WFP", 90.0),
+            ("UNI", 80.0),
+            ("SPT", 70.0),
+            ("F4", 60.0),
+            ("F3", 50.0),
+            ("F2", 40.0),
+            ("F1", 30.0),
+        ]);
         assert!(learned_beat_adhoc(&good));
-        let bad = fake_result(&[("FCFS", 10.0), ("WFP", 90.0), ("UNI", 80.0), ("SPT", 70.0), ("F4", 60.0), ("F3", 50.0), ("F2", 40.0), ("F1", 30.0)]);
+        let bad = fake_result(&[
+            ("FCFS", 10.0),
+            ("WFP", 90.0),
+            ("UNI", 80.0),
+            ("SPT", 70.0),
+            ("F4", 60.0),
+            ("F3", 50.0),
+            ("F2", 40.0),
+            ("F1", 30.0),
+        ]);
         assert!(!learned_beat_adhoc(&bad));
     }
 

@@ -29,15 +29,20 @@ use dynsched_scheduler::{
     simulate_metrics_into, QueueDiscipline, SchedulerConfig, SimMetrics, SimWorkspace,
 };
 use dynsched_simkit::parallel::par_map_scoped;
-use dynsched_workload::Trace;
+use dynsched_workload::TraceView;
 use std::ops::Range;
 
 /// One evaluation cell: simulate `trace` under `policy` with `config`,
 /// reduce to a [`SimMetrics`] under threshold `tau`.
+///
+/// The trace is a columnar [`TraceView`] handle: a cell borrows shared
+/// SoA columns, so queuing the same sequence into hundreds of cells (a
+/// policy line-up × condition grid) costs pointers, never job copies —
+/// and the engine reads the dense column lanes directly.
 #[derive(Clone, Copy)]
 pub struct EvalCell<'a> {
-    /// The sequence to schedule.
-    pub trace: &'a Trace,
+    /// The sequence to schedule (shared columnar storage).
+    pub trace: &'a TraceView,
     /// Queue-ordering policy.
     pub policy: &'a dyn Policy,
     /// Platform, decision mode, backfilling.
@@ -85,14 +90,19 @@ impl<'a> EvalSession<'a> {
     pub fn push_grid(
         &mut self,
         policies: &'a [Box<dyn Policy>],
-        sequences: &'a [Trace],
+        sequences: &'a [TraceView],
         config: &'a SchedulerConfig,
         tau: f64,
     ) -> Range<usize> {
         let start = self.cells.len();
         for policy in policies {
             for trace in sequences {
-                self.cells.push(EvalCell { trace, policy: policy.as_ref(), config, tau });
+                self.cells.push(EvalCell {
+                    trace,
+                    policy: policy.as_ref(),
+                    config,
+                    tau,
+                });
             }
         }
         start..self.cells.len()
@@ -124,12 +134,14 @@ mod tests {
     use dynsched_simkit::Rng;
     use dynsched_workload::LublinModel;
 
-    fn sequences(count: usize) -> Vec<Trace> {
+    fn sequences(count: usize) -> Vec<TraceView> {
         let mut model = LublinModel::new(32);
         model.daily_cycle = false;
         model.arrival_scale = 0.05;
         let mut rng = Rng::new(91);
-        (0..count).map(|_| model.generate_jobs(50, &mut rng)).collect()
+        (0..count)
+            .map(|_| model.generate_jobs(50, &mut rng).to_view())
+            .collect()
     }
 
     #[test]
@@ -176,16 +188,24 @@ mod tests {
         let a = SchedulerConfig::actual_runtimes(Platform::new(32));
         let b = SchedulerConfig::user_estimates(Platform::new(32));
         let mut session = EvalSession::new();
-        let i0 = session.push(EvalCell { trace: &seqs[0], policy: &fcfs, config: &a, tau: 10.0 });
-        let i1 = session.push(EvalCell { trace: &seqs[1], policy: &spt, config: &b, tau: 7.0 });
+        let i0 = session.push(EvalCell {
+            trace: &seqs[0],
+            policy: &fcfs,
+            config: &a,
+            tau: 10.0,
+        });
+        let i1 = session.push(EvalCell {
+            trace: &seqs[1],
+            policy: &spt,
+            config: &b,
+            tau: 7.0,
+        });
         assert_eq!((i0, i1), (0, 1));
         assert_eq!(session.len(), 2);
         let table = session.run();
         assert_eq!(table[1].tau, 7.0);
-        let want = SimMetrics::from_result(
-            &simulate(&seqs[1], &QueueDiscipline::Policy(&spt), &b),
-            7.0,
-        );
+        let want =
+            SimMetrics::from_result(&simulate(&seqs[1], &QueueDiscipline::Policy(&spt), &b), 7.0);
         assert_eq!(table[1], want);
     }
 

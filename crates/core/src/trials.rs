@@ -27,7 +27,7 @@ use dynsched_mlreg::{Observation, TrainingSet};
 use dynsched_scheduler::{QueueDiscipline, SchedulerConfig, SimWorkspace};
 use dynsched_simkit::parallel::run_scoped;
 use dynsched_simkit::Rng;
-use dynsched_workload::Trace;
+use dynsched_workload::{Trace, TraceView};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a trial run.
@@ -43,14 +43,21 @@ pub struct TrialSpec {
 
 impl Default for TrialSpec {
     fn default() -> Self {
-        Self { trials: 4_096, platform: Platform::new(256), tau: DEFAULT_TAU }
+        Self {
+            trials: 4_096,
+            platform: Platform::new(256),
+            tau: DEFAULT_TAU,
+        }
     }
 }
 
 impl TrialSpec {
     /// The paper's full-scale setting: 256k trials on 256 cores.
     pub fn paper() -> Self {
-        Self { trials: 256_000, ..Self::default() }
+        Self {
+            trials: 256_000,
+            ..Self::default()
+        }
     }
 }
 
@@ -127,7 +134,11 @@ pub fn run_trial(tuple: &TaskTuple, perm: &[usize], spec: &TrialSpec) -> f64 {
 /// RNG stream is forked from `(master seed, i)`, so the distribution is
 /// bit-identical for any worker count.
 pub fn trial_scores(tuple: &TaskTuple, spec: &TrialSpec, master: &Rng) -> TrialScores {
-    let batch = TrialBatch { tuple, trials: spec.trials, master: master.clone() };
+    let batch = TrialBatch {
+        tuple,
+        trials: spec.trials,
+        master: master.clone(),
+    };
     trial_scores_batched(std::slice::from_ref(&batch), spec.platform, spec.tau)
         .pop()
         .expect("one batch in, one distribution out")
@@ -169,9 +180,10 @@ pub fn trial_scores_batched(
     tau: f64,
 ) -> Vec<TrialScores> {
     let config = SchedulerConfig::actual_runtimes(platform);
-    // One trace per *distinct* tuple; batches over the same tuple (the
-    // convergence study's repetitions) share it.
-    let mut traces: Vec<Trace> = Vec::new();
+    // One *columnar* trace per distinct tuple; batches over the same tuple
+    // (the convergence study's repetitions) share its storage, and every
+    // trial of every worker reads the same dense column lanes.
+    let mut traces: Vec<TraceView> = Vec::new();
     let mut trace_of: Vec<usize> = Vec::with_capacity(batches.len());
     let mut seen: Vec<*const TaskTuple> = Vec::new();
     for b in batches {
@@ -181,7 +193,7 @@ pub fn trial_scores_batched(
             Some(i) => i,
             None => {
                 seen.push(key);
-                traces.push(Trace::from_jobs(b.tuple.all_jobs()));
+                traces.push(Trace::from_jobs(b.tuple.all_jobs()).to_view());
                 traces.len() - 1
             }
         };
@@ -236,9 +248,16 @@ pub fn trial_scores_batched(
                 count_by_first[first] += 1;
                 total += ave;
             }
-            assert!(total > 0.0, "bounded slowdowns are >= 1, total must be positive");
+            assert!(
+                total > 0.0,
+                "bounded slowdowns are >= 1, total must be positive"
+            );
             let scores = sum_by_first.iter().map(|s| s / total).collect();
-            TrialScores { scores, trials: batch.trials, first_counts: count_by_first }
+            TrialScores {
+                scores,
+                trials: batch.trials,
+                first_counts: count_by_first,
+            }
         })
         .collect()
 }
@@ -267,20 +286,32 @@ mod tests {
     use dynsched_workload::LublinModel;
 
     fn small_tuple(seed: u64) -> TaskTuple {
-        let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 };
+        let spec = TupleSpec {
+            s_size: 4,
+            q_size: 8,
+            max_start_offset: 50_000.0,
+        };
         let model = LublinModel::new(64);
         TaskTuple::generate(&spec, &model, &mut Rng::new(seed))
     }
 
     fn small_spec(trials: usize) -> TrialSpec {
-        TrialSpec { trials, platform: Platform::new(64), tau: DEFAULT_TAU }
+        TrialSpec {
+            trials,
+            platform: Platform::new(64),
+            tau: DEFAULT_TAU,
+        }
     }
 
     #[test]
     fn scores_sum_to_one() {
         let tuple = small_tuple(1);
         let scores = trial_scores(&tuple, &small_spec(512), &Rng::new(7));
-        assert!((scores.total() - 1.0).abs() < 1e-9, "total {}", scores.total());
+        assert!(
+            (scores.total() - 1.0).abs() < 1e-9,
+            "total {}",
+            scores.total()
+        );
     }
 
     #[test]
@@ -320,14 +351,25 @@ mod tests {
         let t2 = small_tuple(8);
         let spec = small_spec(0);
         let batches = vec![
-            TrialBatch { tuple: &t1, trials: 128, master: Rng::new(100) },
-            TrialBatch { tuple: &t2, trials: 64, master: Rng::new(101) },
-            TrialBatch { tuple: &t1, trials: 96, master: Rng::new(102) },
+            TrialBatch {
+                tuple: &t1,
+                trials: 128,
+                master: Rng::new(100),
+            },
+            TrialBatch {
+                tuple: &t2,
+                trials: 64,
+                master: Rng::new(101),
+            },
+            TrialBatch {
+                tuple: &t1,
+                trials: 96,
+                master: Rng::new(102),
+            },
         ];
         let got = trial_scores_batched(&batches, spec.platform, spec.tau);
         for (b, scores) in batches.iter().zip(&got) {
-            let want =
-                trial_scores(b.tuple, &small_spec(b.trials), &b.master);
+            let want = trial_scores(b.tuple, &small_spec(b.trials), &b.master);
             assert_eq!(scores, &want);
         }
     }

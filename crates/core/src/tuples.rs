@@ -30,7 +30,11 @@ pub struct TupleSpec {
 
 impl Default for TupleSpec {
     fn default() -> Self {
-        Self { s_size: 16, q_size: 32, max_start_offset: 172_800.0 }
+        Self {
+            s_size: 16,
+            q_size: 32,
+            max_start_offset: 172_800.0,
+        }
     }
 }
 
@@ -59,7 +63,13 @@ impl TaskTuple {
         for i in 0..spec.q_size {
             now += model.sample_raw_gap(rng);
             let (runtime, cores) = model.sample_shape(rng);
-            q_tasks.push(Job::new((spec.s_size + i) as JobId, now, runtime, runtime, cores));
+            q_tasks.push(Job::new(
+                (spec.s_size + i) as JobId,
+                now,
+                runtime,
+                runtime,
+                cores,
+            ));
         }
         Self { s_tasks, q_tasks }
     }

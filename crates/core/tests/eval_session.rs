@@ -10,16 +10,14 @@
 //! pre-session code: they are the executable specification the batched
 //! session is diffed against.
 
+use dynsched_cluster::Platform;
 use dynsched_core::convergence::convergence_curve;
-use dynsched_core::experiments::{
-    run_experiment, Experiment, ExperimentResult, PolicyOutcome,
-};
+use dynsched_core::experiments::{run_experiment, Experiment, ExperimentResult, PolicyOutcome};
 use dynsched_core::scenarios::{model_scenario, Condition, ScenarioScale};
 use dynsched_core::sweep::{sweep_load, LoadPoint};
 use dynsched_core::trials::{trial_scores, TrialSpec};
 use dynsched_core::tuples::{TaskTuple, TupleSpec};
 use dynsched_core::ConvergencePoint;
-use dynsched_cluster::Platform;
 use dynsched_policies::{Fcfs, LearnedPolicy, Policy, Spt, Wfp3};
 use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig};
 use dynsched_simkit::parallel::with_worker_limit;
@@ -31,7 +29,12 @@ use dynsched_workload::{LublinModel, SequenceSpec, Trace};
 /// A line-up mixing cached-score, time-dependent, and learned policies so
 /// the session crosses every queue-order path of the engine.
 fn lineup() -> Vec<Box<dyn Policy>> {
-    vec![Box::new(Fcfs), Box::new(Spt), Box::new(Wfp3), Box::new(LearnedPolicy::f1())]
+    vec![
+        Box::new(Fcfs),
+        Box::new(Spt),
+        Box::new(Wfp3),
+        Box::new(LearnedPolicy::f1()),
+    ]
 }
 
 /// The experiment harness exactly as it was before the session refactor:
@@ -40,11 +43,12 @@ fn legacy_run_experiment(
     experiment: &Experiment,
     policies: &[Box<dyn Policy>],
 ) -> ExperimentResult {
-    assert!(!experiment.sequences.is_empty(), "experiment without sequences");
-    let mut per_policy: Vec<Vec<f64>> =
-        vec![vec![0.0; experiment.sequences.len()]; policies.len()];
-    let mut backfills: Vec<Vec<f64>> =
-        vec![vec![0.0; experiment.sequences.len()]; policies.len()];
+    assert!(
+        !experiment.sequences.is_empty(),
+        "experiment without sequences"
+    );
+    let mut per_policy: Vec<Vec<f64>> = vec![vec![0.0; experiment.sequences.len()]; policies.len()];
+    let mut backfills: Vec<Vec<f64>> = vec![vec![0.0; experiment.sequences.len()]; policies.len()];
     for (p, policy) in policies.iter().enumerate() {
         for (s, seq) in experiment.sequences.iter().enumerate() {
             let result = simulate(
@@ -74,7 +78,10 @@ fn legacy_run_experiment(
             }
         })
         .collect();
-    ExperimentResult { name: experiment.name.clone(), outcomes }
+    ExperimentResult {
+        name: experiment.name.clone(),
+        outcomes,
+    }
 }
 
 /// The sweep exactly as it was: one `run_experiment` per load point (here
@@ -124,7 +131,10 @@ fn legacy_convergence_curve(
     let q = tuple.q_tasks.len();
     let mut raw: Vec<(usize, f64)> = Vec::with_capacity(trial_counts.len());
     for (ci, &count) in trial_counts.iter().enumerate() {
-        let spec = TrialSpec { trials: count, ..*base_spec };
+        let spec = TrialSpec {
+            trials: count,
+            ..*base_spec
+        };
         let mut per_task: Vec<Vec<f64>> = vec![Vec::with_capacity(repetitions); q];
         for rep in 0..repetitions {
             let stream = master.fork((ci * 1_000 + rep) as u64);
@@ -140,7 +150,10 @@ fn legacy_convergence_curve(
             / q as f64;
         raw.push((count, mean_std));
     }
-    let max_std = raw.iter().map(|&(_, s)| s).fold(f64::MIN_POSITIVE, f64::max);
+    let max_std = raw
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::MIN_POSITIVE, f64::max);
     raw.into_iter()
         .map(|(trials, score_std)| ConvergencePoint {
             trials,
@@ -152,7 +165,11 @@ fn legacy_convergence_curve(
 
 fn quick_scale(seed: u64) -> ScenarioScale {
     ScenarioScale {
-        spec: SequenceSpec { count: 3, days: 1.0, min_jobs: 3 },
+        spec: SequenceSpec {
+            count: 3,
+            days: 1.0,
+            min_jobs: 3,
+        },
         seed,
         ..ScenarioScale::default()
     }
@@ -167,8 +184,14 @@ fn run_experiment_is_bit_identical_to_per_cell_simulate() {
         let want = legacy_run_experiment(&experiment, &lineup);
         let wide = run_experiment(&experiment, &lineup);
         let narrow = with_worker_limit(1, || run_experiment(&experiment, &lineup));
-        assert_eq!(wide, want, "{condition:?}: session diverged from per-cell simulate()");
-        assert_eq!(narrow, want, "{condition:?}: single-threaded session diverged");
+        assert_eq!(
+            wide, want,
+            "{condition:?}: session diverged from per-cell simulate()"
+        );
+        assert_eq!(
+            narrow, want,
+            "{condition:?}: single-threaded session diverged"
+        );
     }
 }
 
@@ -177,8 +200,7 @@ fn sweep_load_is_bit_identical_to_per_target_loop() {
     let mut model = LublinModel::new(32);
     model.daily_cycle = false;
     let mut rng = Rng::new(77);
-    let sequences: Vec<Trace> =
-        (0..3).map(|_| model.generate_jobs(80, &mut rng)).collect();
+    let sequences: Vec<Trace> = (0..3).map(|_| model.generate_jobs(80, &mut rng)).collect();
     let lineup = lineup();
     let targets = [0.3, 0.8, 1.3];
     for condition in Condition::ALL {
@@ -189,22 +211,65 @@ fn sweep_load_is_bit_identical_to_per_target_loop() {
             sweep_load("sweep", &sequences, scheduler, &lineup, &targets)
         });
         assert_eq!(wide, want, "{condition:?}: batched sweep diverged");
-        assert_eq!(narrow, want, "{condition:?}: single-threaded sweep diverged");
+        assert_eq!(
+            narrow, want,
+            "{condition:?}: single-threaded sweep diverged"
+        );
     }
 }
 
 #[test]
+fn table4_through_shared_store_is_bit_identical_to_per_row_runs() {
+    use dynsched_core::scenarios::{table4_experiments, table4_results_in};
+    use dynsched_workload::TraceStore;
+    let scale = ScenarioScale {
+        spec: SequenceSpec {
+            count: 2,
+            days: 1.0,
+            min_jobs: 2,
+        },
+        ..ScenarioScale::default()
+    };
+    let lineup = lineup();
+    // The historical path: per-row construction (no sharing), per-row
+    // batched runs.
+    let want: Vec<ExperimentResult> = table4_experiments(&scale)
+        .iter()
+        .map(|e| run_experiment(e, &lineup))
+        .collect();
+    let store = TraceStore::new();
+    let wide = table4_results_in(&store, &scale, &lineup);
+    assert_eq!(store.builds(), 6, "18 rows must intern 6 workloads");
+    let narrow = with_worker_limit(1, || table4_results_in(&TraceStore::new(), &scale, &lineup));
+    assert_eq!(
+        wide, want,
+        "shared-store Table 4 diverged from per-row runs"
+    );
+    assert_eq!(
+        narrow, want,
+        "single-threaded shared-store Table 4 diverged"
+    );
+}
+
+#[test]
 fn convergence_curve_is_bit_identical_to_per_rep_loop() {
-    let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 };
+    let spec = TupleSpec {
+        s_size: 4,
+        q_size: 8,
+        max_start_offset: 50_000.0,
+    };
     let model = LublinModel::new(64);
     let tuple = TaskTuple::generate(&spec, &model, &mut Rng::new(21));
-    let base = TrialSpec { trials: 0, platform: Platform::new(64), tau: 10.0 };
+    let base = TrialSpec {
+        trials: 0,
+        platform: Platform::new(64),
+        tau: 10.0,
+    };
     let counts = [64, 256];
     let master = Rng::new(22);
     let want = legacy_convergence_curve(&tuple, &counts, 3, &base, &master);
     let wide = convergence_curve(&tuple, &counts, 3, &base, &master);
-    let narrow =
-        with_worker_limit(1, || convergence_curve(&tuple, &counts, 3, &base, &master));
+    let narrow = with_worker_limit(1, || convergence_curve(&tuple, &counts, 3, &base, &master));
     assert_eq!(wide, want, "batched convergence study diverged");
     assert_eq!(narrow, want, "single-threaded convergence study diverged");
 }

@@ -29,15 +29,27 @@ fn golden_config() -> FullRunConfig {
     enumerate.lm.max_iterations = 25;
     FullRunConfig {
         training: TrainingConfig {
-            tuple_spec: TupleSpec { s_size: 4, q_size: 8, max_start_offset: 50_000.0 },
-            trial_spec: TrialSpec { trials: 192, platform: Platform::new(64), tau: 10.0 },
+            tuple_spec: TupleSpec {
+                s_size: 4,
+                q_size: 8,
+                max_start_offset: 50_000.0,
+            },
+            trial_spec: TrialSpec {
+                trials: 192,
+                platform: Platform::new(64),
+                tau: 10.0,
+            },
             tuples: 3,
             seed: 42,
         },
         enumerate,
         top_k: 3,
         eval_scale: ScenarioScale {
-            spec: SequenceSpec { count: 2, days: 1.0, min_jobs: 2 },
+            spec: SequenceSpec {
+                count: 2,
+                days: 1.0,
+                min_jobs: 2,
+            },
             ..ScenarioScale::default()
         },
     }
@@ -61,7 +73,10 @@ fn run_full_is_bit_identical_at_any_thread_count() {
     // Selection stage: top-k identities and coefficients.
     assert_eq!(wide.lineup, narrow.lineup);
     for (a, b) in wide.learned.policies.iter().zip(&narrow.learned.policies) {
-        assert_eq!(dynsched_policies::Policy::name(a), dynsched_policies::Policy::name(b));
+        assert_eq!(
+            dynsched_policies::Policy::name(a),
+            dynsched_policies::Policy::name(b)
+        );
         assert_eq!(a.function(), b.function());
     }
 
@@ -81,7 +96,10 @@ fn fit_stage_matches_the_pre_refactor_sequential_path() {
     let (_, training_set) = generate_training_set(&config.training, &model);
     assert_eq!(training_set, report.learned.training_set);
     let reference = fit_all_reference(&training_set, &config.enumerate);
-    assert_eq!(report.learned.fits, reference, "batched fit_all diverged from the oracle");
+    assert_eq!(
+        report.learned.fits, reference,
+        "batched fit_all diverged from the oracle"
+    );
 }
 
 #[test]
@@ -91,7 +109,10 @@ fn run_full_output_has_the_golden_shape() {
     let report = run_full(&config, &model);
 
     // Lineup: the four ad-hoc baselines then G1..G3, in that order.
-    assert_eq!(report.lineup, ["FCFS", "WFP", "UNI", "SPT", "G1", "G2", "G3"]);
+    assert_eq!(
+        report.lineup,
+        ["FCFS", "WFP", "UNI", "SPT", "G1", "G2", "G3"]
+    );
 
     // Fits arrive best-first under the total ranking order.
     for w in report.learned.fits.windows(2) {

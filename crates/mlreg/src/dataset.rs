@@ -200,7 +200,11 @@ pub struct CsvError {
 
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "training CSV error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "training CSV error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -249,7 +253,12 @@ mod tests {
 
     #[test]
     fn weight_is_area() {
-        let o = Observation { runtime: 100.0, cores: 8.0, submit: 0.0, score: 0.03 };
+        let o = Observation {
+            runtime: 100.0,
+            cores: 8.0,
+            submit: 0.0,
+            score: 0.03,
+        };
         assert_eq!(o.weight(), 800.0);
     }
 
@@ -261,9 +270,15 @@ mod tests {
         assert!(!table.is_empty());
         for (i, o) in ts.observations().iter().enumerate() {
             for base in BaseFunc::ALL {
-                assert_eq!(table.alpha(base)[i].to_bits(), base.eval(o.runtime).to_bits());
+                assert_eq!(
+                    table.alpha(base)[i].to_bits(),
+                    base.eval(o.runtime).to_bits()
+                );
                 assert_eq!(table.beta(base)[i].to_bits(), base.eval(o.cores).to_bits());
-                assert_eq!(table.gamma(base)[i].to_bits(), base.eval(o.submit).to_bits());
+                assert_eq!(
+                    table.gamma(base)[i].to_bits(),
+                    base.eval(o.submit).to_bits()
+                );
             }
             assert_eq!(table.scores()[i], o.score);
             assert_eq!(table.weights()[i], o.weight());

@@ -127,8 +127,8 @@ pub fn fit_function_scoped(
         |params, out| {
             let f = shape.with_coefficients([params[0], params[1], params[2]]);
             for i in 0..n {
-                out[i] =
-                    weights[i] * (f.eval_transformed(alpha_r[i], beta_n[i], gamma_s[i]) - scores[i]);
+                out[i] = weights[i]
+                    * (f.eval_transformed(alpha_r[i], beta_n[i], gamma_s[i]) - scores[i]);
             }
         },
         &options.initial,
@@ -167,8 +167,16 @@ pub fn rank(function: &NonlinearFunction, training: &TrainingSet) -> f64 {
 /// the secondary key is unique per candidate, the order never depends on
 /// how (or on how many threads) the candidates were evaluated.
 fn ranking_order(a: &FitResult, b: &FitResult) -> std::cmp::Ordering {
-    let key = |r: &FitResult| if r.fitness.is_finite() { r.fitness } else { f64::INFINITY };
-    key(a).total_cmp(&key(b)).then(a.family_index.cmp(&b.family_index))
+    let key = |r: &FitResult| {
+        if r.fitness.is_finite() {
+            r.fitness
+        } else {
+            f64::INFINITY
+        }
+    };
+    key(a)
+        .total_cmp(&key(b))
+        .then(a.family_index.cmp(&b.family_index))
 }
 
 /// Fit every member of the family as one batched session and return the
@@ -182,9 +190,10 @@ pub fn fit_all(training: &TrainingSet, options: &EnumerateOptions) -> Vec<FitRes
     assert!(!training.is_empty(), "cannot fit an empty training set");
     let family = NonlinearFunction::enumerate_family();
     let table = FeatureTable::build(training);
-    let mut results: Vec<FitResult> = par_map_scoped(&family, FitWorkspace::default, |shape, ws| {
-        fit_function_scoped(*shape, &table, options, ws)
-    });
+    let mut results: Vec<FitResult> =
+        par_map_scoped(&family, FitWorkspace::default, |shape, ws| {
+            fit_function_scoped(*shape, &table, options, ws)
+        });
     // The tie-break key is unique, so an unstable sort is fully
     // deterministic here.
     results.sort_unstable_by(ranking_order);
@@ -267,8 +276,18 @@ mod tests {
     #[test]
     fn rank_is_mean_absolute_error() {
         let ts = TrainingSet::new(vec![
-            Observation { runtime: 1.0, cores: 1.0, submit: 1.0, score: 0.0 },
-            Observation { runtime: 2.0, cores: 1.0, submit: 1.0, score: 0.0 },
+            Observation {
+                runtime: 1.0,
+                cores: 1.0,
+                submit: 1.0,
+                score: 0.0,
+            },
+            Observation {
+                runtime: 2.0,
+                cores: 1.0,
+                submit: 1.0,
+                score: 0.0,
+            },
         ]);
         // f(r,n,s) = r (id·id with c2=1/n trick isn't needed: pick A+B+C
         // with zero co-factors).
@@ -292,8 +311,16 @@ mod tests {
         let results = fit_all(&ts, &opts);
         assert_eq!(results.len(), 576);
         for w in results.windows(2) {
-            let a = if w[0].fitness.is_finite() { w[0].fitness } else { f64::INFINITY };
-            let b = if w[1].fitness.is_finite() { w[1].fitness } else { f64::INFINITY };
+            let a = if w[0].fitness.is_finite() {
+                w[0].fitness
+            } else {
+                f64::INFINITY
+            };
+            let b = if w[1].fitness.is_finite() {
+                w[1].fitness
+            } else {
+                f64::INFINITY
+            };
             assert!(a <= b, "results not sorted");
         }
         // The winning function must fit far better than the median one.
@@ -316,8 +343,18 @@ mod tests {
         let mut obs = Vec::new();
         for i in 0..50 {
             let s = 100.0 + i as f64;
-            obs.push(Observation { runtime: 1.0, cores: 1.0, submit: s, score: 0.10 });
-            obs.push(Observation { runtime: 10_000.0, cores: 128.0, submit: s, score: 0.01 });
+            obs.push(Observation {
+                runtime: 1.0,
+                cores: 1.0,
+                submit: s,
+                score: 0.10,
+            });
+            obs.push(Observation {
+                runtime: 10_000.0,
+                cores: 128.0,
+                submit: s,
+                score: 0.01,
+            });
         }
         let ts = TrainingSet::new(obs);
         // Fit a constant-capable shape: A + B + C over inv(r), inv(n), inv(s)
@@ -333,7 +370,10 @@ mod tests {
         let unweighted = fit_function(
             shape,
             &ts,
-            &EnumerateOptions { weighted: false, ..Default::default() },
+            &EnumerateOptions {
+                weighted: false,
+                ..Default::default()
+            },
         );
         let big_err_w = (weighted.function.eval(10_000.0, 128.0, 125.0) - 0.01).abs();
         let big_err_u = (unweighted.function.eval(10_000.0, 128.0, 125.0) - 0.01).abs();
@@ -404,9 +444,20 @@ mod tests {
             weighted_sse: 0.0,
             converged: true,
         };
-        let sorted = vec![mk(3, 0.1), mk(10, 0.2), mk(55, 0.2), mk(200, 0.2), mk(400, 0.9)];
-        let mut jumbled = vec![sorted[3].clone(), sorted[0].clone(), sorted[4].clone(),
-            sorted[2].clone(), sorted[1].clone()];
+        let sorted = vec![
+            mk(3, 0.1),
+            mk(10, 0.2),
+            mk(55, 0.2),
+            mk(200, 0.2),
+            mk(400, 0.9),
+        ];
+        let mut jumbled = vec![
+            sorted[3].clone(),
+            sorted[0].clone(),
+            sorted[4].clone(),
+            sorted[2].clone(),
+            sorted[1].clone(),
+        ];
         let from_sorted = top_policies(&sorted, 3);
         let from_jumbled = top_policies(&jumbled, 3);
         assert_eq!(from_sorted.len(), 3);
@@ -434,7 +485,12 @@ mod tests {
             weighted_sse: 0.0,
             converged: false,
         };
-        let mut results = [mk(0, f64::NAN), mk(1, 2.0), mk(2, f64::INFINITY), mk(3, 1.0)];
+        let mut results = [
+            mk(0, f64::NAN),
+            mk(1, 2.0),
+            mk(2, f64::INFINITY),
+            mk(3, 1.0),
+        ];
         results.sort_unstable_by(ranking_order);
         let order: Vec<usize> = results.iter().map(|r| r.family_index).collect();
         // NaN and +inf map to the same key; family index orders them.

@@ -18,7 +18,11 @@ impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix must be non-empty");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from rows of equal length.
@@ -34,7 +38,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Identity matrix.
@@ -279,7 +287,10 @@ mod tests {
     #[test]
     fn solve_detects_singularity() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(SolveError::Singular { .. })));
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(SolveError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -358,7 +369,11 @@ mod tests {
         let mut atv = Vec::new();
         for n in [2usize, 4, 3] {
             let rows: Vec<Vec<f64>> = (0..n + 2)
-                .map(|i| (0..n).map(|j| ((i * 7 + j * 3) % 11) as f64 - 5.0).collect())
+                .map(|i| {
+                    (0..n)
+                        .map(|j| ((i * 7 + j * 3) % 11) as f64 - 5.0)
+                        .collect()
+                })
                 .collect();
             let a = Matrix::from_rows(&rows);
             let v: Vec<f64> = (0..n + 2).map(|i| i as f64 * 0.5 - 1.0).collect();

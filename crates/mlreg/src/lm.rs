@@ -183,7 +183,11 @@ where
     let mut cost = cost_of(&ws.res);
     if !cost.is_finite() {
         // A hopeless start: report it honestly (params stay at `initial`).
-        return LmOutcome { cost: f64::INFINITY, iterations: 0, converged: false };
+        return LmOutcome {
+            cost: f64::INFINITY,
+            iterations: 0,
+            converged: false,
+        };
     }
 
     let mut lambda = options.initial_lambda;
@@ -229,7 +233,8 @@ where
                 continue;
             }
             ws.candidate.clear();
-            ws.candidate.extend(ws.params.iter().zip(&ws.delta).map(|(p, d)| p + d));
+            ws.candidate
+                .extend(ws.params.iter().zip(&ws.delta).map(|(p, d)| p + d));
             residuals(&ws.candidate, &mut ws.probe);
             let new_cost = cost_of(&ws.probe);
             if new_cost.is_finite() && new_cost < cost {
@@ -265,7 +270,11 @@ where
         }
     }
 
-    LmOutcome { cost, iterations, converged }
+    LmOutcome {
+        cost,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -322,7 +331,10 @@ mod tests {
             },
             &[-1.2, 1.0],
             2,
-            &LmOptions { max_iterations: 500, ..Default::default() },
+            &LmOptions {
+                max_iterations: 500,
+                ..Default::default()
+            },
         );
         assert!((fit.params[0] - 1.0).abs() < 1e-6, "{:?}", fit.params);
         assert!((fit.params[1] - 1.0).abs() < 1e-6);
@@ -342,7 +354,11 @@ mod tests {
             &LmOptions::default(),
         );
         // Weighted LS optimum: (100·1 + 1·5)/101 ≈ 1.0396.
-        assert!((fit.params[0] - 105.0 / 101.0).abs() < 1e-8, "{:?}", fit.params);
+        assert!(
+            (fit.params[0] - 105.0 / 101.0).abs() < 1e-8,
+            "{:?}",
+            fit.params
+        );
     }
 
     #[test]
@@ -438,7 +454,10 @@ mod tests {
 
     #[test]
     fn respects_iteration_cap() {
-        let opts = LmOptions { max_iterations: 3, ..Default::default() };
+        let opts = LmOptions {
+            max_iterations: 3,
+            ..Default::default()
+        };
         let fit = levenberg_marquardt(
             |p, out| {
                 out[0] = (p[0] - 4.0) * (p[0] - 4.0) + 1.0; // never zero

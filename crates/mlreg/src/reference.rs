@@ -48,7 +48,12 @@ where
     residuals(&params, &mut res);
     let mut cost = cost_of(&res);
     if !cost.is_finite() {
-        return LmFit { params, cost: f64::INFINITY, iterations: 0, converged: false };
+        return LmFit {
+            params,
+            cost: f64::INFINITY,
+            iterations: 0,
+            converged: false,
+        };
     }
 
     let mut lambda = options.initial_lambda;
@@ -116,7 +121,12 @@ where
         }
     }
 
-    LmFit { params, cost, iterations, converged }
+    LmFit {
+        params,
+        cost,
+        iterations,
+        converged,
+    }
 }
 
 /// Fit one family member the pre-refactor way: per-call weight vector,
@@ -168,8 +178,16 @@ pub fn fit_all_reference(training: &TrainingSet, options: &EnumerateOptions) -> 
         .map(|shape| fit_function_reference(*shape, training, options))
         .collect();
     results.sort_by(|a, b| {
-        let fa = if a.fitness.is_finite() { a.fitness } else { f64::INFINITY };
-        let fb = if b.fitness.is_finite() { b.fitness } else { f64::INFINITY };
+        let fa = if a.fitness.is_finite() {
+            a.fitness
+        } else {
+            f64::INFINITY
+        };
+        let fb = if b.fitness.is_finite() {
+            b.fitness
+        } else {
+            f64::INFINITY
+        };
         fa.total_cmp(&fb)
     });
     results
@@ -213,7 +231,10 @@ mod tests {
         let ts = small_set();
         let mut opts = EnumerateOptions::default();
         opts.lm.max_iterations = 40;
-        for shape in NonlinearFunction::enumerate_family().into_iter().step_by(37) {
+        for shape in NonlinearFunction::enumerate_family()
+            .into_iter()
+            .step_by(37)
+        {
             let reference = fit_function_reference(shape, &ts, &opts);
             let batched = fit_function(shape, &ts, &opts);
             assert_eq!(reference, batched, "{shape:?}");

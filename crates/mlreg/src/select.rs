@@ -49,7 +49,9 @@ pub fn coefficient_diagnostics(
 
     let eval = |c: [f64; 3]| -> Vec<f64> {
         let f = function.with_coefficients(c);
-        obs.iter().map(|o| f.eval(o.runtime, o.cores, o.submit) - o.score).collect()
+        obs.iter()
+            .map(|o| f.eval(o.runtime, o.cores, o.submit) - o.score)
+            .collect()
     };
     let base = eval(function.coefficients);
     let sse: f64 = base.iter().map(|r| r * r).sum();
@@ -101,7 +103,11 @@ pub fn coefficient_diagnostics(
 pub fn selection_report(fits: &[FitResult], data: &TrainingSet, top: usize) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:>4} {:>13} {:>6}  function", "rank", "fitness", "ident");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>13} {:>6}  function",
+        "rank", "fitness", "ident"
+    );
     for (i, fit) in fits.iter().take(top).enumerate() {
         let diag = coefficient_diagnostics(&fit.function, data);
         let _ = writeln!(
@@ -117,7 +123,12 @@ pub fn selection_report(fits: &[FitResult], data: &TrainingSet, top: usize) -> S
             .iter()
             .map(|se| se.map_or("-".to_string(), |v| format!("{v:.2e}")))
             .collect();
-        let _ = writeln!(out, "     c = {:?}  se = [{}]", diag.coefficients, ses.join(", "));
+        let _ = writeln!(
+            out,
+            "     c = {:?}  se = [{}]",
+            diag.coefficients,
+            ses.join(", ")
+        );
     }
     out
 }
@@ -147,7 +158,12 @@ mod tests {
             let n = 1.0 + (i as f64 * 13.0) % 200.0;
             let s = 50.0 + (i as f64 * 977.0) % 120_000.0;
             let wiggle = (((i * 29) % 23) as f64 / 23.0 - 0.5) * noise;
-            obs.push(Observation { runtime: r, cores: n, submit: s, score: truth.eval(r, n, s) + wiggle });
+            obs.push(Observation {
+                runtime: r,
+                cores: n,
+                submit: s,
+                score: truth.eval(r, n, s) + wiggle,
+            });
         }
         TrainingSet::new(obs)
     }
@@ -155,7 +171,14 @@ mod tests {
     #[test]
     fn additive_fit_is_identifiable_with_small_errors() {
         let ts = dataset(1e-6);
-        let fit = fit_function(additive_shape(), &ts, &EnumerateOptions { weighted: false, ..Default::default() });
+        let fit = fit_function(
+            additive_shape(),
+            &ts,
+            &EnumerateOptions {
+                weighted: false,
+                ..Default::default()
+            },
+        );
         let diag = coefficient_diagnostics(&fit.function, &ts);
         assert!(!diag.unidentifiable, "{diag:?}");
         for (c, se) in diag.coefficients.iter().zip(&diag.std_errors) {
@@ -168,12 +191,26 @@ mod tests {
     fn noise_inflates_standard_errors() {
         let quiet = {
             let ts = dataset(1e-7);
-            let fit = fit_function(additive_shape(), &ts, &EnumerateOptions { weighted: false, ..Default::default() });
+            let fit = fit_function(
+                additive_shape(),
+                &ts,
+                &EnumerateOptions {
+                    weighted: false,
+                    ..Default::default()
+                },
+            );
             coefficient_diagnostics(&fit.function, &ts)
         };
         let noisy = {
             let ts = dataset(1e-3);
-            let fit = fit_function(additive_shape(), &ts, &EnumerateOptions { weighted: false, ..Default::default() });
+            let fit = fit_function(
+                additive_shape(),
+                &ts,
+                &EnumerateOptions {
+                    weighted: false,
+                    ..Default::default()
+                },
+            );
             coefficient_diagnostics(&fit.function, &ts)
         };
         assert!(noisy.residual_variance > quiet.residual_variance * 100.0);
@@ -210,7 +247,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn tiny_dataset_rejected() {
-        let ts = TrainingSet::new(vec![Observation { runtime: 1.0, cores: 1.0, submit: 1.0, score: 0.1 }]);
+        let ts = TrainingSet::new(vec![Observation {
+            runtime: 1.0,
+            cores: 1.0,
+            submit: 1.0,
+            score: 0.1,
+        }]);
         coefficient_diagnostics(&additive_shape(), &ts);
     }
 }

@@ -99,13 +99,20 @@ pub fn cross_validate(
     }
     let mean_error = fold_errors.iter().sum::<f64>() / k as f64;
     let std_error = if k >= 2 {
-        let var = fold_errors.iter().map(|e| (e - mean_error) * (e - mean_error)).sum::<f64>()
+        let var = fold_errors
+            .iter()
+            .map(|e| (e - mean_error) * (e - mean_error))
+            .sum::<f64>()
             / (k as f64 - 1.0);
         var.sqrt()
     } else {
         0.0
     };
-    CrossValidation { fold_errors, mean_error, std_error }
+    CrossValidation {
+        fold_errors,
+        mean_error,
+        std_error,
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +138,12 @@ mod tests {
             let n = 1.0 + (i as f64 * 7.0) % 255.0;
             let s = 100.0 + (i as f64 * 997.0) % 150_000.0;
             let wiggle = ((i * 31) % 17) as f64 / 17.0 - 0.5;
-            obs.push(Observation { runtime: r, cores: n, submit: s, score: truth.eval(r, n, s) + noise * wiggle });
+            obs.push(Observation {
+                runtime: r,
+                cores: n,
+                submit: s,
+                score: truth.eval(r, n, s) + noise * wiggle,
+            });
         }
         TrainingSet::new(obs)
     }
@@ -165,7 +177,10 @@ mod tests {
         // f ≡ 0, so SSE = Σ score², SST = Σ (score−mean)² < SSE ⇒ R² < 0
         // unless mean ≈ 0.
         let stats = fit_stats(&f, &ts);
-        assert!(stats.r_squared < 0.5, "a zero predictor must not look good: {stats:?}; mean {mean}");
+        assert!(
+            stats.r_squared < 0.5,
+            "a zero predictor must not look good: {stats:?}; mean {mean}"
+        );
     }
 
     #[test]
@@ -202,6 +217,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn too_few_folds_rejected() {
-        cross_validate(generating_shape(), &synthetic_set(0.0), 1, &EnumerateOptions::default());
+        cross_validate(
+            generating_shape(),
+            &synthetic_set(0.0),
+            1,
+            &EnumerateOptions::default(),
+        );
     }
 }

@@ -71,7 +71,11 @@ fn lm_solutions_satisfy_the_normal_equations() {
         let rows: Vec<Vec<f64>> = (0..m)
             .map(|_| vec![rng.range_f64(-3.0, 3.0), rng.range_f64(-3.0, 3.0), 1.0])
             .collect();
-        let beta_true = [rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0)];
+        let beta_true = [
+            rng.range_f64(-2.0, 2.0),
+            rng.range_f64(-2.0, 2.0),
+            rng.range_f64(-2.0, 2.0),
+        ];
         let ys: Vec<f64> = rows
             .iter()
             .map(|r| dot(r, &beta_true) + rng.range_f64(-0.01, 0.01))
@@ -163,7 +167,12 @@ fn degenerate_training_sets_never_produce_nan_rankings() {
     // Identical observations make every Jacobian rank-deficient (all rows
     // equal) and many shapes outright constant; the sweep must survive
     // with finite, NaN-free fitness everywhere and a usable ranking.
-    let one = Observation { runtime: 100.0, cores: 8.0, submit: 1_000.0, score: 0.05 };
+    let one = Observation {
+        runtime: 100.0,
+        cores: 8.0,
+        submit: 1_000.0,
+        score: 0.05,
+    };
     let ts = TrainingSet::new(vec![one; 16]);
     let mut options = EnumerateOptions::default();
     options.lm.max_iterations = 30;
@@ -171,14 +180,21 @@ fn degenerate_training_sets_never_produce_nan_rankings() {
     assert_eq!(results.len(), 576);
     let mut seen_finite_tail = true;
     for (i, fit) in results.iter().enumerate() {
-        assert!(!fit.fitness.is_nan(), "candidate {i} has NaN fitness: {:?}", fit.function);
+        assert!(
+            !fit.fitness.is_nan(),
+            "candidate {i} has NaN fitness: {:?}",
+            fit.function
+        );
         for c in fit.function.coefficients {
             assert!(!c.is_nan(), "candidate {i} has NaN coefficient");
         }
         if !fit.fitness.is_finite() {
             seen_finite_tail = false;
         } else {
-            assert!(seen_finite_tail, "finite fitness after a non-finite one: ranking broken");
+            assert!(
+                seen_finite_tail,
+                "finite fitness after a non-finite one: ranking broken"
+            );
         }
     }
 }
@@ -202,12 +218,18 @@ fn rank_deficient_candidates_are_rejected_not_poisoned() {
     let ts = TrainingSet::new(obs);
     let mut options = EnumerateOptions::default();
     options.lm.max_iterations = 30;
-    for shape in NonlinearFunction::enumerate_family().into_iter().step_by(23) {
+    for shape in NonlinearFunction::enumerate_family()
+        .into_iter()
+        .step_by(23)
+    {
         let fit = fit_function(shape, &ts, &options);
         assert!(!fit.fitness.is_nan(), "{shape:?}");
         assert!(!fit.weighted_sse.is_nan(), "{shape:?}");
         let oracle = fit_function_reference(shape, &ts, &options);
-        assert_eq!(fit, oracle, "batched fit diverged from oracle on degenerate data");
+        assert_eq!(
+            fit, oracle,
+            "batched fit diverged from oracle on degenerate data"
+        );
     }
 }
 
@@ -215,7 +237,12 @@ fn rank_deficient_candidates_are_rejected_not_poisoned() {
 fn scoring_policies_from_degenerate_fits_stays_finite() {
     // Even a policy built from a degenerate fit must hand the queue
     // finite scores (the engine sorts by them).
-    let one = Observation { runtime: 1.0, cores: 1.0, submit: 1.0, score: 0.1 };
+    let one = Observation {
+        runtime: 1.0,
+        cores: 1.0,
+        submit: 1.0,
+        score: 0.1,
+    };
     let ts = TrainingSet::new(vec![one; 8]);
     let mut options = EnumerateOptions::default();
     options.lm.max_iterations = 10;
@@ -228,6 +255,10 @@ fn scoring_policies_from_degenerate_fits_stays_finite() {
             submit: 100.0,
             now: 100.0,
         });
-        assert!(score.is_finite(), "{} produced a non-finite score", p.name());
+        assert!(
+            score.is_finite(),
+            "{} produced a non-finite score",
+            p.name()
+        );
     }
 }

@@ -180,19 +180,32 @@ mod tests {
     use crate::policy::sort_views;
 
     fn view(r: f64, n: u32, s: f64, now: f64) -> TaskView {
-        TaskView { processing_time: r, cores: n, submit: s, now }
+        TaskView {
+            processing_time: r,
+            cores: n,
+            submit: s,
+            now,
+        }
     }
 
     #[test]
     fn fcfs_orders_by_arrival() {
-        let views = vec![view(1.0, 1, 30.0, 50.0), view(9.0, 9, 10.0, 50.0), view(5.0, 5, 20.0, 50.0)];
+        let views = vec![
+            view(1.0, 1, 30.0, 50.0),
+            view(9.0, 9, 10.0, 50.0),
+            view(5.0, 5, 20.0, 50.0),
+        ];
         assert_eq!(sort_views(&Fcfs, &views), vec![1, 2, 0]);
         assert_eq!(sort_views(&Lcfs, &views), vec![0, 2, 1]);
     }
 
     #[test]
     fn spt_orders_by_processing_time() {
-        let views = vec![view(30.0, 1, 0.0, 50.0), view(10.0, 1, 1.0, 50.0), view(20.0, 1, 2.0, 50.0)];
+        let views = vec![
+            view(30.0, 1, 0.0, 50.0),
+            view(10.0, 1, 1.0, 50.0),
+            view(20.0, 1, 2.0, 50.0),
+        ];
         assert_eq!(sort_views(&Spt, &views), vec![1, 2, 0]);
         assert_eq!(sort_views(&Lpt, &views), vec![0, 2, 1]);
     }
@@ -200,7 +213,11 @@ mod tests {
     #[test]
     fn saf_orders_by_area() {
         // areas: 40, 30, 100
-        let views = vec![view(10.0, 4, 0.0, 50.0), view(30.0, 1, 1.0, 50.0), view(25.0, 4, 2.0, 50.0)];
+        let views = vec![
+            view(10.0, 4, 0.0, 50.0),
+            view(30.0, 1, 1.0, 50.0),
+            view(25.0, 4, 2.0, 50.0),
+        ];
         assert_eq!(sort_views(&Saf, &views), vec![1, 0, 2]);
         assert_eq!(sort_views(&Laf, &views), vec![2, 0, 1]);
     }

@@ -137,7 +137,11 @@ impl BinOp {
             BinOp::Sub => a - b,
             BinOp::Mul => a * b,
             BinOp::Div => {
-                let d = if b.abs() < 1e-12 { 1e-12f64.copysign(if b == 0.0 { 1.0 } else { b }) } else { b };
+                let d = if b.abs() < 1e-12 {
+                    1e-12f64.copysign(if b == 0.0 { 1.0 } else { b })
+                } else {
+                    b
+                };
                 a / d
             }
             BinOp::Pow => {
@@ -285,11 +289,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Self { src: src.as_bytes(), pos: 0 }
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: message.into() }
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -387,14 +397,18 @@ impl<'a> Parser<'a> {
     fn parse_number(&mut self) -> Result<Expr, ParseError> {
         self.skip_ws();
         let start = self.pos;
-        while self.pos < self.src.len() && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.') {
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+        {
             self.pos += 1;
         }
         // Scientific notation: e/E followed by optional sign and digits.
         if self.pos < self.src.len() && (self.src[self.pos] | 0x20) == b'e' {
             let mark = self.pos;
             self.pos += 1;
-            if self.pos < self.src.len() && (self.src[self.pos] == b'+' || self.src[self.pos] == b'-') {
+            if self.pos < self.src.len()
+                && (self.src[self.pos] == b'+' || self.src[self.pos] == b'-')
+            {
                 self.pos += 1;
             }
             if self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
@@ -460,12 +474,18 @@ pub struct ExprPolicy {
 impl ExprPolicy {
     /// Parse `source` into a named policy.
     pub fn parse(name: impl Into<String>, source: &str) -> Result<Self, ParseError> {
-        Ok(Self { name: name.into(), expr: parse_expr(source)? })
+        Ok(Self {
+            name: name.into(),
+            expr: parse_expr(source)?,
+        })
     }
 
     /// Wrap an existing AST.
     pub fn from_expr(name: impl Into<String>, expr: Expr) -> Self {
-        Self { name: name.into(), expr }
+        Self {
+            name: name.into(),
+            expr,
+        }
     }
 
     /// The underlying expression.
@@ -493,7 +513,12 @@ mod tests {
     use super::*;
 
     fn view(r: f64, n: u32, s: f64, now: f64) -> TaskView {
-        TaskView { processing_time: r, cores: n, submit: s, now }
+        TaskView {
+            processing_time: r,
+            cores: n,
+            submit: s,
+            now,
+        }
     }
 
     fn eval(src: &str, t: &TaskView) -> f64 {
@@ -600,12 +625,20 @@ mod tests {
 
     #[test]
     fn never_nan_property_spot_checks() {
-        let exprs = ["r/s", "log10(r - 100)", "sqrt(r - 1e9)", "inv(w)", "r^0.5 - s^0.5"];
+        let exprs = [
+            "r/s",
+            "log10(r - 100)",
+            "sqrt(r - 1e9)",
+            "inv(w)",
+            "r^0.5 - s^0.5",
+        ];
         for src in exprs {
             let e = parse_expr(src).unwrap();
-            for &(r, n, s, now) in
-                &[(0.0, 1, 0.0, 0.0), (1e-9, 1, 1e12, 1e12), (1e12, 1_000_000, 0.0, 1e12)]
-            {
+            for &(r, n, s, now) in &[
+                (0.0, 1, 0.0, 0.0),
+                (1e-9, 1, 1e12, 1e12),
+                (1e12, 1_000_000, 0.0, 1e12),
+            ] {
                 let v = e.eval(&view(r, n, s, now));
                 assert!(!v.is_nan(), "{src} gave NaN");
             }

@@ -29,7 +29,11 @@ pub struct PolicyFileError {
 
 impl std::fmt::Display for PolicyFileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "policy file error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "policy file error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -37,7 +41,10 @@ impl std::error::Error for PolicyFileError {}
 
 impl From<(usize, ParseError)> for PolicyFileError {
     fn from((line, e): (usize, ParseError)) -> Self {
-        Self { line, message: e.to_string() }
+        Self {
+            line,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -57,10 +64,13 @@ pub fn load_policies(input: &str) -> Result<Vec<ExprPolicy>, PolicyFileError> {
         };
         let name = name.trim();
         if name.is_empty() {
-            return Err(PolicyFileError { line: lineno + 1, message: "empty policy name".to_string() });
+            return Err(PolicyFileError {
+                line: lineno + 1,
+                message: "empty policy name".to_string(),
+            });
         }
-        let policy =
-            ExprPolicy::parse(name, source.trim()).map_err(|e| PolicyFileError::from((lineno + 1, e)))?;
+        let policy = ExprPolicy::parse(name, source.trim())
+            .map_err(|e| PolicyFileError::from((lineno + 1, e)))?;
         out.push(policy);
     }
     Ok(out)
@@ -69,7 +79,10 @@ pub fn load_policies(input: &str) -> Result<Vec<ExprPolicy>, PolicyFileError> {
 /// Serialize named expression policies to the file format.
 pub fn save_policies<'a>(policies: impl IntoIterator<Item = &'a ExprPolicy>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# dynsched policy set (name = expression, lower score runs first)");
+    let _ = writeln!(
+        out,
+        "# dynsched policy set (name = expression, lower score runs first)"
+    );
     for p in policies {
         let _ = writeln!(out, "{} = {}", p.name(), p.expr());
     }
@@ -99,9 +112,17 @@ pub fn function_to_expression_source(f: &NonlinearFunction) -> String {
 /// Export learned policies as a policy file.
 pub fn save_learned<'a>(policies: impl IntoIterator<Item = &'a LearnedPolicy>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# dynsched learned policies (fitted nonlinear functions)");
+    let _ = writeln!(
+        out,
+        "# dynsched learned policies (fitted nonlinear functions)"
+    );
     for p in policies {
-        let _ = writeln!(out, "{} = {}", p.name(), function_to_expression_source(p.function()));
+        let _ = writeln!(
+            out,
+            "{} = {}",
+            p.name(),
+            function_to_expression_source(p.function())
+        );
     }
     out
 }
@@ -112,7 +133,12 @@ mod tests {
     use crate::task_view::TaskView;
 
     fn view(r: f64, n: u32, s: f64) -> TaskView {
-        TaskView { processing_time: r, cores: n, submit: s, now: s }
+        TaskView {
+            processing_time: r,
+            cores: n,
+            submit: s,
+            now: s,
+        }
     }
 
     #[test]

@@ -105,7 +105,11 @@ impl OpKind {
             OpKind::Add => a + b,
             OpKind::Mul => a * b,
             OpKind::Div => {
-                let denom = if b.abs() < 1e-12 { 1e-12f64.copysign(if b == 0.0 { 1.0 } else { b }) } else { b };
+                let denom = if b.abs() < 1e-12 {
+                    1e-12f64.copysign(if b == 0.0 { 1.0 } else { b })
+                } else {
+                    b
+                };
                 a / denom
             }
         }
@@ -146,8 +150,21 @@ pub struct NonlinearFunction {
 
 impl NonlinearFunction {
     /// Construct with unit coefficients.
-    pub fn with_shape(alpha: BaseFunc, op1: OpKind, beta: BaseFunc, op2: OpKind, gamma: BaseFunc) -> Self {
-        Self { alpha, beta, gamma, op1, op2, coefficients: [1.0, 1.0, 1.0] }
+    pub fn with_shape(
+        alpha: BaseFunc,
+        op1: OpKind,
+        beta: BaseFunc,
+        op2: OpKind,
+        gamma: BaseFunc,
+    ) -> Self {
+        Self {
+            alpha,
+            beta,
+            gamma,
+            op1,
+            op2,
+            coefficients: [1.0, 1.0, 1.0],
+        }
     }
 
     /// Replace the coefficients.
@@ -204,8 +221,7 @@ impl NonlinearFunction {
     /// [`enumerate_family`]: Self::enumerate_family
     pub fn family_position(&self) -> usize {
         let op = |o: OpKind| OpKind::ALL.iter().position(|&x| x == o).unwrap();
-        (((self.alpha.index() * 4 + self.beta.index()) * 4 + self.gamma.index()) * 3
-            + op(self.op1))
+        (((self.alpha.index() * 4 + self.beta.index()) * 4 + self.gamma.index()) * 3 + op(self.op1))
             * 3
             + op(self.op2)
     }
@@ -284,7 +300,10 @@ pub struct LearnedPolicy {
 impl LearnedPolicy {
     /// Wrap a fitted function under a display name.
     pub fn new(name: impl Into<String>, function: NonlinearFunction) -> Self {
-        Self { name: name.into(), function }
+        Self {
+            name: name.into(),
+            function,
+        }
     }
 
     /// The underlying function.
@@ -303,8 +322,14 @@ impl LearnedPolicy {
     pub fn f1() -> Self {
         Self::new(
             "F1",
-            NonlinearFunction::with_shape(BaseFunc::Log10, OpKind::Mul, BaseFunc::Id, OpKind::Add, BaseFunc::Log10)
-                .with_coefficients([1.0, 1.0, 8.70e2]),
+            NonlinearFunction::with_shape(
+                BaseFunc::Log10,
+                OpKind::Mul,
+                BaseFunc::Id,
+                OpKind::Add,
+                BaseFunc::Log10,
+            )
+            .with_coefficients([1.0, 1.0, 8.70e2]),
         )
     }
 
@@ -312,8 +337,14 @@ impl LearnedPolicy {
     pub fn f2() -> Self {
         Self::new(
             "F2",
-            NonlinearFunction::with_shape(BaseFunc::Sqrt, OpKind::Mul, BaseFunc::Id, OpKind::Add, BaseFunc::Log10)
-                .with_coefficients([1.0, 1.0, 2.56e4]),
+            NonlinearFunction::with_shape(
+                BaseFunc::Sqrt,
+                OpKind::Mul,
+                BaseFunc::Id,
+                OpKind::Add,
+                BaseFunc::Log10,
+            )
+            .with_coefficients([1.0, 1.0, 2.56e4]),
         )
     }
 
@@ -321,8 +352,14 @@ impl LearnedPolicy {
     pub fn f3() -> Self {
         Self::new(
             "F3",
-            NonlinearFunction::with_shape(BaseFunc::Id, OpKind::Mul, BaseFunc::Id, OpKind::Add, BaseFunc::Log10)
-                .with_coefficients([1.0, 1.0, 6.86e6]),
+            NonlinearFunction::with_shape(
+                BaseFunc::Id,
+                OpKind::Mul,
+                BaseFunc::Id,
+                OpKind::Add,
+                BaseFunc::Log10,
+            )
+            .with_coefficients([1.0, 1.0, 6.86e6]),
         )
     }
 
@@ -330,8 +367,14 @@ impl LearnedPolicy {
     pub fn f4() -> Self {
         Self::new(
             "F4",
-            NonlinearFunction::with_shape(BaseFunc::Id, OpKind::Mul, BaseFunc::Sqrt, OpKind::Add, BaseFunc::Log10)
-                .with_coefficients([1.0, 1.0, 5.30e5]),
+            NonlinearFunction::with_shape(
+                BaseFunc::Id,
+                OpKind::Mul,
+                BaseFunc::Sqrt,
+                OpKind::Add,
+                BaseFunc::Log10,
+            )
+            .with_coefficients([1.0, 1.0, 5.30e5]),
         )
     }
 
@@ -347,7 +390,8 @@ impl Policy for LearnedPolicy {
     }
 
     fn score(&self, task: &TaskView) -> f64 {
-        self.function.eval(task.processing_time, task.cores as f64, task.submit)
+        self.function
+            .eval(task.processing_time, task.cores as f64, task.submit)
     }
 
     fn time_dependent(&self) -> bool {
@@ -388,13 +432,23 @@ mod tests {
     fn f1_matches_table3_formula() {
         let f1 = LearnedPolicy::f1();
         // r=100, n=8, s=1000: log10(100)*8 + 870*log10(1000) = 16 + 2610.
-        let t = TaskView { processing_time: 100.0, cores: 8, submit: 1000.0, now: 1000.0 };
+        let t = TaskView {
+            processing_time: 100.0,
+            cores: 8,
+            submit: 1000.0,
+            now: 1000.0,
+        };
         assert!((f1.score(&t) - 2626.0).abs() < 1e-9);
     }
 
     #[test]
     fn f2_f3_f4_match_table3_formulas() {
-        let t = TaskView { processing_time: 400.0, cores: 16, submit: 100.0, now: 100.0 };
+        let t = TaskView {
+            processing_time: 400.0,
+            cores: 16,
+            submit: 100.0,
+            now: 100.0,
+        };
         // F2: sqrt(400)*16 + 2.56e4*log10(100) = 320 + 51200.
         assert!((LearnedPolicy::f2().score(&t) - 51_520.0).abs() < 1e-6);
         // F3: 400*16 + 6.86e6*2 = 6400 + 13,720,000.
@@ -405,8 +459,18 @@ mod tests {
 
     #[test]
     fn earlier_arrivals_get_priority_under_f1() {
-        let early = TaskView { processing_time: 1e4, cores: 256, submit: 100.0, now: 1e5 };
-        let late = TaskView { processing_time: 1.0, cores: 1, submit: 9e4, now: 1e5 };
+        let early = TaskView {
+            processing_time: 1e4,
+            cores: 256,
+            submit: 100.0,
+            now: 1e5,
+        };
+        let late = TaskView {
+            processing_time: 1.0,
+            cores: 1,
+            submit: 9e4,
+            now: 1e5,
+        };
         // The 870·log10(s) term dominates: the early big job outranks the
         // late tiny one.
         let f1 = LearnedPolicy::f1();
@@ -416,36 +480,70 @@ mod tests {
     #[test]
     fn smaller_tasks_get_priority_at_equal_arrival() {
         let f1 = LearnedPolicy::f1();
-        let small = TaskView { processing_time: 10.0, cores: 2, submit: 500.0, now: 500.0 };
-        let big = TaskView { processing_time: 1e4, cores: 128, submit: 500.0, now: 500.0 };
+        let small = TaskView {
+            processing_time: 10.0,
+            cores: 2,
+            submit: 500.0,
+            now: 500.0,
+        };
+        let big = TaskView {
+            processing_time: 1e4,
+            cores: 128,
+            submit: 500.0,
+            now: 500.0,
+        };
         assert!(f1.score(&small) < f1.score(&big));
     }
 
     #[test]
     fn precedence_add_then_mul() {
         // A + B*C with A=r, B=n, C=s: f(2,3,4) = 2 + 12 = 14.
-        let f = NonlinearFunction::with_shape(BaseFunc::Id, OpKind::Add, BaseFunc::Id, OpKind::Mul, BaseFunc::Id);
+        let f = NonlinearFunction::with_shape(
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Id,
+            OpKind::Mul,
+            BaseFunc::Id,
+        );
         assert_eq!(f.eval(2.0, 3.0, 4.0), 14.0);
     }
 
     #[test]
     fn precedence_mul_then_add() {
         // A*B + C: f(2,3,4) = 6 + 4 = 10.
-        let f = NonlinearFunction::with_shape(BaseFunc::Id, OpKind::Mul, BaseFunc::Id, OpKind::Add, BaseFunc::Id);
+        let f = NonlinearFunction::with_shape(
+            BaseFunc::Id,
+            OpKind::Mul,
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Id,
+        );
         assert_eq!(f.eval(2.0, 3.0, 4.0), 10.0);
     }
 
     #[test]
     fn precedence_left_assoc_div() {
         // A/B/C: (8/4)/2 = 1.
-        let f = NonlinearFunction::with_shape(BaseFunc::Id, OpKind::Div, BaseFunc::Id, OpKind::Div, BaseFunc::Id);
+        let f = NonlinearFunction::with_shape(
+            BaseFunc::Id,
+            OpKind::Div,
+            BaseFunc::Id,
+            OpKind::Div,
+            BaseFunc::Id,
+        );
         assert_eq!(f.eval(8.0, 4.0, 2.0), 1.0);
     }
 
     #[test]
     fn precedence_add_then_div() {
         // A + B/C: 2 + 3/4 = 2.75.
-        let f = NonlinearFunction::with_shape(BaseFunc::Id, OpKind::Add, BaseFunc::Id, OpKind::Div, BaseFunc::Id);
+        let f = NonlinearFunction::with_shape(
+            BaseFunc::Id,
+            OpKind::Add,
+            BaseFunc::Id,
+            OpKind::Div,
+            BaseFunc::Id,
+        );
         assert_eq!(f.eval(2.0, 3.0, 4.0), 2.75);
     }
 
@@ -489,8 +587,7 @@ mod tests {
             let f = f.with_coefficients([1e-4, -2.0, 7.5]);
             for &(r, n, s) in &[(5.0, 1.0, 100.0), (20_000.0, 256.0, 0.0), (0.5, 16.0, 9e4)] {
                 let direct = f.eval(r, n, s);
-                let staged =
-                    f.eval_transformed(f.alpha.eval(r), f.beta.eval(n), f.gamma.eval(s));
+                let staged = f.eval_transformed(f.alpha.eval(r), f.beta.eval(n), f.gamma.eval(s));
                 assert_eq!(direct.to_bits(), staged.to_bits(), "{f:?} at ({r},{n},{s})");
             }
         }
@@ -505,8 +602,14 @@ mod tests {
 
     #[test]
     fn render_verbose_mentions_all_terms() {
-        let f = NonlinearFunction::with_shape(BaseFunc::Inv, OpKind::Div, BaseFunc::Sqrt, OpKind::Mul, BaseFunc::Id)
-            .with_coefficients([1.5, -2.0, 0.25]);
+        let f = NonlinearFunction::with_shape(
+            BaseFunc::Inv,
+            OpKind::Div,
+            BaseFunc::Sqrt,
+            OpKind::Mul,
+            BaseFunc::Id,
+        )
+        .with_coefficients([1.5, -2.0, 0.25]);
         let s = f.render_verbose();
         assert!(s.contains("inv(r)"));
         assert!(s.contains("sqrt(n)"));

@@ -28,10 +28,10 @@ pub mod registry;
 pub mod task_view;
 
 pub use baselines::{Fcfs, Laf, Lcfs, Lpt, Saf, Spt, Unicef, Wfp3};
-pub use multifactor::{MultiFactor, MultiFactorScales, MultiFactorWeights};
 pub use expr::ExprPolicy;
 pub use io::{load_policies, save_learned, save_policies};
 pub use learned::{BaseFunc, LearnedPolicy, NonlinearFunction, OpKind};
+pub use multifactor::{MultiFactor, MultiFactorScales, MultiFactorWeights};
 pub use policy::{sort_views, Policy};
 pub use registry::{baseline_lineup, by_name, paper_lineup};
 pub use task_view::{DecisionMode, TaskView};

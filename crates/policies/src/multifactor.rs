@@ -33,7 +33,11 @@ impl Default for MultiFactorWeights {
     fn default() -> Self {
         // A common production flavour: age dominates (FIFO-ish fairness),
         // with mild preferences for short and small jobs.
-        Self { age: 1.0, size: -0.25, shortness: 0.5 }
+        Self {
+            age: 1.0,
+            size: -0.25,
+            shortness: 0.5,
+        }
     }
 }
 
@@ -51,7 +55,11 @@ pub struct MultiFactorScales {
 
 impl Default for MultiFactorScales {
     fn default() -> Self {
-        Self { max_age: 7.0 * 86_400.0, platform_cores: 256, max_time: 5.0 * 86_400.0 }
+        Self {
+            max_age: 7.0 * 86_400.0,
+            platform_cores: 256,
+            max_time: 5.0 * 86_400.0,
+        }
     }
 }
 
@@ -67,7 +75,10 @@ pub struct MultiFactor {
 impl MultiFactor {
     /// Build with explicit weights and default scales.
     pub fn new(weights: MultiFactorWeights) -> Self {
-        Self { weights, ..Self::default() }
+        Self {
+            weights,
+            ..Self::default()
+        }
     }
 
     /// Set the platform width used by the size factor.
@@ -111,7 +122,12 @@ mod tests {
     use super::*;
 
     fn view(r: f64, n: u32, s: f64, now: f64) -> TaskView {
-        TaskView { processing_time: r, cores: n, submit: s, now }
+        TaskView {
+            processing_time: r,
+            cores: n,
+            submit: s,
+            now,
+        }
     }
 
     #[test]
@@ -131,7 +147,10 @@ mod tests {
         let mf = MultiFactor::default();
         let old = view(1_000.0, 64, 0.0, 6.0 * 86_400.0);
         let fresh = view(10.0, 1, 6.0 * 86_400.0 - 1.0, 6.0 * 86_400.0);
-        assert!(mf.score(&old) < mf.score(&fresh), "an almost-week-old job outranks a fresh tiny one");
+        assert!(
+            mf.score(&old) < mf.score(&fresh),
+            "an almost-week-old job outranks a fresh tiny one"
+        );
     }
 
     #[test]
@@ -149,16 +168,21 @@ mod tests {
         let wide = view(100.0, 256, 0.0, 0.0);
         assert!(mf.score(&narrow) < mf.score(&wide));
         // Flip the sign: big jobs first (a "large job campaign" config).
-        let big_first = MultiFactor::new(MultiFactorWeights { size: 2.0, ..Default::default() });
+        let big_first = MultiFactor::new(MultiFactorWeights {
+            size: 2.0,
+            ..Default::default()
+        });
         assert!(big_first.score(&wide) < big_first.score(&narrow));
     }
 
     #[test]
     fn score_is_never_nan() {
         let mf = MultiFactor::default();
-        for &(r, n, s, now) in
-            &[(0.0, 1u32, 0.0, 0.0), (f64::MAX / 2.0, 1_000_000, 0.0, 1e12), (1.0, 1, 5.0, 4.0)]
-        {
+        for &(r, n, s, now) in &[
+            (0.0, 1u32, 0.0, 0.0),
+            (f64::MAX / 2.0, 1_000_000, 0.0, 1e12),
+            (1.0, 1, 5.0, 4.0),
+        ] {
             assert!(!mf.score(&view(r, n, s, now)).is_nan());
         }
     }

@@ -65,7 +65,11 @@ pub fn sort_views(policy: &dyn Policy, views: &[TaskView]) -> Vec<usize> {
         .enumerate()
         .map(|(i, v)| {
             let s = policy.score(v);
-            debug_assert!(!s.is_nan(), "policy {} produced NaN for {v:?}", policy.name());
+            debug_assert!(
+                !s.is_nan(),
+                "policy {} produced NaN for {v:?}",
+                policy.name()
+            );
             (i, s)
         })
         .collect();
@@ -88,7 +92,12 @@ mod tests {
     }
 
     fn view(cores: u32, submit: f64) -> TaskView {
-        TaskView { processing_time: 1.0, cores, submit, now: 100.0 }
+        TaskView {
+            processing_time: 1.0,
+            cores,
+            submit,
+            now: 100.0,
+        }
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub fn paper_lineup() -> Vec<Box<dyn Policy>> {
 
 /// The four ad-hoc baselines only (Table 2).
 pub fn baseline_lineup() -> Vec<Box<dyn Policy>> {
-    vec![Box::new(Fcfs), Box::new(Wfp3), Box::new(Unicef), Box::new(Spt)]
+    vec![
+        Box::new(Fcfs),
+        Box::new(Wfp3),
+        Box::new(Unicef),
+        Box::new(Spt),
+    ]
 }
 
 /// Look up a policy by its display name (case-insensitive). Accepts the
@@ -59,8 +64,14 @@ mod tests {
 
     #[test]
     fn lineup_matches_paper_order() {
-        let names: Vec<String> = paper_lineup().iter().map(|p| p.name().to_string()).collect();
-        assert_eq!(names, vec!["FCFS", "WFP", "UNI", "SPT", "F4", "F3", "F2", "F1"]);
+        let names: Vec<String> = paper_lineup()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["FCFS", "WFP", "UNI", "SPT", "F4", "F3", "F2", "F1"]
+        );
     }
 
     #[test]

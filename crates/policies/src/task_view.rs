@@ -48,13 +48,23 @@ mod tests {
 
     #[test]
     fn wait_is_now_minus_submit() {
-        let t = TaskView { processing_time: 10.0, cores: 4, submit: 100.0, now: 130.0 };
+        let t = TaskView {
+            processing_time: 10.0,
+            cores: 4,
+            submit: 100.0,
+            now: 130.0,
+        };
         assert_eq!(t.wait(), 30.0);
     }
 
     #[test]
     fn wait_clamps_at_zero() {
-        let t = TaskView { processing_time: 10.0, cores: 4, submit: 100.0, now: 99.999_999 };
+        let t = TaskView {
+            processing_time: 10.0,
+            cores: 4,
+            submit: 100.0,
+            now: 99.999_999,
+        };
         assert_eq!(t.wait(), 0.0);
     }
 }

@@ -95,14 +95,23 @@ mod tests {
     #[test]
     fn decision_time_follows_mode() {
         let p = Platform::new(16);
-        assert_eq!(SchedulerConfig::actual_runtimes(p).decision_time(10.0, 99.0), 10.0);
-        assert_eq!(SchedulerConfig::user_estimates(p).decision_time(10.0, 99.0), 99.0);
+        assert_eq!(
+            SchedulerConfig::actual_runtimes(p).decision_time(10.0, 99.0),
+            10.0
+        );
+        assert_eq!(
+            SchedulerConfig::user_estimates(p).decision_time(10.0, 99.0),
+            99.0
+        );
     }
 
     #[test]
     fn presets_have_expected_backfill() {
         let p = Platform::new(16);
-        assert_eq!(SchedulerConfig::actual_runtimes(p).backfill, BackfillMode::None);
+        assert_eq!(
+            SchedulerConfig::actual_runtimes(p).backfill,
+            BackfillMode::None
+        );
         assert_eq!(
             SchedulerConfig::estimates_with_backfilling(p).backfill,
             BackfillMode::Aggressive

@@ -75,7 +75,7 @@ use crate::result::{SimMetrics, SimulationResult};
 use dynsched_cluster::{CompletedJob, CoreLedger, Job, JobId};
 use dynsched_policies::{Policy, TaskView};
 use dynsched_simkit::{Clock, EventQueue};
-use dynsched_workload::Trace;
+use dynsched_workload::TraceSource;
 
 /// How the waiting queue is ordered at each rescheduling event.
 pub enum QueueDiscipline<'a> {
@@ -204,11 +204,22 @@ impl SimWorkspace {
 
     /// Run one simulation, leaving the outcome in this workspace.
     ///
+    /// The trace parameter is any [`TraceSource`]: an AoS
+    /// [`Trace`](dynsched_workload::Trace) or the dense columns of a
+    /// [`TraceView`](dynsched_workload::TraceView) — the engine reads
+    /// per-field lanes either way, and the two layouts are bit-identical
+    /// in every simulation result (the `soa_bit_identity` suite pins it).
+    ///
     /// # Panics
     /// Panics if any job requests more cores than the platform has (it
     /// could never start; pre-filter with `Trace::capped_to`), or if a
     /// [`QueueDiscipline::FixedOrder`] slice is shorter than the trace.
-    pub fn run(&mut self, trace: &Trace, discipline: &QueueDiscipline<'_>, config: &SchedulerConfig) {
+    pub fn run<T: TraceSource>(
+        &mut self,
+        trace: &T,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+    ) {
         // Lend the completion list out as the sink (it goes back below, so
         // a reused workspace keeps its capacity).
         let mut completed = std::mem::take(&mut self.completed);
@@ -235,9 +246,9 @@ impl SimWorkspace {
     ///
     /// # Panics
     /// See [`SimWorkspace::run`].
-    pub fn run_metrics(
+    pub fn run_metrics<T: TraceSource>(
         &mut self,
-        trace: &Trace,
+        trace: &T,
         discipline: &QueueDiscipline<'_>,
         config: &SchedulerConfig,
         tau: f64,
@@ -252,31 +263,32 @@ impl SimWorkspace {
         metrics
     }
 
-    /// The engine proper, generic over where completions go.
-    fn run_with<K: CompletionSink>(
+    /// The engine proper, generic over where completions go and over the
+    /// trace's storage layout.
+    fn run_with<K: CompletionSink, T: TraceSource>(
         &mut self,
-        trace: &Trace,
+        trace: &T,
         discipline: &QueueDiscipline<'_>,
         config: &SchedulerConfig,
         sink: &mut K,
     ) {
-        let jobs = trace.jobs();
+        let n_jobs = trace.len();
         let total_cores = config.platform.total_cores;
-        for j in jobs {
+        for i in 0..n_jobs {
             assert!(
-                j.cores <= total_cores,
+                trace.cores(i) <= total_cores,
                 "job {} requests {} cores on a {}-core platform",
-                j.id,
-                j.cores,
+                trace.id(i),
+                trace.cores(i),
                 total_cores
             );
         }
         if let QueueDiscipline::FixedOrder(ranks) = discipline {
             assert!(
-                ranks.len() >= jobs.len(),
+                ranks.len() >= n_jobs,
                 "fixed order needs a rank per trace position ({} ranks, {} jobs)",
                 ranks.len(),
-                jobs.len()
+                n_jobs
             );
         }
 
@@ -285,7 +297,7 @@ impl SimWorkspace {
         self.q_keys.clear();
         self.releases.clear();
         self.start_of.clear();
-        self.start_of.resize(jobs.len(), f64::NAN);
+        self.start_of.resize(n_jobs, f64::NAN);
         self.ledger.reset(config.platform);
         self.events_processed = 0;
         self.backfilled = 0;
@@ -312,7 +324,7 @@ impl SimWorkspace {
             ..
         } = self;
         let mut eng = Engine {
-            jobs,
+            trace,
             discipline,
             config,
             queue_order,
@@ -344,7 +356,7 @@ impl SimWorkspace {
         // engine's single heap produces.
         let mut cursor = 0usize;
         loop {
-            let next_arrival = jobs.get(cursor).map(|j| j.submit);
+            let next_arrival = (cursor < n_jobs).then(|| trace.submit(cursor));
             let t = match (next_arrival, eng.events.peek_time()) {
                 (Some(a), Some(c)) => a.min(c),
                 (Some(a), None) => a,
@@ -352,7 +364,7 @@ impl SimWorkspace {
                 (None, None) => break,
             };
             clock.advance_to(t);
-            while cursor < jobs.len() && jobs[cursor].submit == t {
+            while cursor < n_jobs && trace.submit(cursor) == t {
                 events_processed += 1;
                 eng.enqueue(cursor as u32);
                 cursor += 1;
@@ -366,8 +378,14 @@ impl SimWorkspace {
         }
 
         debug_assert!(eng.queue.is_empty(), "drained simulation left jobs waiting");
-        debug_assert!(eng.releases.is_empty(), "drained simulation left release entries");
-        debug_assert!(eng.ledger.used() == 0, "drained simulation left jobs running");
+        debug_assert!(
+            eng.releases.is_empty(),
+            "drained simulation left release entries"
+        );
+        debug_assert!(
+            eng.ledger.used() == 0,
+            "drained simulation left jobs running"
+        );
         self.events_processed = events_processed;
     }
 
@@ -467,8 +485,8 @@ impl SimWorkspace {
 ///
 /// # Panics
 /// See [`SimWorkspace::run`].
-pub fn simulate(
-    trace: &Trace,
+pub fn simulate<T: TraceSource>(
+    trace: &T,
     discipline: &QueueDiscipline<'_>,
     config: &SchedulerConfig,
 ) -> SimulationResult {
@@ -480,9 +498,9 @@ pub fn simulate(
 /// Simulate reusing `ws`'s buffers; returns an owned result. Bit-identical
 /// to [`simulate`] for the same inputs regardless of the workspace's
 /// history — the workspace carries capacity, never state, between runs.
-pub fn simulate_into(
+pub fn simulate_into<T: TraceSource>(
     ws: &mut SimWorkspace,
-    trace: &Trace,
+    trace: &T,
     discipline: &QueueDiscipline<'_>,
     config: &SchedulerConfig,
 ) -> SimulationResult {
@@ -499,9 +517,9 @@ pub fn simulate_into(
 ///
 /// # Panics
 /// See [`SimWorkspace::run`].
-pub fn simulate_metrics_into(
+pub fn simulate_metrics_into<T: TraceSource>(
     ws: &mut SimWorkspace,
-    trace: &Trace,
+    trace: &T,
     discipline: &QueueDiscipline<'_>,
     config: &SchedulerConfig,
     tau: f64,
@@ -511,8 +529,8 @@ pub fn simulate_metrics_into(
 
 /// The per-run view of a workspace: disjoint `&mut`s over its buffers plus
 /// the run's immutable inputs.
-struct Engine<'a, 'b, K: CompletionSink> {
-    jobs: &'a [Job],
+struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
+    trace: &'a T,
     discipline: &'a QueueDiscipline<'b>,
     config: &'a SchedulerConfig,
     queue_order: QueueOrder,
@@ -543,10 +561,14 @@ struct Engine<'a, 'b, K: CompletionSink> {
     backfilled: &'a mut u64,
 }
 
-impl<K: CompletionSink> Engine<'_, '_, K> {
+impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
     fn enqueue(&mut self, idx: u32) {
-        let job = self.jobs[idx as usize];
-        let entry = QueueEntry { idx, job, started: false };
+        let job = self.trace.job(idx as usize);
+        let entry = QueueEntry {
+            idx,
+            job,
+            started: false,
+        };
         // Static disciplines keep the queue in priority order: insert at
         // the upper bound of the new key (scanned over the dense SoA key
         // array), so equal keys land *after* their peers — the
@@ -588,7 +610,7 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
     }
 
     fn complete(&mut self, idx: u32, t: f64) {
-        let job = self.jobs[idx as usize];
+        let job = self.trace.job(idx as usize);
         let start = self.start_of[idx as usize];
         debug_assert!(!start.is_nan(), "completion for job that is not running");
         self.ledger.release(job.cores, t);
@@ -605,7 +627,11 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
             self.releases.remove(pos);
         }
         self.start_of[idx as usize] = f64::NAN;
-        self.sink.record(CompletedJob { job, start, finish: t });
+        self.sink.record(CompletedJob {
+            job,
+            start,
+            finish: t,
+        });
     }
 
     fn start_job(&mut self, qi: usize, now: f64) {
@@ -620,8 +646,10 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
                 .expect_err("job cannot start while already running");
             self.releases.insert(at, (dend, job.cores, idx));
         }
-        self.events
-            .push(now + self.config.execution_time(job.runtime, job.estimate), idx);
+        self.events.push(
+            now + self.config.execution_time(job.runtime, job.estimate),
+            idx,
+        );
         self.queue[qi].started = true;
     }
 
@@ -657,10 +685,15 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
                 now,
             };
             let s = policy.score(&view);
-            debug_assert!(!s.is_nan(), "policy {} produced NaN for {view:?}", policy.name());
+            debug_assert!(
+                !s.is_nan(),
+                "policy {} produced NaN for {view:?}",
+                policy.name()
+            );
             self.scored.push((i, s));
         }
-        self.scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.scored
+            .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         self.order.clear();
         self.order.extend(self.scored.iter().map(|&(i, _)| i));
     }
@@ -669,9 +702,10 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
     fn queue_is_priority_sorted(&self) -> bool {
         match self.queue_order {
             QueueOrder::ByRank => self.q_keys.windows(2).all(|w| w[0] <= w[1]),
-            QueueOrder::ByCachedScore => {
-                self.q_keys.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le())
-            }
+            QueueOrder::ByCachedScore => self
+                .q_keys
+                .windows(2)
+                .all(|w| w[0].total_cmp(&w[1]).is_le()),
             QueueOrder::TimeDependent => true,
         }
     }
@@ -696,7 +730,8 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
             self.rel_scratch.push((t, cores));
         }
         if !sorted {
-            self.rel_scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            self.rel_scratch
+                .sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         }
     }
 
@@ -725,11 +760,15 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
             // Every job gets the earliest reservation that delays nobody
             // ahead of it; jobs reserved for *now* start.
             self.fill_rel_scratch(now);
-            self.profile.rebuild_from_sorted(now, self.ledger.available(), self.rel_scratch);
+            self.profile
+                .rebuild_from_sorted(now, self.ledger.available(), self.rel_scratch);
             for rank in 0..len {
                 let qi = self.ord(rank);
                 let job = self.queue[qi].job;
-                let duration = self.config.decision_time(job.runtime, job.estimate).max(1e-9);
+                let duration = self
+                    .config
+                    .decision_time(job.runtime, job.estimate)
+                    .max(1e-9);
                 let start = self
                     .profile
                     .earliest_fit(job.cores, duration)
@@ -773,13 +812,19 @@ impl<K: CompletionSink> Engine<'_, '_, K> {
                 // Depth → ∞ converges to conservative backfilling.
                 if let Some(head_pos) = blocked_at {
                     self.fill_rel_scratch(now);
-                    self.profile.rebuild_from_sorted(now, self.ledger.available(), self.rel_scratch);
+                    self.profile.rebuild_from_sorted(
+                        now,
+                        self.ledger.available(),
+                        self.rel_scratch,
+                    );
                     let mut reservations = 0u32;
                     for pos in head_pos..len {
                         let qi = self.ord(pos);
                         let job = self.queue[qi].job;
-                        let duration =
-                            self.config.decision_time(job.runtime, job.estimate).max(1e-9);
+                        let duration = self
+                            .config
+                            .decision_time(job.runtime, job.estimate)
+                            .max(1e-9);
                         let start = self
                             .profile
                             .earliest_fit(job.cores, duration)
@@ -869,6 +914,7 @@ mod tests {
     use super::*;
     use dynsched_cluster::Platform;
     use dynsched_policies::{Fcfs, Spt};
+    use dynsched_workload::Trace;
 
     fn cfg(cores: u32) -> SchedulerConfig {
         SchedulerConfig::actual_runtimes(Platform::new(cores))
@@ -879,7 +925,11 @@ mod tests {
     }
 
     fn run_fcfs(jobs: Vec<Job>, cores: u32) -> SimulationResult {
-        simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &cfg(cores))
+        simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &cfg(cores),
+        )
     }
 
     #[test]
@@ -934,7 +984,11 @@ mod tests {
         ];
         let mut config = cfg(4);
         config.backfill = BackfillMode::Aggressive;
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         let by_id = r.by_id();
         assert_eq!(by_id[&2].start, 2.0, "EASY should backfill job 2");
         assert_eq!(by_id[&1].start, 10.0, "head must not be delayed");
@@ -950,7 +1004,11 @@ mod tests {
         ];
         let mut config = cfg(4);
         config.backfill = BackfillMode::Aggressive;
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         let by_id = r.by_id();
         assert_eq!(by_id[&1].start, 10.0);
         assert_eq!(by_id[&2].start, 15.0);
@@ -969,7 +1027,11 @@ mod tests {
         ];
         let mut config = cfg(8);
         config.backfill = BackfillMode::Aggressive;
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         let by_id = r.by_id();
         assert_eq!(by_id[&2].start, 2.0, "spare-core backfill");
         assert_eq!(by_id[&1].start, 100.0, "head still starts at shadow");
@@ -984,7 +1046,11 @@ mod tests {
         ];
         let mut config = cfg(4);
         config.backfill = BackfillMode::Conservative;
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         let by_id = r.by_id();
         assert_eq!(by_id[&2].start, 2.0);
         assert_eq!(by_id[&1].start, 10.0);
@@ -1002,19 +1068,34 @@ mod tests {
         ];
         let mut config = cfg(4);
         config.backfill = BackfillMode::Conservative;
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         let by_id = r.by_id();
         assert_eq!(by_id[&1].start, 10.0);
-        assert_eq!(by_id[&2].start, 15.0, "conservative must respect head's reservation");
+        assert_eq!(
+            by_id[&2].start, 15.0,
+            "conservative must respect head's reservation"
+        );
     }
 
     #[test]
     fn fixed_order_discipline_respects_permutation() {
         // Three same-shape jobs all present at t=0; machine fits one at a
         // time; fixed order 2,0,1 (job 2 rank 0, job 0 rank 1, job 1 rank 2).
-        let jobs = vec![job(0, 0.0, 10.0, 4), job(1, 0.0, 10.0, 4), job(2, 0.0, 10.0, 4)];
+        let jobs = vec![
+            job(0, 0.0, 10.0, 4),
+            job(1, 0.0, 10.0, 4),
+            job(2, 0.0, 10.0, 4),
+        ];
         let ranks = [1usize, 2, 0];
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::FixedOrder(&ranks), &cfg(4));
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::FixedOrder(&ranks),
+            &cfg(4),
+        );
         let by_id = r.by_id();
         assert_eq!(by_id[&2].start, 0.0);
         assert_eq!(by_id[&0].start, 10.0);
@@ -1033,14 +1114,21 @@ mod tests {
         let trace = Trace::from_jobs(vec![blocker, j0, j1]);
         let r = simulate(&trace, &QueueDiscipline::Policy(&Spt), &config);
         let by_id = r.by_id();
-        assert!(by_id[&1].start < by_id[&0].start, "estimate-SPT must favour job 1");
+        assert!(
+            by_id[&1].start < by_id[&0].start,
+            "estimate-SPT must favour job 1"
+        );
     }
 
     #[test]
     fn execution_always_uses_actual_runtime() {
         let j = Job::new(0, 0.0, 7.0, 1_000.0, 1);
         let config = SchedulerConfig::user_estimates(Platform::new(4));
-        let r = simulate(&Trace::from_jobs(vec![j]), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(vec![j]),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r.completed[0].finish, 7.0);
     }
 
@@ -1053,24 +1141,38 @@ mod tests {
         let j1 = Job::new(1, 1.0, 5.0, 5.0, 4);
         let j2 = Job::new(2, 2.0, 5.0, 5.0, 1);
         let config = SchedulerConfig::estimates_with_backfilling(Platform::new(4));
-        let r = simulate(&Trace::from_jobs(vec![j0, j1, j2]), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(vec![j0, j1, j2]),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r.completed.len(), 3);
     }
 
     #[test]
     fn all_jobs_complete_under_saturation() {
-        let jobs: Vec<Job> = (0..50).map(|i| job(i, (i % 5) as f64, 10.0, 1 + (i % 4))).collect();
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| job(i, (i % 5) as f64, 10.0, 1 + (i % 4)))
+            .collect();
         let r = run_fcfs(jobs, 4);
         assert_eq!(r.completed.len(), 50);
         for c in &r.completed {
-            assert!(c.start >= c.job.submit, "job {} started before arrival", c.job.id);
+            assert!(
+                c.start >= c.job.submit,
+                "job {} started before arrival",
+                c.job.id
+            );
             assert_eq!(c.finish, c.start + c.job.runtime);
         }
     }
 
     #[test]
     fn simultaneous_arrivals_are_handled_in_one_batch() {
-        let jobs = vec![job(0, 0.0, 10.0, 2), job(1, 0.0, 10.0, 2), job(2, 0.0, 10.0, 2)];
+        let jobs = vec![
+            job(0, 0.0, 10.0, 2),
+            job(1, 0.0, 10.0, 2),
+            job(2, 0.0, 10.0, 2),
+        ];
         let r = run_fcfs(jobs, 4);
         let by_id = r.by_id();
         assert_eq!(by_id[&0].start, 0.0);
@@ -1089,13 +1191,24 @@ mod tests {
     fn short_rank_slice_panics() {
         let jobs = vec![job(0, 0.0, 1.0, 1), job(1, 0.0, 1.0, 1)];
         let ranks = [0usize];
-        simulate(&Trace::from_jobs(jobs), &QueueDiscipline::FixedOrder(&ranks), &cfg(4));
+        simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::FixedOrder(&ranks),
+            &cfg(4),
+        );
     }
 
     #[test]
     fn determinism_same_inputs_same_schedule() {
         let jobs: Vec<Job> = (0..40)
-            .map(|i| job(i, (i as f64) * 3.7, 10.0 + (i % 7) as f64 * 20.0, 1 + (i % 6)))
+            .map(|i| {
+                job(
+                    i,
+                    (i as f64) * 3.7,
+                    10.0 + (i % 7) as f64 * 20.0,
+                    1 + (i % 6),
+                )
+            })
             .collect();
         let a = run_fcfs(jobs.clone(), 8);
         let b = run_fcfs(jobs, 8);
@@ -1109,12 +1222,20 @@ mod tests {
         let j = Job::new(0, 0.0, 100.0, 30.0, 2);
         let mut config = SchedulerConfig::user_estimates(Platform::new(4));
         config.kill_at_estimate = true;
-        let r = simulate(&Trace::from_jobs(vec![j]), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(vec![j]),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r.completed[0].finish, 30.0);
         assert!(r.completed[0].was_killed());
         // Without enforcement it runs to completion.
         config.kill_at_estimate = false;
-        let r = simulate(&Trace::from_jobs(vec![j]), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(vec![j]),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r.completed[0].finish, 100.0);
         assert!(!r.completed[0].was_killed());
     }
@@ -1125,7 +1246,11 @@ mod tests {
         let j1 = Job::new(1, 1.0, 5.0, 5.0, 4);
         let mut config = SchedulerConfig::user_estimates(Platform::new(4));
         config.kill_at_estimate = true;
-        let r = simulate(&Trace::from_jobs(vec![j0, j1]), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(vec![j0, j1]),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r.by_id()[&1].start, 10.0);
     }
 
@@ -1146,15 +1271,27 @@ mod tests {
         // and job2 slips to t=33.
         let mut config = cfg(5);
         config.backfill = BackfillMode::Aggressive;
-        let r1 = simulate(&Trace::from_jobs(jobs.clone()), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r1 = simulate(
+            &Trace::from_jobs(jobs.clone()),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r1.by_id()[&3].start, 3.0);
         assert_eq!(r1.by_id()[&2].start, 33.0);
         // Depth 2: job2's reservation [15, 25) is inviolable; job3 starts
         // only after it, and job2 keeps its slot.
         config.reservation_depth = 2;
-        let r2 = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r2 = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r2.by_id()[&1].start, 10.0);
-        assert_eq!(r2.by_id()[&2].start, 15.0, "deep reservation must protect job 2");
+        assert_eq!(
+            r2.by_id()[&2].start,
+            15.0,
+            "deep reservation must protect job 2"
+        );
         assert_eq!(r2.by_id()[&3].start, 25.0);
     }
 
@@ -1168,7 +1305,11 @@ mod tests {
         let mut config = cfg(4);
         config.backfill = BackfillMode::Aggressive;
         config.reservation_depth = 4;
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         assert_eq!(r.by_id()[&2].start, 2.0);
         assert_eq!(r.by_id()[&1].start, 10.0);
     }
@@ -1189,13 +1330,27 @@ mod tests {
             // default time_dependent() = true -> per-event evaluation
         }
         let jobs: Vec<Job> = (0..60)
-            .map(|i| job(i, (i as f64) * 11.0, 30.0 + (i % 9) as f64 * 200.0, 1 + (i % 7)))
+            .map(|i| {
+                job(
+                    i,
+                    (i as f64) * 11.0,
+                    30.0 + (i % 9) as f64 * 200.0,
+                    1 + (i % 7),
+                )
+            })
             .collect();
         let trace = Trace::from_jobs(jobs);
         let config = cfg(8);
-        let cached = simulate(&trace, &QueueDiscipline::Policy(&LearnedPolicy::f1()), &config);
-        let uncached =
-            simulate(&trace, &QueueDiscipline::Policy(&Uncached(LearnedPolicy::f1())), &config);
+        let cached = simulate(
+            &trace,
+            &QueueDiscipline::Policy(&LearnedPolicy::f1()),
+            &config,
+        );
+        let uncached = simulate(
+            &trace,
+            &QueueDiscipline::Policy(&Uncached(LearnedPolicy::f1())),
+            &config,
+        );
         assert_eq!(cached.completed, uncached.completed);
     }
 
@@ -1214,7 +1369,12 @@ mod tests {
             let jobs: Vec<Job> = (0..30)
                 .map(|i| {
                     let k = i + seed * 7;
-                    job(i, (k % 11) as f64 * 5.3, 4.0 + (k % 9) as f64 * 13.0, 1 + (k % 5))
+                    job(
+                        i,
+                        (k % 11) as f64 * 5.3,
+                        4.0 + (k % 9) as f64 * 13.0,
+                        1 + (k % 5),
+                    )
                 })
                 .collect();
             let trace = Trace::from_jobs(jobs);
@@ -1226,7 +1386,10 @@ mod tests {
             };
             let reused = simulate_into(&mut ws, &trace, &QueueDiscipline::Policy(&Fcfs), &config);
             let fresh = simulate(&trace, &QueueDiscipline::Policy(&Fcfs), &config);
-            assert_eq!(reused, fresh, "seed {seed}: workspace reuse changed the schedule");
+            assert_eq!(
+                reused, fresh,
+                "seed {seed}: workspace reuse changed the schedule"
+            );
         }
     }
 
@@ -1240,7 +1403,12 @@ mod tests {
             let jobs: Vec<Job> = (0..30)
                 .map(|i| {
                     let k = i + seed * 13;
-                    job(i, (k % 7) as f64 * 4.1, 3.0 + (k % 11) as f64 * 9.0, 1 + (k % 5))
+                    job(
+                        i,
+                        (k % 7) as f64 * 4.1,
+                        3.0 + (k % 11) as f64 * 9.0,
+                        1 + (k % 5),
+                    )
                 })
                 .collect();
             let trace = Trace::from_jobs(jobs);
@@ -1254,14 +1422,21 @@ mod tests {
             let metrics = simulate_metrics_into(&mut ws, &trace, &discipline, &config, 10.0);
             let full = simulate_into(&mut ws, &trace, &discipline, &config);
             assert_eq!(metrics, SimMetrics::from_result(&full, 10.0), "seed {seed}");
-            assert_eq!(metrics.avg_bounded_slowdown(), full.avg_bounded_slowdown(10.0));
+            assert_eq!(
+                metrics.avg_bounded_slowdown(),
+                full.avg_bounded_slowdown(10.0)
+            );
             assert_eq!(metrics.makespan, full.makespan);
         }
     }
 
     #[test]
     fn metrics_mode_keeps_accessors_coherent() {
-        let jobs = vec![job(0, 0.0, 10.0, 2), job(1, 0.0, 20.0, 2), job(2, 1.0, 5.0, 4)];
+        let jobs = vec![
+            job(0, 0.0, 10.0, 2),
+            job(1, 0.0, 20.0, 2),
+            job(2, 1.0, 5.0, 4),
+        ];
         let trace = Trace::from_jobs(jobs);
         let mut ws = SimWorkspace::new();
         let m = ws.run_metrics(&trace, &QueueDiscipline::Policy(&Fcfs), &cfg(4), 10.0);
@@ -1282,9 +1457,17 @@ mod tests {
 
     #[test]
     fn workspace_accessors_match_result() {
-        let jobs = vec![job(0, 0.0, 10.0, 2), job(1, 0.0, 20.0, 2), job(2, 1.0, 5.0, 4)];
+        let jobs = vec![
+            job(0, 0.0, 10.0, 2),
+            job(1, 0.0, 20.0, 2),
+            job(2, 1.0, 5.0, 4),
+        ];
         let mut ws = SimWorkspace::new();
-        ws.run(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &cfg(4));
+        ws.run(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &cfg(4),
+        );
         let r = ws.result();
         assert_eq!(ws.completed(), &r.completed[..]);
         assert_eq!(ws.makespan(), r.makespan);

@@ -29,7 +29,11 @@ pub fn record_from_completed(c: &dynsched_cluster::CompletedJob) -> SwfRecord {
 /// header recording the policy/scenario in `label`.
 pub fn write_schedule_swf(result: &SimulationResult, label: &str, platform_cores: u32) -> String {
     let mut records: Vec<SwfRecord> = result.completed.iter().map(record_from_completed).collect();
-    records.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.job_number.cmp(&b.job_number)));
+    records.sort_by(|a, b| {
+        a.submit
+            .total_cmp(&b.submit)
+            .then(a.job_number.cmp(&b.job_number))
+    });
     let comments = vec![
         format!("Schedule produced by dynsched: {label}"),
         format!("MaxProcs: {platform_cores}"),
@@ -77,7 +81,11 @@ mod tests {
         let jobs = vec![Job::new(0, 0.0, 100.0, 20.0, 1)];
         let mut config = SchedulerConfig::user_estimates(Platform::new(4));
         config.kill_at_estimate = true;
-        let r = simulate(&Trace::from_jobs(jobs), &QueueDiscipline::Policy(&Fcfs), &config);
+        let r = simulate(
+            &Trace::from_jobs(jobs),
+            &QueueDiscipline::Policy(&Fcfs),
+            &config,
+        );
         let rec = record_from_completed(&r.completed[0]);
         assert_eq!(rec.status, 5);
         assert_eq!(rec.run_time, 20.0);

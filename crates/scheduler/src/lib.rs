@@ -48,6 +48,19 @@
 //! The contract for callers holding a workspace across cells is unchanged:
 //! capacity carries over, state never does.
 //!
+//! # Columnar traces
+//!
+//! Every engine entry point is generic over
+//! [`TraceSource`](dynsched_workload::TraceSource): it accepts the AoS
+//! [`Trace`](dynsched_workload::Trace) or the dense SoA columns of a
+//! [`TraceView`](dynsched_workload::TraceView) (the trace store's shared
+//! handle) and reads per-field lanes either way. The two layouts present
+//! identical values in the identical canonical order, so results are
+//! bit-identical across them — the `soa_bit_identity` suite pins this for
+//! both engine modes, all backfill/decision modes, and shared-view
+//! fan-outs at any worker count. [`mod@reference`] stays on the AoS path:
+//! the oracle never changes layout.
+//!
 //! RNG never appears in this crate: randomized callers (the trial driver)
 //! derive each simulation's inputs from `(master seed, trial index)`
 //! upstream, which is why the whole pipeline is replayable at any thread
@@ -65,9 +78,7 @@ pub mod result;
 pub mod timeline;
 
 pub use config::{BackfillMode, SchedulerConfig};
-pub use engine::{
-    simulate, simulate_into, simulate_metrics_into, QueueDiscipline, SimWorkspace,
-};
+pub use engine::{simulate, simulate_into, simulate_metrics_into, QueueDiscipline, SimWorkspace};
 pub use export::write_schedule_swf;
 pub use result::{SimMetrics, SimulationResult};
 pub use timeline::{ascii_gantt, queue_length_curve, utilization_curve};

@@ -45,7 +45,9 @@ impl Profile {
             .map(|&(t, c)| (clamp_release(now, t), c))
             .collect();
         sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut profile = Self { points: Vec::with_capacity(sorted.len() + 1) };
+        let mut profile = Self {
+            points: Vec::with_capacity(sorted.len() + 1),
+        };
         profile.rebuild_from_sorted(now, available, &sorted);
         profile
     }
@@ -60,7 +62,10 @@ impl Profile {
             releases.windows(2).all(|w| w[0].0 <= w[1].0),
             "releases must be sorted by time"
         );
-        debug_assert!(releases.iter().all(|&(t, _)| t > now), "releases must be clamped past now");
+        debug_assert!(
+            releases.iter().all(|&(t, _)| t > now),
+            "releases must be clamped past now"
+        );
         self.points.clear();
         self.points.push((now, available));
         let mut avail = available;

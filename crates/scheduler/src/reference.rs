@@ -55,7 +55,11 @@ fn make_entry(
         }),
         _ => 0.0,
     };
-    QueueEntry { idx, job, cached_score }
+    QueueEntry {
+        idx,
+        job,
+        cached_score,
+    }
 }
 
 /// Simulate `trace` with the original engine. Same contract as
@@ -99,13 +103,15 @@ pub fn simulate_reference(
         for ev in batch {
             events_processed += 1;
             match ev {
-                Event::Arrival(idx) => {
-                    queue.push(make_entry(idx, jobs[idx], discipline, config))
-                }
+                Event::Arrival(idx) => queue.push(make_entry(idx, jobs[idx], discipline, config)),
                 Event::Completion(id) => {
                     let run = running.remove(&id).expect("completion for unknown job");
                     ledger.release(id, t).expect("running job holds cores");
-                    completed.push(CompletedJob { job: run.job, start: run.start, finish: t });
+                    completed.push(CompletedJob {
+                        job: run.job,
+                        start: run.start,
+                        finish: t,
+                    });
                 }
             }
         }
@@ -125,7 +131,13 @@ pub fn simulate_reference(
     debug_assert!(running.is_empty(), "drained simulation left jobs running");
     let makespan = completed.iter().map(|c| c.finish).fold(0.0, f64::max);
     let utilization = ledger.utilization(makespan).unwrap_or(0.0);
-    SimulationResult { completed, makespan, utilization, events_processed, backfilled_jobs: backfilled }
+    SimulationResult {
+        completed,
+        makespan,
+        utilization,
+        events_processed,
+        backfilled_jobs: backfilled,
+    }
 }
 
 /// The metrics-mode oracle: run the reference engine, then reduce its
@@ -201,7 +213,9 @@ fn reschedule(
                      ledger: &mut dynsched_cluster::AllocationLedger,
                      running: &mut HashMap<JobId, Running>,
                      events: &mut EventQueue<Event>| {
-        ledger.allocate(job.id, job.cores, now).expect("start checked to fit");
+        ledger
+            .allocate(job.id, job.cores, now)
+            .expect("start checked to fit");
         running.insert(job.id, Running { job, start: now });
         events.push(
             now + config.execution_time(job.runtime, job.estimate),
@@ -216,7 +230,12 @@ fn reschedule(
         // of it; jobs reserved for *now* start.
         let releases: Vec<(f64, u32)> = running
             .values()
-            .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
+            .map(|r| {
+                (
+                    r.start + config.decision_time(r.job.runtime, r.job.estimate),
+                    r.job.cores,
+                )
+            })
             .collect();
         let mut profile = Profile::new(now, ledger.available(), &releases);
         for (rank, &qi) in order.iter().enumerate() {
@@ -256,7 +275,12 @@ fn reschedule(
             if let Some(head_pos) = blocked_at {
                 let releases: Vec<(f64, u32)> = running
                     .values()
-                    .map(|r| (r.start + config.decision_time(r.job.runtime, r.job.estimate), r.job.cores))
+                    .map(|r| {
+                        (
+                            r.start + config.decision_time(r.job.runtime, r.job.estimate),
+                            r.job.cores,
+                        )
+                    })
                     .collect();
                 let mut profile = Profile::new(now, ledger.available(), &releases);
                 let mut reservations = 0u32;

@@ -30,8 +30,12 @@ impl SimulationResult {
     /// (the training pipeline scores only the tasks of `Q`, not the warmup
     /// set `S`). Returns `None` if no listed job completed.
     pub fn avg_bounded_slowdown_of(&self, ids: &dyn Fn(JobId) -> bool, tau: f64) -> Option<f64> {
-        let subset: Vec<CompletedJob> =
-            self.completed.iter().filter(|c| ids(c.job.id)).copied().collect();
+        let subset: Vec<CompletedJob> = self
+            .completed
+            .iter()
+            .filter(|c| ids(c.job.id))
+            .copied()
+            .collect();
         average_bounded_slowdown(&subset, tau)
     }
 
@@ -45,14 +49,18 @@ impl SimulationResult {
         if self.completed.is_empty() {
             return None;
         }
-        Some(self.completed.iter().map(CompletedJob::wait).sum::<f64>() / self.completed.len() as f64)
+        Some(
+            self.completed.iter().map(CompletedJob::wait).sum::<f64>()
+                / self.completed.len() as f64,
+        )
     }
 
     /// Maximum waiting time over completed jobs (`None` if empty).
     pub fn max_wait(&self) -> Option<f64> {
-        self.completed.iter().map(CompletedJob::wait).fold(None, |acc, w| {
-            Some(acc.map_or(w, |a: f64| a.max(w)))
-        })
+        self.completed
+            .iter()
+            .map(CompletedJob::wait)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.max(w))))
     }
 }
 
@@ -84,7 +92,13 @@ pub struct SimMetrics {
 impl SimMetrics {
     /// An empty accumulator for threshold `tau`.
     pub fn new(tau: f64) -> Self {
-        Self { tau, bsld_sum: 0.0, completed_jobs: 0, backfilled_jobs: 0, makespan: 0.0 }
+        Self {
+            tau,
+            bsld_sum: 0.0,
+            completed_jobs: 0,
+            backfilled_jobs: 0,
+            makespan: 0.0,
+        }
     }
 
     /// Fold one completion event into the accumulator. Call in completion
@@ -130,7 +144,10 @@ mod tests {
 
     fn result() -> SimulationResult {
         SimulationResult {
-            completed: vec![completed(0, 0.0, 0.0, 100.0), completed(1, 0.0, 100.0, 100.0)],
+            completed: vec![
+                completed(0, 0.0, 0.0, 100.0),
+                completed(1, 0.0, 100.0, 100.0),
+            ],
             makespan: 200.0,
             utilization: 0.5,
             events_processed: 4,
@@ -171,7 +188,10 @@ mod tests {
         let r = result();
         let m = SimMetrics::from_result(&r, 10.0);
         assert_eq!(m.avg_bounded_slowdown(), r.avg_bounded_slowdown(10.0));
-        assert_eq!(m.makespan, r.completed.iter().map(|c| c.finish).fold(0.0, f64::max));
+        assert_eq!(
+            m.makespan,
+            r.completed.iter().map(|c| c.finish).fold(0.0, f64::max)
+        );
         assert_eq!(m.completed_jobs, 2);
         assert_eq!(m.backfilled_jobs, r.backfilled_jobs);
     }

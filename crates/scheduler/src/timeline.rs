@@ -146,10 +146,23 @@ mod tests {
         // Three simultaneous full-machine jobs: queue 3 at t=0 (before the
         // first start is processed in the same instant the curve nets to
         // 2 waiting after one starts).
-        let r = sim(vec![job(0, 0.0, 10.0, 4), job(1, 0.0, 10.0, 4), job(2, 0.0, 10.0, 4)], 4);
+        let r = sim(
+            vec![
+                job(0, 0.0, 10.0, 4),
+                job(1, 0.0, 10.0, 4),
+                job(2, 0.0, 10.0, 4),
+            ],
+            4,
+        );
         let curve = queue_length_curve(&r);
         // At t=0: 3 submits and 1 start → level 2.
-        assert_eq!(curve[0], CurvePoint { time: 0.0, value: 2.0 });
+        assert_eq!(
+            curve[0],
+            CurvePoint {
+                time: 0.0,
+                value: 2.0
+            }
+        );
         // Each completion starts the next job: queue decreases.
         assert_eq!(curve_max(&curve), 2.0);
         assert_eq!(curve.last().unwrap().value, 0.0);
@@ -169,8 +182,14 @@ mod tests {
         let g = ascii_gantt(&r, 20);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("##########"), "job 0 runs the first half: {g}");
-        assert!(lines[1].contains(".........."), "job 1 waits the first half: {g}");
+        assert!(
+            lines[0].contains("##########"),
+            "job 0 runs the first half: {g}"
+        );
+        assert!(
+            lines[1].contains(".........."),
+            "job 1 waits the first half: {g}"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@ use dynsched_cluster::{Job, Platform};
 use dynsched_policies::paper_lineup;
 use dynsched_scheduler::reference::{reference_metrics, simulate_reference};
 use dynsched_scheduler::{
-    simulate, simulate_into, simulate_metrics_into, BackfillMode, QueueDiscipline,
-    SchedulerConfig, SimMetrics, SimWorkspace,
+    simulate, simulate_into, simulate_metrics_into, BackfillMode, QueueDiscipline, SchedulerConfig,
+    SimMetrics, SimWorkspace,
 };
 use dynsched_simkit::Rng;
 use dynsched_workload::Trace;
@@ -48,8 +48,11 @@ fn configs(cores: u32) -> Vec<SchedulerConfig> {
         SchedulerConfig::actual_runtimes(Platform::new(cores)),
         SchedulerConfig::user_estimates(Platform::new(cores)),
     ] {
-        for backfill in [BackfillMode::None, BackfillMode::Aggressive, BackfillMode::Conservative]
-        {
+        for backfill in [
+            BackfillMode::None,
+            BackfillMode::Aggressive,
+            BackfillMode::Conservative,
+        ] {
             for depth in [1u32, 3] {
                 for kill in [false, true] {
                     let mut c = base;
@@ -80,7 +83,8 @@ fn fast_path_matches_reference_for_policies() {
             let want = simulate_reference(&trace, &discipline, &config);
             let got = simulate_into(&mut ws, &trace, &discipline, &config);
             assert_eq!(
-                got, want,
+                got,
+                want,
                 "round {round}, policy {}, config {config:?}",
                 policy.name()
             );
@@ -122,11 +126,14 @@ fn metrics_mode_matches_reference_reduction() {
             let discipline = QueueDiscipline::Policy(policy.as_ref());
             let want = reference_metrics(&trace, &discipline, config, tau);
             let got = simulate_metrics_into(&mut ws, &trace, &discipline, config, tau);
-            assert_eq!(got, want, "round {round}, policy {}, config {config:?}", policy.name());
-            let full = SimMetrics::from_result(
-                &simulate_into(&mut ws, &trace, &discipline, config),
-                tau,
+            assert_eq!(
+                got,
+                want,
+                "round {round}, policy {}, config {config:?}",
+                policy.name()
             );
+            let full =
+                SimMetrics::from_result(&simulate_into(&mut ws, &trace, &discipline, config), tau);
             assert_eq!(got, full, "streaming vs materialized reduction diverged");
             assert_eq!(got.avg_bounded_slowdown(), full.avg_bounded_slowdown());
         }

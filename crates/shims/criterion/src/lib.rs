@@ -83,8 +83,7 @@ impl Bencher<'_> {
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
         let budget = self.config.measurement.as_secs_f64();
         let batches = self.config.sample_size.max(2) as u64;
-        let batch_iters =
-            ((budget / batches as f64 / per_iter.max(1e-9)).floor() as u64).max(1);
+        let batch_iters = ((budget / batches as f64 / per_iter.max(1e-9)).floor() as u64).max(1);
         self.samples.clear();
         for _ in 0..batches {
             let t0 = Instant::now();
@@ -164,7 +163,10 @@ impl Criterion {
                 return;
             }
         }
-        let mut b = Bencher { config: &self.config, samples: Vec::new() };
+        let mut b = Bencher {
+            config: &self.config,
+            samples: Vec::new(),
+        };
         f(&mut b);
         let mut total_iters = 0u64;
         let mut total_time = 0.0f64;
@@ -177,8 +179,19 @@ impl Criterion {
             total_iters += iters;
             total_time += dt.as_secs_f64();
         }
-        let mean_s = if total_iters > 0 { total_time / total_iters as f64 } else { 0.0 };
-        let m = Measurement { id, mean_s, min_s, max_s, iters: total_iters, throughput };
+        let mean_s = if total_iters > 0 {
+            total_time / total_iters as f64
+        } else {
+            0.0
+        };
+        let m = Measurement {
+            id,
+            mean_s,
+            min_s,
+            max_s,
+            iters: total_iters,
+            throughput,
+        };
         let rate = m
             .rate()
             .map(|r| {
@@ -209,7 +222,11 @@ impl Criterion {
 
     /// Open a named group (ids become `group/name`).
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
     }
 
     /// All measurements taken so far (for machine-readable exports).
@@ -222,7 +239,10 @@ impl Criterion {
         if self.results.is_empty() {
             return;
         }
-        println!("\n--- benchmark summary ({} benches) ---", self.results.len());
+        println!(
+            "\n--- benchmark summary ({} benches) ---",
+            self.results.len()
+        );
         for m in &self.results {
             println!("  {:<48} {:>12}/iter", m.id, fmt_time(m.mean_s));
         }

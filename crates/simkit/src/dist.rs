@@ -29,7 +29,10 @@ pub struct Uniform {
 impl Uniform {
     /// Create a uniform distribution; requires `lo <= hi` and finite bounds.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform bounds"
+        );
         Self { lo, hi }
     }
 }
@@ -53,7 +56,10 @@ pub struct Exponential {
 impl Exponential {
     /// Create an exponential distribution; requires `lambda > 0`.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive"
+        );
         Self { lambda }
     }
 
@@ -83,7 +89,10 @@ pub struct Normal {
 impl Normal {
     /// Create a normal distribution; requires `sigma >= 0`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite() && mu.is_finite(), "invalid normal params");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite() && mu.is_finite(),
+            "invalid normal params"
+        );
         Self { mu, sigma }
     }
 }
@@ -224,7 +233,9 @@ pub struct LogNormal {
 impl LogNormal {
     /// Create a log-normal distribution with underlying normal `N(mu, sigma)`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        Self { normal: Normal::new(mu, sigma) }
+        Self {
+            normal: Normal::new(mu, sigma),
+        }
     }
 }
 
@@ -271,7 +282,10 @@ pub struct TwoStageUniform {
 impl TwoStageUniform {
     /// Create the distribution; requires `lo <= med <= hi`, `prob` in `[0,1]`.
     pub fn new(lo: f64, med: f64, hi: f64, prob: f64) -> Self {
-        assert!(lo <= med && med <= hi, "two-stage uniform needs lo <= med <= hi");
+        assert!(
+            lo <= med && med <= hi,
+            "two-stage uniform needs lo <= med <= hi"
+        );
         assert!((0.0..=1.0).contains(&prob), "prob must be in [0,1]");
         Self { lo, med, hi, prob }
     }
@@ -287,7 +301,9 @@ impl Sample for TwoStageUniform {
     }
 
     fn mean(&self) -> Option<f64> {
-        Some(self.prob * 0.5 * (self.lo + self.med) + (1.0 - self.prob) * 0.5 * (self.med + self.hi))
+        Some(
+            self.prob * 0.5 * (self.lo + self.med) + (1.0 - self.prob) * 0.5 * (self.med + self.hi),
+        )
     }
 }
 

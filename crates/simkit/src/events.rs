@@ -75,12 +75,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Create an empty queue with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` at absolute time `time`.

@@ -43,12 +43,10 @@ pub fn with_worker_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
 
 /// Number of worker threads for `count` tasks.
 fn worker_count(count: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    WORKER_LIMIT
-        .with(Cell::get)
-        .unwrap_or(hw)
-        .min(count)
-        .max(1)
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    WORKER_LIMIT.with(Cell::get).unwrap_or(hw).min(count).max(1)
 }
 
 /// Shareable raw pointer to the output buffer. Safety: workers write
@@ -281,16 +279,11 @@ mod tests {
         // The worker-local buffer is cleared per task; results must be as if
         // each task had a fresh one.
         let master = Rng::new(99);
-        let got = run_indexed_scoped(
-            &master,
-            500,
-            Vec::<u64>::new,
-            |i, rng, buf| {
-                buf.clear();
-                buf.extend((0..4).map(|_| rng.next_u64()));
-                buf.iter().fold(i as u64, |a, &x| a.wrapping_add(x))
-            },
-        );
+        let got = run_indexed_scoped(&master, 500, Vec::<u64>::new, |i, rng, buf| {
+            buf.clear();
+            buf.extend((0..4).map(|_| rng.next_u64()));
+            buf.iter().fold(i as u64, |a, &x| a.wrapping_add(x))
+        });
         let want: Vec<u64> = (0..500u64)
             .map(|i| {
                 let mut rng = master.fork(i);
@@ -302,15 +295,11 @@ mod tests {
 
     #[test]
     fn run_scoped_matches_sequential() {
-        let got = run_scoped(
-            321,
-            Vec::<usize>::new,
-            |i, buf| {
-                buf.clear();
-                buf.extend(0..i % 5);
-                i * 3 + buf.len()
-            },
-        );
+        let got = run_scoped(321, Vec::<usize>::new, |i, buf| {
+            buf.clear();
+            buf.extend(0..i % 5);
+            i * 3 + buf.len()
+        });
         let want: Vec<usize> = (0..321).map(|i| i * 3 + i % 5).collect();
         assert_eq!(got, want);
     }
@@ -319,10 +308,14 @@ mod tests {
     fn par_map_scoped_is_thread_count_independent() {
         let items: Vec<u64> = (0..400).collect();
         let eval = || {
-            par_map_scoped(&items, || 0u64, |&x, scratch| {
-                *scratch = x; // reset, then use
-                *scratch * 2 + 1
-            })
+            par_map_scoped(
+                &items,
+                || 0u64,
+                |&x, scratch| {
+                    *scratch = x; // reset, then use
+                    *scratch * 2 + 1
+                },
+            )
         };
         let wide = eval();
         let narrow = with_worker_limit(1, eval);

@@ -103,12 +103,12 @@ impl P2Quantile {
             if (delta >= 1.0 && right_gap > 1.0) || (delta <= -1.0 && left_gap < -1.0) {
                 let d = delta.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }
@@ -178,7 +178,10 @@ mod tests {
             p.push(-rng.next_f64_open().ln());
         }
         let est = p.estimate().unwrap();
-        assert!((est - std::f64::consts::LN_10).abs() < 0.08, "p90 estimate {est}");
+        assert!(
+            (est - std::f64::consts::LN_10).abs() < 0.08,
+            "p90 estimate {est}"
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ impl Rng {
             .iter()
             .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
             .sum();
-        assert!(total > 0.0, "choose_weighted: total weight must be positive");
+        assert!(
+            total > 0.0,
+            "choose_weighted: total weight must be positive"
+        );
         let mut u = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };

@@ -159,7 +159,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(nbins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range must be non-empty");
-        Self { lo, hi, bins: vec![0; nbins], below: 0, above: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            below: 0,
+            above: 0,
+        }
     }
 
     /// Record one observation.

@@ -19,7 +19,9 @@
 //! (see `examples/real_trace_sim.rs`).
 
 use crate::lublin::LublinModel;
+use crate::registry::fxhash;
 use crate::sequence::{extract_sequences, SequenceError, SequenceSpec};
+use crate::store::{TraceKey, TraceStore, TraceView};
 use crate::trace::Trace;
 use crate::tsafrir::TsafrirEstimates;
 use dynsched_simkit::Rng;
@@ -92,7 +94,12 @@ impl ArchivePlatform {
     };
 
     /// All four platforms, in the paper's order.
-    pub const ALL: [Self; 4] = [Self::CURIE, Self::ANL_INTREPID, Self::SDSC_BLUE, Self::CTC_SP2];
+    pub const ALL: [Self; 4] = [
+        Self::CURIE,
+        Self::ANL_INTREPID,
+        Self::SDSC_BLUE,
+        Self::CTC_SP2,
+    ];
 
     /// Mean jobs submitted per day in the original log (30-day months).
     pub fn jobs_per_day(&self) -> f64 {
@@ -138,17 +145,34 @@ impl ArchivePlatform {
         let trace = self.synthesize(days, seed);
         extract_sequences(&trace, spec)
     }
-}
 
-/// Tiny deterministic string hash (FNV-1a) so each platform gets a distinct
-/// stream from the same user seed.
-fn fxhash(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    /// The interning key of this platform's stand-in sequences under
+    /// `(spec, seed)`: everything that influences
+    /// [`ArchivePlatform::synthesize_sequences`] is captured, so distinct
+    /// protocols never share a store entry.
+    pub fn sequence_key(&self, spec: &SequenceSpec, seed: u64) -> TraceKey {
+        TraceKey::new(format!("archive/{}", self.name), seed)
+            .with_u64(spec.count as u64)
+            .with_f64(spec.days)
+            .with_u64(spec.min_jobs as u64)
     }
-    h
+
+    /// [`ArchivePlatform::synthesize_sequences`] through a [`TraceStore`]:
+    /// the stand-in is synthesized once per `(platform, spec, seed)` and
+    /// shared by every evaluation condition that names it — the Table-4
+    /// grid alone asks for each platform's sequences three times.
+    pub fn sequence_views(
+        &self,
+        store: &TraceStore,
+        spec: &SequenceSpec,
+        seed: u64,
+    ) -> Result<Vec<TraceView>, SequenceError> {
+        Ok(store
+            .get_or_try_build_set(self.sequence_key(spec, seed), || {
+                self.synthesize_sequences(spec, seed)
+            })?
+            .to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +215,11 @@ mod tests {
 
     #[test]
     fn sequences_extract_for_every_platform() {
-        let spec = SequenceSpec { count: 3, days: 2.0, min_jobs: 5 };
+        let spec = SequenceSpec {
+            count: 3,
+            days: 2.0,
+            min_jobs: 5,
+        };
         for p in ArchivePlatform::ALL {
             let seqs = p.synthesize_sequences(&spec, 11).unwrap();
             assert_eq!(seqs.len(), 3, "{}", p.name);

@@ -98,7 +98,9 @@ impl FeitelsonModel {
         } else {
             self.long_mean
         };
-        Exponential::new(1.0 / mean).sample(rng).clamp(1.0, self.max_runtime)
+        Exponential::new(1.0 / mean)
+            .sample(rng)
+            .clamp(1.0, self.max_runtime)
     }
 
     /// Generate `count` jobs starting at time 0 (estimates = runtimes; use
@@ -141,7 +143,10 @@ mod tests {
         let sizes: Vec<u32> = (0..20_000).map(|_| m.sample_cores(&mut rng)).collect();
         assert!(sizes.iter().all(|&n| (1..=128).contains(&n)));
         let small = sizes.iter().filter(|&&n| n <= 8).count();
-        assert!(small as f64 / sizes.len() as f64 > 0.5, "harmonic mass on small sizes");
+        assert!(
+            small as f64 / sizes.len() as f64 > 0.5,
+            "harmonic mass on small sizes"
+        );
     }
 
     #[test]
@@ -165,7 +170,10 @@ mod tests {
         let m = FeitelsonModel::new(128);
         let mut rng = Rng::new(3);
         let mean_rt = |cores: u32, rng: &mut Rng| {
-            (0..4_000).map(|_| m.sample_runtime(cores, rng)).sum::<f64>() / 4_000.0
+            (0..4_000)
+                .map(|_| m.sample_runtime(cores, rng))
+                .sum::<f64>()
+                / 4_000.0
         };
         let narrow = mean_rt(1, &mut rng);
         let wide = mean_rt(128, &mut rng);

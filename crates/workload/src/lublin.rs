@@ -126,7 +126,9 @@ impl LublinModel {
 
     /// Break point of the two-stage uniform.
     fn umed(&self) -> f64 {
-        (self.uhi() - self.umed_gap).max(self.ulow + 0.1).min(self.uhi())
+        (self.uhi() - self.umed_gap)
+            .max(self.ulow + 0.1)
+            .min(self.uhi())
     }
 
     /// Sample a job size (number of cores).
@@ -157,8 +159,7 @@ impl LublinModel {
 
     /// Sample one raw inter-arrival gap (seconds), before the daily cycle.
     pub fn sample_raw_gap(&self, rng: &mut Rng) -> f64 {
-        (Gamma::new(self.aarr, self.barr).sample(rng).exp() * self.arrival_scale)
-            .min(self.max_gap)
+        (Gamma::new(self.aarr, self.barr).sample(rng).exp() * self.arrival_scale).min(self.max_gap)
     }
 
     /// Arrival-intensity weight at time-of-day `tod` seconds (mean ≈ 1).
@@ -398,7 +399,10 @@ mod tests {
 
     #[test]
     fn daily_weight_is_normalized_and_peaks_in_working_hours() {
-        let mean: f64 = (0..24).map(|h| LublinModel::daily_weight(h as f64 * 3600.0)).sum::<f64>() / 24.0;
+        let mean: f64 = (0..24)
+            .map(|h| LublinModel::daily_weight(h as f64 * 3600.0))
+            .sum::<f64>()
+            / 24.0;
         assert!((mean - 1.0).abs() < 1e-9);
         let night = LublinModel::daily_weight(3.0 * 3600.0);
         let midday = LublinModel::daily_weight(14.0 * 3600.0);
@@ -415,7 +419,11 @@ mod tests {
         m.arrival_scale = 0.5;
         let mut rng = Rng::new(9);
         let halved = m.mean_gap(20_000, &mut rng);
-        assert!((halved / base - 0.5).abs() < 0.02, "ratio {}", halved / base);
+        assert!(
+            (halved / base - 0.5).abs() < 0.02,
+            "ratio {}",
+            halved / base
+        );
     }
 
     #[test]
@@ -457,6 +465,9 @@ mod tests {
         let m = LublinModel::new(1024);
         let mut rng = Rng::new(13);
         let max = (0..50_000).map(|_| m.sample_cores(&mut rng)).max().unwrap();
-        assert!(max > 256, "1024-core model should emit wide jobs, max {max}");
+        assert!(
+            max > 256,
+            "1024-core model should emit wide jobs, max {max}"
+        );
     }
 }

@@ -23,7 +23,11 @@ pub struct SequenceSpec {
 
 impl Default for SequenceSpec {
     fn default() -> Self {
-        Self { count: 10, days: 15.0, min_jobs: 10 }
+        Self {
+            count: 10,
+            days: 15.0,
+            min_jobs: 10,
+        }
     }
 }
 
@@ -68,7 +72,10 @@ impl std::error::Error for SequenceError {}
 pub fn extract_sequences(trace: &Trace, spec: &SequenceSpec) -> Result<Vec<Trace>, SequenceError> {
     let mut out = Vec::with_capacity(spec.count);
     let Some(origin) = trace.start_time() else {
-        return Err(SequenceError { found: 0, requested: spec.count });
+        return Err(SequenceError {
+            found: 0,
+            requested: spec.count,
+        });
     };
     let window = spec.window_seconds();
     let end = trace.end_time().unwrap_or(origin);
@@ -85,7 +92,10 @@ pub fn extract_sequences(trace: &Trace, spec: &SequenceSpec) -> Result<Vec<Trace
         k += 1;
     }
     if out.len() < spec.count {
-        return Err(SequenceError { found: out.len(), requested: spec.count });
+        return Err(SequenceError {
+            found: out.len(),
+            requested: spec.count,
+        });
     }
     Ok(out)
 }
@@ -106,7 +116,11 @@ mod tests {
     #[test]
     fn extracts_requested_count() {
         let t = uniform_trace(100, 200);
-        let spec = SequenceSpec { count: 10, days: 15.0, min_jobs: 10 };
+        let spec = SequenceSpec {
+            count: 10,
+            days: 15.0,
+            min_jobs: 10,
+        };
         let seqs = extract_sequences(&t, &spec).unwrap();
         assert_eq!(seqs.len(), 10);
         for s in &seqs {
@@ -121,7 +135,11 @@ mod tests {
         // Verify by total job count: 10 windows × 15 days × 100 jobs/day
         // uses exactly the first 150 days; no job counted twice.
         let t = uniform_trace(100, 150);
-        let spec = SequenceSpec { count: 10, days: 15.0, min_jobs: 10 };
+        let spec = SequenceSpec {
+            count: 10,
+            days: 15.0,
+            min_jobs: 10,
+        };
         let seqs = extract_sequences(&t, &spec).unwrap();
         let total: usize = seqs.iter().map(Trace::len).sum();
         assert_eq!(total, t.len());
@@ -144,12 +162,22 @@ mod tests {
         let mut id = 0u32;
         for day in [0usize, 1, 17, 18] {
             for i in 0..100 {
-                jobs.push(Job::new(id, day as f64 * 86_400.0 + i as f64 * 10.0, 50.0, 50.0, 1));
+                jobs.push(Job::new(
+                    id,
+                    day as f64 * 86_400.0 + i as f64 * 10.0,
+                    50.0,
+                    50.0,
+                    1,
+                ));
                 id += 1;
             }
         }
         let t = Trace::from_jobs(jobs);
-        let spec = SequenceSpec { count: 4, days: 1.0, min_jobs: 50 };
+        let spec = SequenceSpec {
+            count: 4,
+            days: 1.0,
+            min_jobs: 50,
+        };
         let seqs = extract_sequences(&t, &spec).unwrap();
         assert_eq!(seqs.len(), 4);
         for s in &seqs {

@@ -21,6 +21,8 @@ use crate::trace::Trace;
 use dynsched_cluster::Job;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::io::BufRead;
+use std::path::Path;
 
 /// One raw SWF record, all 18 fields. `-1` encodes "unknown" as per the
 /// format specification.
@@ -119,7 +121,11 @@ impl SwfRecord {
             return None;
         }
         // NaN run times / submits are unusable too, hence the negated form.
-        if self.run_time.is_nan() || self.run_time < 0.0 || self.submit.is_nan() || self.submit < 0.0 {
+        if self.run_time.is_nan()
+            || self.run_time < 0.0
+            || self.submit.is_nan()
+            || self.submit < 0.0
+        {
             return None;
         }
         let runtime = self.run_time.max(1.0);
@@ -149,68 +155,143 @@ impl std::fmt::Display for SwfParseError {
 
 impl std::error::Error for SwfParseError {}
 
+/// Error produced while reading an SWF document from a stream: either the
+/// underlying I/O failed or a line failed to parse.
+#[derive(Debug)]
+pub enum SwfReadError {
+    /// The reader failed.
+    Io(std::io::Error),
+    /// A line failed the format rules (with its 1-based position).
+    Parse(SwfParseError),
+}
+
+impl std::fmt::Display for SwfReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfReadError::Io(e) => write!(f, "SWF read error: {e}"),
+            SwfReadError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SwfReadError {}
+
+impl From<SwfParseError> for SwfReadError {
+    fn from(e: SwfParseError) -> Self {
+        SwfReadError::Parse(e)
+    }
+}
+
+/// Parse one 18-field data line (already trimmed, non-empty, not a
+/// comment).
+fn parse_record_line(line_num: usize, trimmed: &str) -> Result<SwfRecord, SwfParseError> {
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 18 {
+        return Err(SwfParseError {
+            line: line_num,
+            message: format!("expected 18 fields, found {}", fields.len()),
+        });
+    }
+    let f = |i: usize| -> Result<f64, SwfParseError> {
+        fields[i].parse::<f64>().map_err(|e| SwfParseError {
+            line: line_num,
+            message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
+        })
+    };
+    let g = |i: usize| -> Result<i64, SwfParseError> {
+        // Integer fields occasionally appear as floats in archive logs.
+        fields[i]
+            .parse::<i64>()
+            .or_else(|_| fields[i].parse::<f64>().map(|x| x as i64))
+            .map_err(|e| SwfParseError {
+                line: line_num,
+                message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
+            })
+    };
+    Ok(SwfRecord {
+        job_number: g(0)?,
+        submit: f(1)?,
+        wait: f(2)?,
+        run_time: f(3)?,
+        allocated_procs: g(4)?,
+        avg_cpu_time: f(5)?,
+        used_memory: f(6)?,
+        requested_procs: g(7)?,
+        requested_time: f(8)?,
+        requested_memory: f(9)?,
+        status: g(10)?,
+        user_id: g(11)?,
+        group_id: g(12)?,
+        executable: g(13)?,
+        queue: g(14)?,
+        partition: g(15)?,
+        preceding_job: g(16)?,
+        think_time: f(17)?,
+    })
+}
+
+/// The streaming scanner every SWF entry point is built on: reads
+/// line-by-line through one reusable buffer (never the whole document),
+/// classifies each line, and hands comments/records to the callbacks. All
+/// of the format's dirty-input rules live in one place — line numbers
+/// count comments and blanks, short/garbage lines error with their
+/// position, comments may appear anywhere.
+fn scan_swf<R: BufRead>(
+    mut reader: R,
+    mut on_comment: impl FnMut(&str),
+    mut on_record: impl FnMut(SwfRecord),
+) -> Result<(), SwfReadError> {
+    let mut line = String::new();
+    let mut line_num = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(SwfReadError::Io)? == 0 {
+            return Ok(());
+        }
+        line_num += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix(';') {
+            on_comment(comment.trim());
+            continue;
+        }
+        on_record(parse_record_line(line_num, trimmed)?);
+    }
+}
+
+/// Unwrap a streaming error from an in-memory source, where I/O cannot
+/// fail.
+fn expect_parse_error(e: SwfReadError) -> SwfParseError {
+    match e {
+        SwfReadError::Parse(p) => p,
+        SwfReadError::Io(io) => unreachable!("in-memory read failed: {io}"),
+    }
+}
+
 /// Parse an SWF document into raw records, preserving header comments.
 ///
 /// Header comment lines start with `;`. Blank lines are skipped. Each data
 /// line must have at least 18 whitespace-separated numeric fields (extra
 /// fields, present in some archive conversions, are ignored).
 pub fn parse_swf(input: &str) -> Result<(Vec<String>, Vec<SwfRecord>), SwfParseError> {
+    parse_swf_reader(input.as_bytes()).map_err(expect_parse_error)
+}
+
+/// Streaming equivalent of [`parse_swf`]: reads from any [`BufRead`]
+/// line-by-line, so a multi-gigabyte archive log never has to fit in
+/// memory as one string.
+pub fn parse_swf_reader<R: BufRead>(
+    reader: R,
+) -> Result<(Vec<String>, Vec<SwfRecord>), SwfReadError> {
     let mut comments = Vec::new();
     let mut records = Vec::new();
-    for (lineno, line) in input.lines().enumerate() {
-        let line_num = lineno + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        if let Some(comment) = trimmed.strip_prefix(';') {
-            comments.push(comment.trim().to_string());
-            continue;
-        }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 18 {
-            return Err(SwfParseError {
-                line: line_num,
-                message: format!("expected 18 fields, found {}", fields.len()),
-            });
-        }
-        let f = |i: usize| -> Result<f64, SwfParseError> {
-            fields[i].parse::<f64>().map_err(|e| SwfParseError {
-                line: line_num,
-                message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
-            })
-        };
-        let g = |i: usize| -> Result<i64, SwfParseError> {
-            // Integer fields occasionally appear as floats in archive logs.
-            fields[i]
-                .parse::<i64>()
-                .or_else(|_| fields[i].parse::<f64>().map(|x| x as i64))
-                .map_err(|e| SwfParseError {
-                    line: line_num,
-                    message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
-                })
-        };
-        records.push(SwfRecord {
-            job_number: g(0)?,
-            submit: f(1)?,
-            wait: f(2)?,
-            run_time: f(3)?,
-            allocated_procs: g(4)?,
-            avg_cpu_time: f(5)?,
-            used_memory: f(6)?,
-            requested_procs: g(7)?,
-            requested_time: f(8)?,
-            requested_memory: f(9)?,
-            status: g(10)?,
-            user_id: g(11)?,
-            group_id: g(12)?,
-            executable: g(13)?,
-            queue: g(14)?,
-            partition: g(15)?,
-            preceding_job: g(16)?,
-            think_time: f(17)?,
-        });
-    }
+    scan_swf(
+        reader,
+        |c| comments.push(c.to_string()),
+        |r| records.push(r),
+    )?;
     Ok((comments, records))
 }
 
@@ -266,29 +347,59 @@ impl SwfHeader {
 /// step — the convenient entry point for archive logs (`MaxProcs` gives
 /// the platform width to simulate).
 pub fn parse_swf_with_header(input: &str) -> Result<(SwfHeader, Trace), SwfParseError> {
-    let (comments, records) = parse_swf(input)?;
-    let header = SwfHeader::from_comments(&comments);
-    let mut jobs = Vec::with_capacity(records.len());
-    for rec in &records {
-        if let Some(job) = rec.to_job(jobs.len() as u32) {
-            jobs.push(job);
-        }
-    }
-    Ok((header, Trace::from_jobs(jobs)))
+    parse_swf_with_header_reader(input.as_bytes()).map_err(expect_parse_error)
+}
+
+/// Streaming equivalent of [`parse_swf_with_header`]: each line is
+/// converted to a [`Job`] (or dropped by the documented dirty-input rules)
+/// as it is read — raw [`SwfRecord`]s are never accumulated, so peak
+/// memory is the usable jobs plus one line buffer.
+pub fn parse_swf_with_header_reader<R: BufRead>(
+    reader: R,
+) -> Result<(SwfHeader, Trace), SwfReadError> {
+    let mut comments = Vec::new();
+    let mut jobs = Vec::new();
+    scan_swf(
+        reader,
+        |c| comments.push(c.to_string()),
+        |rec| {
+            if let Some(job) = rec.to_job(jobs.len() as u32) {
+                jobs.push(job);
+            }
+        },
+    )?;
+    Ok((SwfHeader::from_comments(&comments), Trace::from_jobs(jobs)))
 }
 
 /// Parse an SWF document straight into a [`Trace`], dropping unusable
 /// records (the archive convention: failed/cancelled jobs without a run
 /// time do not participate in scheduling studies).
 pub fn parse_swf_trace(input: &str) -> Result<Trace, SwfParseError> {
-    let (_, records) = parse_swf(input)?;
-    let mut jobs = Vec::with_capacity(records.len());
-    for rec in &records {
-        if let Some(job) = rec.to_job(jobs.len() as u32) {
-            jobs.push(job);
-        }
-    }
+    parse_swf_trace_reader(input.as_bytes()).map_err(expect_parse_error)
+}
+
+/// Streaming equivalent of [`parse_swf_trace`] (see
+/// [`parse_swf_with_header_reader`] for the memory contract).
+pub fn parse_swf_trace_reader<R: BufRead>(reader: R) -> Result<Trace, SwfReadError> {
+    let mut jobs = Vec::new();
+    scan_swf(
+        reader,
+        |_| {},
+        |rec| {
+            if let Some(job) = rec.to_job(jobs.len() as u32) {
+                jobs.push(job);
+            }
+        },
+    )?;
     Ok(Trace::from_jobs(jobs))
+}
+
+/// Read an SWF file from disk through a buffered line-by-line stream —
+/// the entry point the CLI uses, sized for archive logs that do not fit
+/// comfortably in one allocation.
+pub fn read_swf_file(path: impl AsRef<Path>) -> Result<(SwfHeader, Trace), SwfReadError> {
+    let file = std::fs::File::open(path).map_err(SwfReadError::Io)?;
+    parse_swf_with_header_reader(std::io::BufReader::new(file))
 }
 
 fn fmt_time(x: f64) -> String {
@@ -459,6 +570,49 @@ mod tests {
         let header = SwfHeader::from_comments(&["just a free-form note".to_string()]);
         assert_eq!(header.max_procs, None);
         assert_eq!(header.extra.len(), 1);
+    }
+
+    #[test]
+    fn reader_and_str_parsers_agree() {
+        // The str entry points are thin wrappers over the streaming
+        // scanner; this pins that a BufRead with a tiny buffer (forcing
+        // many read_line calls) sees the identical document.
+        let reader = std::io::BufReader::with_capacity(8, SAMPLE.as_bytes());
+        let (comments, records) = parse_swf_reader(reader).unwrap();
+        let (c2, r2) = parse_swf(SAMPLE).unwrap();
+        assert_eq!(comments, c2);
+        assert_eq!(records, r2);
+        let t1 = parse_swf_trace_reader(std::io::BufReader::with_capacity(8, SAMPLE.as_bytes()))
+            .unwrap();
+        assert_eq!(t1, parse_swf_trace(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn reader_errors_carry_line_numbers() {
+        let src = format!("{SAMPLE}not a data line\n");
+        let err = parse_swf_trace_reader(src.as_bytes()).unwrap_err();
+        match err {
+            SwfReadError::Parse(p) => {
+                assert_eq!(p.line, 7, "line numbers count comments and blanks");
+                assert!(p.message.contains("18 fields"));
+            }
+            SwfReadError::Io(_) => panic!("expected a parse error"),
+        }
+    }
+
+    #[test]
+    fn read_swf_file_streams_from_disk() {
+        let dir = std::env::temp_dir().join("dynsched-swf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.swf");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let (header, trace) = read_swf_file(&path).unwrap();
+        assert_eq!(header.max_procs, Some(128));
+        assert_eq!(trace, parse_swf_trace(SAMPLE).unwrap());
+        assert!(matches!(
+            read_swf_file(dir.join("missing.swf")),
+            Err(SwfReadError::Io(_))
+        ));
     }
 
     #[test]

@@ -9,6 +9,85 @@
 use dynsched_cluster::Job;
 use serde::{Deserialize, Serialize};
 
+/// Read access to a submit-sorted job sequence, independent of storage
+/// layout.
+///
+/// The scheduler engine is generic over this trait, so it can stride an
+/// AoS [`Trace`] (the construction/transformation format) or read the
+/// dense SoA columns of a [`TraceView`](crate::store::TraceView) (the
+/// simulation format) without a conversion step on either side. Both
+/// layouts present the identical canonical `(submit, id)` order with the
+/// identical field values, which is why switching a call site between
+/// them is bit-invisible to every simulation result.
+///
+/// Positions `i` are *trace positions* (`0..len`), the same dense index
+/// the engine keys its running tables by.
+pub trait TraceSource {
+    /// Number of jobs.
+    fn len(&self) -> usize;
+
+    /// Whether the trace has no jobs.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Id of the job at trace position `i`.
+    fn id(&self, i: usize) -> u32;
+
+    /// Submit time of the job at trace position `i`.
+    fn submit(&self, i: usize) -> f64;
+
+    /// Actual runtime of the job at trace position `i`.
+    fn runtime(&self, i: usize) -> f64;
+
+    /// User estimate of the job at trace position `i`.
+    fn estimate(&self, i: usize) -> f64;
+
+    /// Requested cores of the job at trace position `i`.
+    fn cores(&self, i: usize) -> u32;
+
+    /// The job at trace position `i`, reassembled by value.
+    fn job(&self, i: usize) -> Job {
+        Job {
+            id: self.id(i),
+            submit: self.submit(i),
+            runtime: self.runtime(i),
+            estimate: self.estimate(i),
+            cores: self.cores(i),
+        }
+    }
+}
+
+impl TraceSource for Trace {
+    fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn id(&self, i: usize) -> u32 {
+        self.jobs[i].id
+    }
+
+    fn submit(&self, i: usize) -> f64 {
+        self.jobs[i].submit
+    }
+
+    fn runtime(&self, i: usize) -> f64 {
+        self.jobs[i].runtime
+    }
+
+    fn estimate(&self, i: usize) -> f64 {
+        self.jobs[i].estimate
+    }
+
+    fn cores(&self, i: usize) -> u32 {
+        self.jobs[i].cores
+    }
+
+    fn job(&self, i: usize) -> Job {
+        self.jobs[i]
+    }
+}
+
 /// A submit-time-ordered sequence of jobs.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Trace {
@@ -66,7 +145,15 @@ impl Trace {
             .jobs
             .iter()
             .enumerate()
-            .map(|(i, j)| Job::new(i as u32, origin + (j.submit - first), j.runtime, j.estimate, j.cores))
+            .map(|(i, j)| {
+                Job::new(
+                    i as u32,
+                    origin + (j.submit - first),
+                    j.runtime,
+                    j.estimate,
+                    j.cores,
+                )
+            })
             .collect();
         Trace { jobs }
     }
@@ -86,13 +173,25 @@ impl Trace {
     /// Archive logs occasionally contain jobs wider than the stated
     /// partition; they can never start and must be dropped.
     pub fn capped_to(&self, max_cores: u32) -> Trace {
-        let jobs = self.jobs.iter().filter(|j| j.cores <= max_cores).copied().collect();
+        let jobs = self
+            .jobs
+            .iter()
+            .filter(|j| j.cores <= max_cores)
+            .copied()
+            .collect();
         Trace::from_jobs(jobs)
     }
 
     /// Total core-seconds of work in the trace.
     pub fn total_area(&self) -> f64 {
         self.jobs.iter().map(|j| j.area()).sum()
+    }
+
+    /// Columnarize into a fresh shareable [`TraceView`](crate::store::TraceView)
+    /// (uninterned; route through a [`TraceStore`](crate::store::TraceStore)
+    /// when the trace has a generation key worth sharing under).
+    pub fn to_view(&self) -> crate::store::TraceView {
+        crate::store::TraceView::from_trace(self)
     }
 
     /// Compute summary statistics. Returns `None` for an empty trace.
@@ -104,7 +203,11 @@ impl Trace {
         let span = self.span();
         let mean_runtime = self.jobs.iter().map(|j| j.runtime).sum::<f64>() / n;
         let mean_cores = self.jobs.iter().map(|j| j.cores as f64).sum::<f64>() / n;
-        let mean_interarrival = if self.jobs.len() > 1 { span / (n - 1.0) } else { 0.0 };
+        let mean_interarrival = if self.jobs.len() > 1 {
+            span / (n - 1.0)
+        } else {
+            0.0
+        };
         let offered_load = if span > 0.0 {
             self.total_area() / (platform_cores as f64 * span)
         } else {
@@ -166,7 +269,11 @@ mod tests {
 
     #[test]
     fn from_jobs_sorts_by_submit_then_id() {
-        let t = Trace::from_jobs(vec![job(2, 5.0, 1.0, 1), job(1, 5.0, 1.0, 1), job(0, 1.0, 1.0, 1)]);
+        let t = Trace::from_jobs(vec![
+            job(2, 5.0, 1.0, 1),
+            job(1, 5.0, 1.0, 1),
+            job(0, 1.0, 1.0, 1),
+        ]);
         let ids: Vec<u32> = t.jobs().iter().map(|j| j.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
@@ -221,7 +328,11 @@ mod tests {
 
     #[test]
     fn pow2_fraction_excludes_serial() {
-        let t = Trace::from_jobs(vec![job(0, 0.0, 1.0, 1), job(1, 1.0, 1.0, 4), job(2, 2.0, 1.0, 3)]);
+        let t = Trace::from_jobs(vec![
+            job(0, 0.0, 1.0, 1),
+            job(1, 1.0, 1.0, 4),
+            job(2, 2.0, 1.0, 3),
+        ]);
         let s = t.summary(8).unwrap();
         assert!((s.pow2_fraction - 1.0 / 3.0).abs() < 1e-12);
     }

@@ -17,7 +17,10 @@ use dynsched_simkit::Rng;
 /// # Panics
 /// Panics if `factor` is not strictly positive and finite.
 pub fn scale_load(trace: &Trace, factor: f64) -> Trace {
-    assert!(factor > 0.0 && factor.is_finite(), "bad load factor {factor}");
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "bad load factor {factor}"
+    );
     let jobs = trace.jobs();
     let Some(first) = jobs.first() else {
         return Trace::default();
@@ -25,7 +28,15 @@ pub fn scale_load(trace: &Trace, factor: f64) -> Trace {
     let origin = first.submit;
     let scaled = jobs
         .iter()
-        .map(|j| Job::new(j.id, origin + (j.submit - origin) / factor, j.runtime, j.estimate, j.cores))
+        .map(|j| {
+            Job::new(
+                j.id,
+                origin + (j.submit - origin) / factor,
+                j.runtime,
+                j.estimate,
+                j.cores,
+            )
+        })
         .collect();
     Trace::from_jobs(scaled)
 }
@@ -38,7 +49,10 @@ pub fn scale_load(trace: &Trace, factor: f64) -> Trace {
 /// # Panics
 /// Panics if either core count is zero.
 pub fn rescale_platform(trace: &Trace, from_cores: u32, to_cores: u32) -> Trace {
-    assert!(from_cores > 0 && to_cores > 0, "core counts must be positive");
+    assert!(
+        from_cores > 0 && to_cores > 0,
+        "core counts must be positive"
+    );
     let ratio = to_cores as f64 / from_cores as f64;
     let jobs = trace
         .jobs()
@@ -80,6 +94,37 @@ pub fn perfect_estimates(trace: &Trace) -> Trace {
         .jobs()
         .iter()
         .map(|j| Job::new(j.id, j.submit, j.runtime, j.runtime, j.cores))
+        .collect();
+    Trace::from_jobs(jobs)
+}
+
+/// Concentrate arrivals into periodic bursts: each period of `period`
+/// seconds keeps all of its submissions, but they are remapped (affinely,
+/// order-preserving) into the first `duty` fraction of the period — an
+/// on/off arrival process with the original per-period job mix. `duty = 1`
+/// is the identity; small duties produce the queueing spikes that separate
+/// policies hardest. Used by the `bursty` and `diurnal` scenario families.
+///
+/// # Panics
+/// Panics if `period` is not strictly positive/finite or `duty` is outside
+/// `(0, 1]`.
+pub fn burstify(trace: &Trace, period: f64, duty: f64) -> Trace {
+    assert!(
+        period > 0.0 && period.is_finite(),
+        "bad burst period {period}"
+    );
+    assert!(
+        duty > 0.0 && duty <= 1.0,
+        "burst duty {duty} outside (0, 1]"
+    );
+    let jobs = trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let phase = j.submit.rem_euclid(period);
+            let submit = j.submit - phase + phase * duty;
+            Job::new(j.id, submit, j.runtime, j.estimate, j.cores)
+        })
         .collect();
     Trace::from_jobs(jobs)
 }
@@ -164,5 +209,28 @@ mod tests {
     #[should_panic]
     fn zero_load_factor_rejected() {
         scale_load(&base(), 0.0);
+    }
+
+    #[test]
+    fn burstify_compresses_into_duty_window() {
+        // Period 1000, duty 0.2: every arrival lands in [k*1000, k*1000+200).
+        let t = Trace::from_jobs(
+            (0..40)
+                .map(|i| job(i, i as f64 * 97.0, 10.0, 10.0, 1))
+                .collect(),
+        );
+        let b = burstify(&t, 1_000.0, 0.2);
+        assert_eq!(b.len(), t.len());
+        for j in b.jobs() {
+            assert!(j.submit.rem_euclid(1_000.0) < 200.0 + 1e-9, "{}", j.submit);
+        }
+        // Order within a period is preserved; duty 1 is the identity.
+        assert_eq!(burstify(&t, 1_000.0, 1.0), t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_duty_rejected() {
+        burstify(&base(), 100.0, 0.0);
     }
 }

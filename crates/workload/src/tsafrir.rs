@@ -23,30 +23,9 @@ use serde::{Deserialize, Serialize};
 /// Canonical round estimate values, in seconds: 1–45 minutes, then round
 /// hour counts up to 3 days. This is the "menu" users pick walltimes from.
 pub const ROUND_VALUES: [f64; 24] = [
-    60.0,
-    120.0,
-    300.0,
-    600.0,
-    900.0,
-    1_200.0,
-    1_800.0,
-    2_700.0,
-    3_600.0,
-    5_400.0,
-    7_200.0,
-    10_800.0,
-    14_400.0,
-    18_000.0,
-    21_600.0,
-    28_800.0,
-    36_000.0,
-    43_200.0,
-    57_600.0,
-    64_800.0,
-    86_400.0,
-    129_600.0,
-    172_800.0,
-    259_200.0,
+    60.0, 120.0, 300.0, 600.0, 900.0, 1_200.0, 1_800.0, 2_700.0, 3_600.0, 5_400.0, 7_200.0,
+    10_800.0, 14_400.0, 18_000.0, 21_600.0, 28_800.0, 36_000.0, 43_200.0, 57_600.0, 64_800.0,
+    86_400.0, 129_600.0, 172_800.0, 259_200.0,
 ];
 
 /// Configuration of the estimate generator.
@@ -78,7 +57,10 @@ impl TsafrirEstimates {
     /// Model with the default menu and a custom site walltime limit.
     pub fn with_max_estimate(max_estimate: f64) -> Self {
         assert!(max_estimate > 0.0, "max estimate must be positive");
-        Self { max_estimate, ..Self::default() }
+        Self {
+            max_estimate,
+            ..Self::default()
+        }
     }
 
     /// Smallest round value ≥ `x`, or the ceiling if `x` exceeds the menu.
@@ -97,7 +79,10 @@ impl TsafrirEstimates {
     /// immediately don't exist in the traces) and `estimate` is a round
     /// value unless the runtime itself exceeds the menu ceiling.
     pub fn estimate_for(&self, runtime: f64, rng: &mut Rng) -> f64 {
-        assert!(runtime >= 0.0 && runtime.is_finite(), "bad runtime {runtime}");
+        assert!(
+            runtime >= 0.0 && runtime.is_finite(),
+            "bad runtime {runtime}"
+        );
         if runtime >= self.max_estimate {
             // Over-limit job: the user requested exactly the site maximum
             // (such jobs exist in archive logs); keep e >= r so the
@@ -118,7 +103,15 @@ impl TsafrirEstimates {
         let jobs = trace
             .jobs()
             .iter()
-            .map(|j| Job::new(j.id, j.submit, j.runtime, self.estimate_for(j.runtime, rng), j.cores))
+            .map(|j| {
+                Job::new(
+                    j.id,
+                    j.submit,
+                    j.runtime,
+                    self.estimate_for(j.runtime, rng),
+                    j.cores,
+                )
+            })
             .collect();
         Trace::from_jobs(jobs)
     }

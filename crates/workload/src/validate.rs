@@ -209,7 +209,10 @@ mod tests {
         let t = Trace::from_jobs(vec![job(0, 0.0, 100.0, 10.0, 2)]);
         let report = validate_trace(&t, 64);
         assert!(report.is_usable());
-        assert!(report.findings.iter().any(|f| f.code == "estimate-below-runtime"));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "estimate-below-runtime"));
     }
 
     #[test]

@@ -79,7 +79,10 @@ fn malformed_fields_error_with_line_and_field() {
 
 #[test]
 fn error_positions_count_comments_and_blanks() {
-    let src = format!("; one\n\n; two\n{}\nbad line here\n", data_line(1, 0.0, 5.0, 1));
+    let src = format!(
+        "; one\n\n; two\n{}\nbad line here\n",
+        data_line(1, 0.0, 5.0, 1)
+    );
     let err = parse_swf(&src).unwrap_err();
     assert_eq!(err.line, 5, "line numbers must include comments and blanks");
 }
@@ -111,7 +114,11 @@ fn zero_runtime_jobs_are_kept_and_clamped() {
     // Sub-second / zero runtimes appear in real logs (instantly-failing
     // jobs); the simulator needs strictly positive runtimes, so they
     // clamp to 1 s — deterministically, not probabilistically.
-    let src = format!("{}\n{}\n", data_line(1, 0.0, 0.0, 2), data_line(2, 5.0, 0.0, 1));
+    let src = format!(
+        "{}\n{}\n",
+        data_line(1, 0.0, 0.0, 2),
+        data_line(2, 5.0, 0.0, 1)
+    );
     let trace = parse_swf_trace(&src).unwrap();
     assert_eq!(trace.len(), 2);
     for job in trace.jobs() {
@@ -171,7 +178,10 @@ fn mid_document_comments_are_collected_with_the_header() {
     );
     let (comments, records) = parse_swf(&src).unwrap();
     assert_eq!(records.len(), 2);
-    assert_eq!(comments, vec!["head".to_string(), "interleaved note".to_string()]);
+    assert_eq!(
+        comments,
+        vec!["head".to_string(), "interleaved note".to_string()]
+    );
 }
 
 #[test]

@@ -18,7 +18,11 @@ use dynsched::workload::{extract_sequences, LublinModel, SequenceSpec, TsafrirEs
 
 fn main() {
     let scale = ScenarioScale {
-        spec: SequenceSpec { count: 5, days: 3.0, min_jobs: 10 },
+        spec: SequenceSpec {
+            count: 5,
+            days: 3.0,
+            min_jobs: 10,
+        },
         ..ScenarioScale::default()
     };
     let nmax = 256u32;
@@ -63,7 +67,13 @@ fn main() {
                 format!("{:>10.2} / {:>7.1}", o.median, o.mean_backfilled)
             })
             .collect();
-        println!("{:<6} {:>22} {:>22} {:>22}", policy.name(), cells[0], cells[1], cells[2]);
+        println!(
+            "{:<6} {:>22} {:>22} {:>22}",
+            policy.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
 
     println!("\nReading guide: FCFS gains the most from backfilling (the EASY algorithm);");

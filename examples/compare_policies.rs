@@ -21,7 +21,11 @@ fn scale() -> ScenarioScale {
         ScenarioScale::default()
     } else {
         ScenarioScale {
-            spec: SequenceSpec { count: 5, days: 4.0, min_jobs: 10 },
+            spec: SequenceSpec {
+                count: 5,
+                days: 4.0,
+                min_jobs: 10,
+            },
             ..ScenarioScale::default()
         }
     }
@@ -55,9 +59,7 @@ fn main() {
     // evaluation session.
     let experiments: Vec<_> = Condition::ALL
         .into_iter()
-        .flat_map(|condition| {
-            [256u32, 1024].map(|nmax| model_scenario(nmax, condition, &scale))
-        })
+        .flat_map(|condition| [256u32, 1024].map(|nmax| model_scenario(nmax, condition, &scale)))
         .collect();
     let t0 = std::time::Instant::now();
     let results = run_experiments(&experiments, &lineup);

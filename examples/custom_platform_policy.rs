@@ -41,7 +41,11 @@ fn main() {
 
     // --- Train from the platform's own windows --------------------------
     let config = CustomTrainingConfig {
-        tuple_spec: TupleSpec { s_size: 16, q_size: 32, max_start_offset: 0.0 },
+        tuple_spec: TupleSpec {
+            s_size: 16,
+            q_size: 32,
+            max_start_offset: 0.0,
+        },
         trial_spec: TrialSpec {
             trials: 4_000,
             platform: Platform::new(platform.cpus),
@@ -68,7 +72,11 @@ fn main() {
     }
 
     // --- Evaluate on held-out windows ------------------------------------
-    let spec = SequenceSpec { count: 5, days: 3.0, min_jobs: 10 };
+    let spec = SequenceSpec {
+        count: 5,
+        days: 3.0,
+        min_jobs: 10,
+    };
     let sequences = extract_sequences(&eval_trace, &spec).expect("held-out windows");
     let mut lineup: Vec<Box<dyn Policy>> = vec![
         Box::new(Fcfs),

@@ -24,7 +24,12 @@ fn main() {
     let model = LublinModel::new(256).calibrated_to_load(0.9, &mut rng);
     let trace = model.generate_jobs(600, &mut rng);
     let summary = trace.summary(256).expect("non-empty trace");
-    println!("Workload: {} jobs over {:.1} days, offered load {:.2}", summary.jobs, summary.span_seconds / 86_400.0, summary.offered_load);
+    println!(
+        "Workload: {} jobs over {:.1} days, offered load {:.2}",
+        summary.jobs,
+        summary.span_seconds / 86_400.0,
+        summary.offered_load
+    );
 
     // --- 2. Schedule under FCFS, SPT and the paper's F1 ----------------
     let config = SchedulerConfig::actual_runtimes(Platform::new(256));
@@ -47,16 +52,37 @@ fn main() {
     // 30-second toy version — see examples/train_policies.rs for scale.)
     println!("\nTraining a policy from scratch (miniature pipeline)...");
     let config = TrainingConfig {
-        tuple_spec: TupleSpec { s_size: 8, q_size: 16, max_start_offset: 100_000.0 },
-        trial_spec: TrialSpec { trials: 2_000, platform: Platform::new(256), tau: DEFAULT_TAU },
+        tuple_spec: TupleSpec {
+            s_size: 8,
+            q_size: 16,
+            max_start_offset: 100_000.0,
+        },
+        trial_spec: TrialSpec {
+            trials: 2_000,
+            platform: Platform::new(256),
+            tau: DEFAULT_TAU,
+        },
         tuples: 6,
         seed: 42,
     };
-    let report = learn_policies(&config, &LublinModel::new(256), &EnumerateOptions::default(), 4);
-    println!("Pooled {} observations from {} tuples.", report.training_set.len(), report.tuples.len());
+    let report = learn_policies(
+        &config,
+        &LublinModel::new(256),
+        &EnumerateOptions::default(),
+        4,
+    );
+    println!(
+        "Pooled {} observations from {} tuples.",
+        report.training_set.len(),
+        report.tuples.len()
+    );
     println!("Best fitted functions (Table-3 style):");
     for fit in report.fits.iter().take(4) {
-        println!("  {}   fitness = {:.3e}", fit.function.render_simplified(), fit.fitness);
+        println!(
+            "  {}   fitness = {:.3e}",
+            fit.function.render_simplified(),
+            fit.fitness
+        );
     }
     println!("\nDone. Next steps: examples/train_policies.rs, examples/compare_policies.rs.");
 }

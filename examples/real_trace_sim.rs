@@ -23,7 +23,11 @@ fn scale() -> ScenarioScale {
         ScenarioScale::default()
     } else {
         ScenarioScale {
-            spec: SequenceSpec { count: 4, days: 3.0, min_jobs: 10 },
+            spec: SequenceSpec {
+                count: 4,
+                days: 3.0,
+                min_jobs: 10,
+            },
             ..ScenarioScale::default()
         }
     }
@@ -61,14 +65,19 @@ fn main() {
     let scale = scale();
 
     if let (Some(path), Some(cores)) = (args.first(), args.get(1)) {
-        let cores: u32 = cores.parse().expect("second argument must be the platform core count");
+        let cores: u32 = cores
+            .parse()
+            .expect("second argument must be the platform core count");
         run_on_swf(path, cores, &scale);
         return;
     }
 
     // Table 5.
     println!("Platforms (paper Table 5):");
-    println!("{:<13} {:>5} {:>8} {:>8} {:>7} {:>9}", "Name", "Year", "#CPUs", "#Jobs", "Util%", "Duration");
+    println!(
+        "{:<13} {:>5} {:>8} {:>8} {:>7} {:>9}",
+        "Name", "Year", "#CPUs", "#Jobs", "Util%", "Duration"
+    );
     for p in &ArchivePlatform::ALL {
         println!(
             "{:<13} {:>5} {:>8} {:>8} {:>7.1} {:>6} mo",
@@ -98,16 +107,19 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
     let per_condition = ArchivePlatform::ALL.len();
-    for (i, (condition, chunk)) in
-        Condition::ALL.iter().zip(results.chunks(per_condition)).enumerate()
+    for (i, (condition, chunk)) in Condition::ALL
+        .iter()
+        .zip(results.chunks(per_condition))
+        .enumerate()
     {
         println!("==== Condition: {} ====", condition.label());
-        for (experiment, result) in
-            experiments[i * per_condition..].iter().zip(chunk)
-        {
+        for (experiment, result) in experiments[i * per_condition..].iter().zip(chunk) {
             let njobs: usize = experiment.sequences.iter().map(|s| s.len()).sum();
             print!("{}", artifact_report(result));
-            println!("jobs={njobs} best={}\n", result.best_policy().unwrap_or("-"));
+            println!(
+                "jobs={njobs} best={}\n",
+                result.best_policy().unwrap_or("-")
+            );
         }
     }
 }

@@ -27,8 +27,16 @@ fn main() {
     );
 
     let configs: Vec<(String, SchedulerConfig, Box<dyn Policy>)> = vec![
-        ("FCFS, no backfilling".into(), SchedulerConfig::actual_runtimes(platform), Box::new(Fcfs)),
-        ("F1, no backfilling".into(), SchedulerConfig::actual_runtimes(platform), Box::new(LearnedPolicy::f1())),
+        (
+            "FCFS, no backfilling".into(),
+            SchedulerConfig::actual_runtimes(platform),
+            Box::new(Fcfs),
+        ),
+        (
+            "F1, no backfilling".into(),
+            SchedulerConfig::actual_runtimes(platform),
+            Box::new(LearnedPolicy::f1()),
+        ),
         (
             "FCFS + EASY (the EASY algorithm)".into(),
             SchedulerConfig::estimates_with_backfilling(platform),
@@ -63,5 +71,8 @@ fn main() {
     std::fs::create_dir_all(out).expect("create target/figures");
     let path = out.join("f1_schedule.swf");
     std::fs::write(&path, write_schedule_swf(&result, "F1 on 32 cores", 32)).expect("write swf");
-    println!("F1 schedule exported to {} (SWF with simulated wait times).", path.display());
+    println!(
+        "F1 schedule exported to {} (SWF with simulated wait times).",
+        path.display()
+    );
 }

@@ -22,7 +22,11 @@ fn main() {
         ScenarioScale::default()
     } else {
         ScenarioScale {
-            spec: SequenceSpec { count: 3, days: 2.0, min_jobs: 5 },
+            spec: SequenceSpec {
+                count: 3,
+                days: 2.0,
+                min_jobs: 5,
+            },
             ..ScenarioScale::default()
         }
     };
@@ -37,9 +41,17 @@ fn main() {
     // session — a single fan-out with reusable per-worker workspaces.
     let t0 = std::time::Instant::now();
     let results = run_experiments(&experiments, &lineup);
-    eprintln!("18 rows evaluated in {:.1} s (one batched session)", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "18 rows evaluated in {:.1} s (one batched session)",
+        t0.elapsed().as_secs_f64()
+    );
     for (i, result) in results.iter().enumerate() {
-        eprintln!("[{:>2}/18] {}  (best {})", i + 1, result.name, result.best_policy().unwrap_or("-"));
+        eprintln!(
+            "[{:>2}/18] {}  (best {})",
+            i + 1,
+            result.name,
+            result.best_policy().unwrap_or("-")
+        );
     }
 
     println!("\n== Measured medians (Table 4 layout) ==\n");

@@ -24,7 +24,10 @@ use dynsched::simkit::Rng;
 use dynsched::workload::LublinModel;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -35,7 +38,11 @@ fn main() {
     let platform = Platform::new(256);
     let model = LublinModel::new(256);
     let tuple_spec = TupleSpec::default(); // |S| = 16, |Q| = 32
-    let trial_spec = TrialSpec { trials, platform, tau: DEFAULT_TAU };
+    let trial_spec = TrialSpec {
+        trials,
+        platform,
+        tau: DEFAULT_TAU,
+    };
 
     // --- Fig. 1: one trial score distribution ---------------------------
     println!("== Trial score distribution (Fig. 1 analogue) ==");
@@ -43,7 +50,10 @@ fn main() {
     let mut rng = Rng::new(seed);
     let example_tuple = TaskTuple::generate(&tuple_spec, &model, &mut rng);
     let scores = trial_scores(&example_tuple, &trial_spec, &Rng::new(seed ^ 0xF16));
-    println!("task-id  runtime(s)  cores  submit(s)    score   (mean = {:.4})", 1.0 / 32.0);
+    println!(
+        "task-id  runtime(s)  cores  submit(s)    score   (mean = {:.4})",
+        1.0 / 32.0
+    );
     for (k, (job, score)) in example_tuple.q_tasks.iter().zip(&scores.scores).enumerate() {
         println!(
             "{:>7}  {:>10.1}  {:>5}  {:>9.1}  {:.5} {}",
@@ -52,13 +62,22 @@ fn main() {
             job.cores,
             job.submit,
             score,
-            if *score < 1.0 / 32.0 { "  <- favourable first choice" } else { "" }
+            if *score < 1.0 / 32.0 {
+                "  <- favourable first choice"
+            } else {
+                ""
+            }
         );
     }
 
     // --- Workflows 1+2: pooled distribution + regression ----------------
     println!("\n== Training: {tuples} tuples x {trials} trials ==");
-    let config = TrainingConfig { tuple_spec, trial_spec, tuples, seed };
+    let config = TrainingConfig {
+        tuple_spec,
+        trial_spec,
+        tuples,
+        seed,
+    };
     let t0 = std::time::Instant::now();
     let report = learn_policies(&config, &model, &EnumerateOptions::default(), 4);
     println!(
@@ -87,14 +106,21 @@ fn main() {
 
     // Coefficient diagnostics for the winners (identifiability + stderr).
     println!("\n== Selection diagnostics ==");
-    print!("{}", dynsched::mlreg::selection_report(&report.fits, &report.training_set, 4));
+    print!(
+        "{}",
+        dynsched::mlreg::selection_report(&report.fits, &report.training_set, 4)
+    );
 
     // Export the learned policies as a loadable policy file.
     let out_dir = std::path::Path::new("target/figures");
     std::fs::create_dir_all(out_dir).expect("create target/figures");
     let path = out_dir.join("learned_policies.txt");
-    std::fs::write(&path, dynsched::policies::save_learned(&report.policies)).expect("write policy file");
-    println!("\nlearned policies saved to {} (reload with dynsched::policies::load_policies)", path.display());
+    std::fs::write(&path, dynsched::policies::save_learned(&report.policies))
+        .expect("write policy file");
+    println!(
+        "\nlearned policies saved to {} (reload with dynsched::policies::load_policies)",
+        path.display()
+    );
     println!("\nPaper's Table 3 for reference:");
     println!("F1  log10(r)*n + 8.70e2*log10(s)");
     println!("F2  sqrt(r)*n + 2.56e4*log10(s)");

@@ -6,6 +6,7 @@
 //! dynsched train [opts]                        learn policies from the Lublin model
 //! dynsched run [opts]                          one-shot learn → evaluate (the whole paper loop)
 //! dynsched table4 [--full]                     regenerate the paper's Table 4
+//! dynsched scenarios [opts]                    list/evaluate the workload scenario registry
 //! dynsched policies                            list built-in policies
 //! ```
 //!
@@ -15,14 +16,17 @@
 use dynsched::cluster::{Platform, DEFAULT_TAU};
 use dynsched::core::pipeline::{learn_policies, run_full, FullRunConfig, TrainingConfig};
 use dynsched::core::report::{full_run_markdown, table4_comparison, table4_markdown};
-use dynsched::core::scenarios::{table4_experiments, ScenarioScale};
+use dynsched::core::scenarios::{scenario_results, table4_experiments, ScenarioScale};
 use dynsched::core::trials::TrialSpec;
 use dynsched::core::tuples::TupleSpec;
 use dynsched::core::{learned_beat_adhoc, run_experiments};
 use dynsched::mlreg::EnumerateOptions;
 use dynsched::policies::{by_name, paper_lineup, save_learned, Policy};
 use dynsched::scheduler::{simulate, BackfillMode, QueueDiscipline, SchedulerConfig};
-use dynsched::workload::{parse_swf_with_header, validate_trace, LublinModel, SequenceSpec};
+use dynsched::workload::{
+    read_swf_file, validate_trace, LublinModel, ScenarioParams, ScenarioRegistry, SequenceSpec,
+    TraceStore,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -55,6 +59,14 @@ USAGE:
       Regenerate the paper's Table 4 (all 18 experiments; --quick shrinks
       the protocol).
 
+  dynsched scenarios [--cores N] [--days N] [--load X] [--seed N]
+                     [--eval [--family NAME]]
+      List the workload scenario registry with per-family calibration
+      summaries (jobs/day, offered load, runtime CV) at the given
+      parameter point. With --eval, run a quick evaluation of the named
+      family (or every family) under all three conditions and the paper's
+      policy line-up.
+
   dynsched policies
       List built-in policies.
 ";
@@ -72,6 +84,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(rest),
         "run" => cmd_run(rest),
         "table4" => cmd_table4(rest),
+        "scenarios" => cmd_scenarios(rest),
         "policies" => cmd_policies(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -89,7 +102,10 @@ fn main() -> ExitCode {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -114,9 +130,12 @@ fn training_flags(args: &[String]) -> Result<(usize, usize, u32, u64), String> {
     ))
 }
 
-fn load_swf(path: &str) -> Result<(dynsched::workload::SwfHeader, dynsched::workload::Trace), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_swf_with_header(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+fn load_swf(
+    path: &str,
+) -> Result<(dynsched::workload::SwfHeader, dynsched::workload::Trace), String> {
+    // Streams line-by-line through a BufReader: archive logs never need to
+    // fit in memory as one string.
+    read_swf_file(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
@@ -169,7 +188,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     if trace.is_empty() {
         return Err("no usable jobs after capping to the platform width".to_string());
     }
-    println!("Scheduling {} jobs on {cores} cores under {}...", trace.len(), policy.name());
+    println!(
+        "Scheduling {} jobs on {cores} cores under {}...",
+        trace.len(),
+        policy.name()
+    );
     let t0 = std::time::Instant::now();
     let result = simulate(&trace, &QueueDiscipline::Policy(policy.as_ref()), &config);
     println!(
@@ -189,23 +212,38 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 
     let config = TrainingConfig {
         tuple_spec: TupleSpec::default(),
-        trial_spec: TrialSpec { trials, platform: Platform::new(cores), tau: DEFAULT_TAU },
+        trial_spec: TrialSpec {
+            trials,
+            platform: Platform::new(cores),
+            tau: DEFAULT_TAU,
+        },
         tuples,
         seed,
     };
     println!("Training: {tuples} tuples x {trials} trials on {cores} cores (seed {seed})...");
     let t0 = std::time::Instant::now();
-    let report = learn_policies(&config, &LublinModel::new(cores), &EnumerateOptions::default(), 4);
+    let report = learn_policies(
+        &config,
+        &LublinModel::new(cores),
+        &EnumerateOptions::default(),
+        4,
+    );
     println!(
         "{} observations, 576 fits in {:.1} s. Best functions:",
         report.training_set.len(),
         t0.elapsed().as_secs_f64()
     );
     for (i, fit) in report.fits.iter().take(4).enumerate() {
-        println!("  G{}: {}   (fitness {:.3e})", i + 1, fit.function.render_simplified(), fit.fitness);
+        println!(
+            "  G{}: {}   (fitness {:.3e})",
+            i + 1,
+            fit.function.render_simplified(),
+            fit.fitness
+        );
     }
     if let Some(out) = flag_value(args, "--out") {
-        std::fs::write(out, save_learned(&report.policies)).map_err(|e| format!("cannot write {out}: {e}"))?;
+        std::fs::write(out, save_learned(&report.policies))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("policy file written to {out}");
     }
     Ok(())
@@ -218,7 +256,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let config = FullRunConfig {
         training: TrainingConfig {
             tuple_spec: TupleSpec::default(),
-            trial_spec: TrialSpec { trials, platform: Platform::new(cores), tau: DEFAULT_TAU },
+            trial_spec: TrialSpec {
+                trials,
+                platform: Platform::new(cores),
+                tau: DEFAULT_TAU,
+            },
             tuples,
             seed,
         },
@@ -226,7 +268,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         top_k,
         eval_scale: if has_flag(args, "--quick") {
             ScenarioScale {
-                spec: SequenceSpec { count: 3, days: 2.0, min_jobs: 5 },
+                spec: SequenceSpec {
+                    count: 3,
+                    days: 2.0,
+                    min_jobs: 5,
+                },
                 ..ScenarioScale::default()
             }
         } else {
@@ -251,7 +297,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_table4(args: &[String]) -> Result<(), String> {
     let scale = if has_flag(args, "--quick") {
-        ScenarioScale { spec: SequenceSpec { count: 3, days: 2.0, min_jobs: 5 }, ..ScenarioScale::default() }
+        ScenarioScale {
+            spec: SequenceSpec {
+                count: 3,
+                days: 2.0,
+                min_jobs: 5,
+            },
+            ..ScenarioScale::default()
+        }
     } else {
         ScenarioScale::default()
     };
@@ -269,14 +322,100 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_scenarios(args: &[String]) -> Result<(), String> {
+    let cores = usize_flag(args, "--cores", 256)? as u32;
+    let days = usize_flag(args, "--days", 7)? as f64;
+    let load = flag_value(args, "--load")
+        .map(|v| v.parse::<f64>().map_err(|e| format!("bad --load: {e}")))
+        .transpose()?
+        .unwrap_or(0.8);
+    let seed = usize_flag(args, "--seed", 0x5C17)? as u64;
+
+    let registry = ScenarioRegistry::builtin();
+    let store = TraceStore::new();
+    let params = ScenarioParams {
+        cores,
+        span_days: days,
+        target_load: load,
+    };
+
+    println!(
+        "workload scenario registry ({} cores, {days:.0}-day span, target load {load:.2}, seed {seed}):\n",
+        cores
+    );
+    println!(
+        "  {:<16} {:>8} {:>10} {:>10} {:>11} {:>10}  description",
+        "family", "jobs", "jobs/day", "load", "runtime CV", "mean cores"
+    );
+    for family in registry.families() {
+        let c = family.calibration(&store, &params, seed);
+        println!(
+            "  {:<16} {:>8} {:>10.1} {:>10.3} {:>11.2} {:>10.1}  {}",
+            family.name(),
+            c.jobs,
+            c.jobs_per_day,
+            c.offered_load,
+            c.runtime_cv,
+            c.mean_cores,
+            family.description(),
+        );
+    }
+
+    if has_flag(args, "--eval") {
+        let names: Vec<&str> = match flag_value(args, "--family") {
+            Some(name) => {
+                registry
+                    .get(name)
+                    .ok_or_else(|| format!("unknown family {name:?}"))?;
+                vec![name]
+            }
+            None => registry.names(),
+        };
+        let scale = ScenarioScale {
+            spec: SequenceSpec {
+                count: 3,
+                days: 2.0,
+                min_jobs: 5,
+            },
+            seed,
+            ..ScenarioScale::default()
+        };
+        println!(
+            "\nevaluating {} family(ies) under all three conditions...",
+            names.len()
+        );
+        let results =
+            scenario_results(&store, &registry, &names, &params, &scale, &paper_lineup())?;
+        for row in &results {
+            print!("  {:<50}", row.name);
+            for o in &row.outcomes {
+                print!(" {}={:.2}", o.policy, o.median);
+            }
+            println!();
+        }
+        println!(
+            "({} trace builds for {} experiment rows — conditions share the store)",
+            store.builds(),
+            results.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_policies() -> Result<(), String> {
     println!("built-in policies (lower score runs first):");
-    for name in ["FCFS", "LCFS", "SPT", "LPT", "SAF", "LAF", "WFP", "UNI", "MF", "F1", "F2", "F3", "F4"] {
+    for name in [
+        "FCFS", "LCFS", "SPT", "LPT", "SAF", "LAF", "WFP", "UNI", "MF", "F1", "F2", "F3", "F4",
+    ] {
         let p = by_name(name).expect("registry covers the list");
         println!(
             "  {:<5} {}",
             p.name(),
-            if p.time_dependent() { "(aging: rescored every event)" } else { "(static: scored at arrival)" }
+            if p.time_dependent() {
+                "(aging: rescored every event)"
+            } else {
+                "(static: scored at arrival)"
+            }
         );
     }
     // Print each learned formula so users see what they deploy.

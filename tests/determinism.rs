@@ -2,10 +2,10 @@
 //! parallelism.
 
 use dynsched::cluster::Platform;
+use dynsched::core::run_experiment;
 use dynsched::core::scenarios::{model_scenario, Condition, ScenarioScale};
 use dynsched::core::trials::{trial_scores, TrialSpec};
 use dynsched::core::tuples::{TaskTuple, TupleSpec};
-use dynsched::core::run_experiment;
 use dynsched::policies::paper_lineup;
 use dynsched::simkit::Rng;
 use dynsched::workload::{LublinModel, SequenceSpec};
@@ -13,9 +13,17 @@ use dynsched::workload::{LublinModel, SequenceSpec};
 #[test]
 fn trial_scores_identical_across_thread_pools() {
     let model = LublinModel::new(64);
-    let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 40_000.0 };
+    let spec = TupleSpec {
+        s_size: 4,
+        q_size: 8,
+        max_start_offset: 40_000.0,
+    };
     let tuple = TaskTuple::generate(&spec, &model, &mut Rng::new(5));
-    let trial_spec = TrialSpec { trials: 256, platform: Platform::new(64), tau: 10.0 };
+    let trial_spec = TrialSpec {
+        trials: 256,
+        platform: Platform::new(64),
+        tau: 10.0,
+    };
 
     let wide = trial_scores(&tuple, &trial_spec, &Rng::new(11));
     let narrow = dynsched::simkit::parallel::with_worker_limit(1, || {
@@ -31,19 +39,33 @@ fn trial_scores_identical_across_thread_pools() {
 #[test]
 fn scenario_and_experiment_are_seed_stable() {
     let scale = ScenarioScale {
-        spec: SequenceSpec { count: 2, days: 1.0, min_jobs: 1 },
+        spec: SequenceSpec {
+            count: 2,
+            days: 1.0,
+            min_jobs: 1,
+        },
         ..ScenarioScale::default()
     };
     let lineup = paper_lineup();
-    let a = run_experiment(&model_scenario(64, Condition::ActualRuntimes, &scale), &lineup);
-    let b = run_experiment(&model_scenario(64, Condition::ActualRuntimes, &scale), &lineup);
+    let a = run_experiment(
+        &model_scenario(64, Condition::ActualRuntimes, &scale),
+        &lineup,
+    );
+    let b = run_experiment(
+        &model_scenario(64, Condition::ActualRuntimes, &scale),
+        &lineup,
+    );
     assert_eq!(a, b);
 }
 
 #[test]
 fn different_seeds_give_different_workloads() {
     let mut scale_a = ScenarioScale {
-        spec: SequenceSpec { count: 2, days: 1.0, min_jobs: 1 },
+        spec: SequenceSpec {
+            count: 2,
+            days: 1.0,
+            min_jobs: 1,
+        },
         ..ScenarioScale::default()
     };
     let exp_a = model_scenario(64, Condition::ActualRuntimes, &scale_a);

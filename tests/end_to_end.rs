@@ -16,8 +16,16 @@ use dynsched::workload::{LublinModel, Trace};
 
 fn mini_training() -> TrainingConfig {
     TrainingConfig {
-        tuple_spec: TupleSpec { s_size: 8, q_size: 16, max_start_offset: 100_000.0 },
-        trial_spec: TrialSpec { trials: 1_500, platform: Platform::new(128), tau: DEFAULT_TAU },
+        tuple_spec: TupleSpec {
+            s_size: 8,
+            q_size: 16,
+            max_start_offset: 100_000.0,
+        },
+        trial_spec: TrialSpec {
+            trials: 1_500,
+            platform: Platform::new(128),
+            tau: DEFAULT_TAU,
+        },
         tuples: 6,
         seed: 0xE2E,
     }
@@ -96,7 +104,16 @@ fn table3_policies_have_the_published_structure() {
     use dynsched::policies::LearnedPolicy;
     for p in LearnedPolicy::table3() {
         let f = p.function();
-        assert_eq!(f.gamma, BaseFunc::Log10, "{}: s-term must be log10", p.name());
-        assert!(f.coefficients[2] > 100.0, "{}: arrival term dominates", p.name());
+        assert_eq!(
+            f.gamma,
+            BaseFunc::Log10,
+            "{}: s-term must be log10",
+            p.name()
+        );
+        assert!(
+            f.coefficients[2] > 100.0,
+            "{}: arrival term dominates",
+            p.name()
+        );
     }
 }

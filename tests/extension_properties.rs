@@ -76,7 +76,10 @@ fn deep_reservations_stay_legal_for_every_depth() {
         let mut used = 0i64;
         for (_, d) in events {
             used += d;
-            assert!((0..=32).contains(&used), "case {case}: depth {depth}, {used} in use");
+            assert!(
+                (0..=32).contains(&used),
+                "case {case}: depth {depth}, {used} in use"
+            );
         }
     }
 }
@@ -139,6 +142,9 @@ fn p2_median_tracks_exact_median() {
         sorted.sort_by(f64::total_cmp);
         let exact = sorted[1_000];
         let est = p2.estimate().unwrap();
-        assert!((est - exact).abs() < 5.0, "seed {seed}: est {est} exact {exact}");
+        assert!(
+            (est - exact).abs() < 5.0,
+            "seed {seed}: est {est} exact {exact}"
+        );
     }
 }

@@ -12,7 +12,11 @@ use dynsched::workload::SequenceSpec;
 
 fn quick_scale() -> ScenarioScale {
     ScenarioScale {
-        spec: SequenceSpec { count: 4, days: 3.0, min_jobs: 10 },
+        spec: SequenceSpec {
+            count: 4,
+            days: 3.0,
+            min_jobs: 10,
+        },
         ..ScenarioScale::default()
     }
 }
@@ -29,7 +33,11 @@ fn learned_policies_beat_adhoc_on_the_model_actual_runtimes() {
     assert!(
         learned_beat_adhoc(&result),
         "best F must beat best ad-hoc: {:?}",
-        result.outcomes.iter().map(|o| (o.policy.clone(), o.median)).collect::<Vec<_>>()
+        result
+            .outcomes
+            .iter()
+            .map(|o| (o.policy.clone(), o.median))
+            .collect::<Vec<_>>()
     );
     // FCFS is the weakest of the line-up on a saturated model workload.
     let fcfs = result.median_of("FCFS").unwrap();
@@ -52,10 +60,7 @@ fn backfilling_helps_fcfs_most() {
         r1.median_of(p).unwrap() / r2.median_of(p).unwrap().max(1.0)
     };
     let fcfs_gain = gain(&strict, &backfilled, "FCFS");
-    assert!(
-        fcfs_gain > 1.0,
-        "EASY must improve FCFS (gain {fcfs_gain})"
-    );
+    assert!(fcfs_gain > 1.0, "EASY must improve FCFS (gain {fcfs_gain})");
     // The learned policies gain less than FCFS does (better initial order
     // leaves less to backfill — §4.2.3).
     let f1_gain = gain(&strict, &backfilled, "F1");

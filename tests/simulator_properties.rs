@@ -31,8 +31,11 @@ fn random_jobs(rng: &mut Rng, max_jobs: usize) -> Vec<Job> {
 #[test]
 fn schedule_is_legal_under_every_policy_and_backfill_mode() {
     let lineup = paper_lineup();
-    let modes =
-        [BackfillMode::None, BackfillMode::Aggressive, BackfillMode::Conservative];
+    let modes = [
+        BackfillMode::None,
+        BackfillMode::Aggressive,
+        BackfillMode::Conservative,
+    ];
     for case in 0..64u64 {
         let mut rng = Rng::new(0xA11CE ^ case);
         let jobs = random_jobs(&mut rng, 40);
@@ -80,7 +83,11 @@ fn cores_never_oversubscribed() {
         // start/finish instant.
         let trace = Trace::from_jobs(jobs);
         let config = SchedulerConfig::estimates_with_backfilling(Platform::new(32));
-        let result = simulate(&trace, &QueueDiscipline::Policy(lineup[7].as_ref()), &config);
+        let result = simulate(
+            &trace,
+            &QueueDiscipline::Policy(lineup[7].as_ref()),
+            &config,
+        );
         let mut events: Vec<(f64, i64)> = Vec::new();
         for c in &result.completed {
             events.push((c.start, c.job.cores as i64));
@@ -91,7 +98,10 @@ fn cores_never_oversubscribed() {
         let mut used = 0i64;
         for (_, delta) in events {
             used += delta;
-            assert!(used <= 32, "case {case}: oversubscribed, {used} cores in use");
+            assert!(
+                used <= 32,
+                "case {case}: oversubscribed, {used} cores in use"
+            );
             assert!(used >= 0, "case {case}");
         }
     }
@@ -105,10 +115,19 @@ fn policy_scores_are_total_orderable() {
         let n = rng.range_u64(1, 99_999) as u32;
         let s = rng.range_f64(0.0, 1e7);
         let dt = rng.range_f64(0.0, 1e6);
-        let view = TaskView { processing_time: r, cores: n, submit: s, now: s + dt };
+        let view = TaskView {
+            processing_time: r,
+            cores: n,
+            submit: s,
+            now: s + dt,
+        };
         for p in paper_lineup() {
             let score = p.score(&view);
-            assert!(!score.is_nan(), "{} produced NaN at r={r} n={n} s={s}", p.name());
+            assert!(
+                !score.is_nan(),
+                "{} produced NaN at r={r} n={n} s={s}",
+                p.name()
+            );
         }
     }
 }
@@ -158,7 +177,12 @@ fn expression_print_parse_is_identity_on_random_views() {
         let r = rng.range_f64(0.0, 1e6);
         let n = rng.range_u64(1, 4_095) as u32;
         let s = rng.range_f64(0.0, 1e6);
-        let view = TaskView { processing_time: r, cores: n, submit: s, now: s + 50.0 };
+        let view = TaskView {
+            processing_time: r,
+            cores: n,
+            submit: s,
+            now: s + 50.0,
+        };
         for src in sources {
             let p1 = ExprPolicy::parse("a", src).unwrap();
             let printed = p1.expr().to_string();
@@ -181,12 +205,24 @@ fn trial_scores_always_sum_to_one() {
     use dynsched::workload::LublinModel;
 
     let model = LublinModel::new(64);
-    let spec = TupleSpec { s_size: 4, q_size: 8, max_start_offset: 40_000.0 };
-    let trial_spec = TrialSpec { trials: 96, platform: Platform::new(64), tau: DEFAULT_TAU };
+    let spec = TupleSpec {
+        s_size: 4,
+        q_size: 8,
+        max_start_offset: 40_000.0,
+    };
+    let trial_spec = TrialSpec {
+        trials: 96,
+        platform: Platform::new(64),
+        tau: DEFAULT_TAU,
+    };
     for seed in 0..8u64 {
         let tuple = TaskTuple::generate(&spec, &model, &mut Rng::new(seed));
         let scores = trial_scores(&tuple, &trial_spec, &Rng::new(seed ^ 0xABCD));
-        assert!((scores.total() - 1.0).abs() < 1e-9, "seed {seed}: {}", scores.total());
+        assert!(
+            (scores.total() - 1.0).abs() < 1e-9,
+            "seed {seed}: {}",
+            scores.total()
+        );
         assert!(scores.scores.iter().all(|&s| s >= 0.0));
     }
 }
