@@ -1,0 +1,355 @@
+//! Policy scoring throughput: compiled bytecode kernels vs the
+//! interpreted `dyn Policy` tree walk.
+//!
+//! Two measurements, both asserted **bit-identical** across paths before
+//! any number is reported:
+//!
+//! 1. **Queue re-scoring** — the hot kernel of every time-dependent
+//!    discipline: re-score a waiting queue at a sweep of rescheduling
+//!    times. The interpreted baseline builds a `TaskView` and calls
+//!    `Policy::score` per job per event (exactly the engine's
+//!    `order_queue` loop); the compiled path evaluates the wait-invariant
+//!    prefix once per job and then runs `CompiledPolicy::score_batch`
+//!    per event over SoA lanes.
+//! 2. **End-to-end simulation throughput** — full engine runs under a
+//!    learned-family aging policy (time-dependent, the class every
+//!    learned `G1..Gk` + aging deployment falls into) and under static
+//!    F1, interpreted vs compiled disciplines.
+//!
+//! Results land in `BENCH_policy_throughput.json` at the repo root,
+//! committed + uploaded in CI like the other four throughput benches.
+
+use criterion::{Criterion, Throughput};
+use dynsched_bench::{banner, criterion, full_scale};
+use dynsched_cluster::Platform;
+use dynsched_policies::{CompiledPolicy, ExprPolicy, LearnedPolicy, Policy, ScoreLanes, TaskView};
+use dynsched_scheduler::{
+    simulate_metrics_into, BackfillMode, QueueDiscipline, SchedulerConfig, SimWorkspace,
+};
+use dynsched_simkit::Rng;
+use dynsched_workload::{LublinModel, Trace, TraceSource};
+use std::hint::black_box;
+
+/// Best-of-`reps` wall time.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut seconds = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        seconds = seconds.min(t0.elapsed().as_secs_f64());
+    }
+    seconds
+}
+
+fn sequences(count: usize, jobs: usize, cores: u32, seed: u64) -> Vec<Trace> {
+    let mut model = LublinModel::new(cores);
+    model.daily_cycle = false;
+    model.arrival_scale = 0.05;
+    let mut rng = Rng::new(seed);
+    (0..count)
+        .map(|_| model.generate_jobs(jobs, &mut rng))
+        .collect()
+}
+
+/// The queue under test: SoA lanes of `q` waiting jobs (actual-runtime
+/// decision mode) plus the compiled policy's precomputed slot rows.
+struct Queue {
+    r: Vec<f64>,
+    n: Vec<f64>,
+    n_u32: Vec<u32>,
+    s: Vec<f64>,
+    slots: Vec<f64>,
+}
+
+impl Queue {
+    fn build(trace: &Trace, compiled: &CompiledPolicy) -> Queue {
+        let mut queue = Queue {
+            r: Vec::new(),
+            n: Vec::new(),
+            n_u32: Vec::new(),
+            s: Vec::new(),
+            slots: Vec::new(),
+        };
+        let mut stack = Vec::new();
+        let mut row = vec![0.0; compiled.slot_count()];
+        for i in 0..trace.len() {
+            queue.r.push(trace.runtime(i));
+            queue.n.push(trace.cores(i) as f64);
+            queue.n_u32.push(trace.cores(i));
+            queue.s.push(trace.submit(i));
+            compiled.prefix_into(
+                trace.runtime(i),
+                trace.cores(i) as f64,
+                trace.submit(i),
+                &mut row,
+                &mut stack,
+            );
+            queue.slots.extend_from_slice(&row);
+        }
+        queue
+    }
+
+    fn lanes(&self) -> ScoreLanes<'_> {
+        ScoreLanes {
+            r: &self.r,
+            n: &self.n,
+            s: &self.s,
+            slots: &self.slots,
+        }
+    }
+
+    /// The interpreted engine loop: one TaskView + vtable call per job.
+    fn score_interpreted(&self, policy: &dyn Policy, now: f64, out: &mut [f64]) {
+        for (i, out_i) in out.iter_mut().enumerate() {
+            *out_i = policy.score(&TaskView {
+                processing_time: self.r[i],
+                cores: self.n_u32[i],
+                submit: self.s[i],
+                now,
+            });
+        }
+    }
+}
+
+struct EndToEnd {
+    interpreted_secs: f64,
+    compiled_secs: f64,
+    speedup: f64,
+}
+
+/// Time full simulations of every sequence under both disciplines,
+/// asserting identical metrics cell by cell.
+fn end_to_end(
+    policy: &dyn Policy,
+    seqs: &[Trace],
+    config: &SchedulerConfig,
+    reps: usize,
+) -> EndToEnd {
+    let compiled = policy.compile().expect("built-in policies compile");
+    let mut ws = SimWorkspace::new();
+    for seq in seqs {
+        let a = simulate_metrics_into(&mut ws, seq, &QueueDiscipline::Policy(policy), config, 10.0);
+        let b = simulate_metrics_into(
+            &mut ws,
+            seq,
+            &QueueDiscipline::Compiled(&compiled),
+            config,
+            10.0,
+        );
+        assert_eq!(a, b, "{}: compiled simulation diverged", policy.name());
+    }
+    let interpreted_secs = best_of(reps, || {
+        for seq in seqs {
+            black_box(simulate_metrics_into(
+                &mut ws,
+                seq,
+                &QueueDiscipline::Policy(policy),
+                config,
+                10.0,
+            ));
+        }
+    });
+    let compiled_secs = best_of(reps, || {
+        for seq in seqs {
+            black_box(simulate_metrics_into(
+                &mut ws,
+                seq,
+                &QueueDiscipline::Compiled(&compiled),
+                config,
+                10.0,
+            ));
+        }
+    });
+    EndToEnd {
+        interpreted_secs,
+        compiled_secs,
+        speedup: interpreted_secs / compiled_secs,
+    }
+}
+
+fn regenerate() {
+    banner("Policy scoring throughput: compiled bytecode vs interpreted tree walk");
+    // The aging variant of the paper's F1: the learned static part plus a
+    // waiting-time term — the time-dependent class batch scoring targets.
+    let aging = ExprPolicy::parse("G1-aging", "log10(r)*n + 8.70e2*log10(s) - 1.5e-2*w").unwrap();
+    let compiled = aging.compile().unwrap();
+
+    let queue_size = 512usize;
+    let rescores = if full_scale() { 200_000 } else { 20_000 };
+    let trace = &sequences(1, queue_size, 256, 11)[0];
+    let queue = Queue::build(trace, &compiled);
+    let t_last = trace.submit(trace.len() - 1);
+
+    // Bit-identity first: every rescore instant, every job, exact bits.
+    let mut interp = vec![0.0; queue_size];
+    let mut batch = vec![0.0; queue_size];
+    let mut stack = Vec::new();
+    for k in 0..200 {
+        let now = t_last + k as f64 * 37.5;
+        queue.score_interpreted(&aging, now, &mut interp);
+        compiled.score_batch(&mut batch, queue.lanes(), now, &mut stack);
+        for i in 0..queue_size {
+            assert_eq!(
+                interp[i].to_bits(),
+                batch[i].to_bits(),
+                "compiled batch diverged from tree walk at rescore {k}, job {i}"
+            );
+        }
+    }
+
+    // Timed: `rescores` full-queue re-scores at distinct instants.
+    let tree_secs = best_of(3, || {
+        for k in 0..rescores {
+            let now = t_last + k as f64;
+            queue.score_interpreted(&aging, now, &mut interp);
+            black_box(&interp);
+        }
+    });
+    // The compiled total includes rebuilding the prefix lanes (the
+    // engine pays that once per run, not per event).
+    let batch_secs = best_of(3, || {
+        let warm = Queue::build(trace, &compiled);
+        for k in 0..rescores {
+            let now = t_last + k as f64;
+            compiled.score_batch(&mut batch, warm.lanes(), now, &mut stack);
+            black_box(&batch);
+        }
+    });
+    let jobs_scored = (rescores * queue_size) as f64;
+    let tree_rate = rescores as f64 / tree_secs;
+    let batch_rate = rescores as f64 / batch_secs;
+    let kernel_speedup = batch_rate / tree_rate;
+    println!(
+        "queue re-scoring ({queue_size}-job queue, {rescores} events):\n  \
+         tree walk: {tree_secs:.3} s  ({tree_rate:.0} rescores/s, {:.1} M jobs/s)\n  \
+         compiled:  {batch_secs:.3} s  ({batch_rate:.0} rescores/s, {:.1} M jobs/s)\n  \
+         speedup:   {kernel_speedup:.2}x",
+        jobs_scored / tree_secs / 1e6,
+        jobs_scored / batch_secs / 1e6,
+    );
+
+    // End-to-end: full simulations, time-dependent aging policy and the
+    // static F1 (cached-score path: compiled replaces per-arrival walks).
+    let (n_seqs, jobs) = if full_scale() { (10, 1_000) } else { (6, 300) };
+    let seqs = sequences(n_seqs, jobs, 64, 23);
+    let mut config = SchedulerConfig::actual_runtimes(Platform::new(64));
+    config.backfill = BackfillMode::Aggressive;
+    let reps = 3;
+    let e2e_aging = end_to_end(&aging, &seqs, &config, reps);
+    let f1 = LearnedPolicy::f1();
+    let e2e_f1 = end_to_end(&f1, &seqs, &config, reps);
+    let sims = (n_seqs * reps) as f64 / reps as f64;
+    println!(
+        "end-to-end ({n_seqs} x {jobs}-job sequences, EASY backfilling):\n  \
+         G1-aging: {:.3} s -> {:.3} s  ({:.2}x, {:.1} sims/s compiled)\n  \
+         F1:       {:.3} s -> {:.3} s  ({:.2}x, {:.1} sims/s compiled)",
+        e2e_aging.interpreted_secs,
+        e2e_aging.compiled_secs,
+        e2e_aging.speedup,
+        sims / e2e_aging.compiled_secs,
+        e2e_f1.interpreted_secs,
+        e2e_f1.compiled_secs,
+        e2e_f1.speedup,
+        sims / e2e_f1.compiled_secs,
+    );
+    assert!(
+        kernel_speedup >= 2.0,
+        "compiled batch re-scoring must be at least 2x the tree walk (got {kernel_speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \
+           \"bench\": \"policy_throughput\",\n  \
+           \"scale\": \"{}\",\n  \
+           \"policy\": \"log10(r)*n + 8.70e2*log10(s) - 1.5e-2*w\",\n  \
+           \"queue_rescoring\": {{\n    \
+             \"queue_size\": {queue_size},\n    \
+             \"rescore_events\": {rescores},\n    \
+             \"tree_walk\": {{ \"seconds\": {tree_secs:.4}, \"rescores_per_sec\": {tree_rate:.1}, \"jobs_per_sec\": {:.0} }},\n    \
+             \"compiled_batch\": {{ \"seconds\": {batch_secs:.4}, \"rescores_per_sec\": {batch_rate:.1}, \"jobs_per_sec\": {:.0} }},\n    \
+             \"speedup\": {kernel_speedup:.3},\n    \
+             \"bit_identical\": true\n  }},\n  \
+           \"end_to_end\": {{\n    \
+             \"sequences\": {n_seqs},\n    \
+             \"jobs_per_sequence\": {jobs},\n    \
+             \"aging_policy\": {{ \"interpreted_seconds\": {:.4}, \"compiled_seconds\": {:.4}, \"speedup\": {:.3} }},\n    \
+             \"learned_f1\": {{ \"interpreted_seconds\": {:.4}, \"compiled_seconds\": {:.4}, \"speedup\": {:.3} }},\n    \
+             \"bit_identical\": true\n  }}\n}}\n",
+        if full_scale() { "paper" } else { "reduced" },
+        jobs_scored / tree_secs,
+        jobs_scored / batch_secs,
+        e2e_aging.interpreted_secs,
+        e2e_aging.compiled_secs,
+        e2e_aging.speedup,
+        e2e_f1.interpreted_secs,
+        e2e_f1.compiled_secs,
+        e2e_f1.speedup,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_policy_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let aging = ExprPolicy::parse("G1-aging", "log10(r)*n + 8.70e2*log10(s) - 1.5e-2*w").unwrap();
+    let compiled = aging.compile().unwrap();
+    let trace = &sequences(1, 256, 256, 7)[0];
+    let queue = Queue::build(trace, &compiled);
+    let now = trace.submit(trace.len() - 1) + 100.0;
+    let mut out = vec![0.0; 256];
+    let mut stack = Vec::new();
+
+    let mut g = c.benchmark_group("scoring/256_job_queue");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("tree_walk", |b| {
+        b.iter(|| {
+            queue.score_interpreted(&aging, now, &mut out);
+            black_box(&out);
+        })
+    });
+    g.bench_function("compiled_batch", |b| {
+        b.iter(|| {
+            compiled.score_batch(&mut out, queue.lanes(), now, &mut stack);
+            black_box(&out);
+        })
+    });
+    g.finish();
+
+    let seq = &sequences(1, 200, 64, 31)[0];
+    let config = SchedulerConfig::actual_runtimes(Platform::new(64));
+    let mut ws = SimWorkspace::new();
+    c.bench_function("simulate/aging_200_jobs_interpreted", |b| {
+        b.iter(|| {
+            black_box(simulate_metrics_into(
+                &mut ws,
+                seq,
+                &QueueDiscipline::Policy(&aging),
+                &config,
+                10.0,
+            ))
+        })
+    });
+    c.bench_function("simulate/aging_200_jobs_compiled", |b| {
+        b.iter(|| {
+            black_box(simulate_metrics_into(
+                &mut ws,
+                seq,
+                &QueueDiscipline::Compiled(&compiled),
+                &config,
+                10.0,
+            ))
+        })
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -14,6 +14,18 @@
 //! per-job schedule, so the steady-state evaluation loop performs no heap
 //! allocation at all.
 //!
+//! # Compiled scoring
+//!
+//! Before fanning out, a session lowers each **distinct** policy to its
+//! bytecode form once ([`Policy::compile`]) and hands the compiled
+//! program to every cell that references that policy: workers run the
+//! engine's batch-scoring kernel (per-job wait-invariant prefix lanes,
+//! one re-score pass per rescheduling event) instead of per-task
+//! `dyn Policy` tree walks. Policies without a compiled form simply stay
+//! on the interpreted path — cell results are bit-identical either way,
+//! which is the compile contract the scheduler's `compiled_bit_identity`
+//! suite pins.
+//!
 //! # Determinism contract
 //!
 //! Cells are pure functions of their inputs, results come back as an
@@ -24,11 +36,11 @@
 //! reducing afterwards. The `eval_session` regression suite pins both
 //! properties.
 
-use dynsched_policies::Policy;
+use dynsched_policies::{CompiledPolicy, Policy};
 use dynsched_scheduler::{
     simulate_metrics_into, QueueDiscipline, SchedulerConfig, SimMetrics, SimWorkspace,
 };
-use dynsched_simkit::parallel::par_map_scoped;
+use dynsched_simkit::parallel::run_scoped;
 use dynsched_workload::TraceView;
 use std::ops::Range;
 
@@ -110,16 +122,39 @@ impl<'a> EvalSession<'a> {
 
     /// Run every queued cell and return the index-dense metrics table
     /// (`table[i]` is the cell pushed `i`-th). One simulation workspace
-    /// per worker thread, metrics-only engine mode per cell.
+    /// per worker thread, metrics-only engine mode per cell, compiled
+    /// batch scoring wherever the cell's policy lowers to bytecode.
     pub fn run(&self) -> Vec<SimMetrics> {
-        par_map_scoped(&self.cells, SimWorkspace::new, |cell, ws| {
-            simulate_metrics_into(
-                ws,
-                cell.trace,
-                &QueueDiscipline::Policy(cell.policy),
-                cell.config,
-                cell.tau,
-            )
+        // Compile each distinct policy once, up front, so workers share
+        // programs instead of re-lowering per cell. Identity is the full
+        // fat pointer (data address *and* vtable): zero-sized policies
+        // (FCFS, SPT, …) all share one dangling data address, so only the
+        // vtable separates them. Duplicate vtables across codegen units
+        // can at worst re-compile a shared policy — never alias two
+        // different ones.
+        let mut keys: Vec<*const dyn Policy> = Vec::new();
+        let mut programs: Vec<Option<CompiledPolicy>> = Vec::new();
+        let cell_program: Vec<usize> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let key: *const dyn Policy = cell.policy;
+                keys.iter()
+                    .position(|&k| std::ptr::eq(k, key))
+                    .unwrap_or_else(|| {
+                        keys.push(key);
+                        programs.push(cell.policy.compile());
+                        programs.len() - 1
+                    })
+            })
+            .collect();
+        run_scoped(self.cells.len(), SimWorkspace::new, |i, ws| {
+            let cell = &self.cells[i];
+            let discipline = match &programs[cell_program[i]] {
+                Some(compiled) => QueueDiscipline::Compiled(compiled),
+                None => QueueDiscipline::Policy(cell.policy),
+            };
+            simulate_metrics_into(ws, cell.trace, &discipline, cell.config, cell.tau)
         })
     }
 }
@@ -214,5 +249,73 @@ mod tests {
         let session = EvalSession::new();
         assert!(session.is_empty());
         assert!(session.run().is_empty());
+    }
+
+    #[test]
+    fn uncompilable_policies_fall_back_to_the_interpreted_path() {
+        // A custom policy with no compiled form (the trait default): the
+        // session must route it through QueueDiscipline::Policy and still
+        // match the per-cell simulate loop, while compilable policies in
+        // the same session take the batch kernel.
+        struct Custom;
+        impl Policy for Custom {
+            fn name(&self) -> &str {
+                "custom"
+            }
+            fn score(&self, t: &dynsched_policies::TaskView) -> f64 {
+                t.processing_time * 2.0 + t.wait().sqrt()
+            }
+        }
+        let seqs = sequences(3);
+        let policies: Vec<Box<dyn Policy>> = vec![Box::new(Custom), Box::new(Fcfs)];
+        let config = SchedulerConfig::estimates_with_backfilling(Platform::new(32));
+        let mut session = EvalSession::new();
+        session.push_grid(&policies, &seqs, &config, DEFAULT_TAU);
+        let table = session.run();
+        for (p, policy) in policies.iter().enumerate() {
+            for (s, seq) in seqs.iter().enumerate() {
+                let want = SimMetrics::from_result(
+                    &simulate(seq, &QueueDiscipline::Policy(policy.as_ref()), &config),
+                    DEFAULT_TAU,
+                );
+                assert_eq!(table[p * seqs.len() + s], want, "policy {p}, sequence {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_policies_sharing_a_name_are_not_aliased() {
+        // Two zero-sized policies with the *same display name* but
+        // different scoring: all ZSTs share one data address, so the
+        // compile cache must key on the full fat pointer (vtable
+        // included) or this impostor would silently run FCFS's compiled
+        // program. LCFS-like scoring makes any mix-up change the metrics.
+        struct NotReallyFcfs;
+        impl Policy for NotReallyFcfs {
+            fn name(&self) -> &str {
+                "FCFS"
+            }
+            fn score(&self, t: &dynsched_policies::TaskView) -> f64 {
+                -t.submit
+            }
+            fn time_dependent(&self) -> bool {
+                false
+            }
+        }
+        let seqs = sequences(2);
+        let policies: Vec<Box<dyn Policy>> = vec![Box::new(Fcfs), Box::new(NotReallyFcfs)];
+        let config = SchedulerConfig::actual_runtimes(Platform::new(32));
+        let mut session = EvalSession::new();
+        session.push_grid(&policies, &seqs, &config, DEFAULT_TAU);
+        let table = session.run();
+        for (p, policy) in policies.iter().enumerate() {
+            for (s, seq) in seqs.iter().enumerate() {
+                let want = SimMetrics::from_result(
+                    &simulate(seq, &QueueDiscipline::Policy(policy.as_ref()), &config),
+                    DEFAULT_TAU,
+                );
+                assert_eq!(table[p * seqs.len() + s], want, "policy {p}, sequence {s}");
+            }
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! short and/or long-waiting tasks while resisting large-task starvation;
 //! UNICEF gives fast turnaround to small tasks.
 
+use crate::compile::{CompiledPolicy, OpCode as Op};
 use crate::policy::Policy;
 use crate::task_view::TaskView;
 
@@ -43,6 +44,15 @@ impl Policy for Fcfs {
     fn time_dependent(&self) -> bool {
         false
     }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::from_parts(
+            "FCFS",
+            vec![],
+            0,
+            vec![Op::LoadS],
+        ))
+    }
 }
 
 /// Last-Come First-Served (pathological baseline, used in tests).
@@ -60,6 +70,15 @@ impl Policy for Lcfs {
 
     fn time_dependent(&self) -> bool {
         false
+    }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::from_parts(
+            "LCFS",
+            vec![],
+            0,
+            vec![Op::LoadS, Op::Neg],
+        ))
     }
 }
 
@@ -79,6 +98,15 @@ impl Policy for Spt {
     fn time_dependent(&self) -> bool {
         false
     }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::from_parts(
+            "SPT",
+            vec![],
+            0,
+            vec![Op::LoadR],
+        ))
+    }
 }
 
 /// Longest Processing Time first.
@@ -96,6 +124,15 @@ impl Policy for Lpt {
 
     fn time_dependent(&self) -> bool {
         false
+    }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::from_parts(
+            "LPT",
+            vec![],
+            0,
+            vec![Op::LoadR, Op::Neg],
+        ))
     }
 }
 
@@ -115,6 +152,15 @@ impl Policy for Saf {
     fn time_dependent(&self) -> bool {
         false
     }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::from_parts(
+            "SAF",
+            vec![],
+            0,
+            vec![Op::LoadR, Op::LoadN, Op::Mul],
+        ))
+    }
 }
 
 /// Largest Area First.
@@ -132,6 +178,15 @@ impl Policy for Laf {
 
     fn time_dependent(&self) -> bool {
         false
+    }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::from_parts(
+            "LAF",
+            vec![],
+            0,
+            vec![Op::LoadR, Op::LoadN, Op::Mul, Op::Neg],
+        ))
     }
 }
 
@@ -152,6 +207,31 @@ impl Policy for Wfp3 {
         let ratio = task.wait() / safe_r(task);
         -(ratio * ratio * ratio) * task.cores as f64
     }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        // safe_r = r.max(1.0) is wait-invariant: one slot per job. The
+        // ratio cube duplicates the stack top; IEEE multiplication is
+        // commutative for the finite values a clamped ratio can take, so
+        // x*(x*x) is bit-identical to (x*x)*x (the property suite pins
+        // compiled == interpreted bits regardless).
+        Some(CompiledPolicy::from_parts(
+            "WFP",
+            vec![Op::LoadR, Op::Const(1.0), Op::Max],
+            1,
+            vec![
+                Op::LoadW,
+                Op::LoadSlot(0),
+                Op::DivRaw,
+                Op::Dup,
+                Op::Dup,
+                Op::Mul,
+                Op::Mul,
+                Op::Neg,
+                Op::LoadN,
+                Op::Mul,
+            ],
+        ))
+    }
 }
 
 /// UNICEF (Tang et al. 2009): `score = -w / (log2(n)·r)`.
@@ -171,6 +251,29 @@ impl Policy for Unicef {
     fn score(&self, task: &TaskView) -> f64 {
         let log_n = (task.cores.max(2) as f64).log2();
         -task.wait() / (log_n * safe_r(task))
+    }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        // The denominator log2(max(n, 2)) * max(r, 1) is wait-invariant:
+        // one slot. u32::max before the cast equals f64::max after it
+        // (the cast is exact), and the guarded Log2 opcode is the
+        // identity clamp for arguments >= 2.
+        use crate::expr::Func;
+        Some(CompiledPolicy::from_parts(
+            "UNI",
+            vec![
+                Op::LoadN,
+                Op::Const(2.0),
+                Op::Max,
+                Op::Call(Func::Log2),
+                Op::LoadR,
+                Op::Const(1.0),
+                Op::Max,
+                Op::Mul,
+            ],
+            1,
+            vec![Op::LoadW, Op::Neg, Op::LoadSlot(0), Op::DivRaw],
+        ))
     }
 }
 

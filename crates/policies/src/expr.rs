@@ -58,6 +58,15 @@ impl Var {
 /// Unary functions. The log/sqrt/inv guards match
 /// [`BaseFunc`](crate::learned::BaseFunc) so an exported learned policy
 /// evaluates identically through either path.
+///
+/// # Name aliases
+///
+/// The parser accepts `log` as an alias for [`Func::Log10`] (the paper and
+/// its artifact write base-10 logarithms as plain `log`), but the printer
+/// always emits the canonical `log10`. Round-trips are therefore stable:
+/// `log(...)` parses to `Log10`, prints as `log10(...)`, and parses back
+/// to the same AST — printing is a fixed point even when the source used
+/// the alias.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Func {
     /// `log10(max(x, 1))`
@@ -77,7 +86,24 @@ pub enum Func {
 }
 
 impl Func {
-    fn eval(self, x: f64) -> f64 {
+    /// All unary functions, in declaration order. Used by the round-trip
+    /// tests and the random-expression generators.
+    pub const ALL: [Func; 7] = [
+        Func::Log10,
+        Func::Log2,
+        Func::Ln,
+        Func::Sqrt,
+        Func::Inv,
+        Func::Abs,
+        Func::Exp,
+    ];
+
+    /// Apply with the guard documented per variant. Public because the
+    /// bytecode VM ([`crate::compile`]) executes guarded unary calls
+    /// through *this exact function* — that is how compiled and
+    /// interpreted scores stay bit-identical.
+    #[inline]
+    pub fn eval(self, x: f64) -> f64 {
         match self {
             Func::Log10 => x.max(1.0).log10(),
             Func::Log2 => x.max(1.0).log2(),
@@ -89,7 +115,9 @@ impl Func {
         }
     }
 
-    fn name(self) -> &'static str {
+    /// Canonical name, as printed by [`Expr`]'s `Display` (see the type
+    /// docs for the `log` parsing alias).
+    pub fn name(self) -> &'static str {
         match self {
             Func::Log10 => "log10",
             Func::Log2 => "log2",
@@ -103,6 +131,9 @@ impl Func {
 
     fn from_name(name: &str) -> Option<Func> {
         Some(match name {
+            // `log` is the artifact's spelling of the base-10 logarithm;
+            // the canonical name (and the only one `name()` prints) is
+            // `log10`.
             "log10" | "log" => Func::Log10,
             "log2" => Func::Log2,
             "ln" => Func::Ln,
@@ -131,7 +162,11 @@ pub enum BinOp {
 }
 
 impl BinOp {
-    fn eval(self, a: f64, b: f64) -> f64 {
+    /// Apply the operator with its guard. Public for the same reason as
+    /// [`Func::eval`]: the bytecode VM's guarded division and sanitized
+    /// power run through this exact code.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> f64 {
         match self {
             BinOp::Add => a + b,
             BinOp::Sub => a - b,
@@ -506,6 +541,10 @@ impl Policy for ExprPolicy {
     fn time_dependent(&self) -> bool {
         self.expr.uses_wait()
     }
+
+    fn compile(&self) -> Option<crate::compile::CompiledPolicy> {
+        Some(crate::compile::compile_expr(self.name.clone(), &self.expr))
+    }
 }
 
 #[cfg(test)]
@@ -621,6 +660,29 @@ mod tests {
             // And printing again is a fixed point.
             assert_eq!(printed, e2.to_string());
         }
+    }
+
+    #[test]
+    fn func_names_roundtrip_through_parse_and_print() {
+        // Every variant: print its canonical call, parse it back, print
+        // again — the AST and the text must both be fixed points. The
+        // `log` alias parses to Log10 but is never printed.
+        for f in Func::ALL {
+            let src = format!("{}(r)", f.name());
+            let parsed = parse_expr(&src).unwrap();
+            assert_eq!(parsed, Expr::Call(f, Box::new(Expr::Var(Var::R))));
+            let printed = parsed.to_string();
+            assert_eq!(printed, src, "printing {f:?} is not a fixed point");
+            assert_eq!(parse_expr(&printed).unwrap(), parsed);
+        }
+        // The alias: accepted on input, normalized on output.
+        let aliased = parse_expr("log(s)").unwrap();
+        assert_eq!(
+            aliased,
+            Expr::Call(Func::Log10, Box::new(Expr::Var(Var::S)))
+        );
+        assert_eq!(aliased.to_string(), "log10(s)");
+        assert_eq!(parse_expr(&aliased.to_string()).unwrap(), aliased);
     }
 
     #[test]

@@ -244,6 +244,51 @@ impl NonlinearFunction {
         out
     }
 
+    /// Lower into the score-expression AST of [`crate::expr`], preserving
+    /// evaluation semantics **bit for bit**: each guarded base function
+    /// maps to the [`Func`](crate::expr::Func) with the identical guard,
+    /// each operator to the [`BinOp`](crate::expr::BinOp) with the
+    /// identical code, coefficients multiply on the left exactly as
+    /// [`eval_transformed`](Self::eval_transformed) does, and both paths
+    /// end with the same NaN→`f64::MAX` sanitizer. This is how a learned
+    /// policy reaches the bytecode compiler (and how a fitted function can
+    /// be exported as policy-language text).
+    pub fn to_expr(&self) -> crate::expr::Expr {
+        use crate::expr::{BinOp, Expr, Func, Var};
+        let term = |c: f64, base: BaseFunc, v: Var| -> Expr {
+            let var = Expr::Var(v);
+            let transformed = match base {
+                BaseFunc::Id => var,
+                BaseFunc::Log10 => Expr::Call(Func::Log10, Box::new(var)),
+                BaseFunc::Sqrt => Expr::Call(Func::Sqrt, Box::new(var)),
+                BaseFunc::Inv => Expr::Call(Func::Inv, Box::new(var)),
+            };
+            Expr::Bin(BinOp::Mul, Box::new(Expr::Const(c)), Box::new(transformed))
+        };
+        let op = |o: OpKind| match o {
+            OpKind::Add => BinOp::Add,
+            OpKind::Mul => BinOp::Mul,
+            OpKind::Div => BinOp::Div,
+        };
+        let [c1, c2, c3] = self.coefficients;
+        let a = term(c1, self.alpha, Var::R);
+        let b = term(c2, self.beta, Var::N);
+        let c = term(c3, self.gamma, Var::S);
+        if self.op1 == OpKind::Add && self.op2.is_multiplicative() {
+            Expr::Bin(
+                op(self.op1),
+                Box::new(a),
+                Box::new(Expr::Bin(op(self.op2), Box::new(b), Box::new(c))),
+            )
+        } else {
+            Expr::Bin(
+                op(self.op2),
+                Box::new(Expr::Bin(op(self.op1), Box::new(a), Box::new(b))),
+                Box::new(c),
+            )
+        }
+    }
+
     /// Render in the artifact's verbose format, e.g.
     /// `(-0.0155 x log10(r)) * (-0.0005 x n) + (0.0070 x log10(s))`.
     pub fn render_verbose(&self) -> String {
@@ -397,6 +442,16 @@ impl Policy for LearnedPolicy {
     fn time_dependent(&self) -> bool {
         // f(r, n, s) never reads the waiting time.
         false
+    }
+
+    fn compile(&self) -> Option<crate::compile::CompiledPolicy> {
+        // Route through the expression lowering: same guards, same
+        // operand order, same final sanitizer — the whole function is
+        // wait-invariant, so it compiles to one prefix slot per job.
+        Some(crate::compile::compile_expr(
+            self.name.clone(),
+            &self.function.to_expr(),
+        ))
     }
 }
 

@@ -12,6 +12,11 @@
 //!   policies F1–F4 of Table 3;
 //! * [`expr`] — a parsed score-expression language so externally fitted
 //!   policies can be loaded from text;
+//! * [`compile`] — bytecode policy kernels: every built-in policy lowers
+//!   to a flat postfix program with a **wait-invariant prefix** (evaluated
+//!   once per job) and a time-dependent residual the scheduler re-runs in
+//!   one batch pass per rescheduling event, bit-identical to the
+//!   interpreted paths;
 //! * [`multifactor`] — the SLURM-style multifactor priority the paper's §2
 //!   positions this work against;
 //! * [`registry`] — the paper's eight-policy line-up and name lookup.
@@ -19,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod compile;
 pub mod expr;
 pub mod io;
 pub mod learned;
@@ -28,6 +34,7 @@ pub mod registry;
 pub mod task_view;
 
 pub use baselines::{Fcfs, Laf, Lcfs, Lpt, Saf, Spt, Unicef, Wfp3};
+pub use compile::{compile_expr, CompiledPolicy, ScoreLanes};
 pub use expr::ExprPolicy;
 pub use io::{load_policies, save_learned, save_policies};
 pub use learned::{BaseFunc, LearnedPolicy, NonlinearFunction, OpKind};

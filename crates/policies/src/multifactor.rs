@@ -115,6 +115,49 @@ impl Policy for MultiFactor {
             + self.weights.shortness * self.shortness_factor(task);
         -priority
     }
+
+    fn compile(&self) -> Option<crate::compile::CompiledPolicy> {
+        use crate::compile::OpCode as Op;
+        // The size and shortness terms never read `w`: hoist each weighted
+        // factor into a per-job slot. The residual replays the exact float
+        // sequence of `score`: raw (unguarded) divisions, `clamp(0, 1)`
+        // normalization, left-to-right weighted sum, final negation — and
+        // no NaN sanitizer, because the interpreted path has none.
+        let prefix = vec![
+            // slot 0 = weights.size * size_factor
+            Op::Const(self.weights.size),
+            Op::LoadN,
+            Op::Const(self.scales.platform_cores as f64),
+            Op::DivRaw,
+            Op::Clamp01,
+            Op::Mul,
+            // slot 1 = weights.shortness * shortness_factor
+            Op::Const(self.weights.shortness),
+            Op::Const(1.0),
+            Op::LoadR,
+            Op::Const(self.scales.max_time),
+            Op::DivRaw,
+            Op::Clamp01,
+            Op::Sub,
+            Op::Mul,
+        ];
+        let residual = vec![
+            Op::Const(self.weights.age),
+            Op::LoadW,
+            Op::Const(self.scales.max_age),
+            Op::DivRaw,
+            Op::Clamp01,
+            Op::Mul,
+            Op::LoadSlot(0),
+            Op::Add,
+            Op::LoadSlot(1),
+            Op::Add,
+            Op::Neg,
+        ];
+        Some(crate::compile::CompiledPolicy::from_parts(
+            "MF", prefix, 2, residual,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! singularity (documented at each site), and [`sort_views`] asserts the
 //! invariant in debug builds.
 
+use crate::compile::CompiledPolicy;
 use crate::task_view::TaskView;
 
 /// A queue-ordering scheduling policy.
@@ -26,6 +27,16 @@ pub trait Policy: Send + Sync {
     fn time_dependent(&self) -> bool {
         true
     }
+
+    /// Lower this policy to a bytecode [`CompiledPolicy`] whose scores are
+    /// **bit-identical** to [`Policy::score`] at every task view (see the
+    /// [`compile`](crate::compile) module for the contract). `None` means
+    /// the policy has no compiled form and callers must stay on the
+    /// interpreted path — the default, so arbitrary user policies are
+    /// always correct; every built-in policy overrides this.
+    fn compile(&self) -> Option<CompiledPolicy> {
+        None
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for &P {
@@ -40,6 +51,10 @@ impl<P: Policy + ?Sized> Policy for &P {
     fn time_dependent(&self) -> bool {
         (**self).time_dependent()
     }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        (**self).compile()
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -53,6 +68,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn time_dependent(&self) -> bool {
         (**self).time_dependent()
+    }
+
+    fn compile(&self) -> Option<CompiledPolicy> {
+        (**self).compile()
     }
 }
 

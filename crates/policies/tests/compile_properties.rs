@@ -1,0 +1,239 @@
+//! RNG-driven property loops for the bytecode compiler: for *any*
+//! expression tree and *any* task view, the compiled program must produce
+//! the **bit-identical** score of the interpreted tree walk — and the
+//! same holds for every built-in policy's hand-emitted or lowered
+//! program. Same deterministic-RNG style as `mlreg`'s
+//! `regression_properties`: fixed seeds, no flaky inputs.
+
+use dynsched_policies::expr::{parse_expr, BinOp, Expr, Func, Var};
+use dynsched_policies::{
+    paper_lineup, BaseFunc, ExprPolicy, LearnedPolicy, MultiFactor, MultiFactorWeights,
+    NonlinearFunction, OpKind, Policy, TaskView,
+};
+use dynsched_simkit::Rng;
+
+/// A random expression tree of bounded depth over all vars, funcs, and
+/// operators, with constants spanning tiny/huge/negative magnitudes so
+/// guards and the NaN sanitizer actually fire.
+fn random_expr(rng: &mut Rng, depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.range_u64(0, 10) < 3;
+    if leaf {
+        return match rng.range_u64(0, 6) {
+            0 => Expr::Var(Var::R),
+            1 => Expr::Var(Var::N),
+            2 => Expr::Var(Var::S),
+            3 => Expr::Var(Var::W),
+            _ => {
+                let mag = rng.range_f64(-9.0, 9.0);
+                let sign = if rng.range_u64(0, 1) == 0 { 1.0 } else { -1.0 };
+                Expr::Const(sign * 10f64.powf(mag))
+            }
+        };
+    }
+    match rng.range_u64(0, 8) {
+        0 => Expr::Neg(Box::new(random_expr(rng, depth - 1))),
+        1 | 2 => {
+            // range_u64 is inclusive on both ends.
+            let f = Func::ALL[rng.range_u64(0, Func::ALL.len() as u64 - 1) as usize];
+            Expr::Call(f, Box::new(random_expr(rng, depth - 1)))
+        }
+        k => {
+            let op =
+                [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Pow][(k as usize - 3) % 5];
+            Expr::Bin(
+                op,
+                Box::new(random_expr(rng, depth - 1)),
+                Box::new(random_expr(rng, depth - 1)),
+            )
+        }
+    }
+}
+
+fn random_view(rng: &mut Rng) -> TaskView {
+    // Mix well-behaved and degenerate shapes: zero runtimes, zero submit,
+    // huge waits, serial and massive jobs.
+    let r = match rng.range_u64(0, 4) {
+        0 => 0.0,
+        1 => rng.range_f64(0.0, 1.0),
+        _ => rng.range_f64(1.0, 1e6),
+    };
+    let n = rng.range_u64(1, 1_000_000) as u32;
+    let s = if rng.range_u64(0, 4) == 0 {
+        0.0
+    } else {
+        rng.range_f64(0.0, 1e7)
+    };
+    let now = s + if rng.range_u64(0, 3) == 0 {
+        0.0
+    } else {
+        rng.range_f64(0.0, 1e6)
+    };
+    TaskView {
+        processing_time: r,
+        cores: n,
+        submit: s,
+        now,
+    }
+}
+
+#[test]
+fn random_trees_compile_bit_identically() {
+    let mut rng = Rng::new(0xB17C0DE);
+    for case in 0..300u64 {
+        let expr = random_expr(&mut rng, 5);
+        let policy = ExprPolicy::from_expr(format!("rand-{case}"), expr.clone());
+        let compiled = policy.compile().expect("expressions always compile");
+        assert_eq!(
+            compiled.time_dependent(),
+            expr.uses_wait(),
+            "case {case}: wait-dependence must be derived from the program"
+        );
+        for _ in 0..20 {
+            let v = random_view(&mut rng);
+            let interpreted = policy.score(&v);
+            let comp = compiled.score(&v);
+            assert_eq!(
+                interpreted.to_bits(),
+                comp.to_bits(),
+                "case {case}: {expr} diverged at {v:?} ({interpreted} vs {comp})"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_trees_batch_score_matches_scalar_path() {
+    use dynsched_policies::ScoreLanes;
+    let mut rng = Rng::new(0x5C0AE5);
+    for case in 0..40u64 {
+        let expr = random_expr(&mut rng, 4);
+        let compiled = ExprPolicy::from_expr("t", expr).compile().unwrap();
+        let views: Vec<TaskView> = (0..17).map(|_| random_view(&mut rng)).collect();
+        let now = views.iter().map(|v| v.now).fold(0.0, f64::max);
+        let (mut r, mut n, mut s, mut slots) = (vec![], vec![], vec![], vec![]);
+        let mut stack = Vec::new();
+        let mut row = vec![0.0; compiled.slot_count()];
+        for v in &views {
+            r.push(v.processing_time);
+            n.push(v.cores as f64);
+            s.push(v.submit);
+            compiled.prefix_into(
+                v.processing_time,
+                v.cores as f64,
+                v.submit,
+                &mut row,
+                &mut stack,
+            );
+            slots.extend_from_slice(&row);
+        }
+        let mut out = vec![0.0; views.len()];
+        compiled.score_batch(
+            &mut out,
+            ScoreLanes {
+                r: &r,
+                n: &n,
+                s: &s,
+                slots: &slots,
+            },
+            now,
+            &mut stack,
+        );
+        for (i, v) in views.iter().enumerate() {
+            let at_now = TaskView { now, ..*v };
+            assert_eq!(
+                out[i].to_bits(),
+                compiled.score(&at_now).to_bits(),
+                "case {case}, job {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_builtin_policy_compiles_bit_identically() {
+    let mut rng = Rng::new(0xFACADE);
+    let mut policies: Vec<Box<dyn Policy>> = paper_lineup();
+    policies.push(Box::new(MultiFactor::default()));
+    policies.push(Box::new(MultiFactor::new(MultiFactorWeights {
+        age: 0.3,
+        size: 2.0,
+        shortness: -0.7,
+    })));
+    for name in ["LCFS", "LPT", "SAF", "LAF"] {
+        policies.push(dynsched_policies::by_name(name).unwrap());
+    }
+    for policy in &policies {
+        let compiled = policy
+            .compile()
+            .unwrap_or_else(|| panic!("{} must compile", policy.name()));
+        assert_eq!(compiled.name(), policy.name());
+        assert_eq!(
+            compiled.time_dependent(),
+            policy.time_dependent(),
+            "{}: declared vs derived wait-dependence",
+            policy.name()
+        );
+        for _ in 0..200 {
+            let v = random_view(&mut rng);
+            assert_eq!(
+                policy.score(&v).to_bits(),
+                compiled.score(&v).to_bits(),
+                "{} diverged at {v:?}",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_learned_family_compiles_bit_identically() {
+    let mut rng = Rng::new(0x1EA12);
+    for (i, shape) in NonlinearFunction::enumerate_family()
+        .into_iter()
+        .enumerate()
+    {
+        let f = shape.with_coefficients([
+            rng.range_f64(-1e3, 1e3),
+            rng.range_f64(-2.0, 2.0),
+            rng.range_f64(-1e5, 1e5),
+        ]);
+        let policy = LearnedPolicy::new(format!("fam-{i}"), f);
+        let compiled = policy.compile().unwrap();
+        assert!(!compiled.time_dependent());
+        // The whole function is wait-invariant: exactly one prefix slot.
+        assert_eq!(compiled.slot_count(), 1, "fam-{i}");
+        for _ in 0..5 {
+            let v = random_view(&mut rng);
+            assert_eq!(
+                policy.score(&v).to_bits(),
+                compiled.score(&v).to_bits(),
+                "family member {i} ({f:?}) diverged at {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn to_expr_matches_eval_transformed_semantics() {
+    // The learned→expr lowering is also the export path: parsing the
+    // printed text back must preserve scores bit for bit.
+    let mut rng = Rng::new(0xE11A);
+    for base in BaseFunc::ALL {
+        for op in OpKind::ALL {
+            let f = NonlinearFunction::with_shape(base, op, BaseFunc::Log10, OpKind::Add, base)
+                .with_coefficients([rng.range_f64(-10.0, 10.0), 1.5, -0.25]);
+            let expr = f.to_expr();
+            let reparsed = parse_expr(&expr.to_string()).unwrap();
+            for _ in 0..20 {
+                let v = random_view(&mut rng);
+                let direct = f.eval(v.processing_time, v.cores as f64, v.submit);
+                assert_eq!(direct.to_bits(), expr.eval(&v).to_bits(), "{f:?} at {v:?}");
+                assert_eq!(
+                    direct.to_bits(),
+                    reparsed.eval(&v).to_bits(),
+                    "{f:?} reparse at {v:?}"
+                );
+            }
+        }
+    }
+}

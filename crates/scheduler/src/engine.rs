@@ -68,25 +68,61 @@
 //!   rank or cached score) lives in a dense `Vec<f64>` parallel to the
 //!   entry list, so the binary-search insertions and sortedness scans touch
 //!   8-byte keys instead of full queue entries.
+//!
+//! # Compiled policy kernels
+//!
+//! [`QueueDiscipline::Compiled`] runs a policy as bytecode
+//! ([`CompiledPolicy`]) instead of through the `dyn Policy` vtable. At run
+//! start the engine evaluates the policy's **wait-invariant prefix** once
+//! per trace position into a dense [`JobLanes`] row block (the per-job
+//! static part: everything depending only on `r`/`n`/`s`); each
+//! rescheduling event then re-scores the whole queue with one
+//! [`CompiledPolicy::score_batch`] pass over SoA input lanes maintained in
+//! lockstep with the queue — no vtable dispatch, no tree walk, and no
+//! per-job [`TaskView`] construction on the hot path. Scores (and
+//! therefore every schedule) are **bit-identical** to the interpreted
+//! [`QueueDiscipline::Policy`] path; the `compiled_bit_identity` suite
+//! pins full simulations across backfill modes, decision modes, and
+//! thread counts, and [`crate::reference`] stays on the per-task scalar
+//! path as the oracle.
 
 use crate::config::{BackfillMode, SchedulerConfig};
 use crate::profile::{clamp_release, Profile};
 use crate::result::{SimMetrics, SimulationResult};
 use dynsched_cluster::{CompletedJob, CoreLedger, Job, JobId};
-use dynsched_policies::{Policy, TaskView};
+use dynsched_policies::{CompiledPolicy, Policy, ScoreLanes, TaskView};
 use dynsched_simkit::{Clock, EventQueue};
-use dynsched_workload::TraceSource;
+use dynsched_workload::{JobLanes, TraceSource};
 
 /// How the waiting queue is ordered at each rescheduling event.
 pub enum QueueDiscipline<'a> {
-    /// Order by a scoring policy (lower score first).
+    /// Order by a scoring policy (lower score first), evaluated through
+    /// the interpreted `dyn Policy` path.
     Policy(&'a dyn Policy),
+    /// Order by a compiled bytecode policy (lower score first): the
+    /// engine precomputes the wait-invariant prefix per job and re-scores
+    /// the queue with the batch kernel. Bit-identical to
+    /// [`QueueDiscipline::Policy`] on the policy it was compiled from.
+    Compiled(&'a CompiledPolicy),
     /// Order by a fixed rank per **trace position**: the job at
     /// `trace.jobs()[i]` has rank `ranks[i]`, lower rank first. Ranks must
     /// be distinct (ties would be resolved by arrival order, which is
     /// usually not what a permutation trial means). Used by the training
     /// trials, where the queue order is a random permutation of `Q`.
     FixedOrder(&'a [usize]),
+}
+
+/// The policy-visible view of `job` at time `now`: decision-mode
+/// processing time, cores, arrival — the one place a [`TaskView`] is
+/// assembled for the interpreted scoring paths.
+#[inline]
+fn task_view(config: &SchedulerConfig, job: &Job, now: f64) -> TaskView {
+    TaskView {
+        processing_time: config.decision_time(job.runtime, job.estimate),
+        cores: job.cores,
+        submit: job.submit,
+        now,
+    }
 }
 
 /// Heap events are completions only, carrying the finished job's trace
@@ -181,6 +217,22 @@ pub struct SimWorkspace {
     releases: Vec<Release>,
     /// Clamped `(time, cores)` copy handed to the profile.
     rel_scratch: Vec<(f64, u32)>,
+    /// Wait-invariant prefix slots of a compiled policy, one row per
+    /// trace position — filled once at run start, read at every enqueue.
+    static_lanes: JobLanes,
+    /// Queue-parallel SoA input lanes for compiled batch scoring
+    /// (decision-mode `r`, `n`, `s`), maintained in lockstep with `queue`
+    /// only for time-dependent compiled disciplines.
+    q_r: Vec<f64>,
+    q_n: Vec<f64>,
+    q_s: Vec<f64>,
+    /// Queue-parallel copies of the jobs' static slot rows (stride =
+    /// `CompiledPolicy::slot_count`), same lockstep discipline.
+    q_slots: Vec<f64>,
+    /// Batch-kernel score output lane.
+    batch_scores: Vec<f64>,
+    /// Bytecode VM stack scratch.
+    vm_stack: Vec<f64>,
     profile: Profile,
     /// Start time per trace index; NaN when not running.
     start_of: Vec<f64>,
@@ -296,6 +348,11 @@ impl SimWorkspace {
         self.queue.clear();
         self.q_keys.clear();
         self.releases.clear();
+        self.q_r.clear();
+        self.q_n.clear();
+        self.q_s.clear();
+        self.q_slots.clear();
+        self.batch_scores.clear();
         self.start_of.clear();
         self.start_of.resize(n_jobs, f64::NAN);
         self.ledger.reset(config.platform);
@@ -306,7 +363,27 @@ impl SimWorkspace {
             QueueDiscipline::FixedOrder(_) => QueueOrder::ByRank,
             QueueDiscipline::Policy(p) if !p.time_dependent() => QueueOrder::ByCachedScore,
             QueueDiscipline::Policy(_) => QueueOrder::TimeDependent,
+            QueueDiscipline::Compiled(cp) if !cp.time_dependent() => QueueOrder::ByCachedScore,
+            QueueDiscipline::Compiled(_) => QueueOrder::TimeDependent,
         };
+        // Compiled discipline: evaluate the wait-invariant prefix once per
+        // trace position into the dense slot lanes — the per-job static
+        // part, constant for each job's whole queue lifetime.
+        if let QueueDiscipline::Compiled(cp) = discipline {
+            self.static_lanes.reset(n_jobs, cp.slot_count());
+            for i in 0..n_jobs {
+                let r = config.decision_time(trace.runtime(i), trace.estimate(i));
+                cp.prefix_into(
+                    r,
+                    trace.cores(i) as f64,
+                    trace.submit(i),
+                    self.static_lanes.row_mut(i),
+                    &mut self.vm_stack,
+                );
+            }
+        } else {
+            self.static_lanes.reset(0, 0);
+        }
         let mut clock = Clock::new();
         let mut events_processed = 0u64;
         let SimWorkspace {
@@ -317,6 +394,13 @@ impl SimWorkspace {
             scored,
             releases,
             rel_scratch,
+            static_lanes,
+            q_r,
+            q_n,
+            q_s,
+            q_slots,
+            batch_scores,
+            vm_stack,
             profile,
             start_of,
             ledger,
@@ -335,6 +419,8 @@ impl SimWorkspace {
             skip_eligible: config.backfill == BackfillMode::None
                 && queue_order != QueueOrder::TimeDependent,
             head_blocked: false,
+            track_lanes: matches!(discipline, QueueDiscipline::Compiled(_))
+                && queue_order == QueueOrder::TimeDependent,
             events,
             queue,
             q_keys,
@@ -342,6 +428,13 @@ impl SimWorkspace {
             scored,
             releases,
             rel_scratch,
+            static_lanes,
+            q_r,
+            q_n,
+            q_s,
+            q_slots,
+            batch_scores,
+            vm_stack,
             profile,
             start_of,
             ledger,
@@ -547,6 +640,9 @@ struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
     /// arrival that takes over the head slot. While true, a reschedule is
     /// provably a no-op and is skipped.
     head_blocked: bool,
+    /// Whether the queue-parallel SoA input lanes are maintained — only
+    /// for time-dependent compiled disciplines, which batch-score them.
+    track_lanes: bool,
     events: &'a mut EventQueue<Completion>,
     queue: &'a mut Vec<QueueEntry>,
     q_keys: &'a mut Vec<f64>,
@@ -554,6 +650,13 @@ struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
     scored: &'a mut Vec<(usize, f64)>,
     releases: &'a mut Vec<Release>,
     rel_scratch: &'a mut Vec<(f64, u32)>,
+    static_lanes: &'a mut JobLanes,
+    q_r: &'a mut Vec<f64>,
+    q_n: &'a mut Vec<f64>,
+    q_s: &'a mut Vec<f64>,
+    q_slots: &'a mut Vec<f64>,
+    batch_scores: &'a mut Vec<f64>,
+    vm_stack: &'a mut Vec<f64>,
     profile: &'a mut Profile,
     start_of: &'a mut Vec<f64>,
     ledger: &'a mut CoreLedger,
@@ -588,15 +691,24 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                 self.head_blocked &= pos > 0;
             }
             QueueOrder::ByCachedScore => {
-                let QueueDiscipline::Policy(policy) = self.discipline else {
-                    unreachable!("ByCachedScore implies Policy")
+                // Scores of a static policy are computed once, at arrival
+                // (`now = submit`, so the wait is 0 either way).
+                let key = match self.discipline {
+                    QueueDiscipline::Policy(policy) => {
+                        policy.score(&task_view(self.config, &job, job.submit))
+                    }
+                    QueueDiscipline::Compiled(cp) => cp.residual_score(
+                        self.config.decision_time(job.runtime, job.estimate),
+                        job.cores as f64,
+                        job.submit,
+                        0.0,
+                        self.static_lanes.row(idx as usize),
+                        self.vm_stack,
+                    ),
+                    QueueDiscipline::FixedOrder(_) => {
+                        unreachable!("ByCachedScore implies a policy discipline")
+                    }
                 };
-                let key = policy.score(&TaskView {
-                    processing_time: self.config.decision_time(job.runtime, job.estimate),
-                    cores: job.cores,
-                    submit: job.submit,
-                    now: job.submit,
-                });
                 let pos = self.q_keys.partition_point(|k| k.total_cmp(&key).is_le());
                 self.queue.insert(pos, entry);
                 self.q_keys.insert(pos, key);
@@ -605,6 +717,14 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
             QueueOrder::TimeDependent => {
                 self.queue.push(entry);
                 self.q_keys.push(0.0);
+                if self.track_lanes {
+                    self.q_r
+                        .push(self.config.decision_time(job.runtime, job.estimate));
+                    self.q_n.push(job.cores as f64);
+                    self.q_s.push(job.submit);
+                    self.q_slots
+                        .extend_from_slice(self.static_lanes.row(idx as usize));
+                }
             }
         }
     }
@@ -671,26 +791,49 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
     /// reference engine: scores sort ascending with arrival order as
     /// tie-break, which makes the comparator total — so the non-allocating
     /// unstable sort produces the same permutation the reference's stable
-    /// sort does.
+    /// sort does. Interpreted policies score per-task through a
+    /// [`TaskView`]; compiled policies re-score the whole queue in one
+    /// batch-kernel pass over the maintained SoA lanes — same bits either
+    /// way, so the sort below sees identical keys.
     fn order_queue(&mut self, now: f64) {
-        let QueueDiscipline::Policy(policy) = self.discipline else {
-            unreachable!("TimeDependent implies Policy")
-        };
         self.scored.clear();
-        for (i, e) in self.queue.iter().enumerate() {
-            let view = TaskView {
-                processing_time: self.config.decision_time(e.job.runtime, e.job.estimate),
-                cores: e.job.cores,
-                submit: e.job.submit,
-                now,
-            };
-            let s = policy.score(&view);
-            debug_assert!(
-                !s.is_nan(),
-                "policy {} produced NaN for {view:?}",
-                policy.name()
-            );
-            self.scored.push((i, s));
+        match self.discipline {
+            QueueDiscipline::Policy(policy) => {
+                for (i, e) in self.queue.iter().enumerate() {
+                    let view = task_view(self.config, &e.job, now);
+                    let s = policy.score(&view);
+                    debug_assert!(
+                        !s.is_nan(),
+                        "policy {} produced NaN for {view:?}",
+                        policy.name()
+                    );
+                    self.scored.push((i, s));
+                }
+            }
+            QueueDiscipline::Compiled(cp) => {
+                let len = self.queue.len();
+                self.batch_scores.clear();
+                self.batch_scores.resize(len, 0.0);
+                cp.score_batch(
+                    self.batch_scores.as_mut_slice(),
+                    ScoreLanes {
+                        r: self.q_r.as_slice(),
+                        n: self.q_n.as_slice(),
+                        s: self.q_s.as_slice(),
+                        slots: self.q_slots.as_slice(),
+                    },
+                    now,
+                    self.vm_stack,
+                );
+                debug_assert!(
+                    self.batch_scores.iter().all(|s| !s.is_nan()),
+                    "policy {} produced NaN at t={now}",
+                    cp.name()
+                );
+                self.scored
+                    .extend(self.batch_scores.iter().copied().enumerate());
+            }
+            QueueDiscipline::FixedOrder(_) => unreachable!("TimeDependent implies a policy"),
         }
         self.scored
             .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -892,19 +1035,38 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
         }
 
         if any_started {
-            // Compact `queue` and its SoA key array in lockstep.
+            // Compact `queue` and its SoA key array in lockstep — plus the
+            // compiled batch-scoring input lanes when they are maintained.
+            let stride = if self.track_lanes {
+                self.static_lanes.slots()
+            } else {
+                0
+            };
             let mut w = 0usize;
             for r in 0..self.queue.len() {
                 if !self.queue[r].started {
                     if w != r {
                         self.queue[w] = self.queue[r];
                         self.q_keys[w] = self.q_keys[r];
+                        if self.track_lanes {
+                            self.q_r[w] = self.q_r[r];
+                            self.q_n[w] = self.q_n[r];
+                            self.q_s[w] = self.q_s[r];
+                            self.q_slots
+                                .copy_within(r * stride..(r + 1) * stride, w * stride);
+                        }
                     }
                     w += 1;
                 }
             }
             self.queue.truncate(w);
             self.q_keys.truncate(w);
+            if self.track_lanes {
+                self.q_r.truncate(w);
+                self.q_n.truncate(w);
+                self.q_s.truncate(w);
+                self.q_slots.truncate(w * stride);
+            }
         }
     }
 }

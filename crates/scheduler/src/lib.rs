@@ -61,6 +61,18 @@
 //! fan-outs at any worker count. [`mod@reference`] stays on the AoS path:
 //! the oracle never changes layout.
 //!
+//! # Compiled policy kernels
+//!
+//! [`QueueDiscipline::Compiled`] accepts a bytecode
+//! [`CompiledPolicy`](dynsched_policies::CompiledPolicy): the engine
+//! evaluates its wait-invariant prefix once per job into dense slot lanes
+//! and re-scores the queue with one batch pass per rescheduling event —
+//! the last interpreted hot path (per-job `dyn Policy` tree walks)
+//! removed. Schedules are bit-identical to the interpreted
+//! [`QueueDiscipline::Policy`] path (the `compiled_bit_identity` suite
+//! pins it); [`mod@reference`] scores compiled disciplines one task at a
+//! time and never runs the batch kernel.
+//!
 //! RNG never appears in this crate: randomized callers (the trial driver)
 //! derive each simulation's inputs from `(master seed, trial index)`
 //! upstream, which is why the whole pipeline is replayable at any thread

@@ -69,6 +69,13 @@ pub fn simulate_reference(
     discipline: &QueueDiscipline<'_>,
     config: &SchedulerConfig,
 ) -> SimulationResult {
+    // The oracle never runs the batch kernel: a compiled discipline is
+    // scored one task at a time through `CompiledPolicy`'s scalar
+    // `Policy` impl, so the reference stays a per-TaskView tree walk in
+    // structure even when the scores come from bytecode.
+    if let QueueDiscipline::Compiled(cp) = discipline {
+        return simulate_reference(trace, &QueueDiscipline::Policy(*cp), config);
+    }
     let jobs = trace.jobs();
     let total_cores = config.platform.total_cores;
     for j in jobs {
@@ -189,6 +196,9 @@ fn order_queue(
             let mut idx: Vec<usize> = (0..queue.len()).collect();
             idx.sort_by_key(|&i| ranks[queue[i].idx]);
             idx
+        }
+        QueueDiscipline::Compiled(_) => {
+            unreachable!("compiled disciplines are rewritten to Policy at entry")
         }
     }
 }

@@ -8,6 +8,9 @@
 //! * [`store`] — the columnar trace store: SoA job columns
 //!   ([`TraceColumns`]) behind `Arc`-shared [`TraceView`] handles,
 //!   interned by generation key in a [`TraceStore`];
+//! * [`lanes`] — dense per-job value rows ([`JobLanes`]) stored beside the
+//!   columns; the scheduler keeps the wait-invariant prefix slots of a
+//!   compiled policy here, one row per trace position;
 //! * [`registry`] — named scenario families (heavy-tail, bursty, diurnal,
 //!   Feitelson'96, Tsafrir-estimate mixes, SWF replay) addressable by
 //!   every evaluation entry point;
@@ -52,6 +55,7 @@
 
 pub mod archive;
 pub mod feitelson;
+pub mod lanes;
 pub mod lublin;
 pub mod registry;
 pub mod sequence;
@@ -64,6 +68,7 @@ pub mod validate;
 
 pub use archive::ArchivePlatform;
 pub use feitelson::FeitelsonModel;
+pub use lanes::JobLanes;
 pub use lublin::LublinModel;
 pub use registry::{ScenarioCalibration, ScenarioFamily, ScenarioParams, ScenarioRegistry};
 pub use sequence::{extract_sequences, SequenceSpec};
