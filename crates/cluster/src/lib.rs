@@ -8,11 +8,21 @@
 //! holds its `n` cores exclusively from start time until `start + r`. This
 //! crate enforces those semantics and provides the bounded-slowdown metric
 //! (Eq. 1–2) every experiment is scored with.
+//!
+//! The [`availability`] module relaxes the always-up assumption: a
+//! [`FaultProfile`] describes node failures (exponential MTBF/MTTR) and
+//! maintenance windows, and expands deterministically into an
+//! [`AvailabilitySchedule`] of capacity steps that both ledgers can follow
+//! via their `set_capacity` methods.
 
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod job;
 pub mod platform;
 
+pub use availability::{
+    AbandonedJob, AvailabilitySchedule, CapacityStep, FaultProfile, MaintenanceWindow,
+};
 pub use job::{average_bounded_slowdown, bounded_slowdown, CompletedJob, Job, JobId, DEFAULT_TAU};
 pub use platform::{AllocationLedger, CoreLedger, LedgerError, Platform};

@@ -37,7 +37,7 @@ impl Platform {
 /// Error returned by fallible ledger operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LedgerError {
-    /// Allocation would exceed the platform's core count.
+    /// Allocation would exceed the currently online core count.
     InsufficientCores {
         /// Cores requested by the job.
         requested: u32,
@@ -48,6 +48,13 @@ pub enum LedgerError {
     AlreadyAllocated(JobId),
     /// Release for a job that holds no allocation.
     NotAllocated(JobId),
+    /// More cores released than are in use (a grant/release mismatch).
+    OverRelease {
+        /// Cores the caller tried to return.
+        released: u32,
+        /// Cores actually in use.
+        in_use: u32,
+    },
 }
 
 impl std::fmt::Display for LedgerError {
@@ -64,6 +71,9 @@ impl std::fmt::Display for LedgerError {
             }
             LedgerError::AlreadyAllocated(id) => write!(f, "job {id} already allocated"),
             LedgerError::NotAllocated(id) => write!(f, "job {id} holds no allocation"),
+            LedgerError::OverRelease { released, in_use } => {
+                write!(f, "released {released} cores but only {in_use} in use")
+            }
         }
     }
 }
@@ -77,6 +87,10 @@ impl std::error::Error for LedgerError {}
 #[derive(Debug, Clone)]
 pub struct AllocationLedger {
     platform: Platform,
+    /// Cores currently online (`total_cores` unless a fault schedule is
+    /// active). Capacity can drop below `used`; the scheduler resolves
+    /// the oversubscription by preempting victims.
+    capacity: u32,
     used: u32,
     holdings: HashMap<JobId, u32>,
     /// Integral of used cores over time (core-seconds).
@@ -89,6 +103,7 @@ impl AllocationLedger {
     pub fn new(platform: Platform) -> Self {
         Self {
             platform,
+            capacity: platform.total_cores,
             used: 0,
             holdings: HashMap::new(),
             busy_core_seconds: 0.0,
@@ -101,9 +116,26 @@ impl AllocationLedger {
         self.platform
     }
 
-    /// Cores currently free.
+    /// Cores currently free (zero while oversubscribed after a capacity
+    /// drop).
     pub fn available(&self) -> u32 {
-        self.platform.total_cores - self.used
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Cores currently online.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Change the online-core count at time `now` (a fault-schedule
+    /// capacity step; clamped to the platform size). Returns the
+    /// **overshoot** — how many in-use cores now exceed capacity and must
+    /// be reclaimed by preempting jobs (0 when the drop is covered by
+    /// idle cores, or on a restore).
+    pub fn set_capacity(&mut self, capacity: u32, now: Time) -> u32 {
+        self.advance_time(now);
+        self.capacity = capacity.min(self.platform.total_cores);
+        self.used.saturating_sub(self.capacity)
     }
 
     /// Cores currently allocated.
@@ -198,8 +230,16 @@ impl AllocationLedger {
 #[derive(Debug, Clone, Default)]
 pub struct CoreLedger {
     total: u32,
+    /// Cores currently online (`total` unless a fault schedule is
+    /// active). May transiently fall below `used` when a capacity drop
+    /// lands on a busy machine; [`CoreLedger::set_capacity`] reports the
+    /// overshoot so the engine can preempt victims.
+    capacity: u32,
     used: u32,
     busy_core_seconds: f64,
+    /// Integral of offline cores over time (core-seconds); 0 unless the
+    /// capacity ever departed from `total`.
+    offline_core_seconds: f64,
     last_update: Time,
 }
 
@@ -214,15 +254,18 @@ impl CoreLedger {
     /// Re-arm for a fresh simulation of `platform` starting at time 0.
     pub fn reset(&mut self, platform: Platform) {
         self.total = platform.total_cores;
+        self.capacity = platform.total_cores;
         self.used = 0;
         self.busy_core_seconds = 0.0;
+        self.offline_core_seconds = 0.0;
         self.last_update = 0.0;
     }
 
-    /// Cores currently free.
+    /// Cores currently free (zero while oversubscribed after a capacity
+    /// drop).
     #[inline]
     pub fn available(&self) -> u32 {
-        self.total - self.used
+        self.capacity.saturating_sub(self.used)
     }
 
     /// Cores currently allocated.
@@ -231,13 +274,23 @@ impl CoreLedger {
         self.used
     }
 
+    /// Cores currently online.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
     /// Whether `cores` could be allocated right now.
     #[inline]
     pub fn fits(&self, cores: u32) -> bool {
         cores <= self.available()
     }
 
-    /// Advance the utilization integral to `now` (non-decreasing).
+    /// Advance the utilization integrals to `now` (non-decreasing).
+    ///
+    /// The offline integral only accrues while capacity is reduced, so a
+    /// fault-free run performs exactly the historical busy-integral
+    /// arithmetic — the zero-fault bit-identity contract depends on it.
     #[inline]
     fn advance_time(&mut self, now: Time) {
         debug_assert!(
@@ -246,47 +299,86 @@ impl CoreLedger {
             self.last_update
         );
         self.busy_core_seconds += self.used as f64 * (now - self.last_update);
+        if self.capacity != self.total {
+            self.offline_core_seconds +=
+                (self.total - self.capacity) as f64 * (now - self.last_update);
+        }
         self.last_update = now;
+    }
+
+    /// Change the online-core count at time `now` (clamped to the
+    /// platform size). Returns the **overshoot**: in-use cores exceeding
+    /// the new capacity, which the caller must reclaim by preempting
+    /// victims (0 on restores or idle-covered drops).
+    pub fn set_capacity(&mut self, capacity: u32, now: Time) -> u32 {
+        self.advance_time(now);
+        self.capacity = capacity.min(self.total);
+        self.used.saturating_sub(self.capacity)
     }
 
     /// Grant `cores` at time `now`.
     ///
-    /// # Panics
-    /// Panics (debug only) on oversubscription — the scheduler checks
-    /// fit before every start, so this is an engine bug, not an input error.
+    /// # Errors
+    /// [`LedgerError::InsufficientCores`] if fewer than `cores` cores are
+    /// free — reachable under revocable capacity, so it is a real error,
+    /// not a debug assertion. The ledger is unchanged on error.
     #[inline]
-    pub fn allocate(&mut self, cores: u32, now: Time) {
-        debug_assert!(
-            cores <= self.available(),
-            "oversubscribed: {cores} > {}",
-            self.available()
-        );
+    pub fn allocate(&mut self, cores: u32, now: Time) -> Result<(), LedgerError> {
+        if cores > self.available() {
+            return Err(LedgerError::InsufficientCores {
+                requested: cores,
+                available: self.available(),
+            });
+        }
         self.advance_time(now);
         self.used += cores;
+        Ok(())
     }
 
     /// Return `cores` at time `now`.
     ///
-    /// # Panics
-    /// Panics (debug only) if more cores are released than are in use.
+    /// # Errors
+    /// [`LedgerError::OverRelease`] if more cores are returned than are
+    /// in use. The ledger is unchanged on error.
     #[inline]
-    pub fn release(&mut self, cores: u32, now: Time) {
-        debug_assert!(
-            cores <= self.used,
-            "released {cores} cores but only {} in use",
-            self.used
-        );
+    pub fn release(&mut self, cores: u32, now: Time) -> Result<(), LedgerError> {
+        if cores > self.used {
+            return Err(LedgerError::OverRelease {
+                released: cores,
+                in_use: self.used,
+            });
+        }
         self.advance_time(now);
         self.used -= cores;
+        Ok(())
     }
 
-    /// Mean utilization in `[0, 1]` over `[0, now]`; `None` before time 0+.
+    /// Mean utilization in `[0, 1]` over `[0, now]` against the *nominal*
+    /// platform size (offline cores still count in the denominator);
+    /// `None` before time 0+.
     pub fn utilization(&self, now: Time) -> Option<f64> {
         if now <= 0.0 {
             return None;
         }
         let pending = self.used as f64 * (now - self.last_update).max(0.0);
         Some((self.busy_core_seconds + pending) / (self.total as f64 * now))
+    }
+
+    /// Busy core-seconds integrated over `[0, now]` (extrapolating the
+    /// current used count past the last event).
+    pub fn busy_core_seconds(&self, now: Time) -> f64 {
+        self.busy_core_seconds + self.used as f64 * (now - self.last_update).max(0.0)
+    }
+
+    /// Offline core-seconds integrated over `[0, now]`.
+    pub fn offline_core_seconds(&self, now: Time) -> f64 {
+        self.offline_core_seconds
+            + (self.total - self.capacity) as f64 * (now - self.last_update).max(0.0)
+    }
+
+    /// Time of the last ledger event.
+    pub fn last_update(&self) -> Time {
+        self.last_update
     }
 }
 
@@ -388,11 +480,11 @@ mod tests {
         let mut a = AllocationLedger::new(p);
         let mut b = CoreLedger::new(p);
         a.allocate(1, 10, 0.0).unwrap();
-        b.allocate(10, 0.0);
+        b.allocate(10, 0.0).unwrap();
         a.release(1, 50.0).unwrap();
-        b.release(10, 50.0);
+        b.release(10, 50.0).unwrap();
         a.allocate(2, 3, 60.0).unwrap();
-        b.allocate(3, 60.0);
+        b.allocate(3, 60.0).unwrap();
         assert_eq!(a.utilization(100.0), b.utilization(100.0));
         assert_eq!(a.available(), b.available());
         assert_eq!(a.used(), b.used());
@@ -402,12 +494,87 @@ mod tests {
     fn core_ledger_reset_restarts_accounting() {
         let p = Platform::new(4);
         let mut l = CoreLedger::new(p);
-        l.allocate(4, 0.0);
-        l.release(4, 10.0);
+        l.allocate(4, 0.0).unwrap();
+        l.release(4, 10.0).unwrap();
         assert!((l.utilization(10.0).unwrap() - 1.0).abs() < 1e-12);
         l.reset(p);
         assert_eq!(l.used(), 0);
         assert_eq!(l.utilization(10.0), Some(0.0));
         assert!(l.fits(4));
+    }
+
+    #[test]
+    fn core_ledger_rejects_oversubscription_and_over_release() {
+        let mut l = CoreLedger::new(Platform::new(8));
+        l.allocate(5, 0.0).unwrap();
+        assert_eq!(
+            l.allocate(4, 1.0).unwrap_err(),
+            LedgerError::InsufficientCores {
+                requested: 4,
+                available: 3
+            }
+        );
+        assert_eq!(
+            l.release(6, 1.0).unwrap_err(),
+            LedgerError::OverRelease {
+                released: 6,
+                in_use: 5
+            }
+        );
+        // The ledger is unchanged by failed operations.
+        assert_eq!(l.used(), 5);
+        assert_eq!(l.available(), 3);
+    }
+
+    #[test]
+    fn capacity_drop_reports_overshoot_and_blocks_allocation() {
+        let mut l = CoreLedger::new(Platform::new(16));
+        l.allocate(10, 0.0).unwrap();
+        // Drop to 12: covered by idle cores, no overshoot, 2 still free.
+        assert_eq!(l.set_capacity(12, 10.0), 0);
+        assert_eq!(l.available(), 2);
+        // Drop to 6: 4 in-use cores exceed capacity.
+        assert_eq!(l.set_capacity(6, 20.0), 4);
+        assert_eq!(l.available(), 0);
+        assert!(!l.fits(1));
+        assert!(l.allocate(1, 20.0).is_err());
+        // Preempting a 10-core job resolves it; restore reopens the rest.
+        l.release(10, 20.0).unwrap();
+        assert_eq!(l.available(), 6);
+        assert_eq!(l.set_capacity(16, 30.0), 0);
+        assert_eq!(l.available(), 16);
+        // Requests above the platform clamp back to the platform.
+        assert_eq!(l.set_capacity(99, 40.0), 0);
+        assert_eq!(l.capacity(), 16);
+    }
+
+    #[test]
+    fn offline_integral_tracks_reduced_capacity() {
+        let mut l = CoreLedger::new(Platform::new(10));
+        assert_eq!(l.set_capacity(4, 100.0), 0); // 6 offline from t=100
+        assert_eq!(l.set_capacity(10, 150.0), 0); // restored at t=150
+        assert_eq!(l.offline_core_seconds(200.0), 6.0 * 50.0);
+        assert_eq!(l.busy_core_seconds(200.0), 0.0);
+        assert_eq!(l.last_update(), 150.0);
+        // Pending extrapolation: capacity still reduced at query time.
+        let mut m = CoreLedger::new(Platform::new(10));
+        m.set_capacity(7, 0.0);
+        assert_eq!(m.offline_core_seconds(50.0), 3.0 * 50.0);
+    }
+
+    #[test]
+    fn allocation_ledger_capacity_matches_core_ledger() {
+        let p = Platform::new(12);
+        let mut a = AllocationLedger::new(p);
+        let mut b = CoreLedger::new(p);
+        a.allocate(1, 8, 0.0).unwrap();
+        b.allocate(8, 0.0).unwrap();
+        assert_eq!(a.set_capacity(5, 10.0), b.set_capacity(5, 10.0));
+        assert_eq!(a.available(), b.available());
+        assert_eq!(a.capacity(), b.capacity());
+        a.release(1, 20.0).unwrap();
+        b.release(8, 20.0).unwrap();
+        assert_eq!(a.set_capacity(12, 30.0), b.set_capacity(12, 30.0));
+        assert_eq!(a.utilization(40.0), b.utilization(40.0));
     }
 }

@@ -7,7 +7,7 @@
 //! every median in Table 4.
 
 use crate::session::EvalSession;
-use dynsched_cluster::DEFAULT_TAU;
+use dynsched_cluster::{AvailabilitySchedule, FaultProfile, DEFAULT_TAU};
 use dynsched_policies::Policy;
 use dynsched_scheduler::{SchedulerConfig, SimMetrics};
 use dynsched_simkit::stats::{mean, median, std_dev, BoxplotSummary};
@@ -31,6 +31,10 @@ pub struct Experiment {
     pub scheduler: SchedulerConfig,
     /// Bounded-slowdown threshold τ.
     pub tau: f64,
+    /// Optional fault profile: when set, sequence `s` runs under the
+    /// schedule expanded with stream index `s` (so each sequence sees its
+    /// own deterministic failure pattern, identical for every policy).
+    pub fault: Option<FaultProfile>,
 }
 
 impl Experiment {
@@ -56,7 +60,15 @@ impl Experiment {
             sequences,
             scheduler,
             tau: DEFAULT_TAU,
+            fault: None,
         }
+    }
+
+    /// Attach a fault profile: every policy faces the same per-sequence
+    /// failure schedules, expanded deterministically at run time.
+    pub fn with_fault_profile(mut self, fault: FaultProfile) -> Self {
+        self.fault = (!fault.is_empty()).then_some(fault);
+        self
     }
 }
 
@@ -77,6 +89,12 @@ pub struct PolicyOutcome {
     pub std_dev: f64,
     /// Mean number of backfilled jobs per sequence.
     pub mean_backfilled: f64,
+    /// Mean number of preemptions per sequence (0 without a fault profile).
+    pub mean_preempted: f64,
+    /// Mean number of jobs abandoned at their retry cap per sequence.
+    pub mean_abandoned: f64,
+    /// Mean core-seconds of work destroyed by preemptions per sequence.
+    pub mean_lost_core_seconds: f64,
 }
 
 /// Result of one experiment across a policy line-up.
@@ -137,18 +155,48 @@ pub fn run_experiments(
     experiments: &[Experiment],
     policies: &[Box<dyn Policy>],
 ) -> Vec<ExperimentResult> {
+    // Expand each faulty experiment's per-sequence schedules up front
+    // (stream index = sequence position, horizon = the sequence's fault
+    // horizon) so the borrow lives for the whole session.
+    let expanded: Vec<Option<Vec<AvailabilitySchedule>>> = experiments
+        .iter()
+        .map(|e| {
+            e.fault.as_ref().map(|profile| {
+                e.sequences
+                    .iter()
+                    .enumerate()
+                    .map(|(s, view)| {
+                        profile.expand(
+                            e.scheduler.platform.total_cores,
+                            fault_horizon(view, e.scheduler.platform.total_cores),
+                            s as u64,
+                        )
+                    })
+                    .collect()
+            })
+        })
+        .collect();
     let mut session = EvalSession::new();
-    for experiment in experiments {
+    for (experiment, schedules) in experiments.iter().zip(&expanded) {
         assert!(
             !experiment.sequences.is_empty(),
             "experiment without sequences"
         );
-        session.push_grid(
-            policies,
-            &experiment.sequences,
-            &experiment.scheduler,
-            experiment.tau,
-        );
+        match schedules {
+            None => session.push_grid(
+                policies,
+                &experiment.sequences,
+                &experiment.scheduler,
+                experiment.tau,
+            ),
+            Some(schedules) => session.push_grid_with_faults(
+                policies,
+                &experiment.sequences,
+                &experiment.scheduler,
+                experiment.tau,
+                schedules,
+            ),
+        };
     }
     let table = session.run();
 
@@ -176,6 +224,22 @@ pub fn run_experiments(
     out
 }
 
+/// Fault-schedule horizon of a sequence: last submit plus the ideal drain
+/// time of the sequence's total work (`Σ runtime·cores / total cores`).
+/// Arrival spans alone miss the busy tail — a saturated burst executes
+/// mostly *after* its last submit — so failures expanded to this horizon
+/// overlap the period when the machine is actually loaded. Deterministic:
+/// a pure function of the sequence and the platform.
+fn fault_horizon(view: &TraceView, total_cores: u32) -> f64 {
+    let work: f64 = view
+        .runtimes()
+        .iter()
+        .zip(view.core_counts())
+        .map(|(r, &c)| r * f64::from(c))
+        .sum();
+    view.end_time().unwrap_or(0.0) + work / f64::from(total_cores.max(1))
+}
+
 /// Reduce one policy's row of per-sequence metrics to a [`PolicyOutcome`].
 fn outcome_from_metrics(policy: &str, row: &[SimMetrics]) -> PolicyOutcome {
     let ave_bslds: Vec<f64> = row
@@ -183,6 +247,9 @@ fn outcome_from_metrics(policy: &str, row: &[SimMetrics]) -> PolicyOutcome {
         .map(|m| m.avg_bounded_slowdown().expect("sequences are non-empty"))
         .collect();
     let backfills: Vec<f64> = row.iter().map(|m| m.backfilled_jobs as f64).collect();
+    let preempted: Vec<f64> = row.iter().map(|m| m.preempted_jobs as f64).collect();
+    let abandoned: Vec<f64> = row.iter().map(|m| m.abandoned_jobs as f64).collect();
+    let lost: Vec<f64> = row.iter().map(|m| m.lost_core_seconds).collect();
     PolicyOutcome {
         policy: policy.to_string(),
         summary: BoxplotSummary::from_samples(&ave_bslds).expect("non-empty"),
@@ -190,6 +257,9 @@ fn outcome_from_metrics(policy: &str, row: &[SimMetrics]) -> PolicyOutcome {
         mean: mean(&ave_bslds).expect("non-empty"),
         std_dev: std_dev(&ave_bslds).unwrap_or(0.0),
         mean_backfilled: mean(&backfills).expect("non-empty"),
+        mean_preempted: mean(&preempted).expect("non-empty"),
+        mean_abandoned: mean(&abandoned).expect("non-empty"),
+        mean_lost_core_seconds: mean(&lost).expect("non-empty"),
         ave_bslds,
     }
 }
@@ -296,6 +366,44 @@ mod tests {
         let individual: Vec<ExperimentResult> =
             exps.iter().map(|e| run_experiment(e, &lineup())).collect();
         assert_eq!(batched, individual);
+    }
+
+    #[test]
+    fn fault_profile_threads_into_resilience_outcomes() {
+        let profile = FaultProfile::failures(3_000.0, 800.0, 8, 11).with_max_retries(3);
+        let exp = Experiment::new(
+            "faulty",
+            heavy_tailed_sequences(4, 3),
+            SchedulerConfig::actual_runtimes(Platform::new(32)),
+        )
+        .with_fault_profile(profile.clone());
+        let res = run_experiment(&exp, &lineup());
+        // Same schedules for every policy; failures actually occurred on
+        // this workload (MTBF well under the sequence span).
+        assert!(
+            res.outcomes.iter().any(|o| o.mean_preempted > 0.0),
+            "expected at least one preemption across the line-up"
+        );
+        for o in &res.outcomes {
+            assert!(o.mean_lost_core_seconds >= 0.0);
+        }
+        // Deterministic: the expansion is (seed, stream)-keyed.
+        assert_eq!(res, run_experiment(&exp, &lineup()));
+        // Zero-fault experiments report zero resilience counters and an
+        // empty profile attaches nothing.
+        let clean = Experiment::new(
+            "clean",
+            heavy_tailed_sequences(4, 3),
+            SchedulerConfig::actual_runtimes(Platform::new(32)),
+        )
+        .with_fault_profile(FaultProfile::none());
+        assert!(clean.fault.is_none());
+        let res = run_experiment(&clean, &lineup());
+        for o in &res.outcomes {
+            assert_eq!(o.mean_preempted, 0.0);
+            assert_eq!(o.mean_abandoned, 0.0);
+            assert_eq!(o.mean_lost_core_seconds, 0.0);
+        }
     }
 
     #[test]

@@ -497,6 +497,9 @@ mod tests {
                     mean: *m,
                     std_dev: 0.0,
                     mean_backfilled: 0.0,
+                    mean_preempted: 0.0,
+                    mean_abandoned: 0.0,
+                    mean_lost_core_seconds: 0.0,
                 })
                 .collect(),
         }

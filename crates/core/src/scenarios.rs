@@ -243,7 +243,11 @@ pub fn table4_results(
 
 /// Build one experiment from a named registry scenario family: the
 /// family's sequences (interned in `store` under the family's key) paired
-/// with the scheduler `condition` implies for `params.cores`.
+/// with the scheduler `condition` implies for `params.cores`. A fault
+/// profile attached to the family
+/// ([`ScenarioFamily::with_fault_profile`]) carries over to the
+/// experiment, so the family's evaluations run under deterministic
+/// failure schedules.
 pub fn scenario_experiment(
     store: &TraceStore,
     family: &ScenarioFamily,
@@ -254,7 +258,7 @@ pub fn scenario_experiment(
     let sequences = family
         .sequences(store, params, &scale.spec, scale.seed)
         .map_err(|e| format!("scenario {:?}: {e}", family.name()))?;
-    Ok(Experiment::from_views(
+    let mut experiment = Experiment::from_views(
         format!(
             "{} scenario, {} cores, {}",
             family.name(),
@@ -263,7 +267,11 @@ pub fn scenario_experiment(
         ),
         sequences,
         condition.scheduler(Platform::new(params.cores)),
-    ))
+    );
+    if let Some(profile) = family.fault_profile() {
+        experiment = experiment.with_fault_profile(profile.clone());
+    }
+    Ok(experiment)
 }
 
 /// Evaluate named registry scenario families under every condition as
@@ -410,6 +418,39 @@ mod tests {
         for (shared, fresh) in rows.iter().zip(table4_experiments(&scale)) {
             assert_eq!(shared.sequences, fresh.sequences, "{}", shared.name);
         }
+    }
+
+    #[test]
+    fn family_fault_profiles_carry_into_scenario_experiments() {
+        use dynsched_cluster::FaultProfile;
+        let registry = ScenarioRegistry::builtin();
+        let store = TraceStore::new();
+        let params = ScenarioParams {
+            cores: 64,
+            span_days: 4.0,
+            target_load: 0.9,
+        };
+        let scale = ScenarioScale {
+            spec: dynsched_workload::SequenceSpec {
+                count: 2,
+                days: 1.0,
+                min_jobs: 2,
+            },
+            ..ScenarioScale::default()
+        };
+        let plain = registry.get("lublin").unwrap();
+        let exp =
+            scenario_experiment(&store, plain, &params, Condition::ActualRuntimes, &scale).unwrap();
+        assert!(exp.fault.is_none());
+        let profile = FaultProfile::failures(40_000.0, 2_000.0, 8, 13);
+        let faulty = plain.clone().with_fault_profile(profile.clone());
+        let exp = scenario_experiment(&store, &faulty, &params, Condition::ActualRuntimes, &scale)
+            .unwrap();
+        assert_eq!(exp.fault.as_ref(), Some(&profile));
+        // Same sequences either way: the profile never touches the jobs.
+        let base =
+            scenario_experiment(&store, plain, &params, Condition::ActualRuntimes, &scale).unwrap();
+        assert_eq!(exp.sequences, base.sequences);
     }
 
     #[test]

@@ -36,9 +36,11 @@
 //! reducing afterwards. The `eval_session` regression suite pins both
 //! properties.
 
+use dynsched_cluster::AvailabilitySchedule;
 use dynsched_policies::{CompiledPolicy, Policy};
 use dynsched_scheduler::{
-    simulate_metrics_into, QueueDiscipline, SchedulerConfig, SimMetrics, SimWorkspace,
+    simulate_metrics_faulty_into, simulate_metrics_into, QueueDiscipline, SchedulerConfig,
+    SimMetrics, SimWorkspace,
 };
 use dynsched_simkit::parallel::run_scoped;
 use dynsched_workload::TraceView;
@@ -61,6 +63,11 @@ pub struct EvalCell<'a> {
     pub config: &'a SchedulerConfig,
     /// Bounded-slowdown threshold τ.
     pub tau: f64,
+    /// Optional fault schedule: `Some` runs the cell through the engine's
+    /// faulty metrics path (preemptions, retries, resilience counters);
+    /// `None` takes the zero-fault path, bit-identical to before fault
+    /// support existed.
+    pub faults: Option<&'a AvailabilitySchedule>,
 }
 
 /// A batched evaluation: an ordered cell set plus the fan-out that runs
@@ -114,6 +121,43 @@ impl<'a> EvalSession<'a> {
                     policy: policy.as_ref(),
                     config,
                     tau,
+                    faults: None,
+                });
+            }
+        }
+        start..self.cells.len()
+    }
+
+    /// Like [`EvalSession::push_grid`], but each sequence runs under its
+    /// own fault schedule: `schedules[s]` applies to `sequences[s]` for
+    /// every policy (the per-sequence schedule is part of the scenario, so
+    /// all policies face the same failures — the AVEbsld-under-faults
+    /// comparison the resilience experiments make).
+    ///
+    /// # Panics
+    /// Panics unless `schedules.len() == sequences.len()`.
+    pub fn push_grid_with_faults(
+        &mut self,
+        policies: &'a [Box<dyn Policy>],
+        sequences: &'a [TraceView],
+        config: &'a SchedulerConfig,
+        tau: f64,
+        schedules: &'a [AvailabilitySchedule],
+    ) -> Range<usize> {
+        assert_eq!(
+            schedules.len(),
+            sequences.len(),
+            "one fault schedule per sequence"
+        );
+        let start = self.cells.len();
+        for policy in policies {
+            for (trace, schedule) in sequences.iter().zip(schedules) {
+                self.cells.push(EvalCell {
+                    trace,
+                    policy: policy.as_ref(),
+                    config,
+                    tau,
+                    faults: Some(schedule),
                 });
             }
         }
@@ -154,7 +198,18 @@ impl<'a> EvalSession<'a> {
                 Some(compiled) => QueueDiscipline::Compiled(compiled),
                 None => QueueDiscipline::Policy(cell.policy),
             };
-            simulate_metrics_into(ws, cell.trace, &discipline, cell.config, cell.tau)
+            match cell.faults {
+                None => simulate_metrics_into(ws, cell.trace, &discipline, cell.config, cell.tau),
+                Some(schedule) => simulate_metrics_faulty_into(
+                    ws,
+                    cell.trace,
+                    &discipline,
+                    cell.config,
+                    schedule,
+                    cell.tau,
+                )
+                .expect("fault schedule drove the engine into an inconsistent state"),
+            }
         })
     }
 }
@@ -228,12 +283,14 @@ mod tests {
             policy: &fcfs,
             config: &a,
             tau: 10.0,
+            faults: None,
         });
         let i1 = session.push(EvalCell {
             trace: &seqs[1],
             policy: &spt,
             config: &b,
             tau: 7.0,
+            faults: None,
         });
         assert_eq!((i0, i1), (0, 1));
         assert_eq!(session.len(), 2);
@@ -242,6 +299,49 @@ mod tests {
         let want =
             SimMetrics::from_result(&simulate(&seqs[1], &QueueDiscipline::Policy(&spt), &b), 7.0);
         assert_eq!(table[1], want);
+    }
+
+    #[test]
+    fn faulty_grid_matches_per_cell_faulty_simulate() {
+        use dynsched_cluster::FaultProfile;
+        let seqs = sequences(3);
+        let policies: Vec<Box<dyn Policy>> = vec![Box::new(Fcfs), Box::new(Spt)];
+        let config = SchedulerConfig::estimates_with_backfilling(Platform::new(32));
+        let profile = FaultProfile::failures(2_000.0, 500.0, 8, 7).with_max_retries(2);
+        let schedules: Vec<_> = seqs
+            .iter()
+            .enumerate()
+            .map(|(s, seq)| profile.expand(32, seq.end_time().unwrap_or(0.0), s as u64))
+            .collect();
+        let mut session = EvalSession::new();
+        let range =
+            session.push_grid_with_faults(&policies, &seqs, &config, DEFAULT_TAU, &schedules);
+        assert_eq!(range, 0..6);
+        let table = session.run();
+        let narrow = with_worker_limit(1, || {
+            let mut session = EvalSession::new();
+            session.push_grid_with_faults(&policies, &seqs, &config, DEFAULT_TAU, &schedules);
+            session.run()
+        });
+        assert_eq!(
+            table, narrow,
+            "faulty grid must be thread-count independent"
+        );
+        for (p, policy) in policies.iter().enumerate() {
+            for (s, seq) in seqs.iter().enumerate() {
+                let want = SimMetrics::from_result(
+                    &dynsched_scheduler::simulate_faulty(
+                        seq,
+                        &QueueDiscipline::Policy(policy.as_ref()),
+                        &config,
+                        &schedules[s],
+                    )
+                    .expect("engine error"),
+                    DEFAULT_TAU,
+                );
+                assert_eq!(table[p * seqs.len() + s], want, "policy {p}, sequence {s}");
+            }
+        }
     }
 
     #[test]

@@ -75,6 +75,9 @@ fn legacy_run_experiment(
                 mean: mean(xs).expect("non-empty"),
                 std_dev: std_dev(xs).unwrap_or(0.0),
                 mean_backfilled: mean(&backfills[p]).expect("non-empty"),
+                mean_preempted: 0.0,
+                mean_abandoned: 0.0,
+                mean_lost_core_seconds: 0.0,
             }
         })
         .collect();

@@ -89,10 +89,52 @@
 use crate::config::{BackfillMode, SchedulerConfig};
 use crate::profile::{clamp_release, Profile};
 use crate::result::{SimMetrics, SimulationResult};
-use dynsched_cluster::{CompletedJob, CoreLedger, Job, JobId};
+use dynsched_cluster::{
+    AbandonedJob, AvailabilitySchedule, CompletedJob, CoreLedger, Job, JobId, LedgerError,
+};
 use dynsched_policies::{CompiledPolicy, Policy, ScoreLanes, TaskView};
 use dynsched_simkit::{Clock, EventQueue};
 use dynsched_workload::{JobLanes, TraceSource};
+
+/// A structured engine failure: an internal inconsistency that previously
+/// panicked now surfaces as a diagnosable error. In a zero-fault run these
+/// states are unreachable (the engine checks [`CoreLedger::fits`] before
+/// every allocation and releases exactly what it allocated); under
+/// fault injection they guard the revocable-capacity bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A core-ledger operation failed (oversubscription or over-release).
+    Ledger(LedgerError),
+    /// The maintained release list disagreed with the running set: a
+    /// running job was missing at completion/preemption, or a job being
+    /// started was already present.
+    ReleaseListInconsistent {
+        /// Trace position of the offending job.
+        idx: u32,
+        /// Simulation time at which the inconsistency was detected.
+        time: f64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Ledger(e) => write!(f, "core ledger error: {e}"),
+            EngineError::ReleaseListInconsistent { idx, time } => write!(
+                f,
+                "release list inconsistent with running set for trace index {idx} at t={time}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LedgerError> for EngineError {
+    fn from(e: LedgerError) -> Self {
+        EngineError::Ledger(e)
+    }
+}
 
 /// How the waiting queue is ordered at each rescheduling event.
 pub enum QueueDiscipline<'a> {
@@ -126,12 +168,18 @@ fn task_view(config: &SchedulerConfig, job: &Job, now: f64) -> TaskView {
 }
 
 /// Heap events are completions only, carrying the finished job's trace
-/// index. Arrivals never enter the heap: the trace is submit-sorted, so an
-/// advancing cursor yields them in exactly the order the reference
-/// engine's heap did (same-time arrivals in trace order, and — because the
-/// reference pushed all arrivals before any completion — arrivals ahead of
-/// completions at equal timestamps).
-type Completion = u32;
+/// index and the attempt number it was started under. Arrivals never enter
+/// the heap: the trace is submit-sorted, so an advancing cursor yields them
+/// in exactly the order the reference engine's heap did (same-time arrivals
+/// in trace order, and — because the reference pushed all arrivals before
+/// any completion — arrivals ahead of completions at equal timestamps).
+///
+/// The attempt number makes preemption sound without heap surgery: killing
+/// a job bumps its attempt counter, so the already-scheduled completion of
+/// the killed attempt no longer matches and is skipped when popped. In a
+/// zero-fault run the attempt is always 0 and never consulted; the payload
+/// widens `Scheduled<Completion>` within the same 24-byte layout.
+type Completion = (u32, u32);
 
 /// A waiting job. Its priority key (fixed-order rank or cached score) is
 /// *not* stored here: keys live in a parallel `Vec<f64>` (`q_keys`) so the
@@ -236,6 +284,14 @@ pub struct SimWorkspace {
     profile: Profile,
     /// Start time per trace index; NaN when not running.
     start_of: Vec<f64>,
+    /// Attempt counter per trace index, bumped at every preemption; the
+    /// liveness key for completion events. All zeros in a zero-fault run.
+    attempt_of: Vec<u32>,
+    /// Jobs that hit their retry cap (or were stranded by a schedule that
+    /// never restores enough capacity), in abandonment order.
+    abandoned: Vec<AbandonedJob>,
+    /// `(start, idx)` scratch for deterministic victim selection.
+    victim_scratch: Vec<(f64, u32)>,
     ledger: CoreLedger,
     completed: Vec<CompletedJob>,
     /// Set while the workspace's last run was metrics-only (`run_metrics`):
@@ -246,6 +302,8 @@ pub struct SimWorkspace {
     utilization: f64,
     events_processed: u64,
     backfilled: u64,
+    preempted: u64,
+    lost_core_seconds: f64,
 }
 
 impl SimWorkspace {
@@ -272,15 +330,63 @@ impl SimWorkspace {
         discipline: &QueueDiscipline<'_>,
         config: &SchedulerConfig,
     ) {
+        self.try_run(trace, discipline, config)
+            .expect("zero-fault simulation cannot reach an engine error");
+    }
+
+    /// Fallible form of [`SimWorkspace::run`]. In a zero-fault run every
+    /// [`EngineError`] state is unreachable, so this only exists for
+    /// callers that want the structured error surface instead of a panic.
+    pub fn try_run<T: TraceSource>(
+        &mut self,
+        trace: &T,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+    ) -> Result<(), EngineError> {
         // Lend the completion list out as the sink (it goes back below, so
         // a reused workspace keeps its capacity).
         let mut completed = std::mem::take(&mut self.completed);
         completed.clear();
-        self.run_with(trace, discipline, config, &mut completed);
+        let outcome = self.run_with::<false, _, _>(trace, discipline, config, &mut completed, None);
         self.completed = completed;
         self.metrics_only = false;
         self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
         self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+        outcome
+    }
+
+    /// Run one simulation under a fault schedule: the ledger follows the
+    /// schedule's capacity steps, jobs running when capacity drops below
+    /// the in-use count are preempted (youngest start first, trace position
+    /// as tie-break) and requeued until their retry cap, and the queue
+    /// keeps scheduling against whatever capacity remains.
+    ///
+    /// With an empty schedule this is **bit-identical** to
+    /// [`SimWorkspace::run`] (the `fault_bit_identity` suite pins it);
+    /// faulty runs are pinned against `scheduler::reference`'s faulty
+    /// oracle. Preemption/loss outcomes are readable through
+    /// [`SimWorkspace::preempted_jobs`], [`SimWorkspace::lost_core_seconds`]
+    /// and [`SimWorkspace::abandoned`], and ride along in
+    /// [`SimWorkspace::result`].
+    ///
+    /// # Panics
+    /// See [`SimWorkspace::run`].
+    pub fn run_faulty<T: TraceSource>(
+        &mut self,
+        trace: &T,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+        schedule: &AvailabilitySchedule,
+    ) -> Result<(), EngineError> {
+        let mut completed = std::mem::take(&mut self.completed);
+        completed.clear();
+        let outcome =
+            self.run_with::<true, _, _>(trace, discipline, config, &mut completed, Some(schedule));
+        self.completed = completed;
+        self.metrics_only = false;
+        self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
+        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+        outcome
     }
 
     /// Run one simulation in **metrics-only mode**: completion events are
@@ -308,22 +414,57 @@ impl SimWorkspace {
         let mut metrics = SimMetrics::new(tau);
         self.completed.clear();
         self.metrics_only = true;
-        self.run_with(trace, discipline, config, &mut metrics);
+        self.run_with::<false, _, _>(trace, discipline, config, &mut metrics, None)
+            .expect("zero-fault simulation cannot reach an engine error");
         metrics.backfilled_jobs = self.backfilled;
         self.makespan = metrics.makespan;
         self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
         metrics
     }
 
-    /// The engine proper, generic over where completions go and over the
-    /// trace's storage layout.
-    fn run_with<K: CompletionSink, T: TraceSource>(
+    /// Metrics-only form of [`SimWorkspace::run_faulty`]: completions are
+    /// folded straight into the returned [`SimMetrics`], whose resilience
+    /// counters (preemptions, abandonments, lost core-seconds) are filled
+    /// from the run. The AVEbsld sum covers completed jobs only — an
+    /// abandoned job has no finish time to score.
+    ///
+    /// # Panics
+    /// See [`SimWorkspace::run`].
+    pub fn run_metrics_faulty<T: TraceSource>(
+        &mut self,
+        trace: &T,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+        schedule: &AvailabilitySchedule,
+        tau: f64,
+    ) -> Result<SimMetrics, EngineError> {
+        let mut metrics = SimMetrics::new(tau);
+        self.completed.clear();
+        self.metrics_only = true;
+        self.run_with::<true, _, _>(trace, discipline, config, &mut metrics, Some(schedule))?;
+        metrics.backfilled_jobs = self.backfilled;
+        metrics.preempted_jobs = self.preempted;
+        metrics.abandoned_jobs = self.abandoned.len() as u64;
+        metrics.lost_core_seconds = self.lost_core_seconds;
+        self.makespan = metrics.makespan;
+        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+        Ok(metrics)
+    }
+
+    /// The engine proper, generic over where completions go, over the
+    /// trace's storage layout, and — at compile time — over whether fault
+    /// injection is active. `FAULTY = false` monomorphizes every fault
+    /// branch away, which is how the zero-fault path keeps both its
+    /// bit-identity and its throughput (the `fault_throughput` bench pins
+    /// the overhead at ≤5%).
+    fn run_with<const FAULTY: bool, K: CompletionSink, T: TraceSource>(
         &mut self,
         trace: &T,
         discipline: &QueueDiscipline<'_>,
         config: &SchedulerConfig,
         sink: &mut K,
-    ) {
+        schedule: Option<&AvailabilitySchedule>,
+    ) -> Result<(), EngineError> {
         let n_jobs = trace.len();
         let total_cores = config.platform.total_cores;
         for i in 0..n_jobs {
@@ -355,9 +496,15 @@ impl SimWorkspace {
         self.batch_scores.clear();
         self.start_of.clear();
         self.start_of.resize(n_jobs, f64::NAN);
+        self.attempt_of.clear();
+        self.attempt_of.resize(n_jobs, 0);
+        self.abandoned.clear();
+        self.victim_scratch.clear();
         self.ledger.reset(config.platform);
         self.events_processed = 0;
         self.backfilled = 0;
+        self.preempted = 0;
+        self.lost_core_seconds = 0.0;
 
         let queue_order = match discipline {
             QueueDiscipline::FixedOrder(_) => QueueOrder::ByRank,
@@ -384,6 +531,16 @@ impl SimWorkspace {
         } else {
             self.static_lanes.reset(0, 0);
         }
+        let steps = if FAULTY {
+            schedule.expect("faulty run needs a schedule").steps()
+        } else {
+            &[]
+        };
+        let max_retries = if FAULTY {
+            schedule.expect("faulty run needs a schedule").max_retries()
+        } else {
+            u32::MAX
+        };
         let mut clock = Clock::new();
         let mut events_processed = 0u64;
         let SimWorkspace {
@@ -403,8 +560,13 @@ impl SimWorkspace {
             vm_stack,
             profile,
             start_of,
+            attempt_of,
+            abandoned,
+            victim_scratch,
             ledger,
             backfilled,
+            preempted,
+            lost_core_seconds,
             ..
         } = self;
         let mut eng = Engine {
@@ -421,6 +583,7 @@ impl SimWorkspace {
             head_blocked: false,
             track_lanes: matches!(discipline, QueueDiscipline::Compiled(_))
                 && queue_order == QueueOrder::TimeDependent,
+            max_retries,
             events,
             queue,
             q_keys,
@@ -437,25 +600,41 @@ impl SimWorkspace {
             vm_stack,
             profile,
             start_of,
+            attempt_of,
+            abandoned,
+            victim_scratch,
             ledger,
             sink,
             backfilled,
+            preempted,
+            lost_core_seconds,
         };
 
         // Arrivals come off the submit-sorted trace via `cursor`;
-        // completions off the heap. At equal timestamps arrivals process
-        // first, same-time arrivals in trace order, same-time completions
-        // in start (push) order — the exact FIFO batch order the reference
-        // engine's single heap produces.
+        // completions off the heap; under fault injection, capacity steps
+        // off the schedule via `step_cursor`. At equal timestamps arrivals
+        // process first (trace order), then completions (start/push order —
+        // the exact FIFO batch order the reference engine's single heap
+        // produces), then capacity steps: a job finishing at `t` is never a
+        // preemption victim at `t`.
         let mut cursor = 0usize;
+        let mut step_cursor = 0usize;
         loop {
             let next_arrival = (cursor < n_jobs).then(|| trace.submit(cursor));
-            let t = match (next_arrival, eng.events.peek_time()) {
-                (Some(a), Some(c)) => a.min(c),
-                (Some(a), None) => a,
-                (None, Some(c)) => c,
-                (None, None) => break,
+            let mut t = match (next_arrival, eng.events.peek_time()) {
+                (Some(a), Some(c)) => Some(a.min(c)),
+                (Some(a), None) => Some(a),
+                (None, Some(c)) => Some(c),
+                (None, None) => None,
             };
+            if FAULTY && step_cursor < steps.len() {
+                // A waiting queue can be unblocked only by a capacity
+                // restore, so pending steps must drive the loop even when
+                // no arrival or completion is left.
+                let s = steps[step_cursor].time;
+                t = Some(t.map_or(s, |t| t.min(s)));
+            }
+            let Some(t) = t else { break };
             clock.advance_to(t);
             while cursor < n_jobs && trace.submit(cursor) == t {
                 events_processed += 1;
@@ -463,13 +642,32 @@ impl SimWorkspace {
                 cursor += 1;
             }
             while eng.events.peek_time() == Some(t) {
+                let (idx, attempt) = eng.events.pop().expect("peeked").1;
+                if FAULTY && attempt != eng.attempt_of[idx as usize] {
+                    // Stale completion of a preempted attempt.
+                    continue;
+                }
                 events_processed += 1;
-                let idx = eng.events.pop().expect("peeked").1;
-                eng.complete(idx, t);
+                eng.complete(idx, t)?;
             }
-            eng.reschedule(t);
+            if FAULTY {
+                while step_cursor < steps.len() && steps[step_cursor].time == t {
+                    events_processed += 1;
+                    eng.apply_capacity(steps[step_cursor].capacity, t)?;
+                    step_cursor += 1;
+                }
+            }
+            eng.reschedule(t)?;
         }
 
+        if FAULTY && !eng.queue.is_empty() {
+            // The schedule ended with too little capacity for these jobs
+            // and nothing pending can ever free more: report them as
+            // abandoned (in trace order) rather than dropping them.
+            // `FaultProfile::expand` always restores full capacity, so this
+            // is reachable only through hand-built schedules.
+            eng.strand_waiting(clock.now());
+        }
         debug_assert!(eng.queue.is_empty(), "drained simulation left jobs waiting");
         debug_assert!(
             eng.releases.is_empty(),
@@ -480,6 +678,7 @@ impl SimWorkspace {
             "drained simulation left jobs running"
         );
         self.events_processed = events_processed;
+        Ok(())
     }
 
     /// Completed jobs of the last run, in completion order.
@@ -514,6 +713,42 @@ impl SimWorkspace {
     /// Jobs the last run started via backfilling.
     pub fn backfilled_jobs(&self) -> u64 {
         self.backfilled
+    }
+
+    /// Preemptions (kill-and-requeue events) of the last run. Zero unless
+    /// the run went through [`SimWorkspace::run_faulty`].
+    pub fn preempted_jobs(&self) -> u64 {
+        self.preempted
+    }
+
+    /// Core-seconds of work destroyed by preemptions in the last run: the
+    /// elapsed time of each killed attempt times its width. Goodput is
+    /// the ledger's busy integral minus this.
+    pub fn lost_core_seconds(&self) -> f64 {
+        self.lost_core_seconds
+    }
+
+    /// Jobs the last run abandoned (retry cap exhausted, or stranded by a
+    /// schedule that never restores enough capacity), in abandonment order.
+    /// Readable in both full and metrics-only mode.
+    pub fn abandoned(&self) -> &[AbandonedJob] {
+        &self.abandoned
+    }
+
+    /// Busy core-seconds of the last run's ledger integrated over
+    /// `[0, horizon]` (goodput plus [`SimWorkspace::lost_core_seconds`]).
+    /// With integer-valued step times and core counts the integral is
+    /// exact in `f64`, which is what the conservation property test
+    /// (`busy + idle + offline == total × horizon`) relies on.
+    pub fn busy_core_seconds(&self, horizon: f64) -> f64 {
+        self.ledger.busy_core_seconds(horizon)
+    }
+
+    /// Offline core-seconds of the last run's ledger integrated over
+    /// `[0, horizon]` — the capacity the fault schedule revoked. Exactly
+    /// zero after a zero-fault or empty-schedule run.
+    pub fn offline_core_seconds(&self, horizon: f64) -> f64 {
+        self.ledger.offline_core_seconds(horizon)
     }
 
     /// Average bounded slowdown of the last run restricted to jobs whose id
@@ -553,6 +788,9 @@ impl SimWorkspace {
             utilization: self.utilization,
             events_processed: self.events_processed,
             backfilled_jobs: self.backfilled,
+            preempted_jobs: self.preempted,
+            lost_core_seconds: self.lost_core_seconds,
+            abandoned: self.abandoned.clone(),
         }
     }
 
@@ -565,6 +803,9 @@ impl SimWorkspace {
             utilization: self.utilization,
             events_processed: self.events_processed,
             backfilled_jobs: self.backfilled,
+            preempted_jobs: self.preempted,
+            lost_core_seconds: self.lost_core_seconds,
+            abandoned: std::mem::take(&mut self.abandoned),
         }
     }
 }
@@ -620,6 +861,56 @@ pub fn simulate_metrics_into<T: TraceSource>(
     ws.run_metrics(trace, discipline, config, tau)
 }
 
+/// Simulate under a fault schedule (see [`SimWorkspace::run_faulty`]) with
+/// a throwaway workspace. With an empty schedule the result is
+/// bit-identical to [`simulate`].
+///
+/// # Panics
+/// See [`SimWorkspace::run`].
+pub fn simulate_faulty<T: TraceSource>(
+    trace: &T,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    schedule: &AvailabilitySchedule,
+) -> Result<SimulationResult, EngineError> {
+    let mut ws = SimWorkspace::new();
+    ws.run_faulty(trace, discipline, config, schedule)?;
+    Ok(ws.take_result())
+}
+
+/// Simulate under a fault schedule reusing `ws`'s buffers; returns an
+/// owned result. Bit-identical to [`simulate_faulty`] for the same inputs.
+///
+/// # Panics
+/// See [`SimWorkspace::run`].
+pub fn simulate_faulty_into<T: TraceSource>(
+    ws: &mut SimWorkspace,
+    trace: &T,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    schedule: &AvailabilitySchedule,
+) -> Result<SimulationResult, EngineError> {
+    ws.run_faulty(trace, discipline, config, schedule)?;
+    Ok(ws.result())
+}
+
+/// Metrics-only simulation under a fault schedule (see
+/// [`SimWorkspace::run_metrics_faulty`]), reusing `ws`'s buffers — the
+/// batched evaluation session's per-cell kernel for faulty scenarios.
+///
+/// # Panics
+/// See [`SimWorkspace::run`].
+pub fn simulate_metrics_faulty_into<T: TraceSource>(
+    ws: &mut SimWorkspace,
+    trace: &T,
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    schedule: &AvailabilitySchedule,
+    tau: f64,
+) -> Result<SimMetrics, EngineError> {
+    ws.run_metrics_faulty(trace, discipline, config, schedule, tau)
+}
+
 /// The per-run view of a workspace: disjoint `&mut`s over its buffers plus
 /// the run's immutable inputs.
 struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
@@ -643,6 +934,9 @@ struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
     /// Whether the queue-parallel SoA input lanes are maintained — only
     /// for time-dependent compiled disciplines, which batch-score them.
     track_lanes: bool,
+    /// Preemption retry cap of the active fault schedule (`u32::MAX` for
+    /// zero-fault runs, where it is never consulted).
+    max_retries: u32,
     events: &'a mut EventQueue<Completion>,
     queue: &'a mut Vec<QueueEntry>,
     q_keys: &'a mut Vec<f64>,
@@ -659,9 +953,14 @@ struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
     vm_stack: &'a mut Vec<f64>,
     profile: &'a mut Profile,
     start_of: &'a mut Vec<f64>,
+    attempt_of: &'a mut Vec<u32>,
+    abandoned: &'a mut Vec<AbandonedJob>,
+    victim_scratch: &'a mut Vec<(f64, u32)>,
     ledger: &'a mut CoreLedger,
     sink: &'a mut K,
     backfilled: &'a mut u64,
+    preempted: &'a mut u64,
+    lost_core_seconds: &'a mut f64,
 }
 
 impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
@@ -729,22 +1028,30 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
         }
     }
 
-    fn complete(&mut self, idx: u32, t: f64) {
+    /// Remove `idx` from the maintained release list. The stored decision
+    /// end was computed from the same operands at start time, so the
+    /// recomputation finds it bit-exactly; a miss means the release list
+    /// disagrees with the running set — a structured error, not a panic.
+    fn remove_release(&mut self, idx: u32, start: f64, t: f64) -> Result<(), EngineError> {
+        let job = self.trace.job(idx as usize);
+        let dend = start + self.config.decision_time(job.runtime, job.estimate);
+        let pos = self
+            .releases
+            .binary_search_by(|&(e, _, i)| e.total_cmp(&dend).then(i.cmp(&idx)))
+            .map_err(|_| EngineError::ReleaseListInconsistent { idx, time: t })?;
+        self.releases.remove(pos);
+        Ok(())
+    }
+
+    fn complete(&mut self, idx: u32, t: f64) -> Result<(), EngineError> {
         let job = self.trace.job(idx as usize);
         let start = self.start_of[idx as usize];
         debug_assert!(!start.is_nan(), "completion for job that is not running");
-        self.ledger.release(job.cores, t);
+        self.ledger.release(job.cores, t)?;
         // Freed cores may unblock the head; the next reschedule must look.
         self.head_blocked = false;
         if self.track_releases {
-            // The stored decision end was computed from the same operands
-            // at start time, so this recomputation finds it bit-exactly.
-            let dend = start + self.config.decision_time(job.runtime, job.estimate);
-            let pos = self
-                .releases
-                .binary_search_by(|&(e, _, i)| e.total_cmp(&dend).then(i.cmp(&idx)))
-                .expect("running job must be in the release list");
-            self.releases.remove(pos);
+            self.remove_release(idx, start, t)?;
         }
         self.start_of[idx as usize] = f64::NAN;
         self.sink.record(CompletedJob {
@@ -752,25 +1059,122 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
             start,
             finish: t,
         });
+        Ok(())
     }
 
-    fn start_job(&mut self, qi: usize, now: f64) {
+    fn start_job(&mut self, qi: usize, now: f64) -> Result<(), EngineError> {
         let QueueEntry { idx, job, .. } = self.queue[qi];
-        self.ledger.allocate(job.cores, now);
+        self.ledger.allocate(job.cores, now)?;
         self.start_of[idx as usize] = now;
         if self.track_releases {
             let dend = now + self.config.decision_time(job.runtime, job.estimate);
-            let at = self
+            let at = match self
                 .releases
                 .binary_search_by(|&(e, _, i)| e.total_cmp(&dend).then(i.cmp(&idx)))
-                .expect_err("job cannot start while already running");
+            {
+                Err(at) => at,
+                Ok(_) => return Err(EngineError::ReleaseListInconsistent { idx, time: now }),
+            };
             self.releases.insert(at, (dend, job.cores, idx));
         }
         self.events.push(
             now + self.config.execution_time(job.runtime, job.estimate),
-            idx,
+            (idx, self.attempt_of[idx as usize]),
         );
         self.queue[qi].started = true;
+        Ok(())
+    }
+
+    /// Apply one capacity step: move the ledger to the new capacity and, if
+    /// the step drops capacity below the in-use count, preempt running jobs
+    /// until the remainder fits. Victim order is deterministic: youngest
+    /// start time first, higher trace position as tie-break — the jobs with
+    /// the least sunk work die first. Killed jobs requeue immediately (in
+    /// kill order) unless they have exhausted `max_retries` requeues, in
+    /// which case they are reported abandoned.
+    fn apply_capacity(&mut self, capacity: u32, now: f64) -> Result<(), EngineError> {
+        let overshoot = self.ledger.set_capacity(capacity, now);
+        // A restore may unblock the head; drops invalidate the cached fact
+        // too (conservatively — a drop can only shrink availability).
+        self.head_blocked = false;
+        if overshoot == 0 {
+            return Ok(());
+        }
+        self.victim_scratch.clear();
+        for (i, &s) in self.start_of.iter().enumerate() {
+            if !s.is_nan() {
+                self.victim_scratch.push((s, i as u32));
+            }
+        }
+        self.victim_scratch
+            .sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
+        let mut v = 0usize;
+        while self.ledger.used() > self.ledger.capacity() {
+            let Some(&(start, idx)) = self.victim_scratch.get(v) else {
+                // used > capacity with nothing running: the ledger and the
+                // running set disagree.
+                return Err(EngineError::Ledger(LedgerError::InsufficientCores {
+                    requested: self.ledger.used(),
+                    available: self.ledger.capacity(),
+                }));
+            };
+            v += 1;
+            self.preempt(idx, start, now)?;
+        }
+        Ok(())
+    }
+
+    /// Kill running job `idx`: release its cores, account the lost work,
+    /// invalidate its pending completion event via the attempt counter,
+    /// and requeue or abandon it.
+    fn preempt(&mut self, idx: u32, start: f64, now: f64) -> Result<(), EngineError> {
+        let job = self.trace.job(idx as usize);
+        self.ledger.release(job.cores, now)?;
+        if self.track_releases {
+            self.remove_release(idx, start, now)?;
+        }
+        self.start_of[idx as usize] = f64::NAN;
+        self.attempt_of[idx as usize] += 1;
+        *self.preempted += 1;
+        *self.lost_core_seconds += (now - start) * job.cores as f64;
+        if self.attempt_of[idx as usize] > self.max_retries {
+            self.abandoned.push(AbandonedJob {
+                job,
+                idx,
+                attempts: self.attempt_of[idx as usize],
+                abandoned_at: now,
+            });
+        } else {
+            self.enqueue(idx);
+        }
+        Ok(())
+    }
+
+    /// Report every still-waiting job as abandoned (in trace order) and
+    /// clear the queue. Reached only when the schedule ends with too little
+    /// capacity for the remaining jobs and no event can ever free more.
+    fn strand_waiting(&mut self, now: f64) {
+        self.victim_scratch.clear();
+        for e in self.queue.iter() {
+            self.victim_scratch.push((0.0, e.idx));
+        }
+        self.victim_scratch.sort_unstable_by_key(|&(_, i)| i);
+        for &(_, idx) in self.victim_scratch.iter() {
+            self.abandoned.push(AbandonedJob {
+                job: self.trace.job(idx as usize),
+                idx,
+                attempts: self.attempt_of[idx as usize],
+                abandoned_at: now,
+            });
+        }
+        self.queue.clear();
+        self.q_keys.clear();
+        if self.track_lanes {
+            self.q_r.clear();
+            self.q_n.clear();
+            self.q_s.clear();
+            self.q_slots.clear();
+        }
     }
 
     /// Queue position holding the `pos`-th highest-priority job. Static
@@ -878,9 +1282,9 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
         }
     }
 
-    fn reschedule(&mut self, now: f64) {
+    fn reschedule(&mut self, now: f64) -> Result<(), EngineError> {
         if self.queue.is_empty() {
-            return;
+            return Ok(());
         }
         if self.head_blocked {
             // Fast path: strict mode, static order, and nothing since the
@@ -889,7 +1293,7 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
             // head immediately — a guaranteed no-op, so skip it.
             debug_assert!(self.skip_eligible);
             debug_assert!(!self.ledger.fits(self.queue[0].job.cores));
-            return;
+            return Ok(());
         }
         if self.queue_order == QueueOrder::TimeDependent {
             self.order_queue(now);
@@ -912,13 +1316,16 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                     .config
                     .decision_time(job.runtime, job.estimate)
                     .max(1e-9);
-                let start = self
-                    .profile
-                    .earliest_fit(job.cores, duration)
-                    .expect("job width pre-checked against platform");
+                // Under reduced capacity the profile may have no slot wide
+                // enough at any horizon (the job must wait for a restore
+                // the profile cannot see); with full capacity the width
+                // was pre-checked, so a fit always exists.
+                let Some(start) = self.profile.earliest_fit(job.cores, duration) else {
+                    continue;
+                };
                 self.profile.reserve(start, start + duration, job.cores);
                 if start == now {
-                    self.start_job(qi, now);
+                    self.start_job(qi, now)?;
                     any_started = true;
                     if rank > 0 {
                         *self.backfilled += 1;
@@ -933,7 +1340,7 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                 let qi = self.ord(pos);
                 let job = self.queue[qi].job;
                 if self.ledger.fits(job.cores) {
-                    self.start_job(qi, now);
+                    self.start_job(qi, now)?;
                     any_started = true;
                 } else {
                     blocked_at = Some(pos);
@@ -968,13 +1375,14 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                             .config
                             .decision_time(job.runtime, job.estimate)
                             .max(1e-9);
-                        let start = self
-                            .profile
-                            .earliest_fit(job.cores, duration)
-                            .expect("job width pre-checked against platform");
+                        // No fit at any horizon can only happen under
+                        // reduced capacity; the job waits for a restore.
+                        let Some(start) = self.profile.earliest_fit(job.cores, duration) else {
+                            continue;
+                        };
                         if start == now {
                             self.profile.reserve(start, start + duration, job.cores);
-                            self.start_job(qi, now);
+                            self.start_job(qi, now)?;
                             any_started = true;
                             *self.backfilled += 1;
                         } else if reservations < self.config.reservation_depth {
@@ -1020,12 +1428,12 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                         let ends_by_shadow =
                             now + self.config.decision_time(cand.runtime, cand.estimate) <= shadow;
                         if ends_by_shadow {
-                            self.start_job(qi, now);
+                            self.start_job(qi, now)?;
                             any_started = true;
                             *self.backfilled += 1;
                         } else if cand.cores <= spare {
                             spare -= cand.cores;
-                            self.start_job(qi, now);
+                            self.start_job(qi, now)?;
                             any_started = true;
                             *self.backfilled += 1;
                         }
@@ -1068,6 +1476,7 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                 self.q_slots.truncate(w * stride);
             }
         }
+        Ok(())
     }
 }
 

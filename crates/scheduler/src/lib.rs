@@ -73,10 +73,33 @@
 //! pins it); [`mod@reference`] scores compiled disciplines one task at a
 //! time and never runs the batch kernel.
 //!
-//! RNG never appears in this crate: randomized callers (the trial driver)
-//! derive each simulation's inputs from `(master seed, trial index)`
-//! upstream, which is why the whole pipeline is replayable at any thread
-//! count.
+//! # Fault injection and revocable capacity
+//!
+//! [`simulate_faulty`] / [`SimWorkspace::run_faulty`] run the same engine
+//! against an
+//! [`AvailabilitySchedule`](dynsched_cluster::AvailabilitySchedule) of
+//! capacity steps (expanded deterministically from a
+//! [`FaultProfile`](dynsched_cluster::FaultProfile)): the core ledger
+//! follows the steps, jobs running when capacity drops below the in-use
+//! count are preempted — youngest start first, higher trace position as
+//! tie-break — and requeued until their retry cap, and the queue keeps
+//! scheduling against whatever capacity remains. Per timestamp the order
+//! is arrivals, then completions, then capacity steps, then one
+//! reschedule, so a job finishing at `t` is never a victim at `t`.
+//! Resilience outcomes (preemption count, lost core-seconds, abandoned
+//! jobs) ride along in [`SimulationResult`] and [`SimMetrics`]. Two
+//! contracts, pinned by the `fault_bit_identity` suite: a run with an
+//! **empty** schedule is bit-identical to the zero-fault engine across
+//! all disciplines, backfill modes, and trace layouts — the fault
+//! machinery is monomorphized away when off — and faulty runs are
+//! bit-identical to [`reference::simulate_reference_faulty`] at any
+//! worker count. Internal inconsistencies surface as a structured
+//! [`EngineError`] rather than a panic.
+//!
+//! RNG never appears in this crate: randomized callers (the trial driver,
+//! fault-schedule expansion) derive each simulation's inputs from
+//! `(master seed, stream index)` upstream, which is why the whole
+//! pipeline is replayable at any thread count.
 
 #![warn(missing_docs)]
 
@@ -90,7 +113,10 @@ pub mod result;
 pub mod timeline;
 
 pub use config::{BackfillMode, SchedulerConfig};
-pub use engine::{simulate, simulate_into, simulate_metrics_into, QueueDiscipline, SimWorkspace};
+pub use engine::{
+    simulate, simulate_faulty, simulate_faulty_into, simulate_into, simulate_metrics_faulty_into,
+    simulate_metrics_into, EngineError, QueueDiscipline, SimWorkspace,
+};
 pub use export::write_schedule_swf;
 pub use result::{SimMetrics, SimulationResult};
 pub use timeline::{ascii_gantt, queue_length_curve, utilization_curve};

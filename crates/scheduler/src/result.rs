@@ -1,6 +1,6 @@
 //! Outcome of one simulated schedule.
 
-use dynsched_cluster::{average_bounded_slowdown, CompletedJob, JobId};
+use dynsched_cluster::{average_bounded_slowdown, AbandonedJob, CompletedJob, JobId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -13,10 +13,19 @@ pub struct SimulationResult {
     pub makespan: f64,
     /// Mean platform utilization over `[0, makespan]`.
     pub utilization: f64,
-    /// Number of scheduling events processed (arrivals + completions).
+    /// Number of scheduling events processed (arrivals + completions +
+    /// capacity steps under fault injection).
     pub events_processed: u64,
     /// Jobs started by the backfilling pass rather than the strict pass.
     pub backfilled_jobs: u64,
+    /// Preemptions (kill-and-requeue events); zero in a zero-fault run.
+    pub preempted_jobs: u64,
+    /// Core-seconds of work destroyed by preemptions (elapsed time of each
+    /// killed attempt × its width); goodput is the busy integral minus this.
+    pub lost_core_seconds: f64,
+    /// Jobs abandoned after exhausting their retry cap (or stranded by a
+    /// schedule that never restores enough capacity), in abandonment order.
+    pub abandoned: Vec<AbandonedJob>,
 }
 
 impl SimulationResult {
@@ -87,6 +96,13 @@ pub struct SimMetrics {
     pub backfilled_jobs: u64,
     /// Time the last job finished (0 when nothing completed).
     pub makespan: f64,
+    /// Preemptions (kill-and-requeue events); zero in a zero-fault run.
+    pub preempted_jobs: u64,
+    /// Jobs abandoned after exhausting their retry cap. The AVEbsld sum
+    /// covers completed jobs only — an abandoned job never finishes.
+    pub abandoned_jobs: u64,
+    /// Core-seconds of work destroyed by preemptions.
+    pub lost_core_seconds: f64,
 }
 
 impl SimMetrics {
@@ -98,6 +114,9 @@ impl SimMetrics {
             completed_jobs: 0,
             backfilled_jobs: 0,
             makespan: 0.0,
+            preempted_jobs: 0,
+            abandoned_jobs: 0,
+            lost_core_seconds: 0.0,
         }
     }
 
@@ -118,6 +137,9 @@ impl SimMetrics {
             m.push(c);
         }
         m.backfilled_jobs = result.backfilled_jobs;
+        m.preempted_jobs = result.preempted_jobs;
+        m.abandoned_jobs = result.abandoned.len() as u64;
+        m.lost_core_seconds = result.lost_core_seconds;
         m
     }
 
@@ -152,6 +174,9 @@ mod tests {
             utilization: 0.5,
             events_processed: 4,
             backfilled_jobs: 0,
+            preempted_jobs: 0,
+            lost_core_seconds: 0.0,
+            abandoned: Vec::new(),
         }
     }
 

@@ -200,6 +200,9 @@ mod tests {
             utilization: 0.0,
             events_processed: 0,
             backfilled_jobs: 0,
+            preempted_jobs: 0,
+            lost_core_seconds: 0.0,
+            abandoned: vec![],
         };
         assert!(utilization_curve(&empty, Platform::new(4)).is_empty());
         assert!(ascii_gantt(&empty, 40).is_empty());

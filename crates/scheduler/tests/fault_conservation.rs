@@ -1,0 +1,215 @@
+//! Conservation laws of the faulty engine, as exact-arithmetic property
+//! tests over RNG-driven capacity schedules.
+//!
+//! Every quantity in these tests is built from integer-valued times, core
+//! counts, and runtimes, so all the core-second integrals are sums of
+//! integers — exactly representable in `f64` no matter the summation
+//! order. That turns "approximately conserved" into `==`:
+//!
+//! * **Work conservation.** The ledger's busy integral equals goodput
+//!   (`Σ (finish − start) · cores` over completed jobs) plus the lost
+//!   core-seconds destroyed by preemptions — no work leaks in or out.
+//! * **Capacity conservation.** Busy + idle + offline core-seconds equals
+//!   `total cores × horizon`, with the offline integral cross-checked
+//!   against the schedule's own step function computed independently.
+//! * **Job conservation.** Every trace job shows up exactly once in
+//!   completed ∪ abandoned — nothing is silently dropped — and every
+//!   abandoned job carries exactly `max_retries + 1` attempts (the
+//!   schedules below always restore full capacity, so stranding cannot
+//!   occur and the retry cap is the only abandonment path).
+
+use dynsched_cluster::{AvailabilitySchedule, CapacityStep, Job, Platform};
+use dynsched_policies::{Fcfs, Spt};
+use dynsched_scheduler::{BackfillMode, QueueDiscipline, SchedulerConfig, SimWorkspace};
+use dynsched_simkit::Rng;
+use dynsched_workload::Trace;
+
+const CORES: u32 = 16;
+
+/// Integer-valued random trace: submits, runtimes, estimates, and widths
+/// are all whole numbers, so every core-second product below is an
+/// integer well inside `f64`'s exact range.
+fn integer_trace(rng: &mut Rng, max_jobs: usize) -> Trace {
+    let n = rng.range_u64(3, max_jobs as u64) as usize;
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let submit = rng.range_u64(0, 2_000) as f64;
+            let runtime = rng.range_u64(1, 1_500) as f64;
+            let estimate = runtime + rng.range_u64(0, 500) as f64;
+            let width = rng.range_u64(1, (CORES - 1) as u64) as u32;
+            Job::new(i as u32, submit, runtime, estimate, width)
+        })
+        .collect();
+    Trace::from_jobs(jobs)
+}
+
+/// Random integer-time capacity schedule whose final step restores the
+/// full platform (so the queue can always drain and abandonment happens
+/// only through the retry cap).
+fn integer_schedule(rng: &mut Rng, max_retries: u32) -> AvailabilitySchedule {
+    let mut times: Vec<u64> = (0..rng.range_u64(2, 8))
+        .map(|_| rng.range_u64(1, 12_000))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    let last = times.len() - 1;
+    let steps: Vec<CapacityStep> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| CapacityStep {
+            time: t as f64,
+            capacity: if i == last {
+                CORES
+            } else {
+                rng.range_u64(1, CORES as u64) as u32
+            },
+        })
+        .collect();
+    AvailabilitySchedule::from_steps(steps, max_retries)
+}
+
+/// The schedule's offline integral over `[0, horizon]`, computed directly
+/// from the step function — the independent cross-check for the ledger's
+/// accrued value.
+fn schedule_offline(schedule: &AvailabilitySchedule, horizon: f64) -> f64 {
+    let steps = schedule.steps();
+    let mut offline = 0.0;
+    for (i, step) in steps.iter().enumerate() {
+        let until = steps.get(i + 1).map_or(horizon, |s| s.time).min(horizon);
+        if until > step.time {
+            offline += f64::from(CORES - step.capacity) * (until - step.time);
+        }
+    }
+    offline
+}
+
+fn configs() -> Vec<SchedulerConfig> {
+    [
+        BackfillMode::None,
+        BackfillMode::Aggressive,
+        BackfillMode::Conservative,
+    ]
+    .into_iter()
+    .map(|backfill| {
+        let mut c = SchedulerConfig::user_estimates(Platform::new(CORES));
+        c.backfill = backfill;
+        c
+    })
+    .collect()
+}
+
+#[test]
+fn core_seconds_and_jobs_are_exactly_conserved_under_faults() {
+    let mut rng = Rng::new(0xC0_4E_5E);
+    let mut ws = SimWorkspace::new();
+    let mut preemptions = 0u64;
+    let mut abandonments = 0u64;
+    for case in 0..12u64 {
+        let trace = integer_trace(&mut rng, 40);
+        let max_retries = rng.range_u64(0, 3) as u32;
+        let schedule = integer_schedule(&mut rng, max_retries);
+        for config in configs() {
+            for discipline in [
+                QueueDiscipline::Policy(&Fcfs),
+                QueueDiscipline::Policy(&Spt),
+            ] {
+                ws.run_faulty(&trace, &discipline, &config, &schedule)
+                    .unwrap();
+                let result = ws.result();
+                let last_step = schedule.steps().last().expect("non-empty").time;
+                let horizon = result.makespan.max(last_step) + 1.0;
+
+                // Work conservation: busy == goodput + lost, exactly.
+                let goodput: f64 = result
+                    .completed
+                    .iter()
+                    .map(|c| (c.finish - c.start) * f64::from(c.job.cores))
+                    .sum();
+                let busy = ws.busy_core_seconds(horizon);
+                assert_eq!(
+                    busy,
+                    goodput + result.lost_core_seconds,
+                    "case {case}: busy integral diverged from goodput + lost"
+                );
+
+                // Capacity conservation: busy + idle + offline == total ×
+                // horizon, with offline matching the schedule's own step
+                // function.
+                let offline = ws.offline_core_seconds(horizon);
+                assert_eq!(
+                    offline,
+                    schedule_offline(&schedule, horizon),
+                    "case {case}: ledger offline integral diverged from the schedule"
+                );
+                let idle = f64::from(CORES) * horizon - busy - offline;
+                assert!(
+                    idle >= 0.0,
+                    "case {case}: negative idle time ({idle} core-seconds)"
+                );
+                assert_eq!(busy + idle + offline, f64::from(CORES) * horizon);
+
+                // Job conservation: every job id exactly once in
+                // completed ∪ abandoned. (Ids, not trace positions:
+                // `Trace::from_jobs` sorts by submit, so the two spaces
+                // differ — `AbandonedJob` carries both.)
+                let mut seen = vec![0u32; trace.len()];
+                for c in &result.completed {
+                    seen[c.job.id as usize] += 1;
+                }
+                for a in &result.abandoned {
+                    assert_eq!(trace.jobs()[a.idx as usize].id, a.job.id);
+                    seen[a.job.id as usize] += 1;
+                    assert_eq!(
+                        a.attempts,
+                        max_retries + 1,
+                        "case {case}: abandoned job {} did not exhaust its retries",
+                        a.idx
+                    );
+                    assert!(a.abandoned_at.is_finite());
+                }
+                for (idx, &count) in seen.iter().enumerate() {
+                    assert_eq!(
+                        count, 1,
+                        "case {case}: job {idx} reported {count} times (want exactly 1)"
+                    );
+                }
+
+                preemptions += result.preempted_jobs;
+                abandonments += result.abandoned.len() as u64;
+            }
+        }
+    }
+    // The generated schedules must actually exercise both fault paths, or
+    // the conservation equalities above never see a non-trivial run.
+    assert!(preemptions > 0, "no preemption ever happened");
+    assert!(abandonments > 0, "no job ever hit its retry cap");
+}
+
+/// The same laws hold trivially (all-zero fault terms) for an empty
+/// schedule — pinning that the accessors read zeros after a fault-free
+/// run rather than stale integrals from a previous faulty one.
+#[test]
+fn empty_schedule_conserves_with_zero_fault_terms() {
+    let mut rng = Rng::new(0x1D_7E);
+    let mut ws = SimWorkspace::new();
+    let trace = integer_trace(&mut rng, 30);
+    let schedule = integer_schedule(&mut rng, 1);
+    let config = SchedulerConfig::user_estimates(Platform::new(CORES));
+    // A faulty run first, so any stale-state leak would be visible.
+    ws.run_faulty(&trace, &QueueDiscipline::Policy(&Fcfs), &config, &schedule)
+        .unwrap();
+    ws.run(&trace, &QueueDiscipline::Policy(&Fcfs), &config);
+    let result = ws.result();
+    let horizon = result.makespan;
+    assert_eq!(result.preempted_jobs, 0);
+    assert_eq!(result.lost_core_seconds, 0.0);
+    assert!(result.abandoned.is_empty());
+    assert_eq!(ws.offline_core_seconds(horizon), 0.0);
+    let goodput: f64 = result
+        .completed
+        .iter()
+        .map(|c| (c.finish - c.start) * f64::from(c.job.cores))
+        .sum();
+    assert_eq!(ws.busy_core_seconds(horizon), goodput);
+    assert_eq!(result.completed.len(), trace.len());
+}

@@ -20,6 +20,7 @@ use crate::store::{TraceKey, TraceStore, TraceView};
 use crate::trace::Trace;
 use crate::transform::burstify;
 use crate::tsafrir::TsafrirEstimates;
+use dynsched_cluster::FaultProfile;
 use dynsched_simkit::Rng;
 use std::sync::Arc;
 
@@ -87,6 +88,11 @@ pub struct ScenarioFamily {
     /// data should set a content-derived salt (see
     /// [`ScenarioFamily::with_salt`]).
     salt: u64,
+    /// Optional fault profile evaluations of this family should run
+    /// under. Advisory metadata for the evaluation layer — it does *not*
+    /// join the interning key, because the generated trace is unaffected
+    /// by failures (only the simulation of it is).
+    fault: Option<FaultProfile>,
     build: BuildFn,
 }
 
@@ -113,6 +119,7 @@ impl ScenarioFamily {
             name: name.into(),
             description: description.into(),
             salt: 0,
+            fault: None,
             build: Arc::new(build),
         }
     }
@@ -122,6 +129,20 @@ impl ScenarioFamily {
     pub fn with_salt(mut self, salt: u64) -> Self {
         self.salt = salt;
         self
+    }
+
+    /// Attach a fault profile: evaluation entry points that honour the
+    /// registry (the `dynsched scenarios` CLI foremost) run this family's
+    /// experiments under deterministic failure schedules expanded from the
+    /// profile. An empty profile detaches ([`FaultProfile::is_empty`]).
+    pub fn with_fault_profile(mut self, fault: FaultProfile) -> Self {
+        self.fault = (!fault.is_empty()).then_some(fault);
+        self
+    }
+
+    /// The fault profile attached to this family, if any.
+    pub fn fault_profile(&self) -> Option<&FaultProfile> {
+        self.fault.as_ref()
     }
 
     /// A replay family over a real (or pre-parsed) SWF trace: each seed
@@ -593,6 +614,25 @@ mod tests {
         family.sequences(&store, &p, &spec, 31).unwrap();
         assert_eq!(store.builds(), 2, "base trace must not regenerate");
         assert_eq!(store.hits(), 1);
+    }
+
+    #[test]
+    fn fault_profiles_attach_without_changing_the_interning_key() {
+        let reg = ScenarioRegistry::builtin();
+        let p = quick_params();
+        let plain = reg.get("lublin").unwrap().clone();
+        assert!(plain.fault_profile().is_none());
+        let faulty = plain
+            .clone()
+            .with_fault_profile(FaultProfile::failures(50_000.0, 3_600.0, 8, 42));
+        assert!(faulty.fault_profile().is_some());
+        // Same trace, same key: the profile shapes the simulation, not
+        // the workload.
+        assert_eq!(faulty.key(&p, 7), plain.key(&p, 7));
+        assert_eq!(faulty.generate(&p, 7), plain.generate(&p, 7));
+        // An empty profile detaches.
+        let detached = faulty.with_fault_profile(FaultProfile::none());
+        assert!(detached.fault_profile().is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! Everything here is a thin shell over the library crates; see
 //! `examples/` for programmatic use.
 
-use dynsched::cluster::{Platform, DEFAULT_TAU};
+use dynsched::cluster::{FaultProfile, Platform, DEFAULT_TAU};
 use dynsched::core::pipeline::{learn_policies, run_full, FullRunConfig, TrainingConfig};
 use dynsched::core::report::{full_run_markdown, table4_comparison, table4_markdown};
 use dynsched::core::scenarios::{scenario_results, table4_experiments, ScenarioScale};
@@ -61,11 +61,18 @@ USAGE:
 
   dynsched scenarios [--cores N] [--days N] [--load X] [--seed N]
                      [--eval [--family NAME]]
+                     [--mtbf SECS [--mttr SECS] [--fault-cores N]
+                      [--fault-retries N] [--fault-seed N]]
       List the workload scenario registry with per-family calibration
       summaries (jobs/day, offered load, runtime CV) at the given
       parameter point. With --eval, run a quick evaluation of the named
       family (or every family) under all three conditions and the paper's
-      policy line-up.
+      policy line-up. With --mtbf, the evaluation runs under deterministic
+      fault injection: --fault-cores nodes (default cores/8) fail with
+      the given mean time between failures, repair after --mttr seconds
+      (default 3600), and preempted jobs requeue up to --fault-retries
+      times (default 3); resilience counters (preemptions, abandoned
+      jobs, lost core-seconds) print per row.
 
   dynsched policies
       List built-in policies.
@@ -361,16 +368,49 @@ fn cmd_scenarios(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Optional deterministic fault injection for the evaluation below.
+    let fault = match flag_value(args, "--mtbf") {
+        Some(v) => {
+            let mtbf: f64 = v.parse().map_err(|e| format!("bad --mtbf: {e}"))?;
+            let mttr = flag_value(args, "--mttr")
+                .map(|v| v.parse::<f64>().map_err(|e| format!("bad --mttr: {e}")))
+                .transpose()?
+                .unwrap_or(3_600.0);
+            let fault_cores =
+                usize_flag(args, "--fault-cores", (cores / 8).max(1) as usize)? as u32;
+            let retries = usize_flag(args, "--fault-retries", 3)? as u32;
+            let fault_seed = usize_flag(args, "--fault-seed", seed as usize)? as u64;
+            Some(
+                FaultProfile::failures(mtbf, mttr, fault_cores, fault_seed)
+                    .with_max_retries(retries),
+            )
+        }
+        None => None,
+    };
+
     if has_flag(args, "--eval") {
-        let names: Vec<&str> = match flag_value(args, "--family") {
+        let mut registry = registry;
+        let names: Vec<String> = match flag_value(args, "--family") {
             Some(name) => {
                 registry
                     .get(name)
                     .ok_or_else(|| format!("unknown family {name:?}"))?;
-                vec![name]
+                vec![name.to_string()]
             }
-            None => registry.names(),
+            None => registry.names().iter().map(|n| n.to_string()).collect(),
         };
+        if let Some(profile) = &fault {
+            // Re-register the selected families with the profile attached:
+            // scenario_experiment carries it into each experiment row.
+            for name in &names {
+                let family = registry.get(name).expect("validated above").clone();
+                registry.register(family.with_fault_profile(profile.clone()));
+            }
+            println!(
+                "\nfault injection: MTBF {:.0}s, MTTR {:.0}s, {} cores per failure, {} retries",
+                profile.mtbf, profile.mttr, profile.failure_cores, profile.max_retries
+            );
+        }
         let scale = ScenarioScale {
             spec: SequenceSpec {
                 count: 3,
@@ -384,14 +424,31 @@ fn cmd_scenarios(args: &[String]) -> Result<(), String> {
             "\nevaluating {} family(ies) under all three conditions...",
             names.len()
         );
-        let results =
-            scenario_results(&store, &registry, &names, &params, &scale, &paper_lineup())?;
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let results = scenario_results(
+            &store,
+            &registry,
+            &name_refs,
+            &params,
+            &scale,
+            &paper_lineup(),
+        )?;
         for row in &results {
             print!("  {:<50}", row.name);
             for o in &row.outcomes {
                 print!(" {}={:.2}", o.policy, o.median);
             }
             println!();
+            if fault.is_some() {
+                print!("  {:<50}", "    resilience (mean/seq):");
+                for o in &row.outcomes {
+                    print!(
+                        " {}: pre={:.1} aband={:.1} lost={:.0}",
+                        o.policy, o.mean_preempted, o.mean_abandoned, o.mean_lost_core_seconds
+                    );
+                }
+                println!();
+            }
         }
         println!(
             "({} trace builds for {} experiment rows — conditions share the store)",
