@@ -11,7 +11,15 @@
 //!    `order_queue` loop); the compiled path evaluates the wait-invariant
 //!    prefix once per job and then runs `CompiledPolicy::score_batch`
 //!    per event over SoA lanes.
-//! 2. **End-to-end simulation throughput** — full engine runs under a
+//! 2. **Single-job-delta re-scoring** — the incremental maintenance the
+//!    engine runs for uniform-aging residuals when one job arrives per
+//!    event: lane-blocked batch re-score + sortedness verify + binary
+//!    insert, against the pre-incremental compiled path (scalar residual
+//!    loop + full re-sort every event).
+//! 3. **Wide-queue top-k** — order construction for general residuals
+//!    under strict scheduling: partial selection of the startable head
+//!    vs a full sort of a 4096-job queue.
+//! 4. **End-to-end simulation throughput** — full engine runs under a
 //!    learned-family aging policy (time-dependent, the class every
 //!    learned `G1..Gk` + aging deployment falls into) and under static
 //!    F1, interpreted vs compiled disciplines.
@@ -22,12 +30,16 @@
 use criterion::{Criterion, Throughput};
 use dynsched_bench::{banner, criterion, full_scale};
 use dynsched_cluster::Platform;
-use dynsched_policies::{CompiledPolicy, ExprPolicy, LearnedPolicy, Policy, ScoreLanes, TaskView};
+use dynsched_policies::{
+    BatchScratch, CompiledPolicy, ExprPolicy, LearnedPolicy, Policy, ResidualClass, ScoreLanes,
+    TaskView,
+};
 use dynsched_scheduler::{
     simulate_metrics_into, BackfillMode, QueueDiscipline, SchedulerConfig, SimWorkspace,
 };
 use dynsched_simkit::Rng;
 use dynsched_workload::{LublinModel, Trace, TraceSource};
+use std::cmp::Ordering;
 use std::hint::black_box;
 
 /// Best-of-`reps` wall time.
@@ -90,11 +102,16 @@ impl Queue {
     }
 
     fn lanes(&self) -> ScoreLanes<'_> {
+        self.lanes_head(self.r.len(), self.slots.len() / self.r.len().max(1))
+    }
+
+    /// The SoA lanes of the first `q` queued jobs (`k` slots per job).
+    fn lanes_head(&self, q: usize, k: usize) -> ScoreLanes<'_> {
         ScoreLanes {
-            r: &self.r,
-            n: &self.n,
-            s: &self.s,
-            slots: &self.slots,
+            r: &self.r[..q],
+            n: &self.n[..q],
+            s: &self.s[..q],
+            slots: &self.slots[..q * k],
         }
     }
 
@@ -108,6 +125,65 @@ impl Queue {
                 now,
             });
         }
+    }
+
+    /// The pre-incremental compiled engine loop: one scalar residual
+    /// evaluation per queued job (prefix slots already materialized).
+    fn score_scalar_loop(
+        &self,
+        cp: &CompiledPolicy,
+        q: usize,
+        now: f64,
+        out: &mut [f64],
+        stack: &mut Vec<f64>,
+    ) {
+        let k = cp.slot_count();
+        for (i, out_i) in out[..q].iter_mut().enumerate() {
+            let w = (now - self.s[i]).max(0.0);
+            *out_i = cp.residual_score(
+                self.r[i],
+                self.n[i],
+                self.s[i],
+                w,
+                &self.slots[i * k..(i + 1) * k],
+                stack,
+            );
+        }
+    }
+}
+
+/// The engine's queue-order comparator: score ascending, queue position
+/// as tie-break — total and injective, so the sorted permutation of any
+/// score vector is unique.
+fn order_cmp(scores: &[f64]) -> impl Fn(&usize, &usize) -> Ordering + '_ {
+    move |a: &usize, b: &usize| scores[*a].total_cmp(&scores[*b]).then(a.cmp(b))
+}
+
+/// Full re-sort of queue positions `0..q` — the pre-incremental order
+/// construction (and the fallback the incremental path verifies against).
+fn rebuild_order(order: &mut Vec<usize>, scores: &[f64], q: usize) {
+    order.clear();
+    order.extend(0..q);
+    order.sort_unstable_by(order_cmp(scores));
+}
+
+/// Incremental maintenance under fresh scores: verify the standing order
+/// is still strictly sorted, binary-insert the positions that arrived
+/// since, fall back to the full sort on any verify failure — the engine's
+/// uniform-aging path.
+fn maintain_order(order: &mut Vec<usize>, scores: &[f64], q: usize) {
+    let cmp = order_cmp(scores);
+    let sorted = order
+        .windows(2)
+        .all(|p| cmp(&p[0], &p[1]) == Ordering::Less);
+    if sorted {
+        for p in order.len()..q {
+            let at = order.partition_point(|x| cmp(x, &p) == Ordering::Less);
+            order.insert(at, p);
+        }
+    } else {
+        drop(cmp);
+        rebuild_order(order, scores, q);
     }
 }
 
@@ -183,11 +259,11 @@ fn regenerate() {
     // Bit-identity first: every rescore instant, every job, exact bits.
     let mut interp = vec![0.0; queue_size];
     let mut batch = vec![0.0; queue_size];
-    let mut stack = Vec::new();
+    let mut scratch = BatchScratch::new();
     for k in 0..200 {
         let now = t_last + k as f64 * 37.5;
         queue.score_interpreted(&aging, now, &mut interp);
-        compiled.score_batch(&mut batch, queue.lanes(), now, &mut stack);
+        compiled.score_batch(&mut batch, queue.lanes(), now, &mut scratch);
         for i in 0..queue_size {
             assert_eq!(
                 interp[i].to_bits(),
@@ -211,7 +287,7 @@ fn regenerate() {
         let warm = Queue::build(trace, &compiled);
         for k in 0..rescores {
             let now = t_last + k as f64;
-            compiled.score_batch(&mut batch, warm.lanes(), now, &mut stack);
+            compiled.score_batch(&mut batch, warm.lanes(), now, &mut scratch);
             black_box(&batch);
         }
     });
@@ -226,6 +302,140 @@ fn regenerate() {
          speedup:   {kernel_speedup:.2}x",
         jobs_scored / tree_secs / 1e6,
         jobs_scored / batch_secs / 1e6,
+    );
+
+    // Single-job-delta re-scoring: one arrival per event on a standing
+    // queue — the engine's incremental maintenance for uniform-aging
+    // residuals (lane-blocked re-score + verify + binary insert) against
+    // the pre-incremental compiled path (scalar residual loop + full
+    // re-sort every event). Orders and score bits must agree per event
+    // before anything is timed.
+    assert_eq!(compiled.residual_class(), ResidualClass::UniformAging);
+    let delta_events = queue_size / 2;
+    let q0 = queue_size - delta_events;
+    let dt = 13.7;
+    let slot_k = compiled.slot_count();
+    let mut stack = Vec::new();
+    let mut full_out = vec![0.0; queue_size];
+    let mut inc_out = vec![0.0; queue_size];
+    let mut full_order: Vec<usize> = Vec::new();
+    let mut init_order: Vec<usize> = Vec::new();
+    compiled.score_batch(
+        &mut inc_out[..q0],
+        queue.lanes_head(q0, slot_k),
+        t_last,
+        &mut scratch,
+    );
+    rebuild_order(&mut init_order, &inc_out, q0);
+    let mut inc_order = init_order.clone();
+    for e in 0..delta_events {
+        let q = q0 + e + 1;
+        let now = t_last + (e + 1) as f64 * dt;
+        queue.score_scalar_loop(&compiled, q, now, &mut full_out, &mut stack);
+        rebuild_order(&mut full_order, &full_out, q);
+        compiled.score_batch(
+            &mut inc_out[..q],
+            queue.lanes_head(q, slot_k),
+            now,
+            &mut scratch,
+        );
+        maintain_order(&mut inc_order, &inc_out, q);
+        for i in 0..q {
+            assert_eq!(
+                full_out[i].to_bits(),
+                inc_out[i].to_bits(),
+                "delta event {e}, job {i}: score bits diverged"
+            );
+        }
+        assert_eq!(full_order, inc_order, "delta event {e}: order diverged");
+    }
+    let full_delta_secs = best_of(5, || {
+        for e in 0..delta_events {
+            let q = q0 + e + 1;
+            let now = t_last + (e + 1) as f64 * dt;
+            queue.score_scalar_loop(&compiled, q, now, &mut full_out, &mut stack);
+            rebuild_order(&mut full_order, &full_out, q);
+            black_box(&full_order);
+        }
+    });
+    let inc_delta_secs = best_of(5, || {
+        inc_order.clear();
+        inc_order.extend_from_slice(&init_order);
+        for e in 0..delta_events {
+            let q = q0 + e + 1;
+            let now = t_last + (e + 1) as f64 * dt;
+            compiled.score_batch(
+                &mut inc_out[..q],
+                queue.lanes_head(q, slot_k),
+                now,
+                &mut scratch,
+            );
+            maintain_order(&mut inc_order, &inc_out, q);
+            black_box(&inc_order);
+        }
+    });
+    let delta_speedup = full_delta_secs / inc_delta_secs;
+    println!(
+        "single-job-delta re-scoring ({q0}->{queue_size} jobs, {delta_events} events):\n  \
+         scalar + full sort:   {full_delta_secs:.5} s  ({:.0} events/s)\n  \
+         blocked + incremental: {inc_delta_secs:.5} s  ({:.0} events/s)\n  \
+         speedup:   {delta_speedup:.2}x",
+        delta_events as f64 / full_delta_secs,
+        delta_events as f64 / inc_delta_secs,
+    );
+
+    // Wide-queue top-k: order construction for a general residual under
+    // strict scheduling, where only the startable head (available + 1
+    // positions) needs exact order. Scores are precomputed per event so
+    // the timing isolates the ordering step both paths share scoring for.
+    let ratio = ExprPolicy::parse("ratio-aging", "-((w / (r + 1)) ^ 2) * sqrt(n)").unwrap();
+    let compiled_ratio = ratio.compile().unwrap();
+    assert_eq!(compiled_ratio.residual_class(), ResidualClass::General);
+    let wide = 4096usize;
+    let head = 33usize; // 32 free cores: the strict pass reads <= 33 positions
+    let topk_events = 48usize;
+    let wq = Queue::build(&sequences(1, wide, 256, 17)[0], &compiled_ratio);
+    let wt_last = wq.s.iter().fold(0.0, |a: f64, &b| a.max(b));
+    let mut event_scores = vec![vec![0.0; wide]; topk_events];
+    for (e, scores) in event_scores.iter_mut().enumerate() {
+        compiled_ratio.score_batch(scores, wq.lanes(), wt_last + e as f64 * dt, &mut scratch);
+    }
+    let mut topk_order: Vec<usize> = Vec::new();
+    for (e, scores) in event_scores.iter().enumerate() {
+        rebuild_order(&mut full_order, scores, wide);
+        topk_order.clear();
+        topk_order.extend(0..wide);
+        let cmp = order_cmp(scores);
+        let (front, _, _) = topk_order.select_nth_unstable_by(head - 1, &cmp);
+        front.sort_unstable_by(&cmp);
+        assert_eq!(
+            &full_order[..head],
+            &topk_order[..head],
+            "top-k event {e}: startable head diverged from the full sort"
+        );
+    }
+    let full_sort_secs = best_of(5, || {
+        for scores in &event_scores {
+            rebuild_order(&mut full_order, scores, wide);
+            black_box(&full_order);
+        }
+    });
+    let topk_secs = best_of(5, || {
+        for scores in &event_scores {
+            topk_order.clear();
+            topk_order.extend(0..wide);
+            let cmp = order_cmp(scores);
+            let (front, _, _) = topk_order.select_nth_unstable_by(head - 1, &cmp);
+            front.sort_unstable_by(&cmp);
+            black_box(&topk_order);
+        }
+    });
+    let topk_speedup = full_sort_secs / topk_secs;
+    println!(
+        "wide-queue top-k ({wide}-job queue, head {head}, {topk_events} events):\n  \
+         full sort: {full_sort_secs:.5} s\n  \
+         top-k:     {topk_secs:.5} s\n  \
+         speedup:   {topk_speedup:.2}x",
     );
 
     // End-to-end: full simulations, time-dependent aging policy and the
@@ -256,6 +466,15 @@ fn regenerate() {
         kernel_speedup >= 2.0,
         "compiled batch re-scoring must be at least 2x the tree walk (got {kernel_speedup:.2}x)"
     );
+    assert!(
+        delta_speedup >= 2.0,
+        "incremental re-scoring must be at least 2x the full batch path \
+         on single-job deltas (got {delta_speedup:.2}x)"
+    );
+    assert!(
+        topk_speedup >= 1.5,
+        "top-k selection must clearly beat the full sort (got {topk_speedup:.2}x)"
+    );
 
     let json = format!(
         "{{\n  \
@@ -269,6 +488,22 @@ fn regenerate() {
              \"compiled_batch\": {{ \"seconds\": {batch_secs:.4}, \"rescores_per_sec\": {batch_rate:.1}, \"jobs_per_sec\": {:.0} }},\n    \
              \"speedup\": {kernel_speedup:.3},\n    \
              \"bit_identical\": true\n  }},\n  \
+           \"single_job_delta\": {{\n    \
+             \"queue_size_from\": {q0},\n    \
+             \"queue_size_to\": {queue_size},\n    \
+             \"delta_events\": {delta_events},\n    \
+             \"scalar_full_sort\": {{ \"seconds\": {full_delta_secs:.5}, \"events_per_sec\": {:.0} }},\n    \
+             \"blocked_incremental\": {{ \"seconds\": {inc_delta_secs:.5}, \"events_per_sec\": {:.0} }},\n    \
+             \"speedup\": {delta_speedup:.3},\n    \
+             \"bit_identical\": true\n  }},\n  \
+           \"wide_queue_topk\": {{\n    \
+             \"queue_size\": {wide},\n    \
+             \"startable_head\": {head},\n    \
+             \"order_events\": {topk_events},\n    \
+             \"full_sort\": {{ \"seconds\": {full_sort_secs:.5} }},\n    \
+             \"topk_select\": {{ \"seconds\": {topk_secs:.5} }},\n    \
+             \"speedup\": {topk_speedup:.3},\n    \
+             \"bit_identical\": true\n  }},\n  \
            \"end_to_end\": {{\n    \
              \"sequences\": {n_seqs},\n    \
              \"jobs_per_sequence\": {jobs},\n    \
@@ -278,6 +513,8 @@ fn regenerate() {
         if full_scale() { "paper" } else { "reduced" },
         jobs_scored / tree_secs,
         jobs_scored / batch_secs,
+        delta_events as f64 / full_delta_secs,
+        delta_events as f64 / inc_delta_secs,
         e2e_aging.interpreted_secs,
         e2e_aging.compiled_secs,
         e2e_aging.speedup,
@@ -302,7 +539,7 @@ fn bench(c: &mut Criterion) {
     let queue = Queue::build(trace, &compiled);
     let now = trace.submit(trace.len() - 1) + 100.0;
     let mut out = vec![0.0; 256];
-    let mut stack = Vec::new();
+    let mut scratch = BatchScratch::new();
 
     let mut g = c.benchmark_group("scoring/256_job_queue");
     g.throughput(Throughput::Elements(256));
@@ -314,7 +551,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("compiled_batch", |b| {
         b.iter(|| {
-            compiled.score_batch(&mut out, queue.lanes(), now, &mut stack);
+            compiled.score_batch(&mut out, queue.lanes(), now, &mut scratch);
             black_box(&out);
         })
     });

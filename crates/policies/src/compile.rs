@@ -43,6 +43,47 @@
 //! policy; the scheduler's `compiled_bit_identity` suite pins whole
 //! simulations.
 //!
+//! # Lane-blocked execution
+//!
+//! [`CompiledPolicy::score_batch`] does not interpret the residual once
+//! per job: it walks the opcode list once per **block of [`LANES`] jobs**,
+//! keeping a stack of `[f64; LANES]` value rows (`Program::exec_block`)
+//! so each opcode's inner loop is a fixed-width, branch-free sweep the
+//! autovectorizer can keep in vector registers. The trailing `len %
+//! LANES` jobs run through the scalar machine. This is a pure execution
+//! reordering: lane `j` of every stack row holds exactly the value the
+//! scalar machine would have on its stack for job `base + j`, and every
+//! per-lane operation is the *same scalar call* ([`Func::eval`],
+//! [`BinOp::eval`], the raw opcodes) the scalar machine makes — NaN
+//! propagation, the division clamp, `max`/`clamp01` guards and the final
+//! NaN sanitizer all behave identically per lane, so blocked and scalar
+//! execution are bit-identical job by job (the `compile_properties` batch
+//! property pins this across block boundaries and tails).
+//!
+//! # Residual classification
+//!
+//! At assembly time every residual program is classified by an abstract
+//! interpretation over its bytecode into a [`ResidualClass`]:
+//!
+//! * [`ResidualClass::Static`] — the residual never reads `w`; scores are
+//!   immutable after arrival and the scheduler never batch re-scores.
+//! * [`ResidualClass::UniformAging`] — every queued job's score is a
+//!   job-uniform weakly-monotone transform of `u_i + c·w` (affine in the
+//!   waiting time with one shared coefficient). Advancing time shifts all
+//!   scores in lockstep, so the previous event's queue order is *almost
+//!   always* still sorted; the scheduler exploits that with an
+//!   incremental verify-and-insert order instead of a full re-sort.
+//! * [`ResidualClass::General`] — anything else (job-dependent aging
+//!   rates, `abs`, ratios of `w` to job fields, …).
+//!
+//! The class is a **performance hint, never a correctness input**: float
+//! rounding can collapse a strict ordering into a position-broken tie
+//! even under an exactly-affine residual, so the scheduler always
+//! re-evaluates the scores and verifies any reused order against the
+//! fresh bits, falling back to a full sort on mismatch. The lattice is
+//! conservative — when in doubt a program classifies as `General`, which
+//! only costs the fallback path its shortcut.
+//!
 //! [`Expr`]: crate::expr::Expr
 //! [`NonlinearFunction`]: crate::learned::NonlinearFunction
 
@@ -50,6 +91,179 @@ use crate::expr::{BinOp, Expr, Func, Var};
 use crate::policy::Policy;
 use crate::task_view::TaskView;
 use std::fmt;
+
+/// Jobs processed per opcode step by the lane-blocked batch kernel. Eight
+/// `f64`s span one or two vector registers on every target the engine
+/// cares about (AVX-512 / AVX2 / NEON); the value is a throughput knob
+/// only — scores are bit-identical at any lane count.
+pub const LANES: usize = 8;
+
+/// Reusable scratch for [`CompiledPolicy::score_batch`]: the blocked
+/// `[f64; LANES]` value stack plus the scalar stack for the tail jobs.
+/// Construct once per worker and hand to every batch call — after warm-up
+/// the kernel performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    block: Vec<[f64; LANES]>,
+    scalar: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Fresh, empty scratch. Buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// How a compiled residual's score can evolve while a job waits — derived
+/// at assembly time by abstract interpretation over the bytecode (see the
+/// module docs). A scheduling-layer *hint*: it selects which queue
+/// maintenance shortcut is worth attempting, never what the scores are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidualClass {
+    /// The residual never reads `w`: scores are immutable after arrival.
+    Static,
+    /// Every score is one job-uniform weakly-monotone transform of
+    /// `u_i + c·w` with a shared coefficient `c`: time advance shifts all
+    /// queued scores in lockstep, so relative order is (rounding aside)
+    /// preserved between events.
+    UniformAging,
+    /// No exploitable structure was proven; re-rank from scratch.
+    General,
+}
+
+/// Abstract value for the residual classifier, ordered from most to least
+/// structured. `Konst` is a job-uniform constant; `Inv` is wait-invariant
+/// but job-varying; `Affine` is `u_i + c·w` with job-uniform `c`;
+/// `Stable` is a job-uniform weakly-monotone transform of an `Affine`
+/// value; `General` is everything else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Sym {
+    Konst,
+    Inv,
+    Affine,
+    Stable,
+    General,
+}
+
+/// Whether `Func::eval(f, ·)` is weakly monotone over all of `f64` (with
+/// its guard): saturating logs, `sqrt(max(x, 0))`, `exp` and the guarded
+/// reciprocal all are; `abs` is the one exception.
+fn func_monotone(f: Func) -> bool {
+    !matches!(f, Func::Abs)
+}
+
+/// Transfer function of the classifier's binary operations.
+fn bin_sym(op: OpCode, a: Sym, b: Sym) -> Sym {
+    use Sym::*;
+    match op {
+        OpCode::Add | OpCode::Sub => match (a, b) {
+            (Konst, Konst) => Konst,
+            (Konst | Inv, Konst | Inv) => Inv,
+            // Sums and differences of affines stay affine (coefficients
+            // are job-uniform, so the combined coefficient is too).
+            (Affine, Konst | Inv | Affine) | (Konst | Inv, Affine) => Affine,
+            // A monotone transform shifted by a job-uniform constant is
+            // still the same monotone transform; a job-varying shift is
+            // not (it can reorder as the transform saturates).
+            (Stable, Konst) | (Konst, Stable) => Stable,
+            _ => General,
+        },
+        OpCode::Mul => match (a, b) {
+            (Konst, Konst) => Konst,
+            (Konst | Inv, Konst | Inv) => Inv,
+            // Scaling by a job-uniform constant preserves both classes
+            // (a negative constant flips direction, which monotone-ness
+            // up to direction absorbs); a job-varying factor does not.
+            (Affine, Konst) | (Konst, Affine) => Affine,
+            (Stable, Konst) | (Konst, Stable) => Stable,
+            _ => General,
+        },
+        OpCode::Div | OpCode::DivRaw => match (a, b) {
+            (Konst, Konst) => Konst,
+            (Konst | Inv, Konst | Inv) => Inv,
+            // Dividing by a job-uniform constant is a scale; a reciprocal
+            // of an aging value is not monotone across the sign change.
+            (Affine, Konst) => Affine,
+            (Stable, Konst) => Stable,
+            _ => General,
+        },
+        OpCode::Pow => match (a, b) {
+            (Konst, Konst) => Konst,
+            (Konst | Inv, Konst | Inv) => Inv,
+            _ => General,
+        },
+        OpCode::Max => match (a, b) {
+            (Konst, Konst) => Konst,
+            (Konst | Inv, Konst | Inv) => Inv,
+            // `max(x, k)` with job-uniform `k` is a monotone saturation.
+            (Affine | Stable, Konst) | (Konst, Affine | Stable) => Stable,
+            _ => General,
+        },
+        _ => unreachable!("not a binary opcode: {op:?}"),
+    }
+}
+
+/// Classify a residual program by symbolic execution of its bytecode.
+/// Only called for wait-reading residuals (wait-free ones are `Static`
+/// by definition); conservative in every uncertain case.
+fn classify_residual(ops: &[OpCode]) -> ResidualClass {
+    use Sym::*;
+    let mut stack: Vec<Sym> = Vec::new();
+    for op in ops {
+        match *op {
+            OpCode::Const(_) => stack.push(Konst),
+            OpCode::LoadR | OpCode::LoadN | OpCode::LoadS | OpCode::LoadSlot(_) => stack.push(Inv),
+            OpCode::LoadW => stack.push(Affine),
+            // Negation is an exact affine scale by -1: class-preserving.
+            OpCode::Neg => {}
+            OpCode::Dup => {
+                let a = *stack.last().expect("validated");
+                stack.push(a);
+            }
+            OpCode::Call(f) => {
+                let a = stack.last_mut().expect("validated");
+                *a = match (*a, func_monotone(f)) {
+                    (Konst, _) => Konst,
+                    (Inv, _) => Inv,
+                    (Affine | Stable, true) => Stable,
+                    _ => General,
+                };
+            }
+            OpCode::Clamp01 => {
+                let a = stack.last_mut().expect("validated");
+                *a = match *a {
+                    Konst => Konst,
+                    Inv => Inv,
+                    // Clamping to [0, 1] is a monotone saturation.
+                    Affine | Stable => Stable,
+                    General => General,
+                };
+            }
+            // The NaN sanitizer maps NaN lanes to f64::MAX — a fixed
+            // job-independent rewrite that the verify-and-fallback layer
+            // absorbs like any other tie/rounding artifact.
+            OpCode::NanToMax => {}
+            OpCode::Add
+            | OpCode::Sub
+            | OpCode::Mul
+            | OpCode::Div
+            | OpCode::DivRaw
+            | OpCode::Pow
+            | OpCode::Max => {
+                let b = stack.pop().expect("validated");
+                let a = stack.last_mut().expect("validated");
+                *a = bin_sym(*op, *a, b);
+            }
+        }
+    }
+    match stack.pop() {
+        Some(General) => ResidualClass::General,
+        // Konst/Inv with a LoadW somewhere means the wait contribution
+        // cancelled (e.g. `w * 0`): still order-stable over time.
+        Some(_) | None => ResidualClass::UniformAging,
+    }
+}
 
 /// One stack-machine instruction. Binary ops pop `b` then `a` and push
 /// `op(a, b)`, so postfix emission preserves the tree walk's operand
@@ -215,6 +429,91 @@ impl Program {
         let a = stack.last_mut().expect("validated");
         *a = f(*a, b);
     }
+
+    /// Execute on a block of [`LANES`] jobs at once: the stack holds
+    /// `[f64; LANES]` rows and every opcode sweeps its lanes in a
+    /// fixed-width inner loop (the shape the autovectorizer turns into
+    /// vector-register arithmetic). Lane `j` sees exactly the scalar
+    /// machine's value sequence for job `j` — each per-lane operation is
+    /// the identical scalar call, so blocked execution is bit-identical
+    /// to [`Program::exec`] per job. Leaves `self.outputs` rows on
+    /// `stack`; `slots` holds the block's `LANES` slot rows (row-major,
+    /// `stride` values each).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_block(
+        &self,
+        r: &[f64; LANES],
+        n: &[f64; LANES],
+        s: &[f64; LANES],
+        w: &[f64; LANES],
+        slots: &[f64],
+        stride: usize,
+        stack: &mut Vec<[f64; LANES]>,
+    ) {
+        stack.clear();
+        stack.reserve(self.max_stack);
+        for op in &self.ops {
+            match *op {
+                OpCode::Const(c) => stack.push([c; LANES]),
+                OpCode::LoadR => stack.push(*r),
+                OpCode::LoadN => stack.push(*n),
+                OpCode::LoadS => stack.push(*s),
+                OpCode::LoadW => stack.push(*w),
+                OpCode::LoadSlot(k) => {
+                    let mut v = [0.0; LANES];
+                    for (j, vj) in v.iter_mut().enumerate() {
+                        *vj = slots[j * stride + k as usize];
+                    }
+                    stack.push(v);
+                }
+                OpCode::Neg => {
+                    let a = stack.last_mut().expect("validated");
+                    for x in a {
+                        *x = -*x;
+                    }
+                }
+                OpCode::Dup => stack.push(*stack.last().expect("validated")),
+                OpCode::Call(f) => {
+                    let a = stack.last_mut().expect("validated");
+                    for x in a {
+                        *x = f.eval(*x);
+                    }
+                }
+                OpCode::Clamp01 => {
+                    let a = stack.last_mut().expect("validated");
+                    for x in a {
+                        *x = x.clamp(0.0, 1.0);
+                    }
+                }
+                OpCode::NanToMax => {
+                    let a = stack.last_mut().expect("validated");
+                    for x in a {
+                        if x.is_nan() {
+                            *x = f64::MAX;
+                        }
+                    }
+                }
+                OpCode::Add => Self::bin_block(stack, |a, b| a + b),
+                OpCode::Sub => Self::bin_block(stack, |a, b| a - b),
+                OpCode::Mul => Self::bin_block(stack, |a, b| a * b),
+                OpCode::Div => Self::bin_block(stack, |a, b| BinOp::Div.eval(a, b)),
+                OpCode::DivRaw => Self::bin_block(stack, |a, b| a / b),
+                OpCode::Pow => Self::bin_block(stack, |a, b| BinOp::Pow.eval(a, b)),
+                OpCode::Max => Self::bin_block(stack, f64::max),
+            }
+        }
+        debug_assert_eq!(stack.len(), self.outputs);
+    }
+
+    #[inline]
+    fn bin_block(stack: &mut Vec<[f64; LANES]>, f: impl Fn(f64, f64) -> f64) {
+        let b = stack.pop().expect("validated");
+        let a = stack.last_mut().expect("validated");
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = f(*x, y);
+        }
+    }
 }
 
 /// Dense SoA inputs for one batch re-score: one lane per task variable
@@ -247,6 +546,7 @@ pub struct CompiledPolicy {
     name: String,
     time_dependent: bool,
     slot_count: usize,
+    residual_class: ResidualClass,
     prefix: Program,
     residual: Program,
 }
@@ -264,12 +564,18 @@ impl CompiledPolicy {
         residual_ops: Vec<OpCode>,
     ) -> Self {
         let time_dependent = residual_ops.iter().any(|op| matches!(op, OpCode::LoadW));
+        let residual_class = if time_dependent {
+            classify_residual(&residual_ops)
+        } else {
+            ResidualClass::Static
+        };
         let prefix = Program::new(prefix_ops, slot_count, 0, false);
         let residual = Program::new(residual_ops, 1, slot_count, true);
         Self {
             name: name.into(),
             time_dependent,
             slot_count,
+            residual_class,
             prefix,
             residual,
         }
@@ -291,6 +597,14 @@ impl CompiledPolicy {
     /// Number of wait-invariant slots the prefix computes per job.
     pub fn slot_count(&self) -> usize {
         self.slot_count
+    }
+
+    /// How this policy's scores evolve with waiting time — the
+    /// compile-time [`ResidualClass`] the scheduler uses to pick its
+    /// queue-maintenance strategy (see the module docs). A hint only:
+    /// every shortcut it enables is verified against fresh score bits.
+    pub fn residual_class(&self) -> ResidualClass {
+        self.residual_class
     }
 
     /// Evaluate the wait-invariant prefix for one job, writing its
@@ -321,25 +635,55 @@ impl CompiledPolicy {
         stack[0]
     }
 
+    /// Score one job from raw `(r, n, s, w)` operands through prefix +
+    /// residual using caller-owned scratch — the scalar twin of the batch
+    /// kernel. The scheduler uses this to score a static compiled policy
+    /// once at enqueue, without materializing per-trace slot lanes the
+    /// scores would never re-read.
+    pub fn score_scalar(
+        &self,
+        r: f64,
+        n: f64,
+        s: f64,
+        w: f64,
+        slot_row: &mut Vec<f64>,
+        stack: &mut Vec<f64>,
+    ) -> f64 {
+        // A fully hoisted program (static policies: the whole expression
+        // is one slot and the residual just reloads it) needs no slot
+        // row: the prefix already leaves the score on top of the stack —
+        // the same value `LoadSlot(0)` would reload, bit for bit.
+        if let [OpCode::LoadSlot(0)] = self.residual.ops[..] {
+            self.prefix.exec(r, n, s, 0.0, &[], stack);
+            return stack[0];
+        }
+        slot_row.clear();
+        slot_row.resize(self.slot_count, 0.0);
+        self.prefix_into(r, n, s, slot_row, stack);
+        self.residual_score(r, n, s, w, slot_row, stack)
+    }
+
     /// Score one task through prefix + residual using caller-owned scratch
     /// (no allocation once the buffers are warm).
     pub fn score_with(&self, task: &TaskView, slots: &mut Vec<f64>, stack: &mut Vec<f64>) -> f64 {
-        let (r, n, s, w) = (
+        self.score_scalar(
             task.processing_time,
             task.cores as f64,
             task.submit,
             task.wait(),
-        );
-        slots.clear();
-        slots.resize(self.slot_count, 0.0);
-        self.prefix_into(r, n, s, slots, stack);
-        self.residual_score(r, n, s, w, slots, stack)
+            slots,
+            stack,
+        )
     }
 
     /// Re-score a whole queue in one pass over dense SoA lanes: for each
     /// job `i`, `out[i]` becomes the score at time `now` with
     /// `w = (now - s[i]).max(0.0)` — the exact [`TaskView::wait`] clamp.
-    /// `stack` is reusable scratch; no other memory is touched.
+    ///
+    /// Full blocks of [`LANES`] jobs run through the lane-blocked machine
+    /// (`Program::exec_block`); the tail runs scalar. Both produce the
+    /// scalar path's exact bits per job (see the module docs). `scratch`
+    /// is reusable; no other memory is touched.
     ///
     /// # Panics
     /// Panics if the lane lengths disagree with `out` (or the slot lane
@@ -349,7 +693,7 @@ impl CompiledPolicy {
         out: &mut [f64],
         lanes: ScoreLanes<'_>,
         now: f64,
-        stack: &mut Vec<f64>,
+        scratch: &mut BatchScratch,
     ) {
         let len = out.len();
         assert_eq!(lanes.r.len(), len, "r lane length");
@@ -357,7 +701,28 @@ impl CompiledPolicy {
         assert_eq!(lanes.s.len(), len, "s lane length");
         assert_eq!(lanes.slots.len(), len * self.slot_count, "slot lane length");
         let k = self.slot_count;
-        for (i, out_i) in out.iter_mut().enumerate() {
+        let mut base = 0usize;
+        while base + LANES <= len {
+            let r: &[f64; LANES] = lanes.r[base..base + LANES].try_into().expect("block");
+            let n: &[f64; LANES] = lanes.n[base..base + LANES].try_into().expect("block");
+            let s: &[f64; LANES] = lanes.s[base..base + LANES].try_into().expect("block");
+            let mut w = [0.0; LANES];
+            for (wj, sj) in w.iter_mut().zip(s) {
+                *wj = (now - sj).max(0.0);
+            }
+            self.residual.exec_block(
+                r,
+                n,
+                s,
+                &w,
+                &lanes.slots[base * k..(base + LANES) * k],
+                k,
+                &mut scratch.block,
+            );
+            out[base..base + LANES].copy_from_slice(&scratch.block[0]);
+            base += LANES;
+        }
+        for (i, out_i) in out.iter_mut().enumerate().skip(base) {
             let s = lanes.s[i];
             let w = (now - s).max(0.0);
             self.residual.exec(
@@ -366,9 +731,9 @@ impl CompiledPolicy {
                 s,
                 w,
                 &lanes.slots[i * k..(i + 1) * k],
-                stack,
+                &mut scratch.scalar,
             );
-            *out_i = stack[0];
+            *out_i = scratch.scalar[0];
         }
     }
 }
@@ -607,10 +972,78 @@ mod tests {
             s: &s,
             slots: &slots,
         };
-        c.score_batch(&mut out, lanes, 500.0, &mut stack);
+        // 40 jobs = 5 full lane blocks and no tail; the property suite
+        // covers ragged tails.
+        c.score_batch(&mut out, lanes, 500.0, &mut BatchScratch::new());
         for (i, v) in jobs.iter().enumerate() {
             assert_eq!(bits(out[i]), bits(c.score(v)), "job {i}");
         }
+    }
+
+    #[test]
+    fn residual_classification_recognizes_uniform_aging() {
+        let aging = [
+            "log10(r)*n + 8.70e2*log10(s) - 1.5e-2*w", // the paper's G1 + aging
+            "w",
+            "inv(r) - w",
+            "0 - w * 3.5",
+            "exp(0 - w / 1000)", // monotone transform of affine
+            "sqrt(w + r) * 2",   // monotone transform of affine, scaled
+            "log10(w) + 5",      // stable + job-uniform shift
+        ];
+        for src in aging {
+            let c = compile_expr("t", &parse_expr(src).unwrap());
+            assert_eq!(
+                c.residual_class(),
+                ResidualClass::UniformAging,
+                "{src} should classify as uniform aging"
+            );
+            assert!(c.time_dependent());
+        }
+    }
+
+    #[test]
+    fn residual_classification_is_conservative_for_general_forms() {
+        let general = [
+            "-((w / r) ^ 3) * n",         // WFP-style: job-dependent aging rate
+            "0 - w / s",                  // UNICEF-style ratio
+            "abs(w - 100)",               // non-monotone transform
+            "exp(0 - w / 1000) + inv(r)", // monotone transform + job-varying shift
+            "w * n",                      // job-dependent coefficient
+            "log10(w) + log10(r + w)",    // sum of two transforms
+        ];
+        for src in general {
+            let c = compile_expr("t", &parse_expr(src).unwrap());
+            assert_eq!(
+                c.residual_class(),
+                ResidualClass::General,
+                "{src} must not claim uniform aging"
+            );
+        }
+    }
+
+    #[test]
+    fn static_residuals_classify_as_static() {
+        let c = compile_expr("F1", &parse_expr("log10(r)*n + 8.70e2*log10(s)").unwrap());
+        assert_eq!(c.residual_class(), ResidualClass::Static);
+        assert!(!c.time_dependent());
+    }
+
+    #[test]
+    fn score_scalar_matches_score_with() {
+        let expr = parse_expr("sqrt(r)*n + 2.56e4*log10(s) - w/(r + 1)").unwrap();
+        let c = compile_expr("t", &expr);
+        let v = view(42.5, 3, 17.0, 400.0);
+        let (mut row, mut stack) = (Vec::new(), Vec::new());
+        let scalar = c.score_scalar(
+            v.processing_time,
+            v.cores as f64,
+            v.submit,
+            v.wait(),
+            &mut row,
+            &mut stack,
+        );
+        assert_eq!(bits(scalar), bits(c.score(&v)));
     }
 
     #[test]

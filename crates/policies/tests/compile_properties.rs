@@ -103,12 +103,16 @@ fn random_trees_compile_bit_identically() {
 
 #[test]
 fn random_trees_batch_score_matches_scalar_path() {
-    use dynsched_policies::ScoreLanes;
+    use dynsched_policies::{BatchScratch, ScoreLanes};
     let mut rng = Rng::new(0x5C0AE5);
+    let mut scratch = BatchScratch::new();
     for case in 0..40u64 {
         let expr = random_expr(&mut rng, 4);
         let compiled = ExprPolicy::from_expr("t", expr).compile().unwrap();
-        let views: Vec<TaskView> = (0..17).map(|_| random_view(&mut rng)).collect();
+        // Queue lengths sweep 0..=39: every lane-block/tail split shape
+        // (empty, tail-only, exact blocks, blocks + ragged tail) is hit,
+        // so a blocked-vs-scalar divergence cannot hide at a boundary.
+        let views: Vec<TaskView> = (0..case).map(|_| random_view(&mut rng)).collect();
         let now = views.iter().map(|v| v.now).fold(0.0, f64::max);
         let (mut r, mut n, mut s, mut slots) = (vec![], vec![], vec![], vec![]);
         let mut stack = Vec::new();
@@ -136,7 +140,7 @@ fn random_trees_batch_score_matches_scalar_path() {
                 slots: &slots,
             },
             now,
-            &mut stack,
+            &mut scratch,
         );
         for (i, v) in views.iter().enumerate() {
             let at_now = TaskView { now, ..*v };

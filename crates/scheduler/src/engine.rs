@@ -77,14 +77,41 @@
 //! per trace position into a dense [`JobLanes`] row block (the per-job
 //! static part: everything depending only on `r`/`n`/`s`); each
 //! rescheduling event then re-scores the whole queue with one
-//! [`CompiledPolicy::score_batch`] pass over SoA input lanes maintained in
-//! lockstep with the queue — no vtable dispatch, no tree walk, and no
-//! per-job [`TaskView`] construction on the hot path. Scores (and
-//! therefore every schedule) are **bit-identical** to the interpreted
-//! [`QueueDiscipline::Policy`] path; the `compiled_bit_identity` suite
-//! pins full simulations across backfill modes, decision modes, and
-//! thread counts, and [`crate::reference`] stays on the per-task scalar
-//! path as the oracle.
+//! lane-blocked [`CompiledPolicy::score_batch`] pass over SoA input lanes
+//! maintained in lockstep with the queue — no vtable dispatch, no tree
+//! walk, and no per-job [`TaskView`] construction on the hot path. A
+//! *static* compiled policy (residual never reads `w`) skips the lanes
+//! entirely: it is scored exactly once, at enqueue, through the scalar
+//! kernel, like any other cached-score discipline.
+//!
+//! On top of the batch kernel sits an **incremental re-scoring layer**,
+//! keyed off the compile-time [`ResidualClass`] of the policy's residual:
+//!
+//! * *Uniform-aging* residuals (affine in `w` with a job-uniform
+//!   coefficient, or a monotone transform thereof) keep the previous
+//!   event's priority order alive: after the batch re-score the standing
+//!   order is verified still-sorted in O(queue) under the fresh bits and
+//!   new arrivals are binary-inserted; any mismatch (rounding can
+//!   collapse a strict pair into a position-broken tie) falls back to the
+//!   full sort. Started jobs are carried out of the order by the same
+//!   compaction that maintains the queue and lanes.
+//! * *General* residuals under strict ([`BackfillMode::None`])
+//!   scheduling build the order by **partial top-k selection**: the
+//!   strict pass reads at most `available + 1` order positions (each
+//!   start consumes ≥ 1 core; the first non-fit ends the pass), so only
+//!   that head is sorted exactly.
+//!
+//! The class is a hint, never a correctness input — scores are freshly
+//! evaluated every event, and because the ordering comparator
+//! `(score, queue position)` is total and injective, the sorted
+//! permutation of a score vector is unique: whichever maintenance path
+//! produced it, it is *the* full-sort order. Scores (and therefore every
+//! schedule) stay **bit-identical** to the interpreted
+//! [`QueueDiscipline::Policy`] path; the `compiled_bit_identity` and
+//! `incremental_rescore` suites pin full simulations across backfill
+//! modes, decision modes, layouts and thread counts, and
+//! [`crate::reference`] stays on the per-task scalar, full-sort path as
+//! the oracle.
 
 use crate::config::{BackfillMode, SchedulerConfig};
 use crate::profile::{clamp_release, Profile};
@@ -92,7 +119,9 @@ use crate::result::{SimMetrics, SimulationResult};
 use dynsched_cluster::{
     AbandonedJob, AvailabilitySchedule, CompletedJob, CoreLedger, Job, JobId, LedgerError,
 };
-use dynsched_policies::{CompiledPolicy, Policy, ScoreLanes, TaskView};
+use dynsched_policies::{
+    BatchScratch, CompiledPolicy, Policy, ResidualClass, ScoreLanes, TaskView,
+};
 use dynsched_simkit::{Clock, EventQueue};
 use dynsched_workload::{JobLanes, TraceSource};
 
@@ -114,6 +143,41 @@ pub enum EngineError {
         /// Simulation time at which the inconsistency was detected.
         time: f64,
     },
+    /// The queue-parallel SoA score-input lanes fell out of lockstep with
+    /// the waiting queue before a compiled batch re-score. Checked (O(1))
+    /// at every batch-scoring event instead of feeding mismatched lanes
+    /// to the kernel.
+    ScoreLanesInconsistent {
+        /// Queue length at the failed event.
+        queued: usize,
+        /// Simulation time at which the mismatch was detected.
+        time: f64,
+    },
+    /// The incrementally maintained priority order no longer describes
+    /// the waiting queue (its length disagrees with the last synchronized
+    /// prefix). Guards the incremental re-scoring layer the same way
+    /// [`EngineError::ReleaseListInconsistent`] guards the release list.
+    QueueOrderInconsistent {
+        /// Entries in the maintained order.
+        ordered: usize,
+        /// Jobs actually waiting.
+        queued: usize,
+        /// Simulation time at which the mismatch was detected.
+        time: f64,
+    },
+    /// Every pending event was processed but jobs were still waiting or
+    /// running — the run cannot have produced a complete schedule.
+    /// Reachable from bad inputs: a [`TraceSource`] implementation whose
+    /// `cores(i)` (pre-checked against the platform) disagrees with the
+    /// `job(i)` it hands the queue can park an unstartable job forever.
+    QueueNotDrained {
+        /// Jobs still waiting when the event loop ran dry.
+        waiting: usize,
+        /// Cores still marked in use.
+        running: u32,
+        /// Time of the last processed event.
+        time: f64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -123,6 +187,26 @@ impl std::fmt::Display for EngineError {
             EngineError::ReleaseListInconsistent { idx, time } => write!(
                 f,
                 "release list inconsistent with running set for trace index {idx} at t={time}"
+            ),
+            EngineError::ScoreLanesInconsistent { queued, time } => write!(
+                f,
+                "score lanes out of lockstep with the {queued}-job waiting queue at t={time}"
+            ),
+            EngineError::QueueOrderInconsistent {
+                ordered,
+                queued,
+                time,
+            } => write!(
+                f,
+                "incremental order covers {ordered} entries but {queued} jobs wait at t={time}"
+            ),
+            EngineError::QueueNotDrained {
+                waiting,
+                running,
+                time,
+            } => write!(
+                f,
+                "events drained at t={time} with {waiting} jobs waiting and {running} cores in use"
             ),
         }
     }
@@ -281,6 +365,14 @@ pub struct SimWorkspace {
     batch_scores: Vec<f64>,
     /// Bytecode VM stack scratch.
     vm_stack: Vec<f64>,
+    /// Lane-blocked batch-kernel scratch (block stack + scalar tail).
+    batch_scratch: BatchScratch,
+    /// Prefix slot-row scratch for scoring a static compiled policy at
+    /// enqueue (its scores never change, so no per-trace lanes exist).
+    slot_row: Vec<f64>,
+    /// Old→new queue-position remap scratch for carrying the incremental
+    /// order across a compaction (`u32::MAX` marks a started entry).
+    order_remap: Vec<u32>,
     profile: Profile,
     /// Start time per trace index; NaN when not running.
     start_of: Vec<f64>,
@@ -488,6 +580,9 @@ impl SimWorkspace {
         self.events.reset();
         self.queue.clear();
         self.q_keys.clear();
+        self.order.clear();
+        self.scored.clear();
+        self.order_remap.clear();
         self.releases.clear();
         self.q_r.clear();
         self.q_n.clear();
@@ -513,24 +608,36 @@ impl SimWorkspace {
             QueueDiscipline::Compiled(cp) if !cp.time_dependent() => QueueOrder::ByCachedScore,
             QueueDiscipline::Compiled(_) => QueueOrder::TimeDependent,
         };
-        // Compiled discipline: evaluate the wait-invariant prefix once per
-        // trace position into the dense slot lanes — the per-job static
-        // part, constant for each job's whole queue lifetime.
-        if let QueueDiscipline::Compiled(cp) = discipline {
-            self.static_lanes.reset(n_jobs, cp.slot_count());
-            for i in 0..n_jobs {
-                let r = config.decision_time(trace.runtime(i), trace.estimate(i));
-                cp.prefix_into(
-                    r,
-                    trace.cores(i) as f64,
-                    trace.submit(i),
-                    self.static_lanes.row_mut(i),
-                    &mut self.vm_stack,
-                );
+        // Time-dependent compiled discipline: evaluate the wait-invariant
+        // prefix once per trace position into the dense slot lanes — the
+        // per-job static part, constant for each job's whole queue
+        // lifetime. A *static* compiled policy skips this whole-trace
+        // pass: its score is computed exactly once, at enqueue, through
+        // the scalar kernel, so per-trace slot lanes would be pure setup
+        // cost that nothing ever re-reads.
+        match discipline {
+            QueueDiscipline::Compiled(cp) if cp.time_dependent() => {
+                let vm_stack = &mut self.vm_stack;
+                self.static_lanes.fill(n_jobs, cp.slot_count(), |i, row| {
+                    let r = config.decision_time(trace.runtime(i), trace.estimate(i));
+                    cp.prefix_into(r, trace.cores(i) as f64, trace.submit(i), row, vm_stack);
+                });
             }
-        } else {
-            self.static_lanes.reset(0, 0);
+            _ => self.static_lanes.reset(0, 0),
         }
+        // Incremental queue maintenance is keyed off the compiled
+        // residual's class (a hint — every shortcut re-verifies against
+        // fresh score bits): uniform-aging residuals keep the previous
+        // event's order alive across events; general residuals under
+        // strict scheduling only need the startable head in exact order.
+        let (incremental, topk) = match discipline {
+            QueueDiscipline::Compiled(cp) if cp.time_dependent() => (
+                cp.residual_class() == ResidualClass::UniformAging,
+                cp.residual_class() == ResidualClass::General
+                    && config.backfill == BackfillMode::None,
+            ),
+            _ => (false, false),
+        };
         let steps = if FAULTY {
             schedule.expect("faulty run needs a schedule").steps()
         } else {
@@ -558,6 +665,9 @@ impl SimWorkspace {
             q_slots,
             batch_scores,
             vm_stack,
+            batch_scratch,
+            slot_row,
+            order_remap,
             profile,
             start_of,
             attempt_of,
@@ -583,6 +693,9 @@ impl SimWorkspace {
             head_blocked: false,
             track_lanes: matches!(discipline, QueueDiscipline::Compiled(_))
                 && queue_order == QueueOrder::TimeDependent,
+            incremental,
+            topk,
+            known: 0,
             max_retries,
             events,
             queue,
@@ -598,6 +711,9 @@ impl SimWorkspace {
             q_slots,
             batch_scores,
             vm_stack,
+            batch_scratch,
+            slot_row,
+            order_remap,
             profile,
             start_of,
             attempt_of,
@@ -668,14 +784,22 @@ impl SimWorkspace {
             // is reachable only through hand-built schedules.
             eng.strand_waiting(clock.now());
         }
-        debug_assert!(eng.queue.is_empty(), "drained simulation left jobs waiting");
+        // Promoted from a debug assertion: a run that processed every
+        // pending event but left jobs waiting or cores in use has not
+        // produced a complete schedule, and the state is reachable from
+        // bad inputs (an inconsistent `TraceSource` can park an
+        // unstartable job forever), so it must surface in release builds
+        // rather than return an empty-but-plausible result.
+        if !eng.queue.is_empty() || eng.ledger.used() != 0 {
+            return Err(EngineError::QueueNotDrained {
+                waiting: eng.queue.len(),
+                running: eng.ledger.used(),
+                time: clock.now(),
+            });
+        }
         debug_assert!(
             eng.releases.is_empty(),
             "drained simulation left release entries"
-        );
-        debug_assert!(
-            eng.ledger.used() == 0,
-            "drained simulation left jobs running"
         );
         self.events_processed = events_processed;
         Ok(())
@@ -934,6 +1058,17 @@ struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
     /// Whether the queue-parallel SoA input lanes are maintained — only
     /// for time-dependent compiled disciplines, which batch-score them.
     track_lanes: bool,
+    /// Whether the priority order persists across events (uniform-aging
+    /// compiled residuals): verified sorted under fresh scores and
+    /// binary-inserted into, instead of rebuilt by a full sort.
+    incremental: bool,
+    /// Whether only the startable queue head needs exact order (general
+    /// compiled residuals under strict scheduling): the order is built by
+    /// partial selection instead of a full sort.
+    topk: bool,
+    /// Queue length the incremental order was last synchronized at;
+    /// queue positions at or beyond it arrived since the last event.
+    known: usize,
     /// Preemption retry cap of the active fault schedule (`u32::MAX` for
     /// zero-fault runs, where it is never consulted).
     max_retries: u32,
@@ -951,6 +1086,9 @@ struct Engine<'a, 'b, K: CompletionSink, T: TraceSource> {
     q_slots: &'a mut Vec<f64>,
     batch_scores: &'a mut Vec<f64>,
     vm_stack: &'a mut Vec<f64>,
+    batch_scratch: &'a mut BatchScratch,
+    slot_row: &'a mut Vec<f64>,
+    order_remap: &'a mut Vec<u32>,
     profile: &'a mut Profile,
     start_of: &'a mut Vec<f64>,
     attempt_of: &'a mut Vec<u32>,
@@ -996,12 +1134,17 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                     QueueDiscipline::Policy(policy) => {
                         policy.score(&task_view(self.config, &job, job.submit))
                     }
-                    QueueDiscipline::Compiled(cp) => cp.residual_score(
+                    // A static compiled policy pays its one and only
+                    // evaluation here, through the scalar kernel: prefix
+                    // into the reusable slot row, then the residual at
+                    // `w = 0` — the same operands (and therefore the same
+                    // bits) the old per-trace lane pass produced.
+                    QueueDiscipline::Compiled(cp) => cp.score_scalar(
                         self.config.decision_time(job.runtime, job.estimate),
                         job.cores as f64,
                         job.submit,
                         0.0,
-                        self.static_lanes.row(idx as usize),
+                        self.slot_row,
                         self.vm_stack,
                     ),
                     QueueDiscipline::FixedOrder(_) => {
@@ -1175,6 +1318,10 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
             self.q_s.clear();
             self.q_slots.clear();
         }
+        if self.incremental {
+            self.order.clear();
+            self.known = 0;
+        }
     }
 
     /// Queue position holding the `pos`-th highest-priority job. Static
@@ -1191,14 +1338,13 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
     }
 
     /// Rebuild `order` (priority order of queue positions) for a
-    /// time-dependent policy. Ordering semantics are identical to the
-    /// reference engine: scores sort ascending with arrival order as
-    /// tie-break, which makes the comparator total — so the non-allocating
-    /// unstable sort produces the same permutation the reference's stable
-    /// sort does. Interpreted policies score per-task through a
-    /// [`TaskView`]; compiled policies re-score the whole queue in one
-    /// batch-kernel pass over the maintained SoA lanes — same bits either
-    /// way, so the sort below sees identical keys.
+    /// time-dependent *interpreted* policy. Ordering semantics are
+    /// identical to the reference engine: scores sort ascending with
+    /// arrival order as tie-break, which makes the comparator total — so
+    /// the non-allocating unstable sort produces the same permutation the
+    /// reference's stable sort does. This path deliberately stays the
+    /// score-everything/full-sort twin of the compiled incremental layer
+    /// (the `incremental_rescore` suite pins the two against each other).
     fn order_queue(&mut self, now: f64) {
         self.scored.clear();
         match self.discipline {
@@ -1214,28 +1360,8 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                     self.scored.push((i, s));
                 }
             }
-            QueueDiscipline::Compiled(cp) => {
-                let len = self.queue.len();
-                self.batch_scores.clear();
-                self.batch_scores.resize(len, 0.0);
-                cp.score_batch(
-                    self.batch_scores.as_mut_slice(),
-                    ScoreLanes {
-                        r: self.q_r.as_slice(),
-                        n: self.q_n.as_slice(),
-                        s: self.q_s.as_slice(),
-                        slots: self.q_slots.as_slice(),
-                    },
-                    now,
-                    self.vm_stack,
-                );
-                debug_assert!(
-                    self.batch_scores.iter().all(|s| !s.is_nan()),
-                    "policy {} produced NaN at t={now}",
-                    cp.name()
-                );
-                self.scored
-                    .extend(self.batch_scores.iter().copied().enumerate());
+            QueueDiscipline::Compiled(_) => {
+                unreachable!("compiled ordering goes through order_queue_compiled")
             }
             QueueDiscipline::FixedOrder(_) => unreachable!("TimeDependent implies a policy"),
         }
@@ -1243,6 +1369,103 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
             .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         self.order.clear();
         self.order.extend(self.scored.iter().map(|&(i, _)| i));
+    }
+
+    /// Order the queue for a time-dependent *compiled* policy: one
+    /// lane-blocked batch re-score over the SoA lanes, then rebuild — or
+    /// incrementally maintain — the priority order of queue positions.
+    ///
+    /// Bit-identity argument: the comparator `(score, queue position)` is
+    /// total and injective (positions are distinct), so the sorted
+    /// permutation of any score vector is **unique** — every path below
+    /// produces it or falls back to the full sort that does. Scores are
+    /// always freshly evaluated; the residual class only chooses which
+    /// maintenance shortcut is *attempted*:
+    ///
+    /// * **Incremental** (uniform-aging residuals): time advance shifts
+    ///   all queued scores in lockstep, so the previous event's order is
+    ///   verified still-sorted in O(len) under the fresh bits and new
+    ///   arrivals are binary-inserted. Rounding artifacts (a strict pair
+    ///   collapsing into a position-broken tie) fail the verify and take
+    ///   the full sort.
+    /// * **Top-k** (general residuals, strict mode): the strict pass
+    ///   below reads at most `available + 1` order positions — every
+    ///   start consumes at least one core and the first non-fit ends the
+    ///   pass — so only that head is selection-sorted exactly; positions
+    ///   past it are never read.
+    fn order_queue_compiled(&mut self, cp: &CompiledPolicy, now: f64) -> Result<(), EngineError> {
+        let len = self.queue.len();
+        if self.q_r.len() != len
+            || self.q_n.len() != len
+            || self.q_s.len() != len
+            || self.q_slots.len() != len * cp.slot_count()
+        {
+            return Err(EngineError::ScoreLanesInconsistent {
+                queued: len,
+                time: now,
+            });
+        }
+        self.batch_scores.clear();
+        self.batch_scores.resize(len, 0.0);
+        cp.score_batch(
+            self.batch_scores.as_mut_slice(),
+            ScoreLanes {
+                r: self.q_r.as_slice(),
+                n: self.q_n.as_slice(),
+                s: self.q_s.as_slice(),
+                slots: self.q_slots.as_slice(),
+            },
+            now,
+            self.batch_scratch,
+        );
+        debug_assert!(
+            self.batch_scores.iter().all(|s| !s.is_nan()),
+            "policy {} produced NaN at t={now}",
+            cp.name()
+        );
+        let scores: &[f64] = self.batch_scores;
+        let cmp = |a: &usize, b: &usize| scores[*a].total_cmp(&scores[*b]).then(a.cmp(b));
+        if self.incremental {
+            if self.order.len() != self.known || self.known > len {
+                return Err(EngineError::QueueOrderInconsistent {
+                    ordered: self.order.len(),
+                    queued: len,
+                    time: now,
+                });
+            }
+            let fresh = len - self.known;
+            // Reuse the standing order unless an arrival wave makes
+            // insertion quadratic-ish, or the verify fails.
+            let reuse = fresh <= 16.max(len / 8)
+                && self
+                    .order
+                    .windows(2)
+                    .all(|p| cmp(&p[0], &p[1]) == std::cmp::Ordering::Less);
+            if reuse {
+                for p in self.known..len {
+                    let at = self
+                        .order
+                        .partition_point(|q| cmp(q, &p) == std::cmp::Ordering::Less);
+                    self.order.insert(at, p);
+                }
+            } else {
+                self.order.clear();
+                self.order.extend(0..len);
+                self.order.sort_unstable_by(cmp);
+            }
+            self.known = len;
+        } else {
+            self.order.clear();
+            self.order.extend(0..len);
+            let head = self.ledger.available() as usize + 1;
+            if self.topk && head < len {
+                let (front, _, _) = self.order.select_nth_unstable_by(head - 1, cmp);
+                front.sort_unstable_by(cmp);
+            } else {
+                self.order.sort_unstable_by(cmp);
+            }
+        }
+        Ok(())
     }
 
     #[cfg(debug_assertions)]
@@ -1296,7 +1519,17 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
             return Ok(());
         }
         if self.queue_order == QueueOrder::TimeDependent {
-            self.order_queue(now);
+            // Copy the compiled-policy reference out of the discipline
+            // (it outlives `self`) so the ordering call can borrow the
+            // engine mutably.
+            let compiled = match self.discipline {
+                QueueDiscipline::Compiled(cp) => Some(*cp),
+                _ => None,
+            };
+            match compiled {
+                Some(cp) => self.order_queue_compiled(cp, now)?,
+                None => self.order_queue(now),
+            }
         } else {
             debug_assert!(self.queue_is_priority_sorted());
         }
@@ -1450,9 +1683,16 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
             } else {
                 0
             };
+            if self.incremental {
+                self.order_remap.clear();
+                self.order_remap.resize(self.queue.len(), u32::MAX);
+            }
             let mut w = 0usize;
             for r in 0..self.queue.len() {
                 if !self.queue[r].started {
+                    if self.incremental {
+                        self.order_remap[r] = w as u32;
+                    }
                     if w != r {
                         self.queue[w] = self.queue[r];
                         self.q_keys[w] = self.q_keys[r];
@@ -1474,6 +1714,20 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                 self.q_n.truncate(w);
                 self.q_s.truncate(w);
                 self.q_slots.truncate(w * stride);
+            }
+            if self.incremental {
+                // Carry the order across the compaction: drop started
+                // positions, rewrite survivors to their new positions. The
+                // remap is monotone over survivors, so the filtered order
+                // stays sorted under the scores just computed — the next
+                // event's verify starts from a coherent prefix.
+                let remap = &*self.order_remap;
+                self.order.retain_mut(|p| {
+                    let np = remap[*p];
+                    *p = np as usize;
+                    np != u32::MAX
+                });
+                self.known = w;
             }
         }
         Ok(())
@@ -1923,6 +2177,53 @@ mod tests {
             &config,
         );
         assert_eq!(cached.completed, uncached.completed);
+    }
+
+    #[test]
+    fn inconsistent_trace_source_surfaces_queue_not_drained() {
+        // An adversarial `TraceSource` whose per-field accessors disagree
+        // with `job()`: `cores(i)` reports 1 (so the pre-run platform
+        // check passes) but the reassembled job demands more cores than
+        // the machine has. The job can never start, no pending event can
+        // change that, and the run must end in a structured
+        // `QueueNotDrained` error — not a panic, and not an
+        // empty-but-plausible schedule.
+        struct LyingCores;
+        impl TraceSource for LyingCores {
+            fn len(&self) -> usize {
+                1
+            }
+            fn id(&self, _: usize) -> u32 {
+                0
+            }
+            fn submit(&self, _: usize) -> f64 {
+                0.0
+            }
+            fn runtime(&self, _: usize) -> f64 {
+                5.0
+            }
+            fn estimate(&self, _: usize) -> f64 {
+                5.0
+            }
+            fn cores(&self, _: usize) -> u32 {
+                1
+            }
+            fn job(&self, _: usize) -> Job {
+                Job::new(0, 0.0, 5.0, 5.0, 64)
+            }
+        }
+        let mut ws = SimWorkspace::new();
+        let err = ws
+            .try_run(&LyingCores, &QueueDiscipline::Policy(&Fcfs), &cfg(4))
+            .expect_err("an unstartable job must not drain");
+        match err {
+            EngineError::QueueNotDrained {
+                waiting, running, ..
+            } => {
+                assert_eq!((waiting, running), (1, 0));
+            }
+            other => panic!("expected QueueNotDrained, got {other}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Regression proof for the incremental queue-maintenance layer on top of
+//! the compiled batch kernel: whatever shortcut the residual class
+//! enables — order reuse with binary insertion for uniform-aging
+//! residuals, partial top-k selection for general residuals under strict
+//! scheduling — the resulting schedule must be **bit-identical** to the
+//! interpreted full-re-sort twin ([`QueueDiscipline::Policy`]) and to the
+//! scalar reference oracle, across all backfill modes, both decision
+//! modes, both trace layouts, 1 vs n worker threads, arrival waves that
+//! force the fallback sort, and fault schedules whose preemptions requeue
+//! jobs mid-run (the binary-insert path under adversarial churn).
+
+use dynsched_cluster::{AvailabilitySchedule, FaultProfile, Job, Platform};
+use dynsched_policies::{
+    CompiledPolicy, ExprPolicy, LearnedPolicy, Policy, ResidualClass, Unicef, Wfp3,
+};
+use dynsched_scheduler::reference::{simulate_reference, simulate_reference_faulty};
+use dynsched_scheduler::{
+    simulate, simulate_faulty, simulate_into, simulate_metrics_into, BackfillMode, QueueDiscipline,
+    SchedulerConfig, SimMetrics, SimWorkspace,
+};
+use dynsched_simkit::parallel::{par_map_scoped, with_worker_limit};
+use dynsched_simkit::Rng;
+use dynsched_workload::Trace;
+
+/// A trace that keeps the queue deep: submits clustered well inside the
+/// total work span so dozens of jobs wait at once — the regime where the
+/// incremental order and the top-k head actually differ from a trivial
+/// queue.
+fn saturated_trace(rng: &mut Rng, max_jobs: usize, cores: u32) -> Trace {
+    let n = rng.range_u64(10, max_jobs as u64) as usize;
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let submit = rng.range_f64(0.0, 2_000.0);
+            let runtime = rng.range_f64(200.0, 4_000.0);
+            let over = rng.range_f64(1.0, 3.0);
+            let width = rng.range_u64(1, cores as u64 - 1) as u32;
+            Job::new(i as u32, submit, runtime, (runtime * over).max(1.0), width)
+        })
+        .collect();
+    Trace::from_jobs(jobs)
+}
+
+/// Bulk same-timestamp arrival waves: each wave dumps more fresh jobs
+/// than the incremental reuse threshold admits, forcing the full-sort
+/// fallback, while the trickle between waves exercises binary insertion.
+fn wave_trace(rng: &mut Rng, waves: usize, wave_size: usize, cores: u32) -> Trace {
+    let mut jobs = Vec::new();
+    let mut id = 0u32;
+    for w in 0..waves {
+        let at = w as f64 * 700.0;
+        for _ in 0..wave_size {
+            let runtime = rng.range_f64(100.0, 2_500.0);
+            let width = rng.range_u64(1, cores as u64 - 1) as u32;
+            jobs.push(Job::new(id, at, runtime, runtime * 1.5, width));
+            id += 1;
+        }
+        // Trickle arrivals between waves: one-at-a-time inserts.
+        for k in 0..3 {
+            let runtime = rng.range_f64(100.0, 2_500.0);
+            jobs.push(Job::new(
+                id,
+                at + 50.0 * (k + 1) as f64,
+                runtime,
+                runtime,
+                1,
+            ));
+            id += 1;
+        }
+    }
+    Trace::from_jobs(jobs)
+}
+
+fn configs(cores: u32) -> Vec<SchedulerConfig> {
+    let mut out = Vec::new();
+    for backfill in [
+        BackfillMode::None,
+        BackfillMode::Aggressive,
+        BackfillMode::Conservative,
+    ] {
+        let mut a = SchedulerConfig::actual_runtimes(Platform::new(cores));
+        a.backfill = backfill;
+        out.push(a);
+        let mut e = SchedulerConfig::user_estimates(Platform::new(cores));
+        e.backfill = backfill;
+        out.push(e);
+    }
+    out
+}
+
+/// One policy per maintenance path: uniform-aging residuals (incremental
+/// order reuse), general residuals (top-k under strict mode), and a
+/// static learned function (enqueue-time scalar scoring, no lanes).
+fn lineup() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(ExprPolicy::parse("G1-aging", "log10(r)*n + 8.70e2*log10(s) - 1.5e-2*w").unwrap()),
+        Box::new(ExprPolicy::parse("linear-aging", "inv(r)*n - w").unwrap()),
+        Box::new(ExprPolicy::parse("ratio-aging", "-((w / (r + 1)) ^ 2) * sqrt(n)").unwrap()),
+        Box::new(Wfp3),
+        Box::new(Unicef),
+        Box::new(LearnedPolicy::f1()),
+    ]
+}
+
+#[test]
+fn lineup_covers_every_residual_class() {
+    // The suite proves nothing if the policies all classify the same way:
+    // pin each policy's class so the incremental, top-k, and static paths
+    // are all known to be on somewhere below.
+    let classes: Vec<(String, ResidualClass)> = lineup()
+        .iter()
+        .map(|p| {
+            let cp = p.compile().unwrap();
+            (p.name().to_string(), cp.residual_class())
+        })
+        .collect();
+    let count = |c: ResidualClass| classes.iter().filter(|(_, k)| *k == c).count();
+    assert_eq!(
+        count(ResidualClass::UniformAging),
+        2,
+        "aging expressions must classify as uniform-aging: {classes:?}"
+    );
+    assert!(
+        count(ResidualClass::General) >= 3,
+        "ratio/WFP3/UNICEF must stay general: {classes:?}"
+    );
+    assert_eq!(
+        count(ResidualClass::Static),
+        1,
+        "F1 must classify as static: {classes:?}"
+    );
+}
+
+#[test]
+fn random_event_sequences_match_full_resort_and_reference() {
+    let mut rng = Rng::new(0x1C2E5C0);
+    let policies = lineup();
+    let mut ws = SimWorkspace::new();
+    for case in 0..4u64 {
+        let trace = saturated_trace(&mut rng, 60, 8);
+        let view = trace.to_view();
+        for config in configs(8) {
+            for policy in &policies {
+                let compiled = policy.compile().expect("lineup compiles");
+                let interp = QueueDiscipline::Policy(policy.as_ref());
+                let comp = QueueDiscipline::Compiled(&compiled);
+                // Interpreted path: score-everything + full re-sort twin.
+                let a = simulate(&trace, &interp, &config);
+                // Compiled path: incremental / top-k / static shortcut.
+                let b = simulate(&trace, &comp, &config);
+                assert_eq!(a, b, "case {case}, {}: maintenance diverged", policy.name());
+                // Columnar layout and workspace reuse change nothing.
+                let b_view = simulate_into(&mut ws, &view, &comp, &config);
+                assert_eq!(a, b_view, "case {case}, {}: SoA", policy.name());
+                // Metrics-only streaming agrees with the full fold.
+                let m = simulate_metrics_into(&mut ws, &view, &comp, &config, 10.0);
+                assert_eq!(m, SimMetrics::from_result(&a, 10.0));
+                // The scalar full-sort oracle agrees bit for bit.
+                let r = simulate_reference(&trace, &comp, &config);
+                assert_eq!(a, r, "case {case}, {}: reference", policy.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn arrival_waves_force_fallback_and_stay_identical() {
+    let mut rng = Rng::new(0x3A7E5);
+    let policies = lineup();
+    for case in 0..3u64 {
+        // Waves of 25 overwhelm the reuse threshold (16.max(len / 8)) at
+        // every realistic queue depth; the trickle jobs binary-insert.
+        let trace = wave_trace(&mut rng, 4, 25, 8);
+        for config in configs(8) {
+            for policy in &policies {
+                let compiled = policy.compile().unwrap();
+                let a = simulate(&trace, &QueueDiscipline::Policy(policy.as_ref()), &config);
+                let b = simulate(&trace, &QueueDiscipline::Compiled(&compiled), &config);
+                assert_eq!(a, b, "case {case}, {}: wave run diverged", policy.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn preempt_requeue_churn_matches_the_faulty_oracle() {
+    // Fault schedules preempt running jobs back into the queue mid-run:
+    // requeued jobs enter at the queue tail and must binary-insert into a
+    // standing order (or be carried by the fallback sort) exactly where
+    // the full re-sort would place them.
+    let mut rng = Rng::new(0xFA_0C7);
+    let policies = lineup();
+    let mut preemptions = 0u64;
+    for case in 0..3u64 {
+        let trace = saturated_trace(&mut rng, 45, 8);
+        let schedule = FaultProfile::failures(1_200.0, 500.0, 4, 0xBAD5EED + case)
+            .with_max_retries(2)
+            .expand(8, 16_000.0, case);
+        for config in configs(8) {
+            for policy in &policies {
+                let compiled = policy.compile().unwrap();
+                let comp = QueueDiscipline::Compiled(&compiled);
+                let oracle = simulate_reference_faulty(&trace, &comp, &config, &schedule);
+                let fast = simulate_faulty(&trace, &comp, &config, &schedule).unwrap();
+                assert_eq!(
+                    oracle,
+                    fast,
+                    "case {case}, {}: faulty incremental run diverged",
+                    policy.name()
+                );
+                let interp = simulate_faulty(
+                    &trace,
+                    &QueueDiscipline::Policy(policy.as_ref()),
+                    &config,
+                    &schedule,
+                )
+                .unwrap();
+                assert_eq!(
+                    interp,
+                    fast,
+                    "case {case}, {}: compiled vs interpreted under faults",
+                    policy.name()
+                );
+                preemptions += fast.preempted_jobs;
+            }
+        }
+    }
+    assert!(
+        preemptions > 0,
+        "no preemption ever exercised the requeue path"
+    );
+}
+
+#[test]
+fn empty_schedule_keeps_incremental_runs_bit_identical() {
+    // The zero-fault contract holds through the new maintenance layer.
+    let mut rng = Rng::new(0xE5C0);
+    let empty = AvailabilitySchedule::empty();
+    let trace = saturated_trace(&mut rng, 40, 8);
+    for config in configs(8) {
+        for policy in &lineup() {
+            let compiled = policy.compile().unwrap();
+            let comp = QueueDiscipline::Compiled(&compiled);
+            let plain = simulate(&trace, &comp, &config);
+            let faulty = simulate_faulty(&trace, &comp, &config, &empty).unwrap();
+            assert_eq!(plain, faulty, "{}: empty schedule diverged", policy.name());
+        }
+    }
+}
+
+#[test]
+fn incremental_fanout_is_thread_count_independent() {
+    let mut rng = Rng::new(0x1CFA0);
+    let traces: Vec<Trace> = (0..3).map(|_| saturated_trace(&mut rng, 50, 8)).collect();
+    let views: Vec<_> = traces.iter().map(Trace::to_view).collect();
+    let policies = lineup();
+    let compiled: Vec<CompiledPolicy> = policies.iter().map(|p| p.compile().unwrap()).collect();
+    for config in configs(8) {
+        let cells: Vec<(usize, usize)> = (0..compiled.len())
+            .flat_map(|p| (0..views.len()).map(move |s| (p, s)))
+            .collect();
+        let run_fanout = || {
+            par_map_scoped(&cells, SimWorkspace::new, |&(p, s), ws| {
+                simulate_metrics_into(
+                    ws,
+                    &views[s],
+                    &QueueDiscipline::Compiled(&compiled[p]),
+                    &config,
+                    10.0,
+                )
+            })
+        };
+        let wide = run_fanout();
+        let narrow = with_worker_limit(1, run_fanout);
+        assert_eq!(wide, narrow, "incremental fan-out depends on worker count");
+        for (&(p, s), got) in cells.iter().zip(&wide) {
+            let want = SimMetrics::from_result(
+                &simulate(
+                    &traces[s],
+                    &QueueDiscipline::Policy(policies[p].as_ref()),
+                    &config,
+                ),
+                10.0,
+            );
+            assert_eq!(got, &want, "cell ({p}, {s}) diverged from interpreted");
+        }
+    }
+}

@@ -45,6 +45,21 @@ impl JobLanes {
         self.values.len().checked_div(self.slots).unwrap_or(0)
     }
 
+    /// Reshape to `jobs` rows of `slots` values and fill each row through
+    /// `f(row_index, row)` in one pass — the initializer the scheduler
+    /// uses to evaluate a compiled policy's wait-invariant prefix per
+    /// trace position. With `slots == 0` there is nothing to store and
+    /// `f` is never called.
+    pub fn fill(&mut self, jobs: usize, slots: usize, mut f: impl FnMut(usize, &mut [f64])) {
+        self.reset(jobs, slots);
+        if slots == 0 {
+            return;
+        }
+        for i in 0..jobs {
+            f(i, &mut self.values[i * slots..(i + 1) * slots]);
+        }
+    }
+
     /// Row `i` as a slice (empty when `slots` is 0).
     pub fn row(&self, i: usize) -> &[f64] {
         &self.values[i * self.slots..(i + 1) * self.slots]
@@ -84,6 +99,19 @@ mod tests {
         lanes.reset(3, 2);
         assert_eq!((lanes.jobs(), lanes.slots()), (3, 2));
         assert!(lanes.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fill_visits_every_row_in_order() {
+        let mut lanes = JobLanes::new();
+        lanes.fill(3, 2, |i, row| {
+            row[0] = i as f64;
+            row[1] = 10.0 + i as f64;
+        });
+        assert_eq!(lanes.values(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+        // Zero slots: nothing stored, the filler never runs.
+        lanes.fill(4, 0, |_, _| panic!("no rows to fill"));
+        assert_eq!(lanes.jobs(), 0);
     }
 
     #[test]
