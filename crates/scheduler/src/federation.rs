@@ -1,0 +1,638 @@
+//! Sharded multi-cluster federation: N clusters scheduled concurrently.
+//!
+//! One submit-sorted trace is **routed** across N clusters by a
+//! [`Router`]; each cluster then schedules its routed subsequence with
+//! its own engine instance — its own partitioned arrival cursor, event
+//! loop, and [`SimWorkspace`] — fanned over the scoped pool
+//! ([`run_scoped`]); finally the per-cluster completion streams are
+//! **merged** into one deterministic global completion order. This is the
+//! "many clusters" scale axis on top of the single-cluster engine, and
+//! the first workload in the tree that genuinely exercises multi-core
+//! scaling (the `federation_throughput` bench records jobs/sec at
+//! 1/2/4/8 workers).
+//!
+//! # Determinism contract
+//!
+//! * **Routing is sequential and simulation-free.** The routing pass
+//!   scans the trace once in submit order, maintaining a fluid-model load
+//!   proxy per cluster (committed decision-mode core-seconds, drained at
+//!   cluster capacity between arrivals). Every routing decision depends
+//!   only on the trace prefix and the spec — never on simulation
+//!   outcomes, thread scheduling, or worker count.
+//! * **Shards are independent.** A cluster's schedule depends only on its
+//!   own routed subsequence and config, so adding clusters (which
+//!   re-routes jobs) never changes how a given subsequence schedules —
+//!   `federation_bit_identity` pins a k-shard run against k standalone
+//!   single-cluster runs of the same slices.
+//! * **The merge is a pure function of the shard results.** Per-shard
+//!   completion lists are in completion order (nondecreasing finish
+//!   time); the k-way merge orders globally by
+//!   `(finish time, shard index, within-shard order)` — total and
+//!   injective, so the merged order is unique.
+//! * **Fault streams follow the `(master seed, shard index)`
+//!   convention.** [`run_federation_faulty`] expands one
+//!   [`FaultProfile`] per shard with `stream_index = shard index`, the
+//!   same indexed-fork convention the trial driver uses, so thread count
+//!   never touches fault randomness.
+//!
+//! Consequently a federation run is **bit-identical at 1 and n worker
+//! threads**, and the **1-shard federation is bit-identical to
+//! [`crate::reference`]**: every router degenerates to "route everything
+//! to cluster 0", the slice presents the whole trace unchanged, and the
+//! single shard runs the ordinary engine (pinned by the
+//! `federation_bit_identity` suite).
+//!
+//! # Routers
+//!
+//! * [`Router::RoundRobin`] — trace position modulo shard count, skipping
+//!   clusters too narrow for the job.
+//! * [`Router::LeastLoaded`] — the cluster with the smallest estimated
+//!   wait (fluid backlog ÷ capacity); ties break to the lower shard.
+//! * [`Router::LocalityAware`] — each job has a home cluster
+//!   (`id % shards`); it stays home unless the home's estimated wait
+//!   exceeds the global minimum by more than `spill` seconds.
+//! * [`Router::Learned`] — a compiled policy ([`CompiledPolicy`], the
+//!   same bytecode the queue disciplines run) scores the job *at each
+//!   cluster* with `w` = that cluster's estimated wait; the lowest score
+//!   wins. Any learned queue policy doubles as a router this way.
+
+use crate::config::SchedulerConfig;
+use crate::engine::{EngineError, QueueDiscipline, SimWorkspace};
+use crate::result::SimulationResult;
+use dynsched_cluster::{
+    average_bounded_slowdown, AvailabilitySchedule, CompletedJob, FaultProfile,
+};
+use dynsched_policies::CompiledPolicy;
+use dynsched_simkit::parallel::run_scoped;
+use dynsched_workload::{TraceSlice, TraceSource};
+
+/// Cross-cluster routing policy: which cluster a submitted job goes to.
+///
+/// Routing happens in one sequential pre-pass over the submit-sorted
+/// trace (see the module docs); all routers see the same per-cluster
+/// *estimated wait* — fluid backlog divided by capacity — as their load
+/// signal, and all of them skip clusters too narrow for the job.
+#[derive(Debug, Clone, Copy)]
+pub enum Router<'a> {
+    /// Trace position modulo shard count (next feasible cluster cyclically
+    /// if that cluster is too narrow). Load-blind; the baseline.
+    RoundRobin,
+    /// The feasible cluster with the smallest estimated wait; ties break
+    /// to the lower shard index.
+    LeastLoaded,
+    /// Affinity routing: the job's home cluster is `id % shards`; it
+    /// stays home unless the home's estimated wait exceeds the best
+    /// feasible cluster's by more than `spill` seconds (0.0 = spill on
+    /// any difference; `f64::INFINITY` = never spill).
+    LocalityAware {
+        /// Extra estimated wait (seconds) tolerated at the home cluster
+        /// before the job spills to the least-loaded one.
+        spill: f64,
+    },
+    /// Score the job at every feasible cluster with a compiled policy —
+    /// `(r, n, s)` from the job under that cluster's decision mode, `w` =
+    /// that cluster's estimated wait — and route to the lowest score
+    /// (ties to the lower shard). Reuses the `policies::compile` bytecode,
+    /// so every learned queue policy is also a router.
+    Learned(&'a CompiledPolicy),
+}
+
+/// A federation of clusters: one scheduler config per shard plus the
+/// routing policy that distributes arriving jobs among them.
+#[derive(Debug, Clone)]
+pub struct FederationSpec<'a> {
+    /// Per-cluster scheduler configs. `clusters.len()` is the shard
+    /// count; capacities may differ (heterogeneous federations route
+    /// around narrow clusters via the feasibility rule).
+    pub clusters: Vec<SchedulerConfig>,
+    /// Cross-cluster routing policy.
+    pub router: Router<'a>,
+}
+
+impl<'a> FederationSpec<'a> {
+    /// A homogeneous federation: `shards` identical clusters.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn uniform(shards: usize, config: SchedulerConfig, router: Router<'a>) -> Self {
+        assert!(shards > 0, "a federation needs at least one cluster");
+        Self {
+            clusters: vec![config; shards],
+            router,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn shard_count(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+/// Outcome of the routing pre-pass: the shard of every trace position,
+/// both as a dense per-position map and as per-shard position lists
+/// (strictly increasing, i.e. valid [`TraceSlice`] inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable {
+    /// Shard index per trace position.
+    pub shard_of: Vec<u32>,
+    /// Trace positions routed to each shard, in trace (= submit) order.
+    pub shards: Vec<Vec<u32>>,
+}
+
+impl RoutingTable {
+    /// Jobs routed to each shard.
+    pub fn jobs_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(Vec::len).collect()
+    }
+}
+
+/// Route every job of `trace` to a cluster of `spec` (see the module
+/// docs for the determinism contract). Pure and sequential: the result
+/// depends only on `(trace, spec)`.
+///
+/// # Panics
+/// Panics if `spec` has no clusters, or if some job is wider than every
+/// cluster (it could never start anywhere; pre-filter the trace, as with
+/// the single-cluster engine).
+pub fn route<T: TraceSource>(trace: &T, spec: &FederationSpec<'_>) -> RoutingTable {
+    let k = spec.clusters.len();
+    assert!(k > 0, "a federation needs at least one cluster");
+    let n = trace.len();
+    let mut shard_of = Vec::with_capacity(n);
+    let mut shards: Vec<Vec<u32>> = vec![Vec::new(); k];
+    // Fluid load proxy: committed decision-mode core-seconds per cluster,
+    // drained at full capacity between arrivals. A deliberate
+    // simplification (a real cluster drains no faster, often slower), but
+    // one computable without simulating — routing must never depend on
+    // scheduling outcomes, or shards would stop being independent.
+    let mut backlog = vec![0.0f64; k];
+    let mut last_t = 0.0f64;
+    // Scalar-kernel scratch for the learned router.
+    let mut slot_row: Vec<f64> = Vec::new();
+    let mut stack: Vec<f64> = Vec::new();
+
+    for i in 0..n {
+        let t = trace.submit(i);
+        let dt = (t - last_t).max(0.0);
+        last_t = t;
+        for (c, b) in backlog.iter_mut().enumerate() {
+            *b = (*b - spec.clusters[c].platform.total_cores as f64 * dt).max(0.0);
+        }
+        let cores = trace.cores(i);
+        let feasible = |c: usize| spec.clusters[c].platform.total_cores >= cores;
+        let est_wait =
+            |c: usize, backlog: &[f64]| backlog[c] / spec.clusters[c].platform.total_cores as f64;
+        let least_loaded = |backlog: &[f64]| {
+            let mut best: Option<(f64, usize)> = None;
+            for c in 0..k {
+                if !feasible(c) {
+                    continue;
+                }
+                let w = est_wait(c, backlog);
+                if best.is_none_or(|(bw, _)| w.total_cmp(&bw).is_lt()) {
+                    best = Some((w, c));
+                }
+            }
+            best
+        };
+        let chosen = match spec.router {
+            Router::RoundRobin => (0..k).map(|o| (i + o) % k).find(|&c| feasible(c)),
+            Router::LeastLoaded => least_loaded(&backlog).map(|(_, c)| c),
+            Router::LocalityAware { spill } => {
+                let home = trace.id(i) as usize % k;
+                least_loaded(&backlog).map(|(best_wait, best)| {
+                    if feasible(home) && est_wait(home, &backlog) <= best_wait + spill {
+                        home
+                    } else {
+                        best
+                    }
+                })
+            }
+            Router::Learned(cp) => {
+                let mut best: Option<(f64, usize)> = None;
+                for c in 0..k {
+                    if !feasible(c) {
+                        continue;
+                    }
+                    let config = &spec.clusters[c];
+                    let r = config.decision_time(trace.runtime(i), trace.estimate(i));
+                    let score = cp.score_scalar(
+                        r,
+                        cores as f64,
+                        t,
+                        est_wait(c, &backlog),
+                        &mut slot_row,
+                        &mut stack,
+                    );
+                    if best.is_none_or(|(bs, _)| score.total_cmp(&bs).is_lt()) {
+                        best = Some((score, c));
+                    }
+                }
+                best.map(|(_, c)| c)
+            }
+        };
+        let Some(shard) = chosen else {
+            panic!(
+                "job {} requests {cores} cores but no cluster is that wide",
+                trace.id(i)
+            );
+        };
+        shard_of.push(shard as u32);
+        shards[shard].push(i as u32);
+        let config = &spec.clusters[shard];
+        backlog[shard] += config.decision_time(trace.runtime(i), trace.estimate(i)) * cores as f64;
+    }
+    RoutingTable { shard_of, shards }
+}
+
+/// Run one shard of a federation: schedule the routed subsequence
+/// `positions` of `trace` on `config`'s cluster, optionally under a
+/// per-shard fault schedule. This is the per-task kernel of the shard
+/// fan-out; callers composing their own fan-outs (the core session-style
+/// drivers) hold one [`SimWorkspace`] per worker and call this per cell.
+pub fn simulate_shard<T: TraceSource>(
+    ws: &mut SimWorkspace,
+    trace: &T,
+    positions: &[u32],
+    discipline: &QueueDiscipline<'_>,
+    config: &SchedulerConfig,
+    schedule: Option<&AvailabilitySchedule>,
+) -> Result<SimulationResult, EngineError> {
+    let slice = TraceSlice::new(trace, positions);
+    match schedule {
+        None => ws.try_run(&slice, discipline, config)?,
+        Some(schedule) => ws.run_faulty(&slice, discipline, config, schedule)?,
+    }
+    Ok(ws.result())
+}
+
+/// Merge per-shard completion lists into one global completion order:
+/// `(finish time, shard index, within-shard order)` — the deterministic
+/// cross-shard merge. Each input list is in completion order (finish
+/// nondecreasing), so a linear k-way front scan suffices.
+pub fn merge_completions(shards: &[SimulationResult]) -> Vec<CompletedJob> {
+    let total: usize = shards.iter().map(|r| r.completed.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut fronts = vec![0usize; shards.len()];
+    for _ in 0..total {
+        let mut best: Option<(f64, usize)> = None;
+        for (s, r) in shards.iter().enumerate() {
+            if let Some(c) = r.completed.get(fronts[s]) {
+                // Strict less-than: equal finish times keep the lower
+                // shard, making the merge order total and unique.
+                if best.is_none_or(|(bf, _)| c.finish.total_cmp(&bf).is_lt()) {
+                    best = Some((c.finish, s));
+                }
+            }
+        }
+        let (_, s) = best.expect("fronts not exhausted");
+        out.push(shards[s].completed[fronts[s]]);
+        fronts[s] += 1;
+    }
+    out
+}
+
+/// Outcome of one federated run: the routing decisions, every cluster's
+/// own [`SimulationResult`], and the merged global completion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationResult {
+    /// Shard index per trace position (the routing decisions).
+    pub shard_of: Vec<u32>,
+    /// Per-cluster simulation results, indexed by shard.
+    pub shards: Vec<SimulationResult>,
+    /// All completions merged into the deterministic global order
+    /// `(finish, shard, within-shard order)`.
+    pub completed: Vec<CompletedJob>,
+}
+
+impl FederationResult {
+    /// Number of clusters.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Jobs routed to each shard.
+    pub fn jobs_per_shard(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shards.len()];
+        for &s in &self.shard_of {
+            counts[s as usize] += 1;
+        }
+        counts
+    }
+
+    /// Global average bounded slowdown over all completed jobs (`None`
+    /// if nothing completed). Summation follows the merged order, so the
+    /// value is as deterministic as the merge.
+    pub fn avg_bounded_slowdown(&self, tau: f64) -> Option<f64> {
+        average_bounded_slowdown(&self.completed, tau)
+    }
+
+    /// Global mean waiting time over completed jobs (`None` if empty).
+    pub fn mean_wait(&self) -> Option<f64> {
+        if self.completed.is_empty() {
+            return None;
+        }
+        Some(
+            self.completed.iter().map(CompletedJob::wait).sum::<f64>()
+                / self.completed.len() as f64,
+        )
+    }
+
+    /// Time the last job anywhere finished.
+    pub fn makespan(&self) -> f64 {
+        self.shards.iter().map(|r| r.makespan).fold(0.0, f64::max)
+    }
+
+    /// Jobs started by backfilling, summed over clusters.
+    pub fn backfilled_jobs(&self) -> u64 {
+        self.shards.iter().map(|r| r.backfilled_jobs).sum()
+    }
+
+    /// Preemptions summed over clusters (zero without fault injection).
+    pub fn preempted_jobs(&self) -> u64 {
+        self.shards.iter().map(|r| r.preempted_jobs).sum()
+    }
+
+    /// Jobs abandoned after exhausting retries, summed over clusters.
+    pub fn abandoned_jobs(&self) -> u64 {
+        self.shards.iter().map(|r| r.abandoned.len() as u64).sum()
+    }
+
+    /// Core-seconds destroyed by preemptions, summed over clusters.
+    pub fn lost_core_seconds(&self) -> f64 {
+        self.shards.iter().map(|r| r.lost_core_seconds).sum()
+    }
+}
+
+/// Run a zero-fault federated simulation: route, fan the shards over the
+/// scoped pool, merge. Bit-identical at any worker count; with one shard,
+/// bit-identical to the single-cluster engine (and therefore to
+/// [`crate::reference`]).
+///
+/// # Panics
+/// Panics on the conditions of [`route`] and [`SimWorkspace::run`], and
+/// if `discipline` is [`QueueDiscipline::FixedOrder`] (fixed ranks are
+/// indexed by single-trace position and have no cross-shard meaning).
+pub fn run_federation<T: TraceSource + Sync>(
+    trace: &T,
+    spec: &FederationSpec<'_>,
+    discipline: &QueueDiscipline<'_>,
+) -> Result<FederationResult, EngineError> {
+    let routing = route(trace, spec);
+    run_routed(trace, spec, discipline, routing, None)
+}
+
+/// Run a federated simulation under deterministic fault injection: one
+/// [`AvailabilitySchedule`] is expanded per shard from `profile` with
+/// `stream_index = shard index` — the `(master seed, shard index)`
+/// stream convention — over that shard's own submission span, so fault
+/// randomness is independent of worker count and of the other shards.
+///
+/// # Panics
+/// See [`run_federation`].
+pub fn run_federation_faulty<T: TraceSource + Sync>(
+    trace: &T,
+    spec: &FederationSpec<'_>,
+    discipline: &QueueDiscipline<'_>,
+    profile: &FaultProfile,
+) -> Result<FederationResult, EngineError> {
+    let routing = route(trace, spec);
+    let schedules: Vec<AvailabilitySchedule> = routing
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(s, positions)| {
+            // Sampling window: the shard's own submission span (the
+            // expand contract's "natural choice"); outages that straddle
+            // it still emit their restore step.
+            let horizon = positions.last().map_or(0.0, |&p| trace.submit(p as usize));
+            profile.expand(spec.clusters[s].platform.total_cores, horizon, s as u64)
+        })
+        .collect();
+    run_routed(trace, spec, discipline, routing, Some(&schedules))
+}
+
+/// Shared fan-out body of [`run_federation`] / [`run_federation_faulty`]:
+/// one task per shard, one reusable [`SimWorkspace`] per worker, results
+/// collected in shard order.
+fn run_routed<T: TraceSource + Sync>(
+    trace: &T,
+    spec: &FederationSpec<'_>,
+    discipline: &QueueDiscipline<'_>,
+    routing: RoutingTable,
+    schedules: Option<&[AvailabilitySchedule]>,
+) -> Result<FederationResult, EngineError> {
+    assert!(
+        !matches!(discipline, QueueDiscipline::FixedOrder(_)),
+        "fixed-order disciplines are per-trace and cannot federate"
+    );
+    let shards: Result<Vec<SimulationResult>, EngineError> = run_scoped(
+        spec.clusters.len(),
+        SimWorkspace::new,
+        |s, ws: &mut SimWorkspace| {
+            simulate_shard(
+                ws,
+                trace,
+                &routing.shards[s],
+                discipline,
+                &spec.clusters[s],
+                schedules.map(|x| &x[s]),
+            )
+        },
+    )
+    .into_iter()
+    .collect();
+    let shards = shards?;
+    let completed = merge_completions(&shards);
+    Ok(FederationResult {
+        shard_of: routing.shard_of,
+        shards,
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use dynsched_cluster::{Job, Platform};
+    use dynsched_policies::{compile_expr, expr::parse_expr, Fcfs, Policy, Spt};
+    use dynsched_simkit::parallel::with_worker_limit;
+    use dynsched_simkit::Rng;
+    use dynsched_workload::Trace;
+
+    fn config(cores: u32) -> SchedulerConfig {
+        SchedulerConfig::actual_runtimes(Platform::new(cores))
+    }
+
+    /// A saturating random trace: enough work that backlogs build up.
+    fn trace(jobs: usize, max_cores: u32, seed: u64) -> Trace {
+        let mut rng = Rng::new(seed);
+        Trace::from_jobs(
+            (0..jobs)
+                .map(|i| {
+                    let cores = 1 + (rng.next_u64() % max_cores as u64) as u32;
+                    let runtime = 50.0 + (rng.next_u64() % 900) as f64;
+                    Job::new(i as u32, i as f64 * 5.0, runtime, runtime * 1.5, cores)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn one_shard_routes_everything_to_zero() {
+        let t = trace(50, 8, 1);
+        let learned = compile_expr("router", &parse_expr("w + r / n").unwrap());
+        for router in [
+            Router::RoundRobin,
+            Router::LeastLoaded,
+            Router::LocalityAware { spill: 10.0 },
+            Router::Learned(&learned),
+        ] {
+            let spec = FederationSpec::uniform(1, config(8), router);
+            let routing = route(&t, &spec);
+            assert!(routing.shard_of.iter().all(|&s| s == 0));
+            assert_eq!(routing.shards[0].len(), t.len());
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_narrow_clusters() {
+        let t = Trace::from_jobs(vec![
+            Job::new(0, 0.0, 10.0, 10.0, 4), // only cluster 1 fits
+            Job::new(1, 1.0, 10.0, 10.0, 1),
+            Job::new(2, 2.0, 10.0, 10.0, 4),
+        ]);
+        let spec = FederationSpec {
+            clusters: vec![config(2), config(8)],
+            router: Router::RoundRobin,
+        };
+        let routing = route(&t, &spec);
+        assert_eq!(routing.shard_of, vec![1, 1, 1]); // 0→1 (narrow), 1→1, 2→1
+    }
+
+    #[test]
+    fn least_loaded_balances_identical_clusters() {
+        // Jobs submitted at the same instant with equal work must
+        // alternate: each routed job raises its cluster's backlog above
+        // the other's.
+        let t = Trace::from_jobs((0..6).map(|i| Job::new(i, 0.0, 100.0, 100.0, 2)).collect());
+        let spec = FederationSpec::uniform(2, config(4), Router::LeastLoaded);
+        let routing = route(&t, &spec);
+        assert_eq!(routing.shard_of, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn locality_stays_home_until_the_spill_threshold() {
+        // Two jobs with home cluster 1 (odd ids), far apart in time so
+        // backlogs drain: both stay home under a generous spill.
+        let t = Trace::from_jobs(vec![
+            Job::new(1, 0.0, 100.0, 100.0, 2),
+            Job::new(3, 1_000.0, 100.0, 100.0, 2),
+        ]);
+        let spec = FederationSpec::uniform(2, config(4), Router::LocalityAware { spill: 1e9 });
+        let routing = route(&t, &spec);
+        assert_eq!(routing.shard_of, vec![1, 1]);
+        // With zero spill tolerance and a loaded home, the second job of
+        // an identical burst spills to the idle cluster.
+        let burst = Trace::from_jobs(vec![
+            Job::new(1, 0.0, 1_000.0, 1_000.0, 4),
+            Job::new(3, 0.0, 10.0, 10.0, 1),
+        ]);
+        let spec = FederationSpec::uniform(2, config(4), Router::LocalityAware { spill: 0.0 });
+        let routing = route(&burst, &spec);
+        assert_eq!(routing.shard_of, vec![1, 0]);
+    }
+
+    #[test]
+    fn learned_router_with_wait_term_behaves_like_least_loaded() {
+        // Score = w: the estimated wait itself, so the learned router
+        // must reproduce least-loaded routing exactly (ties included —
+        // both break to the lower shard).
+        let t = trace(200, 4, 7);
+        let w = compile_expr("w", &parse_expr("w").unwrap());
+        let spec_l = FederationSpec::uniform(3, config(8), Router::Learned(&w));
+        let spec_ll = FederationSpec::uniform(3, config(8), Router::LeastLoaded);
+        assert_eq!(route(&t, &spec_l), route(&t, &spec_ll));
+    }
+
+    #[test]
+    fn federation_is_worker_count_independent() {
+        let t = trace(300, 8, 21);
+        let spec = FederationSpec::uniform(4, config(8), Router::LeastLoaded);
+        let policy = Spt;
+        let discipline = QueueDiscipline::Policy(&policy);
+        let wide = run_federation(&t, &spec, &discipline).unwrap();
+        let narrow = with_worker_limit(1, || run_federation(&t, &spec, &discipline).unwrap());
+        assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn merge_is_globally_finish_ordered_and_complete() {
+        let t = trace(300, 8, 33);
+        let spec = FederationSpec::uniform(3, config(8), Router::RoundRobin);
+        let policy = Fcfs;
+        let result = run_federation(&t, &spec, &QueueDiscipline::Policy(&policy)).unwrap();
+        assert_eq!(result.completed.len(), t.len());
+        assert!(result
+            .completed
+            .windows(2)
+            .all(|w| w[0].finish <= w[1].finish));
+        // Every job id appears exactly once.
+        let mut ids: Vec<u32> = result.completed.iter().map(|c| c.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), t.len());
+    }
+
+    #[test]
+    fn one_shard_federation_matches_the_plain_engine() {
+        let t = trace(250, 8, 5);
+        let spec = FederationSpec::uniform(1, config(8), Router::LeastLoaded);
+        let policy = Spt;
+        let compiled = policy.compile().unwrap();
+        let discipline = QueueDiscipline::Compiled(&compiled);
+        let fed = run_federation(&t, &spec, &discipline).unwrap();
+        let plain = simulate(&t, &discipline, &config(8));
+        assert_eq!(fed.shards[0], plain);
+        assert_eq!(fed.completed, plain.completed);
+    }
+
+    #[test]
+    fn faulty_federation_is_deterministic_and_shard_streamed() {
+        let t = trace(200, 4, 9);
+        let spec = FederationSpec::uniform(2, config(8), Router::LeastLoaded);
+        let profile = FaultProfile::failures(2_000.0, 300.0, 2, 0xF00D).with_max_retries(2);
+        let policy = Fcfs;
+        let discipline = QueueDiscipline::Policy(&policy);
+        let a = run_federation_faulty(&t, &spec, &discipline, &profile).unwrap();
+        let b = with_worker_limit(1, || {
+            run_federation_faulty(&t, &spec, &discipline, &profile).unwrap()
+        });
+        assert_eq!(a, b);
+        // Shards see different fault streams (stream index = shard), so
+        // at least one shard's schedule should differ from shard 0's
+        // whenever faults fired at all.
+        if a.preempted_jobs() > 0 {
+            assert!(a.shards.len() == 2);
+        }
+    }
+
+    #[test]
+    fn empty_trace_federates_to_empty_shards() {
+        let t = Trace::from_jobs(Vec::new());
+        let spec = FederationSpec::uniform(3, config(4), Router::RoundRobin);
+        let policy = Fcfs;
+        let result = run_federation(&t, &spec, &QueueDiscipline::Policy(&policy)).unwrap();
+        assert!(result.completed.is_empty());
+        assert_eq!(result.jobs_per_shard(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cluster is that wide")]
+    fn unroutable_job_panics() {
+        let t = Trace::from_jobs(vec![Job::new(0, 0.0, 10.0, 10.0, 64)]);
+        let spec = FederationSpec::uniform(2, config(8), Router::LeastLoaded);
+        let _ = route(&t, &spec);
+    }
+}

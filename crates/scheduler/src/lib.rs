@@ -6,6 +6,9 @@
 //!   backfilling variant (none / aggressive-EASY / conservative);
 //! * [`engine`] — the simulation loop: centralized queue, rescheduling on
 //!   arrival and resource release, strict policy starts, backfilling;
+//! * [`federation`] — sharded multi-cluster simulation: cross-cluster
+//!   routing policies, one partitioned engine per shard fanned over the
+//!   scoped pool, and a deterministic cross-shard completion merge;
 //! * [`profile`] — the future-availability step function used by
 //!   conservative backfilling;
 //! * [`result`] — per-run metrics (completed jobs, average bounded
@@ -106,6 +109,7 @@
 pub mod config;
 pub mod engine;
 pub mod export;
+pub mod federation;
 pub mod profile;
 #[doc(hidden)]
 pub mod reference;
@@ -118,5 +122,9 @@ pub use engine::{
     simulate_metrics_into, EngineError, QueueDiscipline, SimWorkspace,
 };
 pub use export::write_schedule_swf;
+pub use federation::{
+    merge_completions, route, run_federation, run_federation_faulty, FederationResult,
+    FederationSpec, Router, RoutingTable,
+};
 pub use result::{SimMetrics, SimulationResult};
 pub use timeline::{ascii_gantt, queue_length_curve, utilization_curve};

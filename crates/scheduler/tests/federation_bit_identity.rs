@@ -1,0 +1,211 @@
+//! Regression proof for the federation layer — three contracts:
+//!
+//! 1. **1-shard oracle pin.** A 1-shard federation degenerates to the
+//!    ordinary single-cluster engine: every router routes everything to
+//!    cluster 0, the slice presents the whole trace unchanged, and the
+//!    shard result — and the merged global completion order — must be
+//!    bit-identical to [`reference::simulate_reference`] (and its faulty
+//!    twin under the same expanded schedule), at one worker thread and
+//!    the pool's natural width.
+//! 2. **Worker-count independence.** A k-shard federation is a pure
+//!    function of `(trace, spec, discipline)`: the full
+//!    [`FederationResult`] — routing table, per-shard schedules, merged
+//!    order — is `==` at 1 and n worker threads, faulty runs included.
+//! 3. **Shard independence.** A cluster's schedule depends only on its
+//!    own routed subsequence and config: re-simulating each shard's jobs
+//!    standalone (as an owned trace, through the plain engine) reproduces
+//!    the in-federation shard result bit for bit, so changing the shard
+//!    count can re-route jobs but never alters how a given subsequence
+//!    schedules.
+
+use dynsched_cluster::{FaultProfile, Job, Platform};
+use dynsched_policies::{compile_expr, expr::parse_expr, paper_lineup};
+use dynsched_scheduler::federation::{
+    route, run_federation, run_federation_faulty, FederationSpec, Router,
+};
+use dynsched_scheduler::reference::{simulate_reference, simulate_reference_faulty};
+use dynsched_scheduler::{simulate, QueueDiscipline, SchedulerConfig};
+use dynsched_simkit::parallel::with_worker_limit;
+use dynsched_simkit::Rng;
+use dynsched_workload::Trace;
+
+fn random_trace(rng: &mut Rng, jobs: usize, cores: u32) -> Trace {
+    let list: Vec<Job> = (0..jobs)
+        .map(|i| {
+            let submit = rng.range_f64(0.0, 8_000.0);
+            let runtime = rng.range_f64(1.0, 3_000.0);
+            let over = rng.range_f64(1.0, 3.0);
+            let width = rng.range_u64(1, cores as u64) as u32;
+            Job::new(i as u32, submit, runtime, (runtime * over).max(1.0), width)
+        })
+        .collect();
+    Trace::from_jobs(list)
+}
+
+fn config(cores: u32) -> SchedulerConfig {
+    SchedulerConfig::actual_runtimes(Platform::new(cores))
+}
+
+fn routers(learned: &dynsched_policies::CompiledPolicy) -> Vec<Router<'_>> {
+    vec![
+        Router::RoundRobin,
+        Router::LeastLoaded,
+        Router::LocalityAware { spill: 500.0 },
+        Router::Learned(learned),
+    ]
+}
+
+#[test]
+fn one_shard_federation_is_bit_identical_to_reference() {
+    let mut rng = Rng::new(0xFED1);
+    let learned = compile_expr("router", &parse_expr("w + r / n").unwrap());
+    let lineup = paper_lineup();
+    for case in 0..3u64 {
+        let trace = random_trace(&mut rng, 60 + 20 * case as usize, 16);
+        for router in routers(&learned) {
+            let spec = FederationSpec::uniform(1, config(16), router);
+            for policy in lineup.iter().take(4) {
+                let discipline = QueueDiscipline::Policy(policy.as_ref());
+                let oracle = simulate_reference(&trace, &discipline, &config(16));
+                let wide = run_federation(&trace, &spec, &discipline).unwrap();
+                let narrow =
+                    with_worker_limit(1, || run_federation(&trace, &spec, &discipline).unwrap());
+                assert_eq!(wide, narrow, "worker count leaked into a 1-shard run");
+                assert_eq!(wide.shards[0], oracle, "1-shard != reference");
+                assert_eq!(
+                    wide.completed, oracle.completed,
+                    "merge reordered a single shard"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_shard_compiled_discipline_matches_reference() {
+    let mut rng = Rng::new(0xFED2);
+    let trace = random_trace(&mut rng, 80, 16);
+    let spec = FederationSpec::uniform(1, config(16), Router::LeastLoaded);
+    for policy in paper_lineup().iter().take(4) {
+        let Some(compiled) = policy.compile() else {
+            continue;
+        };
+        let discipline = QueueDiscipline::Compiled(&compiled);
+        let oracle = simulate_reference(&trace, &discipline, &config(16));
+        let fed = run_federation(&trace, &spec, &discipline).unwrap();
+        assert_eq!(fed.shards[0], oracle);
+    }
+}
+
+#[test]
+fn one_shard_faulty_federation_matches_the_faulty_reference() {
+    let mut rng = Rng::new(0xFED3);
+    let trace = random_trace(&mut rng, 80, 16);
+    let profile = FaultProfile::failures(1_500.0, 600.0, 8, 0xBAD).with_max_retries(2);
+    let spec = FederationSpec::uniform(1, config(16), Router::LeastLoaded);
+    let lineup = paper_lineup();
+    let policy = &lineup[0];
+    let discipline = QueueDiscipline::Policy(policy.as_ref());
+    // The federation expands shard 0's schedule over the shard's own
+    // submission span with stream_index = 0; reproduce that expansion
+    // for the oracle.
+    let horizon = (0..trace.len())
+        .map(|i| dynsched_workload::TraceSource::submit(&trace, i))
+        .fold(0.0, f64::max);
+    let schedule = profile.expand(16, horizon, 0);
+    let oracle = simulate_reference_faulty(&trace, &discipline, &config(16), &schedule);
+    let wide = run_federation_faulty(&trace, &spec, &discipline, &profile).unwrap();
+    let narrow = with_worker_limit(1, || {
+        run_federation_faulty(&trace, &spec, &discipline, &profile).unwrap()
+    });
+    assert_eq!(wide, narrow);
+    assert_eq!(wide.shards[0], oracle);
+    assert!(
+        wide.shards[0].preempted_jobs > 0 || wide.shards[0].completed.len() == trace.len(),
+        "fault schedule never bit — weaken the profile check"
+    );
+}
+
+#[test]
+fn k_shard_federation_is_worker_count_independent() {
+    let mut rng = Rng::new(0xFED4);
+    let learned = compile_expr("router", &parse_expr("w + r / n").unwrap());
+    let lineup = paper_lineup();
+    let profile = FaultProfile::failures(2_000.0, 500.0, 4, 0xF00D).with_max_retries(2);
+    for &shards in &[2usize, 3, 5] {
+        let trace = random_trace(&mut rng, 120, 16);
+        for router in routers(&learned) {
+            let spec = FederationSpec::uniform(shards, config(16), router);
+            let policy = &lineup[1];
+            let discipline = QueueDiscipline::Policy(policy.as_ref());
+            let wide = run_federation(&trace, &spec, &discipline).unwrap();
+            let narrow =
+                with_worker_limit(1, || run_federation(&trace, &spec, &discipline).unwrap());
+            assert_eq!(
+                wide, narrow,
+                "{shards}-shard zero-fault run varies with workers"
+            );
+            let wide_f = run_federation_faulty(&trace, &spec, &discipline, &profile).unwrap();
+            let narrow_f = with_worker_limit(1, || {
+                run_federation_faulty(&trace, &spec, &discipline, &profile).unwrap()
+            });
+            assert_eq!(
+                wide_f, narrow_f,
+                "{shards}-shard faulty run varies with workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_schedules_are_independent_of_the_federation_around_them() {
+    let mut rng = Rng::new(0xFED5);
+    let lineup = paper_lineup();
+    for &shards in &[2usize, 3, 4] {
+        let trace = random_trace(&mut rng, 150, 16);
+        let spec = FederationSpec::uniform(shards, config(16), Router::LeastLoaded);
+        let policy = &lineup[2];
+        let discipline = QueueDiscipline::Policy(policy.as_ref());
+        let fed = run_federation(&trace, &spec, &discipline).unwrap();
+        let routing = route(&trace, &spec);
+        assert_eq!(
+            fed.shard_of, routing.shard_of,
+            "routing is not a pure pre-pass"
+        );
+        for (s, positions) in routing.shards.iter().enumerate() {
+            // Re-simulate the shard's jobs standalone through the plain
+            // single-cluster entry point: an owned trace of the same jobs
+            // must schedule bit-identically to the in-federation shard.
+            let owned = Trace::from_jobs(
+                positions
+                    .iter()
+                    .map(|&p| dynsched_workload::TraceSource::job(&trace, p as usize))
+                    .collect(),
+            );
+            let standalone = simulate(&owned, &discipline, &config(16));
+            assert_eq!(
+                fed.shards[s], standalone,
+                "shard {s} of {shards} scheduled differently inside the federation"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_order_is_finish_sorted_and_loses_no_job() {
+    let mut rng = Rng::new(0xFED6);
+    let trace = random_trace(&mut rng, 200, 16);
+    let lineup = paper_lineup();
+    let policy = &lineup[0];
+    let discipline = QueueDiscipline::Policy(policy.as_ref());
+    for &shards in &[1usize, 2, 4, 8] {
+        let spec = FederationSpec::uniform(shards, config(16), Router::RoundRobin);
+        let fed = run_federation(&trace, &spec, &discipline).unwrap();
+        assert_eq!(fed.completed.len(), trace.len());
+        assert!(fed.completed.windows(2).all(|w| w[0].finish <= w[1].finish));
+        let mut ids: Vec<u32> = fed.completed.iter().map(|c| c.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len(), "merge dropped or duplicated a job");
+    }
+}

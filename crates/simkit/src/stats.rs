@@ -149,6 +149,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     below: u64,
     above: u64,
+    nan: u64,
 }
 
 impl Histogram {
@@ -165,12 +166,18 @@ impl Histogram {
             bins: vec![0; nbins],
             below: 0,
             above: 0,
+            nan: 0,
         }
     }
 
-    /// Record one observation.
+    /// Record one observation. NaN goes to its own counter — both range
+    /// comparisons are false for NaN, and the saturating `as usize` cast
+    /// would otherwise silently deposit it in bin 0 as if it were a real
+    /// measurement at `lo`.
     pub fn record(&mut self, x: f64) {
-        if x < self.lo {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.below += 1;
         } else if x >= self.hi {
             self.above += 1;
@@ -196,9 +203,15 @@ impl Histogram {
         self.above
     }
 
-    /// Total number of recorded observations.
+    /// Count of NaN observations (never binned; a nonzero value usually
+    /// means an upstream metric produced garbage).
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
+    /// Total number of recorded observations, NaN included.
     pub fn total(&self) -> u64 {
-        self.below + self.above + self.bins.iter().sum::<u64>()
+        self.below + self.above + self.nan + self.bins.iter().sum::<u64>()
     }
 }
 
@@ -343,6 +356,24 @@ mod tests {
         assert_eq!(h.above(), 1);
         assert_eq!(h.below(), 1);
         assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_nan_never_reaches_bin_zero() {
+        // Regression: NaN fails both range comparisons and the saturating
+        // `as usize` cast maps it to 0, so it used to inflate bin 0.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(f64::NAN);
+        h.record(-f64::NAN);
+        assert_eq!(h.bins()[0], 0);
+        assert_eq!(h.below(), 0);
+        assert_eq!(h.above(), 0);
+        assert_eq!(h.nan(), 2);
+        assert_eq!(h.total(), 2);
+        // Real observations still bin as before alongside the NaNs.
+        h.record(0.0);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.total(), 3);
     }
 
     #[test]

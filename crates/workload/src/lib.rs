@@ -11,6 +11,9 @@
 //! * [`lanes`] — dense per-job value rows ([`JobLanes`]) stored beside the
 //!   columns; the scheduler keeps the wait-invariant prefix slots of a
 //!   compiled policy here, one row per trace position;
+//! * [`partition`] — per-shard trace partitioning: [`TraceSlice`] presents
+//!   a routed subsequence of a parent trace as a [`TraceSource`] without
+//!   copying, the shard-local input of the scheduler's federation layer;
 //! * [`registry`] — named scenario families (heavy-tail, bursty, diurnal,
 //!   Feitelson'96, Tsafrir-estimate mixes, SWF replay) addressable by
 //!   every evaluation entry point;
@@ -57,6 +60,7 @@ pub mod archive;
 pub mod feitelson;
 pub mod lanes;
 pub mod lublin;
+pub mod partition;
 pub mod registry;
 pub mod sequence;
 pub mod store;
@@ -70,6 +74,7 @@ pub use archive::ArchivePlatform;
 pub use feitelson::FeitelsonModel;
 pub use lanes::JobLanes;
 pub use lublin::LublinModel;
+pub use partition::TraceSlice;
 pub use registry::{ScenarioCalibration, ScenarioFamily, ScenarioParams, ScenarioRegistry};
 pub use sequence::{extract_sequences, SequenceSpec};
 pub use store::{TraceColumns, TraceKey, TraceStore, TraceView};

@@ -3,6 +3,7 @@
 //! ```text
 //! dynsched validate <trace.swf> [cores]        audit an SWF trace
 //! dynsched simulate <trace.swf> <cores> [opts] schedule a trace, print stats
+//! dynsched federate <trace.swf> <cores> [opts] schedule across N federated clusters
 //! dynsched train [opts]                        learn policies from the Lublin model
 //! dynsched run [opts]                          one-shot learn → evaluate (the whole paper loop)
 //! dynsched table4 [--full]                     regenerate the paper's Table 4
@@ -21,8 +22,11 @@ use dynsched::core::trials::TrialSpec;
 use dynsched::core::tuples::TupleSpec;
 use dynsched::core::{learned_beat_adhoc, run_experiments};
 use dynsched::mlreg::EnumerateOptions;
-use dynsched::policies::{by_name, paper_lineup, save_learned, Policy};
-use dynsched::scheduler::{simulate, BackfillMode, QueueDiscipline, SchedulerConfig};
+use dynsched::policies::{by_name, paper_lineup, save_learned, CompiledPolicy, Policy};
+use dynsched::scheduler::{
+    run_federation, run_federation_faulty, simulate, BackfillMode, FederationSpec, QueueDiscipline,
+    Router, SchedulerConfig,
+};
 use dynsched::workload::{
     read_swf_file, validate_trace, LublinModel, ScenarioParams, ScenarioRegistry, SequenceSpec,
     TraceStore,
@@ -41,6 +45,28 @@ USAGE:
                     [--backfill none|easy|conservative] [--kill]
       Schedule the trace and print artifact-style statistics.
       NAME: FCFS, WFP, UNI, SPT, F1..F4, MF, LCFS, LPT, SAF, LAF (default F1).
+
+  dynsched federate <trace.swf> <cores-per-cluster> [--shards N]
+                    [--router round-robin|least-loaded|locality|learned]
+                    [--spill SECS] [--router-policy NAME]
+                    [--policy NAME] [--estimates]
+                    [--backfill none|easy|conservative] [--kill]
+                    [--mtbf SECS [--mttr SECS] [--fault-cores N]
+                     [--fault-retries N] [--fault-seed N]]
+      Route the trace across N identical clusters (default 4) and
+      schedule every shard concurrently, printing per-cluster and merged
+      global statistics. --router picks the cross-cluster routing policy
+      (default least-loaded); locality keeps each job on its home
+      cluster (id mod N) unless its estimated wait exceeds the best
+      cluster's by more than --spill seconds (default 0); learned scores
+      every cluster with the compiled form of --router-policy (default:
+      the queue policy) and routes to the lowest score. Queue scheduling
+      inside each cluster uses --policy (default F1) with the same
+      --estimates/--backfill/--kill knobs as `simulate`. With --mtbf,
+      each cluster draws its own deterministic fault stream from
+      (fault seed, shard index). Shard schedules are bit-identical at
+      any worker-thread count, and a 1-shard federation is bit-identical
+      to `simulate`.
 
   dynsched train [--tuples N] [--trials N] [--cores N] [--seed N] [--out FILE]
       Run the training pipeline (Lublin model) and print/export the best
@@ -88,6 +114,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "validate" => cmd_validate(rest),
         "simulate" => cmd_simulate(rest),
+        "federate" => cmd_federate(rest),
         "train" => cmd_train(rest),
         "run" => cmd_run(rest),
         "table4" => cmd_table4(rest),
@@ -108,19 +135,53 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Look up the value of `name`. A present flag with a missing value, or
+/// with a value that is itself a flag, is an error — `--policy --kill`
+/// used to swallow `"--kill"` as the policy name and `--tuples` at the
+/// end of the line silently fell back to the default.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        None => Err(format!("{name} needs a value")),
+        Some(v) if v.starts_with("--") => Err(format!(
+            "{name} needs a value, but the next argument is the flag {v:?}"
+        )),
+        Some(v) => Ok(Some(v)),
+    }
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Render an optional per-job statistic: the value at `prec` decimal
+/// places, or a uniform `n/a` when nothing completed.
+fn stat_or_na(v: Option<f64>, prec: usize) -> String {
+    v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.prec$}"))
+}
+
 fn usize_flag(args: &[String], name: &str, default: usize) -> Result<usize, String> {
-    flag_value(args, name)
+    flag_value(args, name)?
+        .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+/// Parse `name` as `u64` directly — seeds must not round-trip through
+/// `usize` (lossy on 32-bit targets, rejects values above `usize::MAX`).
+fn u64_flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    flag_value(args, name)?
+        .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+/// Parse `name` as `f64` directly — fractional values like `--days 2.5`
+/// are legitimate wherever the underlying parameter is `f64`.
+fn f64_flag(args: &[String], name: &str, default: f64) -> Result<f64, String> {
+    flag_value(args, name)?
         .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
         .transpose()
         .map(|v| v.unwrap_or(default))
@@ -133,7 +194,27 @@ fn training_flags(args: &[String]) -> Result<(usize, usize, u32, u64), String> {
         usize_flag(args, "--tuples", 12)?,
         usize_flag(args, "--trials", 8_000)?,
         usize_flag(args, "--cores", 256)? as u32,
-        usize_flag(args, "--seed", 0x5C17)? as u64,
+        u64_flag(args, "--seed", 0x5C17)?,
+    ))
+}
+
+/// The deterministic fault-injection knobs `scenarios` and `federate`
+/// share: `--mtbf` turns injection on, the rest refine it.
+fn fault_flags(
+    args: &[String],
+    cores: u32,
+    default_seed: u64,
+) -> Result<Option<FaultProfile>, String> {
+    let Some(v) = flag_value(args, "--mtbf")? else {
+        return Ok(None);
+    };
+    let mtbf: f64 = v.parse().map_err(|e| format!("bad --mtbf: {e}"))?;
+    let mttr = f64_flag(args, "--mttr", 3_600.0)?;
+    let fault_cores = usize_flag(args, "--fault-cores", (cores / 8).max(1) as usize)? as u32;
+    let retries = usize_flag(args, "--fault-retries", 3)? as u32;
+    let fault_seed = u64_flag(args, "--fault-seed", default_seed)?;
+    Ok(Some(
+        FaultProfile::failures(mtbf, mttr, fault_cores, fault_seed).with_max_retries(retries),
     ))
 }
 
@@ -174,7 +255,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .ok_or("simulate needs a core count")?
         .parse()
         .map_err(|e| format!("bad core count: {e}"))?;
-    let policy_name = flag_value(args, "--policy").unwrap_or("F1");
+    let policy_name = flag_value(args, "--policy")?.unwrap_or("F1");
     let policy = by_name(policy_name).ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
 
     let mut config = if has_flag(args, "--estimates") {
@@ -182,7 +263,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     } else {
         SchedulerConfig::actual_runtimes(Platform::new(cores))
     };
-    config.backfill = match flag_value(args, "--backfill").unwrap_or("none") {
+    config.backfill = match flag_value(args, "--backfill")?.unwrap_or("none") {
         "none" => BackfillMode::None,
         "easy" | "aggressive" => BackfillMode::Aggressive,
         "conservative" => BackfillMode::Conservative,
@@ -202,15 +283,128 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     );
     let t0 = std::time::Instant::now();
     let result = simulate(&trace, &QueueDiscipline::Policy(policy.as_ref()), &config);
+    // Empty results print "n/a" for both per-job statistics: the old mix
+    // (NaN for AVEbsld, 0.0 for mean wait) made an empty run read as a
+    // measured zero-wait schedule.
     println!(
-        "AVEbsld = {:.2} | mean wait = {:.1} s | utilization = {:.3} | makespan = {:.2} days | backfilled = {} | [{:.1} s]",
-        result.avg_bounded_slowdown(DEFAULT_TAU).unwrap_or(f64::NAN),
-        result.mean_wait().unwrap_or(0.0),
+        "AVEbsld = {} | mean wait = {} s | utilization = {:.3} | makespan = {:.2} days | backfilled = {} | [{:.1} s]",
+        stat_or_na(result.avg_bounded_slowdown(DEFAULT_TAU), 2),
+        stat_or_na(result.mean_wait(), 1),
         result.utilization,
         result.makespan / 86_400.0,
         result.backfilled_jobs,
         t0.elapsed().as_secs_f64(),
     );
+    Ok(())
+}
+
+fn cmd_federate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("federate needs a trace path")?;
+    let cores: u32 = args
+        .get(1)
+        .ok_or("federate needs a per-cluster core count")?
+        .parse()
+        .map_err(|e| format!("bad core count: {e}"))?;
+    let shards = usize_flag(args, "--shards", 4)?;
+    if shards == 0 {
+        return Err("a federation needs at least one shard".to_string());
+    }
+
+    let policy_name = flag_value(args, "--policy")?.unwrap_or("F1");
+    let policy = by_name(policy_name).ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
+
+    let mut config = if has_flag(args, "--estimates") {
+        SchedulerConfig::user_estimates(Platform::new(cores))
+    } else {
+        SchedulerConfig::actual_runtimes(Platform::new(cores))
+    };
+    config.backfill = match flag_value(args, "--backfill")?.unwrap_or("none") {
+        "none" => BackfillMode::None,
+        "easy" | "aggressive" => BackfillMode::Aggressive,
+        "conservative" => BackfillMode::Conservative,
+        other => return Err(format!("unknown backfill mode {other:?}")),
+    };
+    config.kill_at_estimate = has_flag(args, "--kill");
+
+    let router_name = flag_value(args, "--router")?.unwrap_or("least-loaded");
+    // Compiled outside the match so the learned router's bytecode outlives
+    // the FederationSpec borrowing it.
+    let router_compiled: Option<CompiledPolicy> = if router_name == "learned" {
+        let name = flag_value(args, "--router-policy")?.unwrap_or(policy_name);
+        let p = by_name(name).ok_or_else(|| format!("unknown router policy {name:?}"))?;
+        Some(
+            p.compile()
+                .ok_or_else(|| format!("policy {name:?} has no compiled form to route with"))?,
+        )
+    } else {
+        None
+    };
+    let router = match router_name {
+        "round-robin" => Router::RoundRobin,
+        "least-loaded" => Router::LeastLoaded,
+        "locality" => Router::LocalityAware {
+            spill: f64_flag(args, "--spill", 0.0)?,
+        },
+        "learned" => Router::Learned(router_compiled.as_ref().expect("compiled above")),
+        other => return Err(format!("unknown router {other:?}")),
+    };
+    let fault = fault_flags(args, cores, 0x5C17)?;
+
+    let (_, trace) = load_swf(path)?;
+    let trace = trace.capped_to(cores);
+    if trace.is_empty() {
+        return Err("no usable jobs after capping to the per-cluster width".to_string());
+    }
+    println!(
+        "Federating {} jobs across {shards} x {cores}-core clusters ({router_name} routing, {} queues)...",
+        trace.len(),
+        policy.name()
+    );
+
+    let spec = FederationSpec::uniform(shards, config, router);
+    let compiled = policy.compile();
+    let discipline = match &compiled {
+        Some(cp) => QueueDiscipline::Compiled(cp),
+        None => QueueDiscipline::Policy(policy.as_ref()),
+    };
+    let t0 = std::time::Instant::now();
+    let result = match &fault {
+        Some(profile) => run_federation_faulty(&trace, &spec, &discipline, profile),
+        None => run_federation(&trace, &spec, &discipline),
+    }
+    .map_err(|e| format!("federated simulation failed: {e}"))?;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    println!(
+        "  {:<8} {:>8} {:>10} {:>12} {:>10} {:>12}",
+        "cluster", "jobs", "AVEbsld", "mean wait", "util", "makespan(d)"
+    );
+    for (s, shard) in result.shards.iter().enumerate() {
+        println!(
+            "  {:<8} {:>8} {:>10} {:>12} {:>10.3} {:>12.2}",
+            s,
+            shard.completed.len(),
+            stat_or_na(shard.avg_bounded_slowdown(DEFAULT_TAU), 2),
+            stat_or_na(shard.mean_wait(), 1),
+            shard.utilization,
+            shard.makespan / 86_400.0,
+        );
+    }
+    println!(
+        "global: AVEbsld = {} | mean wait = {} s | makespan = {:.2} days | backfilled = {} | [{elapsed:.1} s]",
+        stat_or_na(result.avg_bounded_slowdown(DEFAULT_TAU), 2),
+        stat_or_na(result.mean_wait(), 1),
+        result.makespan() / 86_400.0,
+        result.backfilled_jobs(),
+    );
+    if fault.is_some() {
+        println!(
+            "resilience: preempted = {} | abandoned = {} | lost core-seconds = {:.0}",
+            result.preempted_jobs(),
+            result.abandoned_jobs(),
+            result.lost_core_seconds(),
+        );
+    }
     Ok(())
 }
 
@@ -248,7 +442,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             fit.fitness
         );
     }
-    if let Some(out) = flag_value(args, "--out") {
+    if let Some(out) = flag_value(args, "--out")? {
         std::fs::write(out, save_learned(&report.policies))
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("policy file written to {out}");
@@ -295,7 +489,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let markdown = full_run_markdown(&report);
     print!("{markdown}");
     eprintln!("[{:.1} s total]", t0.elapsed().as_secs_f64());
-    if let Some(out) = flag_value(args, "--out") {
+    if let Some(out) = flag_value(args, "--out")? {
         std::fs::write(out, &markdown).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("report written to {out}");
     }
@@ -331,12 +525,12 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
 
 fn cmd_scenarios(args: &[String]) -> Result<(), String> {
     let cores = usize_flag(args, "--cores", 256)? as u32;
-    let days = usize_flag(args, "--days", 7)? as f64;
-    let load = flag_value(args, "--load")
-        .map(|v| v.parse::<f64>().map_err(|e| format!("bad --load: {e}")))
-        .transpose()?
-        .unwrap_or(0.8);
-    let seed = usize_flag(args, "--seed", 0x5C17)? as u64;
+    // span_days is f64 end to end: `--days 2.5` is a valid half-day span
+    // (the old usize round-trip rejected it), and seeds parse as u64
+    // directly rather than truncating through usize.
+    let days = f64_flag(args, "--days", 7.0)?;
+    let load = f64_flag(args, "--load", 0.8)?;
+    let seed = u64_flag(args, "--seed", 0x5C17)?;
 
     let registry = ScenarioRegistry::builtin();
     let store = TraceStore::new();
@@ -347,7 +541,7 @@ fn cmd_scenarios(args: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "workload scenario registry ({} cores, {days:.0}-day span, target load {load:.2}, seed {seed}):\n",
+        "workload scenario registry ({} cores, {days}-day span, target load {load:.2}, seed {seed}):\n",
         cores
     );
     println!(
@@ -369,28 +563,11 @@ fn cmd_scenarios(args: &[String]) -> Result<(), String> {
     }
 
     // Optional deterministic fault injection for the evaluation below.
-    let fault = match flag_value(args, "--mtbf") {
-        Some(v) => {
-            let mtbf: f64 = v.parse().map_err(|e| format!("bad --mtbf: {e}"))?;
-            let mttr = flag_value(args, "--mttr")
-                .map(|v| v.parse::<f64>().map_err(|e| format!("bad --mttr: {e}")))
-                .transpose()?
-                .unwrap_or(3_600.0);
-            let fault_cores =
-                usize_flag(args, "--fault-cores", (cores / 8).max(1) as usize)? as u32;
-            let retries = usize_flag(args, "--fault-retries", 3)? as u32;
-            let fault_seed = usize_flag(args, "--fault-seed", seed as usize)? as u64;
-            Some(
-                FaultProfile::failures(mtbf, mttr, fault_cores, fault_seed)
-                    .with_max_retries(retries),
-            )
-        }
-        None => None,
-    };
+    let fault = fault_flags(args, cores, seed)?;
 
     if has_flag(args, "--eval") {
         let mut registry = registry;
-        let names: Vec<String> = match flag_value(args, "--family") {
+        let names: Vec<String> = match flag_value(args, "--family")? {
             Some(name) => {
                 registry
                     .get(name)
@@ -482,4 +659,58 @@ fn cmd_policies() -> Result<(), String> {
         println!("  {} = {}", p.name(), p.function());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_reads_a_present_value() {
+        let a = args(&["--policy", "SPT", "--kill"]);
+        assert_eq!(flag_value(&a, "--policy"), Ok(Some("SPT")));
+        assert_eq!(flag_value(&a, "--backfill"), Ok(None));
+    }
+
+    #[test]
+    fn flag_value_rejects_a_missing_value() {
+        // Regression: `train --tuples` used to run with the default 12
+        // instead of erroring.
+        let a = args(&["--tuples"]);
+        assert!(flag_value(&a, "--tuples").is_err());
+        assert!(usize_flag(&a, "--tuples", 12).is_err());
+    }
+
+    #[test]
+    fn flag_value_rejects_a_flag_shaped_value() {
+        // Regression: `--policy --kill` consumed "--kill" as the policy
+        // name and failed later with a confusing "unknown policy".
+        let a = args(&["--policy", "--kill"]);
+        let err = flag_value(&a, "--policy").unwrap_err();
+        assert!(err.contains("--kill"), "error should name the flag: {err}");
+    }
+
+    #[test]
+    fn days_accept_fractions_and_seeds_parse_as_u64() {
+        // Regression: --days round-tripped through usize, rejecting 2.5
+        // even though span_days is f64; seeds truncated through usize.
+        let a = args(&["--days", "2.5", "--seed", "18446744073709551615"]);
+        assert_eq!(f64_flag(&a, "--days", 7.0), Ok(2.5));
+        assert_eq!(u64_flag(&a, "--seed", 0), Ok(u64::MAX));
+        assert!(f64_flag(&args(&["--days", "x"]), "--days", 7.0).is_err());
+        assert!(u64_flag(&args(&["--seed", "-1"]), "--seed", 0).is_err());
+    }
+
+    #[test]
+    fn empty_result_statistics_render_uniformly() {
+        // Regression: AVEbsld fell back to NaN but mean wait to 0.0 — an
+        // empty run read as a measured zero-wait schedule.
+        assert_eq!(stat_or_na(None, 2), "n/a");
+        assert_eq!(stat_or_na(Some(1.25), 2), "1.25");
+        assert_eq!(stat_or_na(Some(3.0), 1), "3.0");
+    }
 }
