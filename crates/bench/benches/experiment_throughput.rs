@@ -201,6 +201,7 @@ fn regenerate() {
         "{{\n  \
            \"bench\": \"experiment_throughput\",\n  \
            \"scale\": \"{}\",\n  \
+           {}\n  \
            \"grid\": {{ \"policies\": {}, \"sequences\": {}, \"jobs_per_sequence\": {}, \"cells\": {} }},\n  \
            \"session\": {{ \"seconds\": {:.4}, \"cells_per_sec\": {:.1}, \"us_per_cell\": {:.3} }},\n  \
            \"per_cell_simulate\": {{ \"seconds\": {:.4}, \"cells_per_sec\": {:.1}, \"us_per_cell\": {:.3} }},\n  \
@@ -208,6 +209,7 @@ fn regenerate() {
            \"speedup_vs_per_cell_simulate\": {:.3},\n  \
            \"speedup_vs_seed_engine\": {:.3}\n}}\n",
         if full_scale() { "paper" } else { "reduced" },
+        dynsched_bench::host_json(),
         policies.len(),
         seqs.len(),
         n_jobs,

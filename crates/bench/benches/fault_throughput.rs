@@ -199,12 +199,14 @@ fn regenerate() {
         "{{\n  \
            \"bench\": \"fault_throughput\",\n  \
            \"scale\": \"{}\",\n  \
+           {}\n  \
            \"workload\": {{ \"traces\": {}, \"policies\": {}, \"configs\": {}, \"sims_per_pass\": {} }},\n  \
            \"faults\": {{ \"preemptions\": {preemptions}, \"abandonments\": {abandonments} }},\n  \
            \"zero_fault\": {{ \"seconds_per_pass\": {:.4}, \"sims_per_second\": {:.1} }},\n  \
            \"empty_schedule\": {{ \"seconds_per_pass\": {:.4}, \"sims_per_second\": {:.1}, \"overhead_vs_zero_fault\": {:.4}, \"budget\": 1.05 }},\n  \
            \"biting_schedule\": {{ \"seconds_per_pass\": {:.4}, \"sims_per_second\": {:.1} }}\n}}\n",
         if full_scale() { "paper" } else { "reduced" },
+        dynsched_bench::host_json(),
         traces.len(),
         policies.len(),
         configs.len(),

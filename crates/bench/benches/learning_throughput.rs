@@ -128,6 +128,7 @@ fn regenerate() {
         "{{\n  \
            \"bench\": \"learning_throughput\",\n  \
            \"scale\": \"{}\",\n  \
+           {}\n  \
            \"observations\": {},\n  \
            \"candidate_functions\": {fits},\n  \
            \"batched_session\": {{ \"seconds\": {:.4}, \"fits_per_sec\": {:.1}, \"ms_per_fit\": {:.4} }},\n  \
@@ -136,6 +137,7 @@ fn regenerate() {
            \"speedup_vs_sequential_reference\": {:.3},\n  \
            \"speedup_single_worker_vs_reference\": {:.3}\n}}\n",
         if full_scale() { "paper" } else { "reduced" },
+        dynsched_bench::host_json(),
         ts.len(),
         batched.seconds,
         batched.fits_per_sec,

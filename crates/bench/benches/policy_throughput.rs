@@ -480,6 +480,7 @@ fn regenerate() {
         "{{\n  \
            \"bench\": \"policy_throughput\",\n  \
            \"scale\": \"{}\",\n  \
+           {}\n  \
            \"policy\": \"log10(r)*n + 8.70e2*log10(s) - 1.5e-2*w\",\n  \
            \"queue_rescoring\": {{\n    \
              \"queue_size\": {queue_size},\n    \
@@ -511,6 +512,7 @@ fn regenerate() {
              \"learned_f1\": {{ \"interpreted_seconds\": {:.4}, \"compiled_seconds\": {:.4}, \"speedup\": {:.3} }},\n    \
              \"bit_identical\": true\n  }}\n}}\n",
         if full_scale() { "paper" } else { "reduced" },
+        dynsched_bench::host_json(),
         jobs_scored / tree_secs,
         jobs_scored / batch_secs,
         delta_events as f64 / full_delta_secs,

@@ -1,10 +1,12 @@
 //! §4.1 timing claim: "256 thousand trials … takes less than 11 minutes
 //! using SimGrid on an Intel Xeon E5-2620v2 six-core CPU."
 //!
-//! Measures the zero-allocation trial engine's throughput against the
-//! original allocation-per-call engine (preserved in
-//! `dynsched_scheduler::reference`), projects the wall time for the paper's
-//! 256k-trial batch, and records the numbers in
+//! Measures the checkpoint-and-fork trial engine's throughput against two
+//! baselines — the from-scratch zero-allocation kernel it replaced
+//! (bit-identity asserted before timing) and the original
+//! allocation-per-call engine (preserved in
+//! `dynsched_scheduler::reference`) — projects the wall time for the
+//! paper's 256k-trial batch, and records the numbers in
 //! `BENCH_trial_throughput.json` at the repo root so the performance
 //! trajectory is tracked across PRs.
 
@@ -14,8 +16,8 @@ use dynsched_cluster::Platform;
 use dynsched_core::trials::{run_trial, trial_scores, TrialScores, TrialSpec};
 use dynsched_core::tuples::{TaskTuple, TupleSpec};
 use dynsched_scheduler::reference::simulate_reference;
-use dynsched_scheduler::{QueueDiscipline, SchedulerConfig};
-use dynsched_simkit::parallel::run_indexed;
+use dynsched_scheduler::{QueueDiscipline, SchedulerConfig, SimWorkspace};
+use dynsched_simkit::parallel::{max_workers, run_indexed, run_scoped};
 use dynsched_simkit::Rng;
 use dynsched_workload::{LublinModel, Trace};
 use std::hint::black_box;
@@ -43,6 +45,60 @@ fn legacy_trial_scores(tuple: &TaskTuple, spec: &TrialSpec, master: &Rng) -> Tri
             .avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), spec.tau)
             .expect("Q is non-empty");
         (perm[0], ave)
+    });
+    let mut sum_by_first = vec![0.0; q];
+    let mut count_by_first = vec![0u64; q];
+    let mut total = 0.0;
+    for (first, ave) in outcomes {
+        sum_by_first[first] += ave;
+        count_by_first[first] += 1;
+        total += ave;
+    }
+    let scores = sum_by_first.iter().map(|s| s / total).collect();
+    TrialScores {
+        scores,
+        trials: spec.trials,
+        first_counts: count_by_first,
+    }
+}
+
+/// The pre-checkpoint batched kernel: the same deterministic fan-out,
+/// shared columnar trace, and reusable per-worker workspaces as the
+/// current `trial_scores`, but every trial simulates from time zero
+/// instead of forking the shared warmup checkpoint. This is the baseline
+/// the checkpoint-and-fork engine is asserted bit-identical to and then
+/// timed against.
+fn scratch_trial_scores(tuple: &TaskTuple, spec: &TrialSpec, master: &Rng) -> TrialScores {
+    let q = tuple.q_tasks.len();
+    let base = tuple.s_tasks.len();
+    let config = SchedulerConfig::actual_runtimes(spec.platform);
+    let trace = Trace::from_jobs(tuple.all_jobs()).to_view();
+    #[derive(Default)]
+    struct St {
+        ws: SimWorkspace,
+        perm: Vec<usize>,
+        ranks: Vec<usize>,
+    }
+    let outcomes: Vec<(usize, f64)> = run_scoped(spec.trials, St::default, |g, st| {
+        let mut rng = master.fork(g as u64);
+        st.perm.clear();
+        st.perm.extend(0..q);
+        rng.shuffle(&mut st.perm);
+        st.ranks.clear();
+        st.ranks.resize(base + q, 0);
+        for (i, r) in st.ranks.iter_mut().enumerate().take(base) {
+            *r = i;
+        }
+        for (pos, &k) in st.perm.iter().enumerate() {
+            st.ranks[base + k] = base + pos;
+        }
+        st.ws
+            .run(&trace, &QueueDiscipline::FixedOrder(&st.ranks), &config);
+        let ave = st
+            .ws
+            .avg_bounded_slowdown_of(&|id| tuple.is_q_task(id), spec.tau)
+            .expect("Q is non-empty");
+        (st.perm[0], ave)
     });
     let mut sum_by_first = vec![0.0; q];
     let mut count_by_first = vec![0u64; q];
@@ -93,9 +149,22 @@ fn regenerate() {
         tau: 10.0,
     };
 
+    // Checkpoint-and-fork vs from-scratch, same optimized engine: assert
+    // bit-identity BEFORE timing anything — a fast wrong kernel is not a
+    // result.
+    let identity_check = trial_scores(&tuple, &spec, &Rng::new(4));
+    assert_eq!(
+        identity_check,
+        scratch_trial_scores(&tuple, &spec, &Rng::new(4)),
+        "checkpointed kernel diverged from the from-scratch kernel"
+    );
+
     let mut fast_scores = None;
     let fast = time_trials(trials, 3, || {
         fast_scores = Some(trial_scores(&tuple, &spec, &Rng::new(4)))
+    });
+    let scratch = time_trials(trials, 3, || {
+        black_box(scratch_trial_scores(&tuple, &spec, &Rng::new(4)));
     });
     // The legacy baseline is slow by construction; cap its trial count and
     // compare rates (each trial is independent, so the rate is flat).
@@ -124,15 +193,26 @@ fn regenerate() {
     );
 
     let speedup = fast.trials_per_sec / legacy.trials_per_sec;
+    let fork_speedup = fast.trials_per_sec / scratch.trials_per_sec;
     println!(
-        "fast engine:  {} trials in {:.2} s  ->  {:.1} µs/trial ({:.0} trials/s, parallel)",
+        "checkpointed: {} trials in {:.2} s  ->  {:.1} µs/trial ({:.0} trials/s, parallel)",
         trials, fast.seconds, fast.us_per_trial, fast.trials_per_sec
+    );
+    println!(
+        "from-scratch: {} trials in {:.2} s  ->  {:.1} µs/trial ({:.0} trials/s, parallel)",
+        trials, scratch.seconds, scratch.us_per_trial, scratch.trials_per_sec
     );
     println!(
         "seed engine:  {} trials in {:.2} s  ->  {:.1} µs/trial ({:.0} trials/s, parallel)",
         legacy_trials, legacy.seconds, legacy.us_per_trial, legacy.trials_per_sec
     );
-    println!("speedup: {speedup:.2}x");
+    println!("checkpoint-and-fork speedup vs from-scratch kernel: {fork_speedup:.2}x");
+    println!("speedup vs seed engine: {speedup:.2}x");
+    assert!(
+        fork_speedup >= 2.0,
+        "checkpoint-and-fork must at least double trial throughput on the \
+         default tuple shape (measured {fork_speedup:.2}x)"
+    );
     println!(
         "projected 256k trials: {:.1} s  (paper: < 660 s on a 2013 six-core Xeon + SimGrid)",
         fast.us_per_trial * 256_000.0 / 1e6
@@ -143,20 +223,31 @@ fn regenerate() {
            \"bench\": \"trial_throughput\",\n  \
            \"scale\": \"{}\",\n  \
            \"platform_cores\": {},\n  \
+           \"host_cpus\": {},\n  \
+           \"workers\": {},\n  \
            \"fast\": {{ \"trials\": {}, \"seconds\": {:.4}, \"trials_per_sec\": {:.1}, \"us_per_trial\": {:.3} }},\n  \
+           \"scratch_kernel\": {{ \"trials\": {}, \"seconds\": {:.4}, \"trials_per_sec\": {:.1}, \"us_per_trial\": {:.3} }},\n  \
            \"seed_engine\": {{ \"trials\": {}, \"seconds\": {:.4}, \"trials_per_sec\": {:.1}, \"us_per_trial\": {:.3} }},\n  \
+           \"checkpoint_speedup_vs_scratch\": {:.3},\n  \
            \"speedup_vs_seed\": {:.3},\n  \
            \"projected_256k_seconds\": {:.2}\n}}\n",
         if full_scale() { "paper" } else { "reduced" },
         spec.platform.total_cores,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        max_workers(),
         trials,
         fast.seconds,
         fast.trials_per_sec,
         fast.us_per_trial,
+        trials,
+        scratch.seconds,
+        scratch.trials_per_sec,
+        scratch.us_per_trial,
         legacy_trials,
         legacy.seconds,
         legacy.trials_per_sec,
         legacy.us_per_trial,
+        fork_speedup,
         speedup,
         fast.us_per_trial * 256_000.0 / 1e6,
     );
@@ -187,6 +278,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("1024_parallel_fast", |b| {
         let master = Rng::new(5);
         b.iter(|| black_box(trial_scores(&tuple, &spec, &master)))
+    });
+    g.bench_function("1024_parallel_scratch_kernel", |b| {
+        let master = Rng::new(5);
+        b.iter(|| black_box(scratch_trial_scores(&tuple, &spec, &master)))
     });
     g.bench_function("1024_parallel_seed_engine", |b| {
         let master = Rng::new(5);

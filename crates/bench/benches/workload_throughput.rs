@@ -144,10 +144,12 @@ fn regenerate() {
         "{{\n  \
            \"bench\": \"workload_throughput\",\n  \
            \"scale\": \"{}\",\n  \
+           {}\n  \
            \"grid\": {{ \"rows\": 18, \"builds\": {}, \"store_hits\": {}, \"jobs\": {}, \"policies\": {} }},\n  \
            \"construction\": {{ \"store_seconds\": {:.4}, \"per_row_seconds\": {:.4}, \"speedup\": {:.3} }},\n  \
            \"grid_end_to_end\": {{ \"store_seconds\": {:.4}, \"per_row_seconds\": {:.4}, \"speedup\": {:.3} }}\n}}\n",
         if full_scale() { "paper" } else { "reduced" },
+        dynsched_bench::host_json(),
         store.builds(),
         store.hits(),
         total_jobs,

@@ -58,6 +58,18 @@ pub fn criterion() -> Criterion {
         .configure_from_args()
 }
 
+/// The `"host_cpus"`/`"workers"` fragment every `BENCH_*.json` records so
+/// throughput numbers can be normalized across machines: the host's
+/// logical CPU count and the scoped pool's natural worker width. Both are
+/// informational — simulation results never depend on either.
+pub fn host_json() -> String {
+    format!(
+        "\"host_cpus\": {},\n  \"workers\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        dynsched_simkit::parallel::max_workers(),
+    )
+}
+
 /// Print a banner separating regeneration output from Criterion output.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");

@@ -50,6 +50,24 @@
 //! train → fit → select → evaluate loop bit-identical at 1 vs n threads
 //! and to the sequential pre-refactor enumeration.
 //!
+//! ## Checkpoint-and-fork trials
+//!
+//! Permutation trials over one `(S, Q)` tuple re-simulate an identical
+//! prefix up to 256k times: every permutation shares the same `S` ranks,
+//! and with the trial configuration's strict, no-backfill scheduling a
+//! pass can only diverge once two `Q` tasks are simultaneously present
+//! and order-sensitive. [`trials::trial_scores_batched`] exploits this:
+//! per distinct tuple (deduplicated by content) it runs one
+//! identity-ranks simulation, locates the earliest event time at which a
+//! permutation could change a decision, captures a
+//! [`Checkpoint`](dynsched_scheduler::Checkpoint) of the engine at that
+//! horizon via `SimWorkspace::run_prefix`, and every trial then forks
+//! from the shared snapshot with `SimWorkspace::resume_from` under its
+//! own permuted ranks. The forked kernel is pinned bit-identical to the
+//! from-scratch trial loop (and thread-count independent) by the trials
+//! regression tests here and the scheduler crate's
+//! `checkpoint_bit_identity` suite.
+//!
 //! ## Quickstart
 //!
 //! ```

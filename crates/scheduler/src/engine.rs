@@ -113,6 +113,7 @@
 //! [`crate::reference`] stays on the per-task scalar, full-sort path as
 //! the oracle.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{BackfillMode, SchedulerConfig};
 use crate::profile::{clamp_release, Profile};
 use crate::result::{SimMetrics, SimulationResult};
@@ -263,13 +264,13 @@ fn task_view(config: &SchedulerConfig, job: &Job, now: f64) -> TaskView {
 /// the killed attempt no longer matches and is skipped when popped. In a
 /// zero-fault run the attempt is always 0 and never consulted; the payload
 /// widens `Scheduled<Completion>` within the same 24-byte layout.
-type Completion = (u32, u32);
+pub(crate) type Completion = (u32, u32);
 
 /// A waiting job. Its priority key (fixed-order rank or cached score) is
 /// *not* stored here: keys live in a parallel `Vec<f64>` (`q_keys`) so the
 /// binary-search scans that order the queue stay dense — the SoA split.
 #[derive(Debug, Clone, Copy)]
-struct QueueEntry {
+pub(crate) struct QueueEntry {
     /// Position of the job in the trace — the dense key for `start_of`
     /// and `FixedOrder` ranks.
     idx: u32,
@@ -303,7 +304,27 @@ impl CompletionSink for SimMetrics {
 
 /// One running job's expected release, kept sorted by
 /// `(decision-mode end time, trace index)`.
-type Release = (f64, u32, u32); // (decision_end, cores, idx)
+pub(crate) type Release = (f64, u32, u32); // (decision_end, cores, idx)
+
+/// What span of the event loop one `run_with` call covers: the whole
+/// schedule, a prefix captured into a [`Checkpoint`], or a continuation
+/// restored from one. Prefix/resume are zero-fault only — the trial
+/// kernel they serve never injects faults, and fault streams would make
+/// a shared prefix meaningless.
+enum RunMode<'c> {
+    /// Simulate from time zero until the queue drains (every path that
+    /// existed before checkpointing).
+    Full,
+    /// Stop before the first event at or after `horizon` and capture the
+    /// engine state into `into` instead of draining the queue.
+    Prefix {
+        horizon: f64,
+        into: &'c mut Checkpoint,
+    },
+    /// Start from a captured snapshot instead of the pristine state, then
+    /// run to drain as usual.
+    Resume { from: &'c Checkpoint },
+}
 
 /// How the waiting queue is kept ordered. For *static* disciplines — fixed
 /// ranks, or policies whose scores never change after arrival — the queue
@@ -439,7 +460,14 @@ impl SimWorkspace {
         // a reused workspace keeps its capacity).
         let mut completed = std::mem::take(&mut self.completed);
         completed.clear();
-        let outcome = self.run_with::<false, _, _>(trace, discipline, config, &mut completed, None);
+        let outcome = self.run_with::<false, _, _>(
+            trace,
+            discipline,
+            config,
+            &mut completed,
+            None,
+            RunMode::Full,
+        );
         self.completed = completed;
         self.metrics_only = false;
         self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
@@ -472,8 +500,14 @@ impl SimWorkspace {
     ) -> Result<(), EngineError> {
         let mut completed = std::mem::take(&mut self.completed);
         completed.clear();
-        let outcome =
-            self.run_with::<true, _, _>(trace, discipline, config, &mut completed, Some(schedule));
+        let outcome = self.run_with::<true, _, _>(
+            trace,
+            discipline,
+            config,
+            &mut completed,
+            Some(schedule),
+            RunMode::Full,
+        );
         self.completed = completed;
         self.metrics_only = false;
         self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
@@ -506,7 +540,7 @@ impl SimWorkspace {
         let mut metrics = SimMetrics::new(tau);
         self.completed.clear();
         self.metrics_only = true;
-        self.run_with::<false, _, _>(trace, discipline, config, &mut metrics, None)
+        self.run_with::<false, _, _>(trace, discipline, config, &mut metrics, None, RunMode::Full)
             .expect("zero-fault simulation cannot reach an engine error");
         metrics.backfilled_jobs = self.backfilled;
         self.makespan = metrics.makespan;
@@ -533,7 +567,14 @@ impl SimWorkspace {
         let mut metrics = SimMetrics::new(tau);
         self.completed.clear();
         self.metrics_only = true;
-        self.run_with::<true, _, _>(trace, discipline, config, &mut metrics, Some(schedule))?;
+        self.run_with::<true, _, _>(
+            trace,
+            discipline,
+            config,
+            &mut metrics,
+            Some(schedule),
+            RunMode::Full,
+        )?;
         metrics.backfilled_jobs = self.backfilled;
         metrics.preempted_jobs = self.preempted;
         metrics.abandoned_jobs = self.abandoned.len() as u64;
@@ -541,6 +582,97 @@ impl SimWorkspace {
         self.makespan = metrics.makespan;
         self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
         Ok(metrics)
+    }
+
+    /// Run the event loop up to `horizon` and capture the engine state
+    /// into `into` — the checkpoint half of the checkpoint/fork API (see
+    /// [`crate::checkpoint`] for the full contract).
+    ///
+    /// Every event with timestamp strictly **before** `horizon` is
+    /// processed; the first event at or after it is left pending, so the
+    /// snapshot is exactly the state a scratch run passes through on its
+    /// way to that event. A `horizon` of `0.0` (or anything at or before
+    /// the first submit) captures the pristine initial state — resuming
+    /// that degenerate snapshot is a plain [`SimWorkspace::run`]. `into`'s
+    /// buffers are reused across captures, so a warm checkpoint costs
+    /// copies, not allocation.
+    ///
+    /// After this returns the workspace holds the *partial* state of the
+    /// prefix: [`SimWorkspace::completed`] lists only pre-horizon
+    /// completions and makespan/utilization cover the prefix alone. Run or
+    /// resume before reading whole-schedule results.
+    ///
+    /// # Panics
+    /// See [`SimWorkspace::run`].
+    pub fn run_prefix<T: TraceSource>(
+        &mut self,
+        trace: &T,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+        horizon: f64,
+        into: &mut Checkpoint,
+    ) {
+        assert!(!horizon.is_nan(), "checkpoint horizon must not be NaN");
+        let mut completed = std::mem::take(&mut self.completed);
+        completed.clear();
+        let outcome = self.run_with::<false, _, _>(
+            trace,
+            discipline,
+            config,
+            &mut completed,
+            None,
+            RunMode::Prefix { horizon, into },
+        );
+        self.completed = completed;
+        self.metrics_only = false;
+        self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
+        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+        outcome.expect("zero-fault simulation cannot reach an engine error");
+        // The completion prefix is captured here rather than inside the
+        // loop: the sink is this workspace's own list, handed back just
+        // above.
+        into.completed.clone_from(&self.completed);
+    }
+
+    /// Restore the engine state captured in `from` and continue the
+    /// simulation to completion under `discipline` — the fork half of the
+    /// checkpoint/fork API.
+    ///
+    /// `trace` and `config` must be the ones the prefix ran with, and
+    /// `discipline` must rank every pre-horizon job exactly as the
+    /// prefix's discipline did (the trial kernel's permutations satisfy
+    /// this by construction: warmup ranks are permutation-invariant). The
+    /// result — completions, counters, makespan, utilization, AVEbsld —
+    /// is then **bit-identical** to a scratch [`SimWorkspace::run`] under
+    /// `discipline`, at any worker count (the `checkpoint_bit_identity`
+    /// suite pins it). The restore copies into preallocated buffers: a
+    /// warm workspace allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if `trace`'s length differs from the checkpointed trace's,
+    /// plus the conditions of [`SimWorkspace::run`].
+    pub fn resume_from<T: TraceSource>(
+        &mut self,
+        from: &Checkpoint,
+        trace: &T,
+        discipline: &QueueDiscipline<'_>,
+        config: &SchedulerConfig,
+    ) {
+        let mut completed = std::mem::take(&mut self.completed);
+        completed.clear();
+        let outcome = self.run_with::<false, _, _>(
+            trace,
+            discipline,
+            config,
+            &mut completed,
+            None,
+            RunMode::Resume { from },
+        );
+        self.completed = completed;
+        self.metrics_only = false;
+        self.makespan = self.completed.iter().map(|c| c.finish).fold(0.0, f64::max);
+        self.utilization = self.ledger.utilization(self.makespan).unwrap_or(0.0);
+        outcome.expect("zero-fault simulation cannot reach an engine error");
     }
 
     /// The engine proper, generic over where completions go, over the
@@ -556,7 +688,12 @@ impl SimWorkspace {
         config: &SchedulerConfig,
         sink: &mut K,
         schedule: Option<&AvailabilitySchedule>,
+        mode: RunMode<'_>,
     ) -> Result<(), EngineError> {
+        debug_assert!(
+            !FAULTY || matches!(mode, RunMode::Full),
+            "checkpoint/fork is a zero-fault API"
+        );
         let n_jobs = trace.len();
         let total_cores = config.platform.total_cores;
         for i in 0..n_jobs {
@@ -648,8 +785,53 @@ impl SimWorkspace {
         } else {
             u32::MAX
         };
+        // The no-op skip only applies where a blocked head is a stable
+        // fact: strict mode (nothing behind the head can ever start)
+        // with a static order (the head cannot change by re-scoring).
+        let skip_eligible =
+            config.backfill == BackfillMode::None && queue_order != QueueOrder::TimeDependent;
+        let prefix_horizon = match &mode {
+            RunMode::Prefix { horizon, .. } => Some(*horizon),
+            _ => None,
+        };
+        // Resuming: overwrite the pristine buffers with the snapshot. Every
+        // copy below is a `clone_from` into a just-cleared (allocation-
+        // retaining) buffer, so a warm workspace performs no allocation.
+        // The completion prefix replays into the sink first — prefix
+        // completions all finish strictly before the horizon, ahead of any
+        // suffix completion, so the merged stream is in true completion
+        // order and metrics accumulation stays bit-identical to scratch.
+        let (mut cursor, mut events_processed, resume_known, resume_head_blocked) =
+            if let RunMode::Resume { from } = &mode {
+                assert_eq!(
+                    from.n_jobs, n_jobs,
+                    "checkpoint was captured for a different trace length"
+                );
+                self.events.restore_from(&from.events);
+                self.queue.clone_from(&from.queue);
+                self.q_keys.clone_from(&from.q_keys);
+                self.order.clone_from(&from.order);
+                self.releases.clone_from(&from.releases);
+                self.q_r.clone_from(&from.q_r);
+                self.q_n.clone_from(&from.q_n);
+                self.q_s.clone_from(&from.q_s);
+                self.q_slots.clone_from(&from.q_slots);
+                self.start_of.clone_from(&from.start_of);
+                self.ledger.clone_from(&from.ledger);
+                self.backfilled = from.backfilled;
+                for c in &from.completed {
+                    sink.record(*c);
+                }
+                (
+                    from.cursor,
+                    from.events_processed,
+                    from.known,
+                    from.head_blocked,
+                )
+            } else {
+                (0, 0, 0, false)
+            };
         let mut clock = Clock::new();
-        let mut events_processed = 0u64;
         let SimWorkspace {
             events,
             queue,
@@ -685,17 +867,16 @@ impl SimWorkspace {
             config,
             queue_order,
             track_releases: config.backfill != BackfillMode::None,
-            // The no-op skip only applies where a blocked head is a stable
-            // fact: strict mode (nothing behind the head can ever start)
-            // with a static order (the head cannot change by re-scoring).
-            skip_eligible: config.backfill == BackfillMode::None
-                && queue_order != QueueOrder::TimeDependent,
-            head_blocked: false,
+            skip_eligible,
+            // A restored blocked-head fact is only valid where the skip may
+            // fire at all; under any other mode it is conservatively
+            // dropped (the next reschedule simply does the full pass).
+            head_blocked: resume_head_blocked && skip_eligible,
             track_lanes: matches!(discipline, QueueDiscipline::Compiled(_))
                 && queue_order == QueueOrder::TimeDependent,
             incremental,
             topk,
-            known: 0,
+            known: if incremental { resume_known } else { 0 },
             max_retries,
             events,
             queue,
@@ -725,6 +906,9 @@ impl SimWorkspace {
             preempted,
             lost_core_seconds,
         };
+        if matches!(mode, RunMode::Resume { .. }) && queue_order != QueueOrder::TimeDependent {
+            eng.rescore_restored_queue();
+        }
 
         // Arrivals come off the submit-sorted trace via `cursor`;
         // completions off the heap; under fault injection, capacity steps
@@ -733,7 +917,6 @@ impl SimWorkspace {
         // the exact FIFO batch order the reference engine's single heap
         // produces), then capacity steps: a job finishing at `t` is never a
         // preemption victim at `t`.
-        let mut cursor = 0usize;
         let mut step_cursor = 0usize;
         loop {
             let next_arrival = (cursor < n_jobs).then(|| trace.submit(cursor));
@@ -751,6 +934,15 @@ impl SimWorkspace {
                 t = Some(t.map_or(s, |t| t.min(s)));
             }
             let Some(t) = t else { break };
+            if let Some(h) = prefix_horizon {
+                // Prefix mode: process every event strictly before the
+                // horizon, leave the first one at or after it pending —
+                // the capture below sees exactly the state a scratch run
+                // passes through on its way to that event.
+                if t >= h {
+                    break;
+                }
+            }
             clock.advance_to(t);
             while cursor < n_jobs && trace.submit(cursor) == t {
                 events_processed += 1;
@@ -774,6 +966,35 @@ impl SimWorkspace {
                 }
             }
             eng.reschedule(t)?;
+        }
+
+        if let RunMode::Prefix { horizon, into } = mode {
+            // Capture everything the loop above reads or writes. The
+            // completion prefix is *not* captured here — the sink is
+            // generic; `run_prefix` copies it out of the workspace's own
+            // list after this returns. The drained-queue check below is
+            // deliberately skipped: a prefix legitimately stops with jobs
+            // waiting and running.
+            into.horizon = horizon;
+            into.n_jobs = n_jobs;
+            into.cursor = cursor;
+            into.events.restore_from(eng.events);
+            into.queue.clone_from(eng.queue);
+            into.q_keys.clone_from(eng.q_keys);
+            into.order.clone_from(eng.order);
+            into.known = eng.known;
+            into.head_blocked = eng.head_blocked;
+            into.releases.clone_from(eng.releases);
+            into.q_r.clone_from(eng.q_r);
+            into.q_n.clone_from(eng.q_n);
+            into.q_s.clone_from(eng.q_s);
+            into.q_slots.clone_from(eng.q_slots);
+            into.start_of.clone_from(eng.start_of);
+            into.ledger.clone_from(eng.ledger);
+            into.backfilled = *eng.backfilled;
+            into.events_processed = events_processed;
+            self.events_processed = events_processed;
+            return Ok(());
         }
 
         if FAULTY && !eng.queue.is_empty() {
@@ -1169,6 +1390,54 @@ impl<K: CompletionSink, T: TraceSource> Engine<'_, '_, K, T> {
                 }
             }
         }
+    }
+
+    /// Re-key (and re-sort) a restored waiting queue under the *active*
+    /// discipline. A checkpoint stores the queue keyed by the prefix
+    /// discipline; a static-order resume under a different key table — the
+    /// trial kernel forks an identity-ranked prefix under each trial's own
+    /// permutation — would otherwise schedule the restored entries in the
+    /// prefix's order. Re-keying uses the exact arrival-time scoring path
+    /// (static scores are time-independent), so a same-discipline resume
+    /// recomputes the checkpointed bits verbatim and the sort is a no-op.
+    /// Time-dependent orders never enter: they re-score every pass anyway.
+    ///
+    /// The blocked-head fact is dropped: re-keying may change which entry
+    /// is the head, and the next pass re-derives the fact at no cost to
+    /// bit-identity (a blocked strict pass starts nothing and leaves no
+    /// other state behind).
+    fn rescore_restored_queue(&mut self) {
+        debug_assert_ne!(self.queue_order, QueueOrder::TimeDependent);
+        for qi in 0..self.queue.len() {
+            let job = self.queue[qi].job;
+            self.q_keys[qi] = match self.discipline {
+                QueueDiscipline::FixedOrder(ranks) => ranks[self.queue[qi].idx as usize] as f64,
+                QueueDiscipline::Policy(policy) => {
+                    policy.score(&task_view(self.config, &job, job.submit))
+                }
+                QueueDiscipline::Compiled(cp) => cp.score_scalar(
+                    self.config.decision_time(job.runtime, job.estimate),
+                    job.cores as f64,
+                    job.submit,
+                    0.0,
+                    self.slot_row,
+                    self.vm_stack,
+                ),
+            };
+        }
+        // Stable in-place co-sort of (q_keys, queue) — adjacent swaps only
+        // on strict inversions preserve the restored arrival tie-break, and
+        // the queue at a trial horizon is short enough that the quadratic
+        // worst case is immaterial.
+        for i in 1..self.queue.len() {
+            let mut j = i;
+            while j > 0 && self.q_keys[j - 1].total_cmp(&self.q_keys[j]).is_gt() {
+                self.q_keys.swap(j - 1, j);
+                self.queue.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        self.head_blocked = false;
     }
 
     /// Remove `idx` from the maintained release list. The stored decision

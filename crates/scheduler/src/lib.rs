@@ -76,6 +76,29 @@
 //! pins it); [`mod@reference`] scores compiled disciplines one task at a
 //! time and never runs the batch kernel.
 //!
+//! # Checkpoint and fork
+//!
+//! [`SimWorkspace::run_prefix`] executes the event loop up to a
+//! caller-supplied divergence horizon and captures every piece of mutable
+//! engine state — event queue, waiting queue and priority keys, release
+//! list, ledger, start times, completion prefix, counters, arrival
+//! cursor — into a reusable [`Checkpoint`];
+//! [`SimWorkspace::resume_from`] copy-restores the snapshot (no
+//! allocation once warm), re-keys the restored waiting queue under its
+//! own discipline, and continues to completion. Provided every scheduling
+//! decision before the horizon is the same under both disciplines, the
+//! resumed result is **bit-identical** to a scratch [`SimWorkspace::run`]
+//! at any worker count — the `checkpoint_bit_identity` suite pins it
+//! across disciplines, backfill/decision modes, trace layouts, re-keyed
+//! queued-probe forks, and the degenerate horizon-0 snapshot. The
+//! training stage's permutation trials are the motivating caller: one
+//! identity-ranks run per tuple locates the first pass whose outcome can
+//! depend on probe order, and one shared checkpoint at that horizon
+//! replaces per-trial warmup re-simulation (see [`mod@checkpoint`] for
+//! the permutation-safety argument). The scratch path is preserved
+//! unchanged and [`mod@reference`] never checkpoints — the oracle
+//! convention.
+//!
 //! # Fault injection and revocable capacity
 //!
 //! [`simulate_faulty`] / [`SimWorkspace::run_faulty`] run the same engine
@@ -106,6 +129,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod export;
@@ -116,6 +140,7 @@ pub mod reference;
 pub mod result;
 pub mod timeline;
 
+pub use checkpoint::Checkpoint;
 pub use config::{BackfillMode, SchedulerConfig};
 pub use engine::{
     simulate, simulate_faulty, simulate_faulty_into, simulate_into, simulate_metrics_faulty_into,

@@ -134,6 +134,21 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.next_seq = 0;
     }
+
+    /// Make this queue an exact copy of `src` — same pending events, same
+    /// pop order (the FIFO tie-break sequence is copied too, so events
+    /// pushed after the restore break ties exactly as they would have in
+    /// `src`). Reuses this queue's allocation where possible
+    /// (`BinaryHeap::clone_from` delegates to the backing `Vec`), so a
+    /// warm destination performs no allocation. This is the engine
+    /// checkpoint/fork primitive: capture once, restore per fork.
+    pub fn restore_from(&mut self, src: &Self)
+    where
+        E: Clone,
+    {
+        self.heap.clone_from(&src.heap);
+        self.next_seq = src.next_seq;
+    }
 }
 
 /// A simulation clock that only moves forward.
@@ -243,6 +258,28 @@ mod tests {
         let mut c = Clock::new();
         c.advance_to(5.0);
         c.advance_to(4.0);
+    }
+
+    #[test]
+    fn restore_from_replays_identically() {
+        let mut src = EventQueue::new();
+        src.push(5.0, "t5-first");
+        src.push(4.0, "t4");
+        src.push(5.0, "t5-second");
+        src.pop(); // consume t4; the restored copy must not resurrect it
+        let mut dst = EventQueue::new();
+        dst.push(99.0, "stale"); // must be discarded by the restore
+        dst.restore_from(&src);
+        // Post-restore pushes continue the FIFO sequence exactly where the
+        // source left off: a new same-time event ties *after* the pending
+        // ones, just as it would have in `src`.
+        dst.push(5.0, "t5-third");
+        src.push(5.0, "t5-third");
+        assert_eq!(dst.pop(), src.pop());
+        assert_eq!(dst.pop(), src.pop());
+        assert_eq!(dst.pop(), src.pop());
+        assert_eq!(dst.pop(), None);
+        assert_eq!(src.pop(), None);
     }
 
     #[test]

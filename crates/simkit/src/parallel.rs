@@ -49,6 +49,16 @@ fn worker_count(count: usize) -> usize {
     WORKER_LIMIT.with(Cell::get).unwrap_or(hw).min(count).max(1)
 }
 
+/// Worker threads a large fan-out would use on this thread right now: the
+/// host's available parallelism, or the [`with_worker_limit`] override if
+/// one is active. Purely informational (the benches record it next to
+/// their throughput numbers so cross-machine trajectories stay
+/// comparable); results never depend on it — that is the determinism
+/// contract above.
+pub fn max_workers() -> usize {
+    worker_count(usize::MAX)
+}
+
 /// Shareable raw pointer to the output buffer. Safety: workers write
 /// disjoint index ranges (each index is claimed by exactly one chunk).
 struct OutPtr<T>(*mut MaybeUninit<T>);

@@ -70,7 +70,11 @@ USAGE:
 
   dynsched train [--tuples N] [--trials N] [--cores N] [--seed N] [--out FILE]
       Run the training pipeline (Lublin model) and print/export the best
-      learned policies.
+      learned policies. Permutation trials run on the checkpoint-and-fork
+      engine: each distinct (S, Q) tuple is simulated once up to the
+      point where task order can first matter, and all trials fork from
+      that shared snapshot (bit-identical to from-scratch trials at any
+      thread count).
 
   dynsched run [--tuples N] [--trials N] [--cores N] [--seed N] [--top K]
                [--quick] [--out FILE]
