@@ -52,7 +52,8 @@ fn regenerate() {
         for (tag, axes, legend) in panels {
             let grid = heatmap_grid(policy.function(), axes, 32);
             let path = out_dir.join(format!("fig3{}_{}.csv", tag, policy.name()));
-            std::fs::write(&path, heatmap_csv(&grid)).expect("write heatmap CSV");
+            dynsched_simkit::durable::write_atomic(&path, heatmap_csv(&grid))
+                .expect("write heatmap CSV");
             if tag.starts_with("b_") {
                 // Print only panel (b) as ASCII: it shows the dominant
                 // log10(s) dependency that distinguishes the F-policies.

@@ -528,7 +528,7 @@ fn regenerate() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_policy_throughput.json"
     );
-    match std::fs::write(path, &json) {
+    match dynsched_simkit::durable::write_atomic(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

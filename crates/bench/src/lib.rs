@@ -113,7 +113,12 @@ pub fn run_and_print(experiment: &Experiment) -> ExperimentResult {
             })
             .collect();
         let path = dir.join(format!("{slug}.csv"));
-        if std::fs::write(&path, dynsched_core::report::boxplot_csv(&result)).is_ok() {
+        if dynsched_simkit::durable::write_atomic(
+            &path,
+            dynsched_core::report::boxplot_csv(&result),
+        )
+        .is_ok()
+        {
             println!("boxplot CSV: {}", path.display());
         }
     }

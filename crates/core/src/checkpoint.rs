@@ -1,0 +1,708 @@
+//! Stage-checkpointed [`run_full`](crate::pipeline::run_full): make the paper's loop survive being
+//! killed.
+//!
+//! A full-scale run — 256k-trial training, 576 regression fits, then the
+//! 18-row Table-4 evaluation grid — is long enough that a crash, OOM-kill
+//! or worker panic at minute N used to lose everything. This module
+//! persists a **`RunState` file after each durable stage** into a run
+//! directory, and [`run_full_checkpointed`] resumes from whatever survives.
+//!
+//! # Checkpoint file format
+//!
+//! Every file in the run directory is one JSON document produced by
+//! [`dynsched_simkit::json`] (exact-bit doubles: `<decimal>$<hex16>`),
+//! written atomically via [`dynsched_simkit::durable::write_atomic`], with
+//! a common wrapper:
+//!
+//! ```json
+//! {
+//!   "format": "dynsched-run-state",
+//!   "version": 1,
+//!   "stage": "training",
+//!   "fingerprint": "d1a0…16 hex digits",
+//!   "checksum": "…16 hex digits",
+//!   "payload": { …stage data… }
+//! }
+//! ```
+//!
+//! * `fingerprint` — FNV-1a hash of the canonical serialization of the
+//!   entire [`FullRunConfig`] **and** the workload model, so state from a
+//!   different configuration or seed can never be mixed in;
+//! * `checksum` — FNV-1a hash of the canonical re-serialization of
+//!   `payload`, so torn or bit-rotted payloads are detected.
+//!
+//! The stages, in pipeline order:
+//!
+//! | file | stage | payload |
+//! |---|---|---|
+//! | `manifest.json` | `manifest` | the config summary the fingerprint hashes |
+//! | `training.json` | `training` | task tuples + pooled observations |
+//! | `fits.json` | `fits` | all 576 fits as `(family index, coefficients, …)` |
+//! | `eval_row_NN.json` | `eval_row_NN` | one Table-4 row, persisted as it completes |
+//!
+//! # Resume contract
+//!
+//! `--resume` **validates** the format version and config fingerprint of
+//! the manifest and of every stage file — a mismatch (different seed,
+//! different scale, different code vintage) is a loud error, never a
+//! silent recompute. A stage file that is *missing, truncated, unparsable,
+//! or fails its checksum* is simply **recomputed**: partial state is never
+//! trusted, and recomputation is always safe because every stage is a
+//! deterministic function of the config. The result of a resumed run is
+//! **bit-identical** to an uninterrupted one — the `run_resume` suite pins
+//! this at every stage boundary, under corruption, and at 1 vs n worker
+//! threads.
+//!
+//! A worker panic during evaluation surfaces as
+//! [`RunError::Eval`] with the last completed checkpoint still on disk and
+//! valid — rerunning with `--resume` picks up right behind it.
+//!
+//! # Crash injection (test hook)
+//!
+//! When the environment variable `DYNSCHED_CRASH_AFTER` names a stage
+//! (`training`, `fits`, or `eval_row_NN`), the process aborts immediately
+//! after that stage's checkpoint has been durably written — the hook the
+//! CI crash-recovery smoke job uses to kill a run mid-flight and prove
+//! the resumed report is byte-identical.
+
+use crate::experiments::{try_run_experiment, ExperimentResult, PolicyOutcome};
+use crate::pipeline::{generate_training_set, FullRunConfig, FullRunReport, LearnedReport};
+use crate::scenarios::table4_experiments_in;
+use crate::tuples::TaskTuple;
+use dynsched_cluster::Job;
+use dynsched_mlreg::{fit_all, top_policies, FitResult, Observation, TrainingSet};
+use dynsched_policies::{baseline_lineup, NonlinearFunction, Policy};
+use dynsched_simkit::durable::write_atomic;
+use dynsched_simkit::json::{self, Json};
+use dynsched_simkit::parallel::PoolError;
+use dynsched_simkit::stats::BoxplotSummary;
+use dynsched_workload::LublinModel;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The `format` field every checkpoint file carries.
+pub const RUN_STATE_FORMAT: &str = "dynsched-run-state";
+
+/// Current checkpoint format version. Bump on any payload layout change;
+/// resuming across versions is a loud error, not a guess.
+pub const RUN_STATE_VERSION: u64 = 1;
+
+/// Why a checkpointed run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// Reading or writing the run directory failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The checkpoint directory belongs to a different run: wrong format
+    /// version, or a config/seed fingerprint that does not match. Resume
+    /// refuses to guess — rerun without `--resume` (or point at a fresh
+    /// directory) to start over.
+    Mismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// What disagreed.
+        reason: String,
+    },
+    /// A worker panicked during evaluation. Every stage checkpointed so
+    /// far is still on disk and valid; `--resume` continues behind it.
+    Eval(PoolError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Io { path, source } => {
+                write!(f, "checkpoint I/O failed on {}: {source}", path.display())
+            }
+            RunError::Mismatch { path, reason } => write!(
+                f,
+                "checkpoint mismatch in {}: {reason} (resume refuses to mix state from a \
+                 different run; rerun without --resume to start fresh)",
+                path.display()
+            ),
+            RunError::Eval(e) => write!(
+                f,
+                "evaluation failed: {e} (checkpoints written so far are intact; rerun with \
+                 --resume to continue behind the last completed stage)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Io { source, .. } => Some(source),
+            RunError::Mismatch { .. } => None,
+            RunError::Eval(e) => Some(e),
+        }
+    }
+}
+
+/// FNV-1a fingerprint of the canonical serialization of the entire run
+/// configuration (training, regression, selection and evaluation stages)
+/// plus the workload model. Two runs share a fingerprint iff every
+/// parameter that can influence any stage's output is identical.
+pub fn fingerprint(config: &FullRunConfig, model: &LublinModel) -> u64 {
+    json::checksum(config_json(config, model).to_text().as_bytes())
+}
+
+fn config_json(config: &FullRunConfig, model: &LublinModel) -> Json {
+    let t = &config.training;
+    let e = &config.enumerate;
+    let s = &config.eval_scale;
+    Json::Object(vec![
+        (
+            "training".into(),
+            Json::Object(vec![
+                ("s_size".into(), Json::Uint(t.tuple_spec.s_size as u64)),
+                ("q_size".into(), Json::Uint(t.tuple_spec.q_size as u64)),
+                (
+                    "max_start_offset".into(),
+                    Json::F64(t.tuple_spec.max_start_offset),
+                ),
+                ("trials".into(), Json::Uint(t.trial_spec.trials as u64)),
+                (
+                    "cores".into(),
+                    Json::Uint(u64::from(t.trial_spec.platform.total_cores)),
+                ),
+                ("tau".into(), Json::F64(t.trial_spec.tau)),
+                ("tuples".into(), Json::Uint(t.tuples as u64)),
+                ("seed".into(), Json::Uint(t.seed)),
+            ]),
+        ),
+        (
+            "enumerate".into(),
+            Json::Object(vec![
+                ("weighted".into(), Json::Bool(e.weighted)),
+                (
+                    "initial".into(),
+                    Json::Array(e.initial.iter().map(|&x| Json::F64(x)).collect()),
+                ),
+                (
+                    "max_iterations".into(),
+                    Json::Uint(e.lm.max_iterations as u64),
+                ),
+                ("cost_tolerance".into(), Json::F64(e.lm.cost_tolerance)),
+                ("step_tolerance".into(), Json::F64(e.lm.step_tolerance)),
+                ("initial_lambda".into(), Json::F64(e.lm.initial_lambda)),
+                ("lambda_factor".into(), Json::F64(e.lm.lambda_factor)),
+                ("max_lambda".into(), Json::F64(e.lm.max_lambda)),
+            ]),
+        ),
+        ("top_k".into(), Json::Uint(config.top_k as u64)),
+        (
+            "eval".into(),
+            Json::Object(vec![
+                ("count".into(), Json::Uint(s.spec.count as u64)),
+                ("days".into(), Json::F64(s.spec.days)),
+                ("min_jobs".into(), Json::Uint(s.spec.min_jobs as u64)),
+                ("model_target_load".into(), Json::F64(s.model_target_load)),
+                ("seed".into(), Json::Uint(s.seed)),
+            ]),
+        ),
+        (
+            "model".into(),
+            Json::Object(vec![
+                ("max_cores".into(), Json::Uint(u64::from(model.max_cores))),
+                ("serial_prob".into(), Json::F64(model.serial_prob)),
+                ("ulow".into(), Json::F64(model.ulow)),
+                ("umed_gap".into(), Json::F64(model.umed_gap)),
+                ("uprob".into(), Json::F64(model.uprob)),
+                ("pa".into(), Json::F64(model.pa)),
+                ("pb".into(), Json::F64(model.pb)),
+                ("aarr".into(), Json::F64(model.aarr)),
+                ("barr".into(), Json::F64(model.barr)),
+                ("arrival_scale".into(), Json::F64(model.arrival_scale)),
+                ("max_gap".into(), Json::F64(model.max_gap)),
+                ("daily_cycle".into(), Json::Bool(model.daily_cycle)),
+                ("max_runtime".into(), Json::F64(model.max_runtime)),
+                ("min_runtime".into(), Json::F64(model.min_runtime)),
+            ]),
+        ),
+    ])
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> RunError {
+    RunError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+fn hex16(x: u64) -> String {
+    format!("{x:016x}")
+}
+
+/// Wrap a stage payload in the `RunState` envelope and write it
+/// atomically.
+fn write_stage(path: &Path, stage: &str, fingerprint: u64, payload: Json) -> Result<(), RunError> {
+    let payload_text = payload.to_text();
+    let checksum = json::checksum(payload_text.as_bytes());
+    let envelope = Json::Object(vec![
+        ("format".into(), Json::Str(RUN_STATE_FORMAT.into())),
+        ("version".into(), Json::Uint(RUN_STATE_VERSION)),
+        ("stage".into(), Json::Str(stage.into())),
+        ("fingerprint".into(), Json::Str(hex16(fingerprint))),
+        ("checksum".into(), Json::Str(hex16(checksum))),
+        ("payload".into(), payload),
+    ]);
+    write_atomic(path, envelope.to_text()).map_err(|e| io_err(path, e))
+}
+
+/// Load and validate one stage file.
+///
+/// Returns `Ok(None)` — *recompute* — when the file is missing,
+/// unreadable, unparsable, structurally wrong, names a different stage,
+/// or fails its payload checksum. Returns `Err` — *loud* — when the file
+/// is a well-formed `RunState` whose version or fingerprint disagrees
+/// with this run: that is state from a different run, and silently
+/// recomputing over it would paper over a user error.
+fn load_stage(path: &Path, stage: &str, fingerprint: u64) -> Result<Option<Json>, RunError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(_) => return Ok(None),
+    };
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(_) => return Ok(None),
+    };
+    if doc.get("format").and_then(Json::as_str) != Some(RUN_STATE_FORMAT) {
+        return Ok(None);
+    }
+    match doc.get("version").and_then(Json::as_u64) {
+        Some(RUN_STATE_VERSION) => {}
+        Some(other) => {
+            return Err(RunError::Mismatch {
+                path: path.to_path_buf(),
+                reason: format!(
+                    "format version {other}, this build writes version {RUN_STATE_VERSION}"
+                ),
+            })
+        }
+        None => return Ok(None),
+    }
+    match doc.get("fingerprint").and_then(Json::as_str) {
+        Some(found) if found == hex16(fingerprint) => {}
+        Some(found) => {
+            return Err(RunError::Mismatch {
+                path: path.to_path_buf(),
+                reason: format!(
+                    "config fingerprint {found} does not match this run's {}",
+                    hex16(fingerprint)
+                ),
+            })
+        }
+        None => return Ok(None),
+    }
+    if doc.get("stage").and_then(Json::as_str) != Some(stage) {
+        return Ok(None);
+    }
+    let Some(payload) = doc.get("payload") else {
+        return Ok(None);
+    };
+    let recomputed = json::checksum(payload.to_text().as_bytes());
+    if doc.get("checksum").and_then(Json::as_str) != Some(hex16(recomputed).as_str()) {
+        return Ok(None);
+    }
+    Ok(Some(payload.clone()))
+}
+
+/// Remove every stage file a previous run may have left in `dir`, so a
+/// fresh (non-resume) run can never mix old state into its output.
+fn clean_stage_files(dir: &Path) -> Result<(), RunError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ours = name == "manifest.json"
+            || name == "training.json"
+            || name == "fits.json"
+            || (name.starts_with("eval_row_") && name.ends_with(".json"));
+        if ours {
+            let path = entry.path();
+            std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        }
+    }
+    Ok(())
+}
+
+/// Abort the process if `DYNSCHED_CRASH_AFTER` names the stage that was
+/// just durably persisted — the injected fault point the CI
+/// crash-recovery smoke job kills the run at.
+fn crash_hook(stage: &str) {
+    if std::env::var("DYNSCHED_CRASH_AFTER").as_deref() == Ok(stage) {
+        eprintln!("DYNSCHED_CRASH_AFTER: aborting after persisting stage '{stage}'");
+        std::process::abort();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage payload codecs. Encoders are total; decoders return `None` on any
+// semantic problem (out-of-range index, non-finite time, wrong shape) so
+// the caller recomputes instead of trusting a file that lies.
+
+fn job_to_json(job: &Job) -> Json {
+    Json::Array(vec![
+        Json::Uint(u64::from(job.id)),
+        Json::F64(job.submit),
+        Json::F64(job.runtime),
+        Json::F64(job.estimate),
+        Json::Uint(u64::from(job.cores)),
+    ])
+}
+
+fn job_from_json(v: &Json) -> Option<Job> {
+    let [id, submit, runtime, estimate, cores] = v.as_array()? else {
+        return None;
+    };
+    let id = u32::try_from(id.as_u64()?).ok()?;
+    let submit = submit.as_f64()?;
+    let runtime = runtime.as_f64()?;
+    let estimate = estimate.as_f64()?;
+    let cores = u32::try_from(cores.as_u64()?).ok()?;
+    // Mirror Job::new's invariants without panicking on a lying file.
+    if cores == 0
+        || !(submit.is_finite() && submit >= 0.0)
+        || !(runtime.is_finite() && runtime >= 0.0)
+        || !(estimate.is_finite() && estimate >= 0.0)
+    {
+        return None;
+    }
+    Some(Job::new(id, submit, runtime, estimate, cores))
+}
+
+fn jobs_to_json(jobs: &[Job]) -> Json {
+    Json::Array(jobs.iter().map(job_to_json).collect())
+}
+
+fn jobs_from_json(v: &Json) -> Option<Vec<Job>> {
+    v.as_array()?.iter().map(job_from_json).collect()
+}
+
+fn encode_training(tuples: &[TaskTuple], training: &TrainingSet) -> Json {
+    Json::Object(vec![
+        (
+            "tuples".into(),
+            Json::Array(
+                tuples
+                    .iter()
+                    .map(|t| {
+                        Json::Object(vec![
+                            ("s".into(), jobs_to_json(&t.s_tasks)),
+                            ("q".into(), jobs_to_json(&t.q_tasks)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            // One observation per Q task: [runtime, cores, submit, score].
+            "observations".into(),
+            Json::Array(
+                training
+                    .observations()
+                    .iter()
+                    .map(|o| {
+                        Json::Array(vec![
+                            Json::F64(o.runtime),
+                            Json::F64(o.cores),
+                            Json::F64(o.submit),
+                            Json::F64(o.score),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_training(payload: &Json) -> Option<(Vec<TaskTuple>, TrainingSet)> {
+    let tuples = payload
+        .get("tuples")?
+        .as_array()?
+        .iter()
+        .map(|t| {
+            Some(TaskTuple {
+                s_tasks: jobs_from_json(t.get("s")?)?,
+                q_tasks: jobs_from_json(t.get("q")?)?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let observations = payload
+        .get("observations")?
+        .as_array()?
+        .iter()
+        .map(|o| {
+            let [runtime, cores, submit, score] = o.as_array()? else {
+                return None;
+            };
+            Some(Observation {
+                runtime: runtime.as_f64()?,
+                cores: cores.as_f64()?,
+                submit: submit.as_f64()?,
+                score: score.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some((tuples, TrainingSet::new(observations)))
+}
+
+fn encode_fits(fits: &[FitResult]) -> Json {
+    Json::Object(vec![(
+        // One fit per entry, ranked order preserved:
+        // [family_index, c0, c1, c2, fitness, weighted_sse, converged].
+        "fits".into(),
+        Json::Array(
+            fits.iter()
+                .map(|fit| {
+                    let [c0, c1, c2] = fit.function.coefficients;
+                    Json::Array(vec![
+                        Json::Uint(fit.family_index as u64),
+                        Json::F64(c0),
+                        Json::F64(c1),
+                        Json::F64(c2),
+                        Json::F64(fit.fitness),
+                        Json::F64(fit.weighted_sse),
+                        Json::Bool(fit.converged),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+fn decode_fits(payload: &Json) -> Option<Vec<FitResult>> {
+    // The function shapes are reconstructed from the deterministic family
+    // enumeration — only the index and fitted coefficients are persisted.
+    let family = NonlinearFunction::enumerate_family();
+    payload
+        .get("fits")?
+        .as_array()?
+        .iter()
+        .map(|entry| {
+            let [index, c0, c1, c2, fitness, weighted_sse, converged] = entry.as_array()? else {
+                return None;
+            };
+            let family_index = usize::try_from(index.as_u64()?).ok()?;
+            let shape = family.get(family_index)?;
+            Some(FitResult {
+                function: shape.with_coefficients([c0.as_f64()?, c1.as_f64()?, c2.as_f64()?]),
+                family_index,
+                fitness: fitness.as_f64()?,
+                weighted_sse: weighted_sse.as_f64()?,
+                converged: converged.as_bool()?,
+            })
+        })
+        .collect()
+}
+
+fn f64s_to_json(xs: &[f64]) -> Json {
+    Json::Array(xs.iter().map(|&x| Json::F64(x)).collect())
+}
+
+fn f64s_from_json(v: &Json) -> Option<Vec<f64>> {
+    v.as_array()?.iter().map(Json::as_f64).collect()
+}
+
+fn encode_row(row: &ExperimentResult) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::Str(row.name.clone())),
+        (
+            "outcomes".into(),
+            Json::Array(
+                row.outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::Object(vec![
+                            ("policy".into(), Json::Str(o.policy.clone())),
+                            ("ave_bslds".into(), f64s_to_json(&o.ave_bslds)),
+                            ("q1".into(), Json::F64(o.summary.q1)),
+                            ("q3".into(), Json::F64(o.summary.q3)),
+                            ("whisker_lo".into(), Json::F64(o.summary.whisker_lo)),
+                            ("whisker_hi".into(), Json::F64(o.summary.whisker_hi)),
+                            ("outliers".into(), f64s_to_json(&o.summary.outliers)),
+                            ("median".into(), Json::F64(o.median)),
+                            ("mean".into(), Json::F64(o.mean)),
+                            ("std_dev".into(), Json::F64(o.std_dev)),
+                            ("mean_backfilled".into(), Json::F64(o.mean_backfilled)),
+                            ("mean_preempted".into(), Json::F64(o.mean_preempted)),
+                            ("mean_abandoned".into(), Json::F64(o.mean_abandoned)),
+                            (
+                                "mean_lost_core_seconds".into(),
+                                Json::F64(o.mean_lost_core_seconds),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_row(payload: &Json) -> Option<ExperimentResult> {
+    let outcomes = payload
+        .get("outcomes")?
+        .as_array()?
+        .iter()
+        .map(|o| {
+            let ave_bslds = f64s_from_json(o.get("ave_bslds")?)?;
+            if ave_bslds.is_empty() {
+                return None;
+            }
+            Some(PolicyOutcome {
+                policy: o.get("policy")?.as_str()?.to_string(),
+                summary: BoxplotSummary {
+                    q1: o.get("q1")?.as_f64()?,
+                    median: o.get("median")?.as_f64()?,
+                    q3: o.get("q3")?.as_f64()?,
+                    whisker_lo: o.get("whisker_lo")?.as_f64()?,
+                    whisker_hi: o.get("whisker_hi")?.as_f64()?,
+                    outliers: f64s_from_json(o.get("outliers")?)?,
+                    mean: o.get("mean")?.as_f64()?,
+                    count: ave_bslds.len(),
+                },
+                median: o.get("median")?.as_f64()?,
+                mean: o.get("mean")?.as_f64()?,
+                std_dev: o.get("std_dev")?.as_f64()?,
+                mean_backfilled: o.get("mean_backfilled")?.as_f64()?,
+                mean_preempted: o.get("mean_preempted")?.as_f64()?,
+                mean_abandoned: o.get("mean_abandoned")?.as_f64()?,
+                mean_lost_core_seconds: o.get("mean_lost_core_seconds")?.as_f64()?,
+                ave_bslds,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(ExperimentResult {
+        name: payload.get("name")?.as_str()?.to_string(),
+        outcomes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+
+/// [`crate::pipeline::run_full`] with durable stage checkpoints in `dir`.
+///
+/// With `resume == false` the directory is wiped of any previous run's
+/// stage files and every stage is computed and checkpointed. With
+/// `resume == true` the manifest must exist and match this config's
+/// fingerprint (else [`RunError::Mismatch`]); each stage is then loaded if
+/// its file validates, recomputed (and re-persisted) otherwise. Either
+/// way the returned report is bit-identical to `run_full` on the same
+/// config — checkpointing changes durability, never results.
+pub fn run_full_checkpointed(
+    config: &FullRunConfig,
+    model: &LublinModel,
+    dir: &Path,
+    resume: bool,
+) -> Result<FullRunReport, RunError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let fp = fingerprint(config, model);
+    let manifest_path = dir.join("manifest.json");
+
+    if resume {
+        // Strict: a resume against a directory that has no (valid)
+        // manifest, or one from a different config, is a user error.
+        match load_stage(&manifest_path, "manifest", fp)? {
+            Some(_) => {}
+            None => {
+                return Err(RunError::Mismatch {
+                    path: manifest_path,
+                    reason: "no valid manifest found — nothing to resume".into(),
+                })
+            }
+        }
+    } else {
+        clean_stage_files(dir)?;
+        write_stage(&manifest_path, "manifest", fp, config_json(config, model))?;
+    }
+
+    // Stage 1: the pooled training distribution.
+    let training_path = dir.join("training.json");
+    let (tuples, training_set) =
+        match load_stage(&training_path, "training", fp)?.and_then(|p| decode_training(&p)) {
+            Some(loaded) => loaded,
+            None => {
+                let (tuples, training_set) = generate_training_set(&config.training, model);
+                write_stage(
+                    &training_path,
+                    "training",
+                    fp,
+                    encode_training(&tuples, &training_set),
+                )?;
+                crash_hook("training");
+                (tuples, training_set)
+            }
+        };
+
+    // Stage 2: the ranked 576-member fit table.
+    let fits_path = dir.join("fits.json");
+    let fits = match load_stage(&fits_path, "fits", fp)?.and_then(|p| decode_fits(&p)) {
+        Some(fits) => fits,
+        None => {
+            let fits = fit_all(&training_set, &config.enumerate);
+            write_stage(&fits_path, "fits", fp, encode_fits(&fits))?;
+            crash_hook("fits");
+            fits
+        }
+    };
+
+    // Selection is cheap and pure — always recomputed, never persisted.
+    let policies = top_policies(&fits, config.top_k);
+    let learned = LearnedReport {
+        tuples,
+        training_set,
+        fits,
+        policies,
+    };
+
+    // Stage 3: the Table-4 evaluation grid, one checkpoint per row as it
+    // completes. Per-row runs are bit-identical to the one-session batch
+    // `run_full` uses (the experiments suite pins this), so resumability
+    // costs nothing in fidelity.
+    let mut lineup: Vec<Box<dyn Policy>> = baseline_lineup();
+    for policy in &learned.policies {
+        lineup.push(Box::new(policy.clone()));
+    }
+    let names: Vec<String> = lineup.iter().map(|p| p.name().to_string()).collect();
+    let store = dynsched_workload::TraceStore::new();
+    let experiments = table4_experiments_in(&store, &config.eval_scale);
+    let mut evaluation = Vec::with_capacity(experiments.len());
+    for (i, experiment) in experiments.iter().enumerate() {
+        let stage = format!("eval_row_{i:02}");
+        let path = dir.join(format!("{stage}.json"));
+        let row = match load_stage(&path, &stage, fp)?
+            .and_then(|p| decode_row(&p))
+            // A row checkpoint for a *different* row (a copied file) or a
+            // different line-up shape is stale state: recompute.
+            .filter(|row| {
+                row.name == experiment.name
+                    && row.outcomes.len() == names.len()
+                    && row.outcomes.iter().zip(&names).all(|(o, n)| &o.policy == n)
+            }) {
+            Some(row) => row,
+            None => {
+                let row = try_run_experiment(experiment, &lineup).map_err(RunError::Eval)?;
+                write_stage(&path, &stage, fp, encode_row(&row))?;
+                crash_hook(&stage);
+                row
+            }
+        };
+        evaluation.push(row);
+    }
+
+    Ok(FullRunReport {
+        learned,
+        lineup: names,
+        evaluation,
+    })
+}

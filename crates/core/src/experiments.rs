@@ -10,6 +10,7 @@ use crate::session::EvalSession;
 use dynsched_cluster::{AvailabilitySchedule, FaultProfile, DEFAULT_TAU};
 use dynsched_policies::Policy;
 use dynsched_scheduler::{SchedulerConfig, SimMetrics};
+use dynsched_simkit::parallel::PoolError;
 use dynsched_simkit::stats::{mean, median, std_dev, BoxplotSummary};
 use dynsched_workload::{Trace, TraceView};
 use serde::{Deserialize, Serialize};
@@ -141,6 +142,21 @@ pub fn run_experiment(experiment: &Experiment, policies: &[Box<dyn Policy>]) -> 
         .expect("one experiment in, one result out")
 }
 
+/// Supervised twin of [`run_experiment`]: a worker panic comes back as a
+/// structured [`PoolError`] instead of unwinding. Input-validation panics
+/// (no sequences, oversized jobs) still panic — those are caller bugs, not
+/// runtime failures.
+pub fn try_run_experiment(
+    experiment: &Experiment,
+    policies: &[Box<dyn Policy>],
+) -> Result<ExperimentResult, PoolError> {
+    Ok(
+        try_run_experiments(std::slice::from_ref(experiment), policies)?
+            .pop()
+            .expect("one experiment in, one result out"),
+    )
+}
+
 /// Run several experiments as **one** batched evaluation session: all
 /// `(experiment × policy × sequence)` cells share a single fan-out, so a
 /// Table 4 run or a load sweep saturates the pool end to end instead of
@@ -155,6 +171,19 @@ pub fn run_experiments(
     experiments: &[Experiment],
     policies: &[Box<dyn Policy>],
 ) -> Vec<ExperimentResult> {
+    try_run_experiments(experiments, policies)
+        .unwrap_or_else(|e| panic!("experiment evaluation failed: {e}"))
+}
+
+/// Supervised twin of [`run_experiments`]: the batched session runs under
+/// panic isolation, so a panicking cell (a broken custom policy, an
+/// inconsistent fault schedule) yields `Err(`[`PoolError`]`)` after a
+/// clean join instead of unwinding through the caller. On success the
+/// results are bit-identical to [`run_experiments`].
+pub fn try_run_experiments(
+    experiments: &[Experiment],
+    policies: &[Box<dyn Policy>],
+) -> Result<Vec<ExperimentResult>, PoolError> {
     // Expand each faulty experiment's per-sequence schedules up front
     // (stream index = sequence position, horizon = the sequence's fault
     // horizon) so the borrow lives for the whole session.
@@ -198,7 +227,7 @@ pub fn run_experiments(
             ),
         };
     }
-    let table = session.run();
+    let table = session.try_run()?;
 
     // The session's result table is index-dense in push order, so each
     // experiment's policy-major block slices straight out of it — no
@@ -221,7 +250,7 @@ pub fn run_experiments(
             outcomes,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Fault-schedule horizon of a sequence: last submit plus the ideal drain

@@ -24,7 +24,15 @@
 //!   any named workload family of
 //!   [`dynsched_workload::registry`] under the same protocol;
 //! * [`report`] — artifact-style output, Table 4 comparison against the
-//!   published medians, Fig. 3 heatmap grids.
+//!   published medians, Fig. 3 heatmap grids;
+//! * [`checkpoint`] — stage-checkpointed [`run_full`]
+//!   ([`checkpoint::run_full_checkpointed`]): the whole loop persists a
+//!   validated `RunState` file after each durable stage (pooled training
+//!   set, ranked fits, then each Table-4 row as it completes) and resumes
+//!   bit-identically after a crash. See that module for the file format,
+//!   the resume contract (version/fingerprint/checksum validated; partial
+//!   or corrupt stages recomputed, never trusted; config/seed mismatches
+//!   are loud errors), and the crash-injection test hook.
 //!
 //! ## The evaluation workspace-reuse contract
 //!
@@ -95,6 +103,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod convergence;
 pub mod custom;
 pub mod experiments;
@@ -106,10 +115,12 @@ pub mod sweep;
 pub mod trials;
 pub mod tuples;
 
+pub use checkpoint::{run_full_checkpointed, RunError, RUN_STATE_FORMAT, RUN_STATE_VERSION};
 pub use convergence::{convergence_curve, paper_trial_counts, ConvergencePoint};
 pub use custom::{learn_custom_policies, tuple_from_trace, CustomTrainingConfig};
 pub use experiments::{
-    run_experiment, run_experiments, Experiment, ExperimentResult, PolicyOutcome,
+    run_experiment, run_experiments, try_run_experiment, try_run_experiments, Experiment,
+    ExperimentResult, PolicyOutcome,
 };
 pub use pipeline::{
     generate_training_set, learn_policies, run_full, FullRunConfig, FullRunReport, LearnedReport,

@@ -42,7 +42,7 @@ use dynsched_scheduler::{
     simulate_metrics_faulty_into, simulate_metrics_into, QueueDiscipline, SchedulerConfig,
     SimMetrics, SimWorkspace,
 };
-use dynsched_simkit::parallel::run_scoped;
+use dynsched_simkit::parallel::{try_run_scoped, PoolError};
 use dynsched_workload::TraceView;
 use std::ops::Range;
 
@@ -168,7 +168,24 @@ impl<'a> EvalSession<'a> {
     /// (`table[i]` is the cell pushed `i`-th). One simulation workspace
     /// per worker thread, metrics-only engine mode per cell, compiled
     /// batch scoring wherever the cell's policy lowers to bytecode.
+    ///
+    /// # Panics
+    /// Re-raises the first worker panic (a panicking custom policy, an
+    /// inconsistent fault schedule). Callers that need to survive a bad
+    /// cell — the checkpointed pipeline, a future `dynsched serve` — use
+    /// [`EvalSession::try_run`] instead.
     pub fn run(&self) -> Vec<SimMetrics> {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("evaluation session failed: {e}"))
+    }
+
+    /// Supervised twin of [`EvalSession::run`]: a panic inside any cell —
+    /// a panicking custom [`Policy`], a fault schedule that drives the
+    /// engine into an inconsistent state — comes back as a structured
+    /// [`PoolError`] naming the failing cell index, after the thread scope
+    /// has joined cleanly and every completed cell has been dropped. On
+    /// success the table is bit-identical to [`EvalSession::run`].
+    pub fn try_run(&self) -> Result<Vec<SimMetrics>, PoolError> {
         // Compile each distinct policy once, up front, so workers share
         // programs instead of re-lowering per cell. Identity is the full
         // fat pointer (data address *and* vtable): zero-sized policies
@@ -192,7 +209,7 @@ impl<'a> EvalSession<'a> {
                     })
             })
             .collect();
-        run_scoped(self.cells.len(), SimWorkspace::new, |i, ws| {
+        try_run_scoped(self.cells.len(), SimWorkspace::new, |i, ws| {
             let cell = &self.cells[i];
             let discipline = match &programs[cell_program[i]] {
                 Some(compiled) => QueueDiscipline::Compiled(compiled),
@@ -380,6 +397,46 @@ mod tests {
                 );
                 assert_eq!(table[p * seqs.len() + s], want, "policy {p}, sequence {s}");
             }
+        }
+    }
+
+    #[test]
+    fn panicking_policy_yields_structured_error_not_abort() {
+        // A worker panic must surface as a PoolError naming the cell, with
+        // the scope joined cleanly and the already-completed cells dropped
+        // — not as an unwind through the session (let alone a leak).
+        struct Grenade;
+        impl Policy for Grenade {
+            fn name(&self) -> &str {
+                "grenade"
+            }
+            fn score(&self, t: &dynsched_policies::TaskView) -> f64 {
+                if t.wait() >= 0.0 {
+                    panic!("policy blew up");
+                }
+                t.processing_time
+            }
+        }
+        let seqs = sequences(2);
+        let policies: Vec<Box<dyn Policy>> = vec![Box::new(Fcfs), Box::new(Grenade)];
+        let config = SchedulerConfig::actual_runtimes(Platform::new(32));
+        let eval = || {
+            let mut session = EvalSession::new();
+            session.push_grid(&policies, &seqs, &config, DEFAULT_TAU);
+            session.try_run()
+        };
+        for err in [eval().unwrap_err(), with_worker_limit(1, eval).unwrap_err()] {
+            // The grenade occupies cells 2..4 (policy-major order).
+            assert!(
+                (2..4).contains(&err.slot),
+                "slot {} not a grenade cell",
+                err.slot
+            );
+            assert!(
+                err.message.contains("policy blew up"),
+                "message: {}",
+                err.message
+            );
         }
     }
 

@@ -16,7 +16,32 @@
 //! * [`stats`] — descriptive statistics (median/quantiles/boxplot
 //!   summaries/Welford accumulators) used by the evaluation harness;
 //! * [`parallel`] — deterministic fan-out for the hundreds of thousands of
-//!   independent training trials, on an in-tree scoped thread pool.
+//!   independent training trials, on an in-tree scoped thread pool;
+//! * [`json`] — hand-rolled JSON (no deps) with exact-bit `f64`
+//!   round-tripping, the substrate for durable run state;
+//! * [`durable`] — [`durable::write_atomic`]: same-directory temp file +
+//!   fsync + rename, so no artifact is ever torn by a crash.
+//!
+//! # Durability contract
+//!
+//! Persisted state follows two rules. **Atomicity**: every durable file is
+//! written via [`durable::write_atomic`] — readers observe either the old
+//! or the new contents in full, never a torn prefix. **Exactness**: doubles
+//! are serialized by [`json`] as `<decimal>$<hex16>` ([`f64::to_bits`]
+//! alongside the shortest decimal), so state that round-trips through disk
+//! is bit-identical to state that never left memory — NaN payloads,
+//! `-0.0`, subnormals and infinities included. Parsers validate that the
+//! two halves agree and reject the file as corrupt otherwise.
+//!
+//! # Panic isolation
+//!
+//! A panic inside a worker closure does not abort the fan-out scope or
+//! leak completed slots: the supervised drivers
+//! ([`parallel::try_run_scoped`] and friends) catch the unwind, stop the
+//! remaining workers, join the scope cleanly and return a structured
+//! [`parallel::PoolError`] naming the failing slot. The panicking drivers
+//! (`run_scoped`, `run_indexed`, …) keep their historical semantics by
+//! re-raising the original payload after the clean join.
 //!
 //! # Determinism contract
 //!
@@ -35,7 +60,9 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod durable;
 pub mod events;
+pub mod json;
 pub mod parallel;
 pub mod quantile;
 pub mod rng;

@@ -17,9 +17,11 @@
 //! never read), results do not.
 
 use crate::rng::Rng;
+use std::any::Any;
 use std::cell::Cell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 thread_local! {
     static WORKER_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
@@ -61,69 +63,219 @@ pub fn max_workers() -> usize {
 
 /// Shareable raw pointer to the output buffer. Safety: workers write
 /// disjoint index ranges (each index is claimed by exactly one chunk).
-struct OutPtr<T>(*mut MaybeUninit<T>);
+struct OutPtr<T>(*mut T);
 unsafe impl<T: Send> Send for OutPtr<T> {}
 unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+/// A worker closure panicked inside a supervised fan-out. The pool caught
+/// the unwind, stopped the remaining workers, joined the scope cleanly
+/// and dropped every already-completed slot — no leaks, no abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// The task index whose closure panicked, or [`usize::MAX`] if a
+    /// worker panicked while building its per-worker state (`init`).
+    pub slot: usize,
+    /// The panic payload, stringified (`&str` / `String` payloads verbatim;
+    /// anything else is summarized).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.slot == usize::MAX {
+            write!(
+                f,
+                "worker panicked while building its state: {}",
+                self.message
+            )
+        } else {
+            write!(f, "worker panicked at slot {}: {}", self.slot, self.message)
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// `(failing slot, original panic payload)` — kept as the payload so the
+/// panicking drivers can re-raise it unchanged.
+type PanicAt = (usize, Box<dyn Any + Send>);
+
+impl PoolError {
+    fn from_panic((slot, payload): PanicAt) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        PoolError { slot, message }
+    }
+}
+
+/// Record the first panic and tell every worker to stop claiming work.
+/// When several workers panic concurrently, which one is "first" depends
+/// on scheduling — acceptable, since any panic already makes the run a
+/// failed one.
+fn record_panic(
+    stop: &AtomicBool,
+    failure: &Mutex<Option<PanicAt>>,
+    slot: usize,
+    payload: Box<dyn Any + Send>,
+) {
+    stop.store(true, Ordering::Relaxed);
+    let mut guard = match failure.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if guard.is_none() {
+        *guard = Some((slot, payload));
+    }
+}
 
 /// Core fan-out: run `f(index, &mut worker_state)` for every index in
 /// `0..count` on a scoped thread pool, collecting results in index order.
 /// `init` is called once per worker thread to build its reusable state.
-fn fan_out<T, S, I, F>(count: usize, init: I, f: F) -> Vec<T>
+///
+/// Supervision: each closure invocation runs under [`catch_unwind`]. On
+/// the first panic the remaining workers stop claiming chunks, the scope
+/// joins cleanly, every slot completed so far is dropped (the output
+/// buffer is a fully initialized `Vec<Option<T>>`, so unwinding cannot
+/// leak), and the original payload comes back as `Err`. The
+/// [`AssertUnwindSafe`] is sound because on failure both the worker state
+/// and all partial output are discarded, never observed.
+fn fan_out_supervised<T, S, I, F>(count: usize, init: I, f: F) -> Result<Vec<T>, PanicAt>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(usize, &mut S) -> T + Sync,
 {
     if count == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let workers = worker_count(count);
     if workers == 1 {
-        let mut state = init();
-        return (0..count).map(|i| f(i, &mut state)).collect();
+        let mut state = catch_unwind(AssertUnwindSafe(&init)).map_err(|p| (usize::MAX, p))?;
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            match catch_unwind(AssertUnwindSafe(|| f(i, &mut state))) {
+                Ok(value) => out.push(value),
+                Err(payload) => return Err((i, payload)),
+            }
+        }
+        return Ok(out);
     }
 
-    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(count);
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
     // Chunks small enough to balance uneven task costs, large enough to
     // keep the atomic counter cold.
     let chunk = (count / (workers * 8)).max(1);
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let failure: Mutex<Option<PanicAt>> = Mutex::new(None);
     let out_ptr = OutPtr(out.as_mut_ptr());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 let out_ptr = &out_ptr;
-                let mut state = init();
-                loop {
+                let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
+                    Ok(state) => state,
+                    Err(payload) => {
+                        record_panic(&stop, &failure, usize::MAX, payload);
+                        return;
+                    }
+                };
+                while !stop.load(Ordering::Relaxed) {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= count {
                         break;
                     }
                     let end = (start + chunk).min(count);
                     for i in start..end {
-                        let value = f(i, &mut state);
-                        // Safety: index `i` belongs to exactly one claimed
-                        // chunk, so this write is race-free; the slot is
-                        // within the `count`-capacity allocation.
-                        unsafe { (*out_ptr.0.add(i)).write(value) };
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &mut state))) {
+                            // Safety: index `i` belongs to exactly one
+                            // claimed chunk, so this write is race-free;
+                            // the slot is inside the fully initialized
+                            // buffer and currently `None`, so the implied
+                            // drop of the old value is trivial.
+                            Ok(value) => unsafe { *out_ptr.0.add(i) = Some(value) },
+                            Err(payload) => {
+                                record_panic(&stop, &failure, i, payload);
+                                return;
+                            }
+                        }
                     }
                 }
             });
         }
     });
-    // Safety: the scope joined all workers, and together they initialized
-    // every slot in 0..count exactly once. If a task panicked, the scope
-    // re-raises after joining and this block never runs; slots that were
-    // already written are then leaked (Vec<MaybeUninit<T>> does not drop
-    // its elements) — a deliberate trade: leaking is memory-safe, and a
-    // panic inside `f` is a programming error that ends the run.
-    unsafe {
-        out.set_len(count);
-        let ptr = out.as_mut_ptr() as *mut T;
-        let cap = out.capacity();
-        std::mem::forget(out);
-        Vec::from_raw_parts(ptr, count, cap)
+    let failed = match failure.into_inner() {
+        Ok(inner) => inner,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(panic_at) = failed {
+        return Err(panic_at);
     }
+    // The scope joined every worker and none panicked, so together they
+    // filled every slot in 0..count exactly once; the join gives the
+    // happens-before edge that makes the writes visible here.
+    Ok(out
+        .into_iter()
+        .map(|slot| slot.expect("joined scope left a slot unfilled"))
+        .collect())
+}
+
+/// Panicking shell around [`fan_out_supervised`]: historical behaviour
+/// for the in-tree drivers — the first worker panic is re-raised on the
+/// caller thread after a clean join (and, since the supervised rewrite,
+/// without leaking completed slots).
+fn fan_out<T, S, I, F>(count: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    match fan_out_supervised(count, init, f) {
+        Ok(out) => out,
+        Err((_slot, payload)) => resume_unwind(payload),
+    }
+}
+
+/// Supervised twin of [`run_scoped`]: same determinism contract, but a
+/// panicking closure yields `Err(`[`PoolError`]`)` — naming the failing
+/// slot and carrying the stringified payload — instead of unwinding
+/// through the caller. Completed slots are dropped, not leaked, and the
+/// thread scope joins cleanly either way.
+pub fn try_run_scoped<T, S, I, F>(count: usize, init: I, f: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    fan_out_supervised(count, init, f).map_err(PoolError::from_panic)
+}
+
+/// Supervised twin of [`run_indexed_scoped`]: forked-RNG fan-out that
+/// returns a structured [`PoolError`] instead of re-raising a worker
+/// panic. Same scratch and determinism contract.
+pub fn try_run_indexed_scoped<T, S, I, F>(
+    master: &Rng,
+    count: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut Rng, &mut S) -> T + Sync,
+{
+    try_run_scoped(count, init, |i, state| {
+        let mut rng = master.fork(i as u64);
+        f(i, &mut rng, state)
+    })
 }
 
 /// Deterministic scoped fan-out without RNG: run `f(i, &mut state)` for
@@ -383,6 +535,123 @@ mod tests {
         assert!(out.is_empty());
         let empty: Vec<u8> = par_map(&[] as &[u8], |&b| b);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn try_run_scoped_matches_run_scoped_on_success() {
+        let ok = try_run_scoped(321, Vec::<usize>::new, |i, buf| {
+            buf.clear();
+            buf.extend(0..i % 5);
+            i * 3 + buf.len()
+        })
+        .unwrap();
+        let plain = run_scoped(321, Vec::<usize>::new, |i, buf| {
+            buf.clear();
+            buf.extend(0..i % 5);
+            i * 3 + buf.len()
+        });
+        assert_eq!(ok, plain);
+    }
+
+    #[test]
+    fn panicking_slot_yields_structured_error_at_any_width() {
+        let eval = || {
+            try_run_scoped(
+                200,
+                || (),
+                |i, ()| {
+                    if i == 57 {
+                        panic!("slot {i} exploded");
+                    }
+                    i
+                },
+            )
+        };
+        for err in [
+            eval().unwrap_err(),
+            with_worker_limit(1, eval).unwrap_err(),
+            with_worker_limit(4, eval).unwrap_err(),
+        ] {
+            assert_eq!(err.slot, 57);
+            assert_eq!(err.message, "slot 57 exploded");
+            assert!(err.to_string().contains("slot 57"));
+        }
+    }
+
+    #[test]
+    fn panicking_init_is_reported() {
+        let err =
+            try_run_scoped(8, || -> () { panic!("no state for you") }, |i, ()| i).unwrap_err();
+        assert_eq!(err.slot, usize::MAX);
+        assert_eq!(err.message, "no state for you");
+    }
+
+    #[test]
+    fn try_run_indexed_scoped_matches_run_indexed() {
+        let master = Rng::new(7);
+        let ok =
+            try_run_indexed_scoped(&master, 257, || (), |i, rng, ()| i as u64 ^ rng.next_u64())
+                .unwrap();
+        let plain = run_indexed(&master, 257, |i, rng| i as u64 ^ rng.next_u64());
+        assert_eq!(ok, plain);
+    }
+
+    #[test]
+    fn completed_slots_are_dropped_not_leaked_on_panic() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        #[derive(Debug)]
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let built = Arc::new(AtomicUsize::new(0));
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let err = try_run_scoped(
+            500,
+            || (),
+            |i, ()| {
+                if i == 250 {
+                    panic!("boom");
+                }
+                built.fetch_add(1, Ordering::SeqCst);
+                Tracked(Arc::clone(&dropped))
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.slot, 250);
+        // Every value that was constructed must have been dropped when the
+        // fan-out bailed out — the old implementation leaked them.
+        assert_eq!(built.load(Ordering::SeqCst), dropped.load(Ordering::SeqCst));
+        assert!(
+            built.load(Ordering::SeqCst) > 0,
+            "some slots should complete"
+        );
+    }
+
+    #[test]
+    fn plain_drivers_still_unwind_with_the_original_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            run_scoped(
+                64,
+                || (),
+                |i, ()| {
+                    if i == 3 {
+                        panic!("original payload");
+                    }
+                    i
+                },
+            )
+        })
+        .unwrap_err();
+        assert_eq!(
+            caught.downcast_ref::<&str>().copied(),
+            Some("original payload")
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! dynsched simulate <trace.swf> <cores> [opts] schedule a trace, print stats
 //! dynsched federate <trace.swf> <cores> [opts] schedule across N federated clusters
 //! dynsched train [opts]                        learn policies from the Lublin model
-//! dynsched run [opts]                          one-shot learn → evaluate (the whole paper loop)
+//! dynsched run [opts]                          one-shot learn → evaluate (the whole paper loop),
+//!                                              crash-safe with --checkpoint-dir/--resume
 //! dynsched table4 [--full]                     regenerate the paper's Table 4
 //! dynsched scenarios [opts]                    list/evaluate the workload scenario registry
 //! dynsched policies                            list built-in policies
@@ -20,13 +21,14 @@ use dynsched::core::report::{full_run_markdown, table4_comparison, table4_markdo
 use dynsched::core::scenarios::{scenario_results, table4_experiments, ScenarioScale};
 use dynsched::core::trials::TrialSpec;
 use dynsched::core::tuples::TupleSpec;
-use dynsched::core::{learned_beat_adhoc, run_experiments};
+use dynsched::core::{learned_beat_adhoc, run_experiments, run_full_checkpointed, RunError};
 use dynsched::mlreg::EnumerateOptions;
 use dynsched::policies::{by_name, paper_lineup, save_learned, CompiledPolicy, Policy};
 use dynsched::scheduler::{
     run_federation, run_federation_faulty, simulate, BackfillMode, FederationSpec, QueueDiscipline,
     Router, SchedulerConfig,
 };
+use dynsched::simkit::durable::write_atomic;
 use dynsched::workload::{
     read_swf_file, validate_trace, LublinModel, ScenarioParams, ScenarioRegistry, SequenceSpec,
     TraceStore,
@@ -77,13 +79,19 @@ USAGE:
       thread count).
 
   dynsched run [--tuples N] [--trials N] [--cores N] [--seed N] [--top K]
-               [--quick] [--out FILE]
+               [--quick] [--out FILE] [--checkpoint-dir DIR [--resume]]
       One-shot run of the whole paper loop: train on the Lublin model,
       fit and rank all 576 candidate functions, keep the top K as
       policies G1..GK, and evaluate them against the ad-hoc baselines
       across the full Table-4 scenario grid. Prints a single markdown
-      report (--out also writes it to FILE; --quick shrinks the
-      evaluation protocol).
+      report (--out also writes it to FILE, atomically; --quick shrinks
+      the evaluation protocol). With --checkpoint-dir, a validated state
+      file is persisted (atomic write + fsync) after each durable stage
+      — the pooled training set, the ranked fits, then each Table-4 row
+      as it completes — and --resume picks the run back up after a crash,
+      recomputing any partial or corrupt stage and producing a report
+      bit-identical to an uninterrupted run. Resuming with a different
+      config, seed, or model is a loud error, never a silent mix.
 
   dynsched table4 [--quick]
       Regenerate the paper's Table 4 (all 18 experiments; --quick shrinks
@@ -123,7 +131,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "table4" => cmd_table4(rest),
         "scenarios" => cmd_scenarios(rest),
-        "policies" => cmd_policies(),
+        "policies" => cmd_policies(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -158,6 +166,49 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, Str
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Validate the argument list against a subcommand's flag allowlist.
+///
+/// `value_flags` consume the token after them; `bool_flags` stand alone;
+/// anything else that starts with `--` — a typo like `--tirals`, an
+/// unknown option — is an error naming the offender, and more than
+/// `max_positionals` bare arguments is too. Before this check, `train
+/// --tirals 500` silently ran with the default trial count.
+fn reject_unknown(
+    args: &[String],
+    max_positionals: usize,
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), String> {
+    let mut positionals = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if value_flags.contains(&arg) {
+            // The value itself is validated by flag_value; just skip it
+            // here so a policy named "--kill" is not double-counted.
+            i += 2;
+        } else if bool_flags.contains(&arg) {
+            i += 1;
+        } else if arg.starts_with("--") {
+            let known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
+            return Err(if known.is_empty() {
+                format!("unknown flag {arg:?} (this subcommand takes no flags)")
+            } else {
+                format!("unknown flag {arg:?} (known flags: {})", known.join(", "))
+            });
+        } else {
+            positionals += 1;
+            if positionals > max_positionals {
+                return Err(format!(
+                    "unexpected argument {arg:?} (at most {max_positionals} positional argument(s))"
+                ));
+            }
+            i += 1;
+        }
+    }
+    Ok(())
 }
 
 /// Render an optional per-job statistic: the value at `prec` decimal
@@ -231,6 +282,7 @@ fn load_swf(
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
+    reject_unknown(args, 2, &[], &[])?;
     let path = args.first().ok_or("validate needs a trace path")?;
     let (header, trace) = load_swf(path)?;
     let cores = args
@@ -253,6 +305,12 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    reject_unknown(
+        args,
+        2,
+        &["--policy", "--backfill"],
+        &["--estimates", "--kill"],
+    )?;
     let path = args.first().ok_or("simulate needs a trace path")?;
     let cores: u32 = args
         .get(1)
@@ -302,7 +360,70 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The owned form of a `--router` choice. `Router` borrows the learned
+/// router's compiled bytecode, so the bytecode must live somewhere the
+/// borrow can point into; owning it *inside* the variant makes the
+/// "learned router has a compiled policy" invariant a type-level fact
+/// instead of an `Option` that the match had to `expect` away.
+enum RouterSpec {
+    RoundRobin,
+    LeastLoaded,
+    Locality { spill: f64 },
+    Learned(CompiledPolicy),
+}
+
+impl RouterSpec {
+    /// Parse the `--router`/`--spill`/`--router-policy` flags into an
+    /// owned spec (compiling the router policy when needed).
+    fn parse(router_name: &str, args: &[String], policy_name: &str) -> Result<Self, String> {
+        match router_name {
+            "round-robin" => Ok(Self::RoundRobin),
+            "least-loaded" => Ok(Self::LeastLoaded),
+            "locality" => Ok(Self::Locality {
+                spill: f64_flag(args, "--spill", 0.0)?,
+            }),
+            "learned" => {
+                let name = flag_value(args, "--router-policy")?.unwrap_or(policy_name);
+                let p = by_name(name).ok_or_else(|| format!("unknown router policy {name:?}"))?;
+                let compiled = p
+                    .compile()
+                    .ok_or_else(|| format!("policy {name:?} has no compiled form to route with"))?;
+                Ok(Self::Learned(compiled))
+            }
+            other => Err(format!("unknown router {other:?}")),
+        }
+    }
+
+    /// Borrow as the scheduler's `Router`, valid as long as `self` lives.
+    fn as_router(&self) -> Router<'_> {
+        match self {
+            Self::RoundRobin => Router::RoundRobin,
+            Self::LeastLoaded => Router::LeastLoaded,
+            Self::Locality { spill } => Router::LocalityAware { spill: *spill },
+            Self::Learned(compiled) => Router::Learned(compiled),
+        }
+    }
+}
+
 fn cmd_federate(args: &[String]) -> Result<(), String> {
+    reject_unknown(
+        args,
+        2,
+        &[
+            "--shards",
+            "--router",
+            "--spill",
+            "--router-policy",
+            "--policy",
+            "--backfill",
+            "--mtbf",
+            "--mttr",
+            "--fault-cores",
+            "--fault-retries",
+            "--fault-seed",
+        ],
+        &["--estimates", "--kill"],
+    )?;
     let path = args.first().ok_or("federate needs a trace path")?;
     let cores: u32 = args
         .get(1)
@@ -331,27 +452,8 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     config.kill_at_estimate = has_flag(args, "--kill");
 
     let router_name = flag_value(args, "--router")?.unwrap_or("least-loaded");
-    // Compiled outside the match so the learned router's bytecode outlives
-    // the FederationSpec borrowing it.
-    let router_compiled: Option<CompiledPolicy> = if router_name == "learned" {
-        let name = flag_value(args, "--router-policy")?.unwrap_or(policy_name);
-        let p = by_name(name).ok_or_else(|| format!("unknown router policy {name:?}"))?;
-        Some(
-            p.compile()
-                .ok_or_else(|| format!("policy {name:?} has no compiled form to route with"))?,
-        )
-    } else {
-        None
-    };
-    let router = match router_name {
-        "round-robin" => Router::RoundRobin,
-        "least-loaded" => Router::LeastLoaded,
-        "locality" => Router::LocalityAware {
-            spill: f64_flag(args, "--spill", 0.0)?,
-        },
-        "learned" => Router::Learned(router_compiled.as_ref().expect("compiled above")),
-        other => return Err(format!("unknown router {other:?}")),
-    };
+    let router_spec = RouterSpec::parse(router_name, args, policy_name)?;
+    let router = router_spec.as_router();
     let fault = fault_flags(args, cores, 0x5C17)?;
 
     let (_, trace) = load_swf(path)?;
@@ -413,6 +515,12 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
+    reject_unknown(
+        args,
+        0,
+        &["--tuples", "--trials", "--cores", "--seed", "--out"],
+        &[],
+    )?;
     let (tuples, trials, cores, seed) = training_flags(args)?;
 
     let config = TrainingConfig {
@@ -447,7 +555,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(out) = flag_value(args, "--out")? {
-        std::fs::write(out, save_learned(&report.policies))
+        write_atomic(out, save_learned(&report.policies))
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("policy file written to {out}");
     }
@@ -455,8 +563,27 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
+    reject_unknown(
+        args,
+        0,
+        &[
+            "--tuples",
+            "--trials",
+            "--cores",
+            "--seed",
+            "--top",
+            "--out",
+            "--checkpoint-dir",
+        ],
+        &["--quick", "--resume"],
+    )?;
     let (tuples, trials, cores, seed) = training_flags(args)?;
     let top_k = usize_flag(args, "--top", 4)?;
+    let checkpoint_dir = flag_value(args, "--checkpoint-dir")?;
+    let resume = has_flag(args, "--resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir DIR to resume from".to_string());
+    }
 
     let config = FullRunConfig {
         training: TrainingConfig {
@@ -489,18 +616,36 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
          then the 18-row Table-4 grid (seed {seed})..."
     );
     let t0 = std::time::Instant::now();
-    let report = run_full(&config, &LublinModel::new(cores));
+    let model = LublinModel::new(cores);
+    let report = match checkpoint_dir {
+        Some(dir) => {
+            if resume {
+                eprintln!("resuming from checkpoint dir {dir}...");
+            } else {
+                eprintln!("checkpointing each stage into {dir}...");
+            }
+            run_full_checkpointed(&config, &model, dir.as_ref(), resume).map_err(|e| match &e {
+                RunError::Mismatch { .. } => format!(
+                    "{e}\n(the checkpoint dir belongs to a different run; \
+                         drop --resume to start fresh, or point --checkpoint-dir elsewhere)"
+                ),
+                _ => format!("{e}"),
+            })?
+        }
+        None => run_full(&config, &model),
+    };
     let markdown = full_run_markdown(&report);
     print!("{markdown}");
     eprintln!("[{:.1} s total]", t0.elapsed().as_secs_f64());
     if let Some(out) = flag_value(args, "--out")? {
-        std::fs::write(out, &markdown).map_err(|e| format!("cannot write {out}: {e}"))?;
+        write_atomic(out, &markdown).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("report written to {out}");
     }
     Ok(())
 }
 
 fn cmd_table4(args: &[String]) -> Result<(), String> {
+    reject_unknown(args, 0, &[], &["--quick"])?;
     let scale = if has_flag(args, "--quick") {
         ScenarioScale {
             spec: SequenceSpec {
@@ -528,6 +673,23 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_scenarios(args: &[String]) -> Result<(), String> {
+    reject_unknown(
+        args,
+        0,
+        &[
+            "--cores",
+            "--days",
+            "--load",
+            "--seed",
+            "--family",
+            "--mtbf",
+            "--mttr",
+            "--fault-cores",
+            "--fault-retries",
+            "--fault-seed",
+        ],
+        &["--eval"],
+    )?;
     let cores = usize_flag(args, "--cores", 256)? as u32;
     // span_days is f64 end to end: `--days 2.5` is a valid half-day span
     // (the old usize round-trip rejected it), and seeds parse as u64
@@ -640,7 +802,8 @@ fn cmd_scenarios(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_policies() -> Result<(), String> {
+fn cmd_policies(args: &[String]) -> Result<(), String> {
+    reject_unknown(args, 0, &[], &[])?;
     println!("built-in policies (lower score runs first):");
     for name in [
         "FCFS", "LCFS", "SPT", "LPT", "SAF", "LAF", "WFP", "UNI", "MF", "F1", "F2", "F3", "F4",
@@ -707,6 +870,78 @@ mod tests {
         assert_eq!(u64_flag(&a, "--seed", 0), Ok(u64::MAX));
         assert!(f64_flag(&args(&["--days", "x"]), "--days", 7.0).is_err());
         assert!(u64_flag(&args(&["--seed", "-1"]), "--seed", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        // Regression: `train --tirals 500` (a typo for --trials) used to
+        // run a full training with the default 8000 trials, silently.
+        let err = cmd_train(&args(&["--tirals", "500"])).unwrap_err();
+        assert!(
+            err.contains("--tirals"),
+            "error should name the typo: {err}"
+        );
+        assert!(
+            err.contains("--trials"),
+            "error should list known flags: {err}"
+        );
+
+        let err = cmd_run(&args(&["--quck"])).unwrap_err();
+        assert!(err.contains("--quck"), "{err}");
+
+        let err = cmd_table4(&args(&["--ful"])).unwrap_err();
+        assert!(err.contains("--ful"), "{err}");
+
+        let err = cmd_policies(&args(&["--verbose"])).unwrap_err();
+        assert!(err.contains("--verbose"), "{err}");
+
+        let err = cmd_scenarios(&args(&["--core", "64"])).unwrap_err();
+        assert!(err.contains("--core"), "{err}");
+    }
+
+    #[test]
+    fn excess_positionals_are_rejected() {
+        // `train` takes no positionals: a stray word is an error, not a
+        // silently ignored token.
+        let err = cmd_train(&args(&["extra"])).unwrap_err();
+        assert!(err.contains("extra"), "{err}");
+        // `validate` takes at most two.
+        let err = reject_unknown(&args(&["a.swf", "64", "stray"]), 2, &[], &[]).unwrap_err();
+        assert!(err.contains("stray"), "{err}");
+    }
+
+    #[test]
+    fn allowlist_accepts_known_shapes() {
+        // A value flag consumes its value even when the value is
+        // flag-shaped (flag_value rejects it later with a better message).
+        assert!(reject_unknown(
+            &args(&[
+                "t.swf",
+                "64",
+                "--policy",
+                "SPT",
+                "--estimates",
+                "--backfill",
+                "easy"
+            ]),
+            2,
+            &["--policy", "--backfill"],
+            &["--estimates", "--kill"],
+        )
+        .is_ok());
+        assert!(reject_unknown(
+            &args(&["--checkpoint-dir", "ckpt", "--resume", "--quick"]),
+            0,
+            &["--checkpoint-dir"],
+            &["--resume", "--quick"],
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_an_error() {
+        let err = cmd_run(&args(&["--resume"])).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
     }
 
     #[test]
